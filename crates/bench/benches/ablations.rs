@@ -1,0 +1,90 @@
+//! Criterion bench for the pipeline ablations (DESIGN.md Section 5):
+//! cost of the pipeline with and without the multiplicative products,
+//! time-dependent features and with PCA instead of forest filtering.
+//! The corresponding *quality* ablation is the `ablation_quality`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use monitorless::features::{FeaturePipeline, PipelineConfig, RawLayout, Reduction};
+use monitorless_learn::Matrix;
+use monitorless_metrics::catalog::Catalog;
+use monitorless_metrics::signals::{ContainerSignals, HostSignals};
+
+fn raw(n: usize) -> (Matrix, Vec<u8>, Vec<u32>) {
+    let catalog = Catalog::standard();
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    let mut groups = Vec::new();
+    for g in 0..2u32 {
+        for t in 0..n {
+            let util = t as f64 / n as f64;
+            let hs = HostSignals {
+                cpu_util: util,
+                tcp_estab: 50.0 + 50.0 * util,
+                ..HostSignals::default()
+            };
+            let cs = ContainerSignals {
+                cpu_util: util,
+                ..ContainerSignals::default()
+            };
+            let mut v = catalog.expand_host(&hs, t as u64, u64::from(g));
+            v.extend(catalog.expand_container(&cs, t as u64, 7 ^ u64::from(g)));
+            rows.push(v);
+            y.push(u8::from(util > 0.8));
+            groups.push(g);
+        }
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    (Matrix::from_rows(&refs), y, groups)
+}
+
+fn bench_pipeline_variants(c: &mut Criterion) {
+    let (x, y, groups) = raw(50);
+    let layout = RawLayout::from_catalog(&Catalog::standard()).unwrap();
+    let variants: [(&str, PipelineConfig); 4] = [
+        ("full", PipelineConfig::quick()),
+        (
+            "no_products",
+            PipelineConfig {
+                products: false,
+                ..PipelineConfig::quick()
+            },
+        ),
+        (
+            "no_time",
+            PipelineConfig {
+                time_features: false,
+                ..PipelineConfig::quick()
+            },
+        ),
+        (
+            "pca",
+            PipelineConfig {
+                reduce1: Reduction::Pca {
+                    variance: 0.999,
+                    max_components: 20,
+                },
+                reduce2: Reduction::Pca {
+                    variance: 0.999,
+                    max_components: 20,
+                },
+                ..PipelineConfig::quick()
+            },
+        ),
+    ];
+    let mut group = c.benchmark_group("pipeline_ablation_fit");
+    group.sample_size(10);
+    for (name, config) in variants {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, cfg| {
+            b.iter(|| {
+                FeaturePipeline::new(*cfg)
+                    .fit_transform(&x, &y, &groups, layout.clone())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_variants);
+criterion_main!(benches);

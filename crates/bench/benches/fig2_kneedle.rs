@@ -1,0 +1,45 @@
+//! Criterion bench for the Figure 2 machinery: Savitzky-Golay smoothing
+//! and Kneedle knee detection, plus the end-to-end harness.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use monitorless::experiments::fig2::{run, Fig2Options};
+use monitorless_label::kneedle::{detect_knee, KneedleParams};
+use monitorless_label::SavitzkyGolay;
+
+fn saturating_series(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|&v| 700.0 * (1.0 - (-v / 120.0).exp()) + 10.0 * ((v * 0.7).sin()))
+        .collect();
+    (x, y)
+}
+
+fn bench_savgol(c: &mut Criterion) {
+    let (_, y) = saturating_series(1000);
+    let sg = SavitzkyGolay::new(11, 2).unwrap();
+    c.bench_function("savgol_smooth_1000", |b| {
+        b.iter(|| sg.smooth(std::hint::black_box(&y)).unwrap())
+    });
+}
+
+fn bench_kneedle(c: &mut Criterion) {
+    let (x, y) = saturating_series(1000);
+    c.bench_function("kneedle_detect_1000", |b| {
+        b.iter(|| detect_knee(std::hint::black_box(&x), &y, &KneedleParams::default()).unwrap())
+    });
+}
+
+fn bench_fig2_end_to_end(c: &mut Criterion) {
+    let opts = Fig2Options {
+        ramp_seconds: 120,
+        peak_rps: 1000.0,
+        seed: 1,
+    };
+    c.bench_function("fig2_simulate_and_detect_120s", |b| {
+        b.iter_batched(|| opts, |o| run(&o).unwrap(), BatchSize::SmallInput)
+    });
+}
+
+criterion_group!(benches, bench_savgol, bench_kneedle, bench_fig2_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion bench for the feature pipeline: base expansion, online
+//! transformation and batch transformation.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monitorless::features::{
+    BaseExpander, FeaturePipeline, InstanceTransformer, PipelineConfig, RawLayout,
+};
+use monitorless_learn::Matrix;
+use monitorless_metrics::catalog::Catalog;
+use monitorless_metrics::signals::{ContainerSignals, HostSignals};
+
+fn raw_series(n: usize) -> (Vec<Vec<f64>>, Vec<u8>, Vec<u32>) {
+    let catalog = Catalog::standard();
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    let mut groups = Vec::new();
+    for g in 0..2u32 {
+        for t in 0..n {
+            let util = t as f64 / n as f64;
+            let hs = HostSignals {
+                cpu_util: util,
+                net_in_bytes: 1e6 * util,
+                tcp_estab: 100.0 * util,
+                ..HostSignals::default()
+            };
+            let cs = ContainerSignals {
+                cpu_util: util,
+                mem_util: 0.5,
+                ..ContainerSignals::default()
+            };
+            let mut v = catalog.expand_host(&hs, t as u64, u64::from(g));
+            v.extend(catalog.expand_container(&cs, t as u64, u64::from(g) ^ 1));
+            rows.push(v);
+            y.push(u8::from(util > 0.8));
+            groups.push(g);
+        }
+    }
+    (rows, y, groups)
+}
+
+fn bench_base_expansion(c: &mut Criterion) {
+    let layout = RawLayout::from_catalog(&Catalog::standard()).unwrap();
+    let expander = BaseExpander::new(layout);
+    let (rows, _, _) = raw_series(10);
+    c.bench_function("base_expand_one_1040_vector", |b| {
+        b.iter(|| expander.expand(std::hint::black_box(&rows[5])))
+    });
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (rows, y, groups) = raw_series(60);
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let x = Matrix::from_rows(&refs);
+    let layout = RawLayout::from_catalog(&Catalog::standard()).unwrap();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("fit_transform_120x1040_quick", |b| {
+        b.iter(|| {
+            FeaturePipeline::new(PipelineConfig::quick())
+                .fit_transform(&x, &y, &groups, layout.clone())
+                .unwrap()
+        })
+    });
+
+    let (fitted, _) = FeaturePipeline::new(PipelineConfig::quick())
+        .fit_transform(&x, &y, &groups, layout)
+        .unwrap();
+    group.bench_function("transform_batch_120", |b| {
+        b.iter(|| fitted.transform_batch(&x, &groups).unwrap())
+    });
+
+    let fitted = Arc::new(fitted);
+    group.bench_function("online_push_one_sample", |b| {
+        let mut online = InstanceTransformer::new(Arc::clone(&fitted));
+        let mut i = 0;
+        b.iter(|| {
+            let out = online.push(&rows[i % rows.len()]).unwrap();
+            i += 1;
+            out
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_base_expansion, bench_pipeline);
+criterion_main!(benches);

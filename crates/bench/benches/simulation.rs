@@ -1,0 +1,54 @@
+//! Criterion bench for the cloud simulator: single-service ticks,
+//! multi-tenant ticks and scaling operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monitorless_metrics::NodeId;
+use monitorless_sim::apps::{build_single, build_sockshop, build_teastore, solr_profile};
+use monitorless_sim::{Cluster, ContainerLimits, NodeSpec};
+
+fn bench_single_service_tick(c: &mut Criterion) {
+    let mut cluster = Cluster::new(vec![NodeSpec::training_server()], 1);
+    let (app, _) = build_single(
+        &mut cluster,
+        solr_profile(),
+        ContainerLimits::cpu(3.0),
+        NodeId(0),
+    );
+    c.bench_function("tick_single_service", |b| {
+        b.iter(|| cluster.step(&[(app, 100.0)]))
+    });
+}
+
+fn bench_multitenant_tick(c: &mut Criterion) {
+    let mut cluster = Cluster::new(vec![NodeSpec::m1(), NodeSpec::m2(), NodeSpec::m3()], 2);
+    let tea = build_teastore(&mut cluster, NodeId(0), NodeId(1), NodeId(2));
+    let sock = build_sockshop(&mut cluster, NodeId(0), NodeId(1), NodeId(2));
+    c.bench_function("tick_21_containers_multitenant", |b| {
+        b.iter(|| cluster.step(&[(tea, 300.0), (sock, 200.0)]))
+    });
+}
+
+fn bench_scaling_operations(c: &mut Criterion) {
+    c.bench_function("scale_out_and_in", |b| {
+        let mut cluster = Cluster::new(vec![NodeSpec::m2()], 3);
+        let (app, _) = build_single(
+            &mut cluster,
+            solr_profile(),
+            ContainerLimits::cpu(1.0),
+            NodeId(0),
+        );
+        b.iter(|| {
+            let extra = cluster.scale_out(app, "solr", NodeId(0));
+            cluster.step(&[(app, 50.0)]);
+            cluster.scale_in(extra)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_single_service_tick,
+    bench_multitenant_tick,
+    bench_scaling_operations
+);
+criterion_main!(benches);

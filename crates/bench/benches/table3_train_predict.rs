@@ -1,0 +1,113 @@
+//! Criterion bench behind Table 3: training and per-sample prediction
+//! cost of the six classifiers on identical features.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use monitorless_learn::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn dataset(n: usize, d: usize) -> (Matrix, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let informative = if i % 2 == 0 { 0.2 } else { 0.8 };
+        let mut row = vec![informative + rng.gen::<f64>() * 0.1];
+        for _ in 1..d {
+            row.push(rng.gen());
+        }
+        rows.push(row);
+        y.push(u8::from(i % 2 == 1));
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    (Matrix::from_rows(&refs), y)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (x, y) = dataset(400, 30);
+    let mut group = c.benchmark_group("train_400x30");
+    group.sample_size(10);
+    group.bench_function("random_forest_40", |b| {
+        b.iter(|| {
+            let mut rf = RandomForest::new(RandomForestParams {
+                n_estimators: 40,
+                ..RandomForestParams::default()
+            });
+            rf.fit(&x, &y, None).unwrap();
+            rf
+        })
+    });
+    group.bench_function("xgboost_20", |b| {
+        b.iter(|| {
+            let mut gb = GradientBoosting::new(GradientBoostingParams {
+                n_rounds: 20,
+                ..GradientBoostingParams::default()
+            });
+            gb.fit(&x, &y, None).unwrap();
+            gb
+        })
+    });
+    group.bench_function("adaboost_20", |b| {
+        b.iter(|| {
+            let mut ab = AdaBoost::new(AdaBoostParams {
+                n_estimators: 20,
+                ..AdaBoostParams::default()
+            });
+            ab.fit(&x, &y, None).unwrap();
+            ab
+        })
+    });
+    group.bench_function("logistic_regression", |b| {
+        b.iter(|| {
+            let mut lr = LogisticRegression::new(LogisticRegressionParams {
+                max_iter: 30,
+                ..LogisticRegressionParams::default()
+            });
+            lr.fit(&x, &y, None).unwrap();
+            lr
+        })
+    });
+    group.bench_function("linear_svc", |b| {
+        b.iter(|| {
+            let mut svc = LinearSvc::new(LinearSvcParams {
+                max_iter: 30,
+                ..LinearSvcParams::default()
+            });
+            svc.fit(&x, &y, None).unwrap();
+            svc
+        })
+    });
+    group.bench_function("neural_net_20_epochs", |b| {
+        b.iter(|| {
+            let mut nn = NeuralNet::new(NeuralNetParams {
+                epochs: 20,
+                ..NeuralNetParams::default()
+            });
+            nn.fit(&x, &y, None).unwrap();
+            nn
+        })
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let (x, y) = dataset(400, 30);
+    let mut rf = RandomForest::new(RandomForestParams {
+        n_estimators: 40,
+        ..RandomForestParams::default()
+    });
+    rf.fit(&x, &y, None).unwrap();
+    let mut gb = GradientBoosting::new(GradientBoostingParams::default());
+    gb.fit(&x, &y, None).unwrap();
+    let mut lr = LogisticRegression::new(LogisticRegressionParams::default());
+    lr.fit(&x, &y, None).unwrap();
+
+    let mut group = c.benchmark_group("predict_400_samples");
+    group.bench_function("random_forest", |b| b.iter(|| rf.predict_proba(&x)));
+    group.bench_function("xgboost", |b| b.iter(|| gb.predict_proba(&x)));
+    group.bench_function("logistic_regression", |b| b.iter(|| lr.predict_proba(&x)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_training, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Quality ablations for the design choices called out in DESIGN.md:
+//!
+//! 1. feature-pipeline variants (no products / no time features / PCA)
+//!    scored by transfer F1₂ on the three-tier application;
+//! 2. decision-threshold sweep (the paper picks 0.4 to avoid FNs);
+//! 3. instance→application aggregation rule (OR vs AND vs majority).
+//!
+//! ```sh
+//! cargo run -p monitorless-bench --bin ablation_quality --release [-- --full]
+//! ```
+
+use std::sync::Arc;
+
+use monitorless::experiments::scenario::{run_eval_scenario, EvalApp, EVAL_LAG};
+use monitorless::features::{PipelineConfig, Reduction};
+use monitorless::model::MonitorlessModel;
+use monitorless::orchestrator::Aggregation;
+use monitorless_bench::{training_data, Scale};
+use monitorless_learn::metrics::lagged_confusion;
+
+fn main() {
+    let scale = Scale::from_args();
+    let data = training_data(&scale);
+    let base = scale.model_options();
+
+    // --- 1. pipeline ablations ---
+    println!("Pipeline ablation (transfer F1_2 / Acc_2 on the three-tier app):\n");
+    println!("{:<16} {:>9} {:>7} {:>7}", "variant", "features", "F1_2", "Acc_2");
+    let variants: Vec<(&str, PipelineConfig)> = vec![
+        ("full", base.pipeline),
+        (
+            "no-products",
+            PipelineConfig {
+                products: false,
+                ..base.pipeline
+            },
+        ),
+        (
+            "no-time",
+            PipelineConfig {
+                time_features: false,
+                ..base.pipeline
+            },
+        ),
+        (
+            "snapshot-only",
+            PipelineConfig {
+                products: false,
+                time_features: false,
+                ..base.pipeline
+            },
+        ),
+        (
+            "pca",
+            PipelineConfig {
+                reduce1: Reduction::paper_pca(),
+                reduce2: Reduction::paper_pca(),
+                ..base.pipeline
+            },
+        ),
+    ];
+    for (name, pipeline) in variants {
+        let opts = monitorless::model::ModelOptions {
+            pipeline,
+            ..base.clone()
+        };
+        let model = Arc::new(MonitorlessModel::train(&data, &opts).expect("train"));
+        let run = run_eval_scenario(EvalApp::ThreeTier, Some(&model), &scale.eval_options(0xAB))
+            .expect("scenario");
+        let cm = lagged_confusion(&run.ground_truth, run.monitorless.as_ref().unwrap(), EVAL_LAG);
+        println!(
+            "{:<16} {:>9} {:>7.3} {:>7.3}",
+            name,
+            model.pipeline().output_width(),
+            cm.f1(),
+            cm.accuracy()
+        );
+    }
+
+    // --- 2. decision-threshold sweep ---
+    let model = Arc::new(MonitorlessModel::train(&data, &base).expect("train"));
+    println!("\nDecision-threshold sweep (paper picks 0.4 to avoid FNs):\n");
+    println!("{:>9} {:>6} {:>6} {:>7} {:>7}", "threshold", "FN_2", "FP_2", "F1_2", "Acc_2");
+    for threshold in [0.2, 0.3, 0.4, 0.5, 0.6, 0.7] {
+        let mut m = (*model).clone();
+        m.set_threshold(threshold);
+        let m = Arc::new(m);
+        let run = run_eval_scenario(EvalApp::ThreeTier, Some(&m), &scale.eval_options(0xAB))
+            .expect("scenario");
+        let cm = lagged_confusion(&run.ground_truth, run.monitorless.as_ref().unwrap(), EVAL_LAG);
+        println!(
+            "{:>9.1} {:>6} {:>6} {:>7.3} {:>7.3}",
+            threshold,
+            cm.fn_,
+            cm.fp,
+            cm.f1(),
+            cm.accuracy()
+        );
+    }
+
+    // --- 3. aggregation rules ---
+    println!("\nAggregation rule over TeaStore's 7 services (paper uses OR):\n");
+    let run = run_eval_scenario(EvalApp::TeaStore, Some(&model), &scale.eval_options(0xAC))
+        .expect("scenario");
+    let per_service = run.per_service.as_ref().expect("model given");
+    println!("{:<10} {:>6} {:>6} {:>7} {:>7}", "rule", "FN_2", "FP_2", "F1_2", "Acc_2");
+    for (name, rule) in [
+        ("OR", Aggregation::Or),
+        ("majority", Aggregation::Majority),
+        ("AND", Aggregation::And),
+    ] {
+        let n = run.ground_truth.len();
+        let mut pred = vec![0u8; n];
+        for (t, p) in pred.iter_mut().enumerate() {
+            let labels: Vec<u8> = per_service.iter().map(|(_, s)| s[t]).collect();
+            *p = rule.combine(&labels);
+        }
+        let cm = lagged_confusion(&run.ground_truth, &pred, EVAL_LAG);
+        println!(
+            "{:<10} {:>6} {:>6} {:>7.3} {:>7.3}",
+            name,
+            cm.fn_,
+            cm.fp,
+            cm.f1(),
+            cm.accuracy()
+        );
+    }
+}

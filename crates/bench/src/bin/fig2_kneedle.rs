@@ -1,0 +1,31 @@
+//! Regenerates Figure 2: observed throughput, smoothed curve and the
+//! Kneedle difference curve for a linearly increasing Solr load.
+//!
+//! ```sh
+//! cargo run -p monitorless-bench --bin fig2_kneedle [-- --full] [-- --csv]
+//! ```
+
+use monitorless::experiments::fig2::{run, Fig2Options};
+use monitorless_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let csv = std::env::args().any(|a| a == "--csv");
+    let opts = Fig2Options {
+        ramp_seconds: if scale.full { 1000 } else { 300 },
+        peak_rps: 1000.0,
+        seed: scale.seed,
+    };
+    let data = run(&opts).expect("figure 2 harness");
+    if csv {
+        print!("{}", data.to_csv());
+        return;
+    }
+    println!("Figure 2 (paper: knee/elbow around 700 requests/sec)\n");
+    println!(
+        "detected knee: workload = {:.0} req/s, Y = {:.1}, strength = {:.3}",
+        data.knee.x, data.knee.y, data.knee.strength
+    );
+    println!("candidates: {:?}", data.knee.candidates);
+    println!("\nuse --csv to dump the three series (observed/smoothed/difference)");
+}

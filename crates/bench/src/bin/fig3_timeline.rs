@@ -1,0 +1,24 @@
+//! Regenerates Figure 3: per-service prediction timeline for the
+//! TeaStore run (TP/FP/FN markers per service per second, plus the
+//! workload and response-time curves) as CSV.
+//!
+//! ```sh
+//! cargo run -p monitorless-bench --bin fig3_timeline --release [-- --full] > fig3.csv
+//! ```
+
+use monitorless::experiments::scenario::{run_eval_scenario, EvalApp};
+use monitorless::experiments::fig3;
+use monitorless_bench::{trained_model, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let model = trained_model(&scale);
+    let run = run_eval_scenario(EvalApp::TeaStore, Some(&model), &scale.eval_options(0x66))
+        .expect("teastore scenario");
+    let data = fig3::run(&run).expect("figure 3 harness");
+    print!("{}", data.to_csv());
+    for service in &data.services {
+        let (tp, fp, fn_) = data.counts(service).expect("service exists");
+        eprintln!("{service:<14} TP2={tp:<5} FP2={fp:<5} FN2={fn_}");
+    }
+}

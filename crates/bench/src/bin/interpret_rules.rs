@@ -1,0 +1,66 @@
+//! Section 5 extensions demo: distills the trained forest into
+//! depth-restricted scaling rules, trains the scale-in classifier, and
+//! runs the training-set coverage check against the three-tier app.
+//!
+//! ```sh
+//! cargo run -p monitorless-bench --bin interpret_rules --release [-- --full]
+//! ```
+
+use monitorless::coverage::CoverageChecker;
+use monitorless::experiments::scenario::{run_eval_scenario, EvalApp};
+use monitorless::interpret::{distill, DistillOptions};
+use monitorless::model::MonitorlessModel;
+use monitorless::scalein::ScaleInModel;
+use monitorless_bench::{training_data, Scale};
+use monitorless_learn::metrics::f1_score;
+
+fn main() {
+    let scale = Scale::from_args();
+    let data = training_data(&scale);
+    let opts = scale.model_options();
+    let model = MonitorlessModel::train(&data, &opts).expect("train");
+
+    // --- interpretability ---
+    let distilled = distill(&model, &data, &DistillOptions::default()).expect("distill");
+    println!(
+        "Distilled scaling rules (student depth ≤ 3, fidelity {:.1}%):\n",
+        100.0 * distilled.fidelity
+    );
+    for rule in &distilled.rules {
+        println!("  {rule}");
+    }
+
+    // --- scale-in classifier ---
+    let scalein = ScaleInModel::train(&data, &opts).expect("scale-in train");
+    let pred = scalein
+        .predict_batch(data.dataset.x(), data.dataset.groups())
+        .expect("predict");
+    let f1 = f1_score(&data.scalein_labels, &pred);
+    let over: usize = data.scalein_labels.iter().map(|&v| v as usize).sum();
+    println!(
+        "\nScale-in classifier: {over}/{} overprovisioned training samples, training F1 = {f1:.3}",
+        data.dataset.len()
+    );
+
+    // --- coverage check (Section 3.2.3) ---
+    let checker = CoverageChecker::fit(&data).expect("coverage fit");
+    let mut eval = scale.eval_options(0xCC);
+    eval.record_raw = true;
+    eval.duration = eval.duration.min(300);
+    let run = run_eval_scenario(EvalApp::ThreeTier, None, &eval).expect("scenario");
+    let raws = run.raw_instances.as_ref().expect("recorded");
+    let refs: Vec<&[f64]> = raws[0].1.iter().map(|r| r.as_slice()).collect();
+    let validation = monitorless_learn::Matrix::from_rows(&refs);
+    let report = checker.check(&validation).expect("coverage check");
+    println!(
+        "\nTraining-set coverage vs the unseen three-tier web tier: {:.1}% covered, {} features out of range",
+        100.0 * report.coverage_fraction(),
+        report.uncovered.len()
+    );
+    for u in report.uncovered.iter().take(8) {
+        println!(
+            "  {:<40} train [{:.3}, {:.3}]  validation [{:.3}, {:.3}]",
+            u.name, u.train_range.0, u.train_range.1, u.validation_range.0, u.validation_range.1
+        );
+    }
+}

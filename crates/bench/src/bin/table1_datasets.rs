@@ -1,0 +1,18 @@
+//! Regenerates Table 1: the 25 training configurations with the
+//! bottleneck each one actually exhibits in the simulator.
+//!
+//! ```sh
+//! cargo run -p monitorless-bench --bin table1_datasets [-- --full]
+//! ```
+
+use monitorless::experiments::table1;
+use monitorless_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = table1::run(&scale.training_options()).expect("table 1 harness");
+    println!("Table 1 — training configurations (expected = paper, observed = simulator)\n");
+    print!("{}", table1::format(&rows));
+    let matching = rows.iter().filter(|r| r.matches).count();
+    println!("\n{matching}/25 observed bottlenecks match the paper's classification");
+}

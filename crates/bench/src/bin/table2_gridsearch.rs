@@ -1,0 +1,55 @@
+//! Regenerates Table 2: the hyper-parameter grid search (5-fold
+//! cross-validation over whole training configurations).
+//!
+//! ```sh
+//! cargo run -p monitorless-bench --bin table2_gridsearch --release [-- --full]
+//! ```
+//!
+//! `--full` evaluates the paper's complete grids (hundreds of
+//! combinations — expect hours).
+
+use monitorless::experiments::table2::{run, Algorithm, GridScale};
+use monitorless::features::{FeaturePipeline, PipelineConfig};
+use monitorless_bench::{training_data, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let grid_scale = if scale.full { GridScale::Full } else { GridScale::Quick };
+    let data = training_data(&scale);
+    eprintln!("fitting the feature pipeline...");
+    let pipeline_cfg = if scale.full {
+        PipelineConfig::paper_default()
+    } else {
+        PipelineConfig::quick()
+    };
+    let (_, x) = FeaturePipeline::new(pipeline_cfg)
+        .fit_transform(
+            data.dataset.x(),
+            data.dataset.y(),
+            data.dataset.groups(),
+            data.layout.clone(),
+        )
+        .expect("pipeline fit");
+    eprintln!(
+        "searching grids over {} samples x {} features...",
+        x.rows(),
+        x.cols()
+    );
+    let rows = run(
+        &x,
+        data.dataset.y(),
+        data.dataset.groups(),
+        &Algorithm::all(),
+        grid_scale,
+    )
+    .expect("grid search");
+
+    println!("Table 2 — grid search (best combination per algorithm)\n");
+    println!("{:<22} {:>7} {:>8}  best parameters", "Algorithm", "F1(cv)", "combos");
+    for r in rows {
+        println!(
+            "{:<22} {:>7.3} {:>8}  {}",
+            r.algorithm, r.best_f1, r.combinations, r.best_params
+        );
+    }
+}

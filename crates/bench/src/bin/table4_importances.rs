@@ -1,0 +1,23 @@
+//! Regenerates Table 4: top-30 features by random-forest importance.
+//!
+//! ```sh
+//! cargo run -p monitorless-bench --bin table4_importances --release [-- --full]
+//! ```
+
+use monitorless::experiments::table4;
+use monitorless_bench::{trained_model, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let model = trained_model(&scale);
+    let rows = table4::run(&model, 30);
+    println!("Table 4 — top 30 features by importance\n");
+    print!("{}", table4::format(&rows));
+    let products = rows.iter().filter(|r| r.feature.contains(" × ")).count();
+    let time = rows
+        .iter()
+        .filter(|r| r.feature.contains("-AVG") || r.feature.contains("-LAG"))
+        .count();
+    println!("\n{products}/{} are feature products, {time} use time variants", rows.len());
+    println!("(paper: almost all top features are products, most gated by C-CPU levels)");
+}

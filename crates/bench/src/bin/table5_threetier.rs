@@ -1,0 +1,22 @@
+//! Regenerates Table 5: baseline comparison on the three-tier web
+//! application (Elgg / InnoDB / Memcache).
+//!
+//! ```sh
+//! cargo run -p monitorless-bench --bin table5_threetier --release [-- --full]
+//! ```
+
+use monitorless::experiments::{comparison_header, table5};
+use monitorless_bench::{trained_model, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let model = trained_model(&scale);
+    let rows = table5::run(&model, &scale.eval_options(0x55)).expect("table 5 harness");
+    println!("Table 5 — three-tier web application\n");
+    println!("{}", comparison_header());
+    for row in rows {
+        println!("{}", row.format());
+    }
+    println!("\n(paper shape: CPU-style detectors and monitorless all score near 1.0;");
+    println!(" MEM trails on the CPU-bound front-end)");
+}

@@ -1,0 +1,39 @@
+//! Regenerates Table 7: autoscaling comparison — average provisioning
+//! vs SLO violations for seven policies on the TeaStore trace.
+//!
+//! ```sh
+//! cargo run -p monitorless-bench --bin table7_autoscaling --release [-- --full]
+//! ```
+
+use monitorless::autoscale::AutoscaleOptions;
+use monitorless::experiments::scenario::{eval_workload, EvalApp};
+use monitorless::experiments::table7::{self, Table7Options};
+use monitorless_bench::{trained_model, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let model = trained_model(&scale);
+    let duration = if scale.full { 7000 } else { 600 };
+    let opts = Table7Options {
+        autoscale: AutoscaleOptions {
+            duration,
+            replica_lifespan: 120,
+            rt_slo_ms: 750.0,
+            background_rps: 80.0,
+            seed: scale.seed ^ 0x77,
+        },
+        eval: {
+            let mut e = scale.eval_options(0x77);
+            e.duration = duration;
+            e
+        },
+    };
+    let profile = eval_workload(EvalApp::TeaStore, duration, scale.seed ^ 0x77);
+    eprintln!("running 7 autoscaling policies over a {duration}s trace...");
+    let rows = table7::run(&model, profile.as_ref(), &opts).expect("table 7 harness");
+    println!("Table 7 — autoscaling on the TeaStore trace\n");
+    print!("{}", table7::format(&rows));
+    println!("\n(paper shape: No Scaling worst by far; RT-based optimal best;");
+    println!(" monitorless close to optimal at similar provisioning; OR/MEM");
+    println!(" overprovision heavily)");
+}

@@ -1,0 +1,26 @@
+//! Training-diversity ablation: how much does the mix of training
+//! services (Solr + Memcache + Cassandra) matter for transfer to an
+//! unseen application? (Section 3.3.4's motivation for diverse training
+//! applications.)
+//!
+//! ```sh
+//! cargo run -p monitorless-bench --bin train_diversity --release [-- --full]
+//! ```
+
+use monitorless::experiments::training_ablation;
+use monitorless_bench::{training_data, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let data = training_data(&scale);
+    let rows = training_ablation::run(
+        &data,
+        &scale.model_options(),
+        &scale.eval_options(0xD1),
+    )
+    .expect("diversity ablation");
+    println!("Training-diversity ablation (transfer to the unseen three-tier app)\n");
+    print!("{}", training_ablation::format(&rows));
+    println!("\n(the paper trains on all three services so one model covers");
+    println!(" CPU-, memory- and disk/network-bound saturation modes)");
+}

@@ -1,0 +1,124 @@
+//! Shared helpers for the experiment-regeneration binaries.
+//!
+//! Every `tableN_*` / `figN_*` binary accepts:
+//!
+//! * `--full` — run at paper scale (long runs, full grids, 250-tree
+//!   forests) instead of the laptop-scale defaults;
+//! * `--seed <n>` — override the base seed (default 7).
+//!
+//! Binaries that need a trained model reuse a cached one from
+//! `target/monitorless-model-<scale>-<seed>.json` when present, so the
+//! full table series can be regenerated without retraining each time.
+
+use std::sync::Arc;
+
+use monitorless::experiments::scenario::EvalOptions;
+use monitorless::model::{ModelOptions, MonitorlessModel};
+use monitorless::training::{generate_training_data, TrainingData, TrainingOptions};
+
+/// Parsed command-line scale options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Paper scale (`--full`) vs laptop scale.
+    pub full: bool,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Parses `--full` and `--seed <n>` from `std::env::args`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let full = args.iter().any(|a| a == "--full");
+        let seed = args
+            .iter()
+            .position(|a| a == "--seed")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(7);
+        Scale { full, seed }
+    }
+
+    /// Training options for this scale.
+    pub fn training_options(&self) -> TrainingOptions {
+        if self.full {
+            TrainingOptions::paper(self.seed)
+        } else {
+            TrainingOptions::quick(self.seed)
+        }
+    }
+
+    /// Model options for this scale.
+    pub fn model_options(&self) -> ModelOptions {
+        if self.full {
+            ModelOptions::paper()
+        } else {
+            ModelOptions::quick()
+        }
+    }
+
+    /// Evaluation-scenario options for this scale.
+    pub fn eval_options(&self, seed_offset: u64) -> EvalOptions {
+        EvalOptions {
+            duration: if self.full { 7000 } else { 500 },
+            ramp_seconds: if self.full { 800 } else { 250 },
+            seed: self.seed ^ seed_offset,
+            record_raw: false,
+        }
+    }
+
+    fn cache_path(&self) -> std::path::PathBuf {
+        let scale = if self.full { "full" } else { "quick" };
+        std::path::PathBuf::from(format!(
+            "target/monitorless-model-{scale}-{}.json",
+            self.seed
+        ))
+    }
+}
+
+/// Generates training data at the selected scale, with progress output.
+pub fn training_data(scale: &Scale) -> TrainingData {
+    eprintln!(
+        "generating training data ({} s per configuration)...",
+        scale.training_options().run_seconds
+    );
+    generate_training_data(&scale.training_options()).expect("training-data generation")
+}
+
+/// Trains (or loads a cached) monitorless model at the selected scale.
+pub fn trained_model(scale: &Scale) -> Arc<MonitorlessModel> {
+    let path = scale.cache_path();
+    if let Ok(model) = MonitorlessModel::load(&path) {
+        eprintln!("loaded cached model from {}", path.display());
+        return Arc::new(model);
+    }
+    let data = training_data(scale);
+    eprintln!(
+        "training monitorless model on {} samples...",
+        data.dataset.len()
+    );
+    let model = MonitorlessModel::train(&data, &scale.model_options()).expect("model training");
+    if model.save(&path).is_ok() {
+        eprintln!("cached model at {}", path.display());
+    }
+    Arc::new(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_quick() {
+        let s = Scale { full: false, seed: 7 };
+        assert_eq!(s.training_options().run_seconds, 150);
+        assert_eq!(s.eval_options(0).duration, 500);
+    }
+
+    #[test]
+    fn full_scale_is_paper_sized() {
+        let s = Scale { full: true, seed: 7 };
+        assert!(s.training_options().run_seconds >= 2000);
+        assert_eq!(s.model_options().forest.n_estimators, 250);
+    }
+}

@@ -1,0 +1,194 @@
+//! Domain adaptation — the Section 5 "Calibration" direction.
+//!
+//! "Monitorless may require additional calibration to infer the
+//! performance of applications with resource usage patterns
+//! significantly different from those in the training set … in the case
+//! where there is no labeled data in the target domain." This module
+//! implements the simplest useful heuristic of that family: per-metric
+//! first/second-moment alignment. Unlabeled target-domain samples are
+//! linearly mapped so each raw metric's mean and spread match the
+//! training distribution before entering the feature pipeline —
+//! correcting hardware offsets (different clock speeds, link capacities)
+//! without touching the trained model.
+//!
+//! Relative utilizations and the binary level features derived from them
+//! are intentionally *not* remapped (they are already scale-free), so
+//! alignment is applied only to metrics whose training/target moments
+//! differ materially.
+
+use monitorless_learn::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::Error;
+
+/// Per-feature affine alignment from a target domain to the training
+/// domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainAdapter {
+    scale: Vec<f64>,
+    offset: Vec<f64>,
+}
+
+/// Features whose moment ratio is within this factor of 1 are left
+/// untouched (the distribution shift is noise, not hardware).
+const MATERIAL_SHIFT: f64 = 1.15;
+
+impl DomainAdapter {
+    /// Fits the adapter from *unlabeled* raw samples of the source
+    /// (training) and target domains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invalid`] on empty inputs or column mismatch.
+    pub fn fit(source: &Matrix, target: &Matrix) -> Result<Self, Error> {
+        if source.rows() == 0 || target.rows() == 0 {
+            return Err(Error::Invalid("empty domain sample".into()));
+        }
+        if source.cols() != target.cols() {
+            return Err(Error::Invalid("domain feature counts differ".into()));
+        }
+        let s_mean = source.column_means();
+        let s_std = source.column_stds();
+        let t_mean = target.column_means();
+        let t_std = target.column_stds();
+        let mut scale = Vec::with_capacity(source.cols());
+        let mut offset = Vec::with_capacity(source.cols());
+        for c in 0..source.cols() {
+            let (a, b) = if t_std[c] > 1e-12 && s_std[c] > 1e-12 {
+                let ratio = s_std[c] / t_std[c];
+                if !(1.0 / MATERIAL_SHIFT..=MATERIAL_SHIFT).contains(&ratio)
+                    || relative_gap(s_mean[c], t_mean[c]) > MATERIAL_SHIFT - 1.0
+                {
+                    // x' = (x - μ_t) * σ_s/σ_t + μ_s
+                    (ratio, s_mean[c] - t_mean[c] * ratio)
+                } else {
+                    (1.0, 0.0)
+                }
+            } else {
+                (1.0, 0.0)
+            };
+            scale.push(a);
+            offset.push(b);
+        }
+        Ok(DomainAdapter { scale, offset })
+    }
+
+    /// Number of features the adapter actually remaps.
+    pub fn adapted_features(&self) -> usize {
+        self.scale
+            .iter()
+            .zip(&self.offset)
+            .filter(|(&a, &b)| a != 1.0 || b != 0.0)
+            .count()
+    }
+
+    /// Adapts one raw sample in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the fitted width.
+    pub fn adapt_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.scale.len(), "row width");
+        for ((v, &a), &b) in row.iter_mut().zip(&self.scale).zip(&self.offset) {
+            *v = (*v * a + b).max(0.0);
+        }
+    }
+
+    /// Adapts a whole matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted width.
+    pub fn adapt_matrix(&self, x: &Matrix) -> Matrix {
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            self.adapt_row(out.row_mut(r));
+        }
+        out
+    }
+}
+
+fn relative_gap(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom < 1e-12 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn domain(n: usize, scale: f64, shift: f64, seed: u64) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        for _ in 0..n {
+            rows.push(vec![
+                (rng.gen::<f64>() * 100.0) * scale + shift,
+                rng.gen::<f64>() * 10.0, // stable feature
+            ]);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Matrix::from_rows(&refs)
+    }
+
+    #[test]
+    fn adapter_restores_source_moments() {
+        let source = domain(300, 1.0, 0.0, 1);
+        let target = domain(300, 4.0, 50.0, 2); // different "hardware"
+        let adapter = DomainAdapter::fit(&source, &target).unwrap();
+        let adapted = adapter.adapt_matrix(&target);
+        let s_mean = source.column_means()[0];
+        let a_mean = adapted.column_means()[0];
+        assert!(
+            (s_mean - a_mean).abs() < 0.1 * s_mean,
+            "{s_mean} vs {a_mean}"
+        );
+        let s_std = source.column_stds()[0];
+        let a_std = adapted.column_stds()[0];
+        assert!((s_std - a_std).abs() < 0.15 * s_std);
+    }
+
+    #[test]
+    fn stable_features_are_left_alone() {
+        let source = domain(300, 1.0, 0.0, 3);
+        let target = domain(300, 4.0, 50.0, 4);
+        let adapter = DomainAdapter::fit(&source, &target).unwrap();
+        // Only the shifted feature is remapped.
+        assert_eq!(adapter.adapted_features(), 1);
+        let mut row = vec![10.0, 5.0];
+        adapter.adapt_row(&mut row);
+        assert_eq!(row[1], 5.0);
+        assert_ne!(row[0], 10.0);
+    }
+
+    #[test]
+    fn identical_domains_need_no_adaptation() {
+        let source = domain(200, 1.0, 0.0, 5);
+        let target = domain(200, 1.0, 0.0, 6);
+        let adapter = DomainAdapter::fit(&source, &target).unwrap();
+        assert_eq!(adapter.adapted_features(), 0);
+    }
+
+    #[test]
+    fn mismatched_inputs_are_rejected() {
+        let a = domain(10, 1.0, 0.0, 7);
+        let b = Matrix::zeros(5, 3);
+        assert!(DomainAdapter::fit(&a, &b).is_err());
+        assert!(DomainAdapter::fit(&Matrix::zeros(0, 2), &a).is_err());
+    }
+
+    #[test]
+    fn adapted_values_stay_nonnegative() {
+        let source = domain(100, 1.0, 0.0, 8);
+        let target = domain(100, 1.0, 500.0, 9);
+        let adapter = DomainAdapter::fit(&source, &target).unwrap();
+        let mut row = vec![0.0, 0.0];
+        adapter.adapt_row(&mut row);
+        assert!(row.iter().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,296 @@
+//! The Section 4 baseline detectors.
+//!
+//! The paper compares monitorless against four static-threshold
+//! approaches (CPU, MEM, CPU-OR-MEM, CPU-AND-MEM) whose thresholds are
+//! tuned *a posteriori* on the full evaluation data — the best possible
+//! outcome for threshold detectors — plus a response-time-based detector
+//! that observes the application KPI directly (the upper bound).
+
+use monitorless_learn::metrics::lagged_confusion;
+use serde::{Deserialize, Serialize};
+
+/// Per-instance utilization snapshot: `(cpu %, mem %)` relative to the
+/// container's limits — the inputs of all threshold baselines.
+pub type InstanceUtil = (f64, f64);
+
+/// Threshold-detector family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BaselineKind {
+    /// Relative container CPU usage only.
+    Cpu,
+    /// Relative container memory usage only.
+    Mem,
+    /// Saturated when CPU **or** memory exceeds its threshold.
+    CpuOrMem,
+    /// Saturated when CPU **and** memory exceed their thresholds.
+    CpuAndMem,
+}
+
+impl std::fmt::Display for BaselineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BaselineKind::Cpu => "CPU",
+            BaselineKind::Mem => "MEM",
+            BaselineKind::CpuOrMem => "CPU-OR-MEM",
+            BaselineKind::CpuAndMem => "CPU-AND-MEM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A configured threshold baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdBaseline {
+    /// Detector family.
+    pub kind: BaselineKind,
+    /// CPU threshold in percent.
+    pub cpu_threshold: f64,
+    /// Memory threshold in percent.
+    pub mem_threshold: f64,
+}
+
+impl ThresholdBaseline {
+    /// Whether one instance is flagged saturated.
+    pub fn instance_saturated(&self, util: InstanceUtil) -> bool {
+        let (cpu, mem) = util;
+        match self.kind {
+            BaselineKind::Cpu => cpu > self.cpu_threshold,
+            BaselineKind::Mem => mem > self.mem_threshold,
+            BaselineKind::CpuOrMem => cpu > self.cpu_threshold || mem > self.mem_threshold,
+            BaselineKind::CpuAndMem => cpu > self.cpu_threshold && mem > self.mem_threshold,
+        }
+    }
+
+    /// Application-level prediction: OR over instances (as for
+    /// monitorless).
+    pub fn app_prediction(&self, instances: &[InstanceUtil]) -> u8 {
+        u8::from(instances.iter().any(|&u| self.instance_saturated(u)))
+    }
+
+    /// Predicts a whole run (outer index = time).
+    pub fn predict_run(&self, utils: &[Vec<InstanceUtil>]) -> Vec<u8> {
+        utils.iter().map(|us| self.app_prediction(us)).collect()
+    }
+}
+
+/// Finds the threshold(s) maximizing the lagged F1 score against the
+/// ground truth — the paper's *a-posteriori optimal* configuration.
+///
+/// Thresholds are swept over 1..=100% in 1-point steps (both axes for
+/// the combined detectors).
+///
+/// # Panics
+///
+/// Panics if `utils` and `y_true` differ in length.
+pub fn optimal_baseline(
+    kind: BaselineKind,
+    utils: &[Vec<InstanceUtil>],
+    y_true: &[u8],
+    lag: usize,
+) -> ThresholdBaseline {
+    assert_eq!(utils.len(), y_true.len(), "length mismatch");
+    let sweep: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+    struct Best {
+        baseline: ThresholdBaseline,
+        f1: f64,
+    }
+    fn consider(best: &mut Best, utils: &[Vec<InstanceUtil>], y_true: &[u8], lag: usize, cpu: f64, mem: f64) {
+        let candidate = ThresholdBaseline {
+            cpu_threshold: cpu,
+            mem_threshold: mem,
+            ..best.baseline
+        };
+        let pred = candidate.predict_run(utils);
+        let f1 = lagged_confusion(y_true, &pred, lag).f1();
+        if f1 > best.f1 {
+            best.f1 = f1;
+            best.baseline = candidate;
+        }
+    }
+    let mut best = Best {
+        baseline: ThresholdBaseline {
+            kind,
+            cpu_threshold: 100.0,
+            mem_threshold: 100.0,
+        },
+        f1: -1.0,
+    };
+    match kind {
+        BaselineKind::Cpu => {
+            for &c in &sweep {
+                consider(&mut best, utils, y_true, lag, c, 100.0);
+            }
+        }
+        BaselineKind::Mem => {
+            for &m in &sweep {
+                consider(&mut best, utils, y_true, lag, 100.0, m);
+            }
+        }
+        BaselineKind::CpuOrMem | BaselineKind::CpuAndMem => {
+            // Coarse 2-D sweep (5-point grid) followed by a fine sweep
+            // around the best cell keeps this O(n·700) instead of O(n·10⁴).
+            let coarse: Vec<f64> = (1..=20).map(|v| v as f64 * 5.0).collect();
+            for &c in &coarse {
+                for &m in &coarse {
+                    consider(&mut best, utils, y_true, lag, c, m);
+                }
+            }
+            let (c0, m0) = (best.baseline.cpu_threshold, best.baseline.mem_threshold);
+            for dc in -4..=4 {
+                for dm in -4..=4 {
+                    let c = (c0 + f64::from(dc)).clamp(1.0, 100.0);
+                    let m = (m0 + f64::from(dm)).clamp(1.0, 100.0);
+                    consider(&mut best, utils, y_true, lag, c, m);
+                }
+            }
+        }
+    }
+    best.baseline
+}
+
+/// Response-time-based detector: flags saturation when the measured
+/// end-to-end response time exceeds a threshold. This observes the KPI
+/// directly and acts as the paper's optimal reference.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RtBaseline {
+    /// Response-time threshold in milliseconds.
+    pub rt_threshold_ms: f64,
+}
+
+impl RtBaseline {
+    /// Predicts a run from measured response times.
+    pub fn predict_run(&self, response_ms: &[f64]) -> Vec<u8> {
+        response_ms
+            .iter()
+            .map(|&rt| u8::from(rt > self.rt_threshold_ms))
+            .collect()
+    }
+}
+
+/// Sweeps the RT threshold to maximize lagged F1 (a-posteriori optimal).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn optimal_rt_baseline(response_ms: &[f64], y_true: &[u8], lag: usize) -> RtBaseline {
+    assert_eq!(response_ms.len(), y_true.len(), "length mismatch");
+    let mut candidates: Vec<f64> = response_ms.to_vec();
+    candidates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.dedup();
+    let mut best = RtBaseline {
+        rt_threshold_ms: f64::MAX,
+    };
+    let mut best_f1 = -1.0;
+    for &rt in &candidates {
+        let candidate = RtBaseline { rt_threshold_ms: rt };
+        let pred = candidate.predict_run(response_ms);
+        let f1 = lagged_confusion(y_true, &pred, lag).f1();
+        if f1 > best_f1 {
+            best_f1 = f1;
+            best = candidate;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A run where instance CPU > 70% exactly matches the ground truth.
+    fn cpu_run() -> (Vec<Vec<InstanceUtil>>, Vec<u8>) {
+        let mut utils = Vec::new();
+        let mut y = Vec::new();
+        for t in 0..100 {
+            let cpu = t as f64;
+            utils.push(vec![(cpu, 30.0), (10.0, 35.0)]);
+            y.push(u8::from(cpu > 70.0));
+        }
+        (utils, y)
+    }
+
+    #[test]
+    fn optimal_cpu_threshold_is_found() {
+        let (utils, y) = cpu_run();
+        let b = optimal_baseline(BaselineKind::Cpu, &utils, &y, 0);
+        assert!((b.cpu_threshold - 70.0).abs() <= 1.0, "{}", b.cpu_threshold);
+        let pred = b.predict_run(&utils);
+        assert_eq!(monitorless_learn::metrics::f1_score(&y, &pred), 1.0);
+    }
+
+    #[test]
+    fn mem_detector_ignores_cpu() {
+        let b = ThresholdBaseline {
+            kind: BaselineKind::Mem,
+            cpu_threshold: 1.0,
+            mem_threshold: 90.0,
+        };
+        assert!(!b.instance_saturated((100.0, 50.0)));
+        assert!(b.instance_saturated((0.0, 95.0)));
+    }
+
+    #[test]
+    fn and_requires_both() {
+        let b = ThresholdBaseline {
+            kind: BaselineKind::CpuAndMem,
+            cpu_threshold: 80.0,
+            mem_threshold: 80.0,
+        };
+        assert!(!b.instance_saturated((90.0, 50.0)));
+        assert!(!b.instance_saturated((50.0, 90.0)));
+        assert!(b.instance_saturated((90.0, 90.0)));
+    }
+
+    #[test]
+    fn or_requires_either() {
+        let b = ThresholdBaseline {
+            kind: BaselineKind::CpuOrMem,
+            cpu_threshold: 80.0,
+            mem_threshold: 80.0,
+        };
+        assert!(b.instance_saturated((90.0, 10.0)));
+        assert!(b.instance_saturated((10.0, 90.0)));
+        assert!(!b.instance_saturated((10.0, 10.0)));
+    }
+
+    #[test]
+    fn app_prediction_is_or_over_instances() {
+        let b = ThresholdBaseline {
+            kind: BaselineKind::Cpu,
+            cpu_threshold: 80.0,
+            mem_threshold: 100.0,
+        };
+        assert_eq!(b.app_prediction(&[(10.0, 0.0), (90.0, 0.0)]), 1);
+        assert_eq!(b.app_prediction(&[(10.0, 0.0), (20.0, 0.0)]), 0);
+        assert_eq!(b.app_prediction(&[]), 0);
+    }
+
+    #[test]
+    fn combined_optimal_beats_mismatched_single() {
+        // Saturation only when BOTH cpu and mem are high.
+        let mut utils = Vec::new();
+        let mut y = Vec::new();
+        for t in 0..200 {
+            let cpu = (t % 100) as f64;
+            let mem = (t / 2) as f64;
+            utils.push(vec![(cpu, mem)]);
+            y.push(u8::from(cpu > 60.0 && mem > 50.0));
+        }
+        let and = optimal_baseline(BaselineKind::CpuAndMem, &utils, &y, 0);
+        let cpu_only = optimal_baseline(BaselineKind::Cpu, &utils, &y, 0);
+        let f1 = |b: &ThresholdBaseline| {
+            monitorless_learn::metrics::f1_score(&y, &b.predict_run(&utils))
+        };
+        assert!(f1(&and) > f1(&cpu_only));
+        assert!(f1(&and) > 0.95);
+    }
+
+    #[test]
+    fn rt_baseline_optimal_threshold() {
+        let rts: Vec<f64> = (0..100).map(|t| t as f64 * 10.0).collect();
+        let y: Vec<u8> = rts.iter().map(|&rt| u8::from(rt > 750.0)).collect();
+        let b = optimal_rt_baseline(&rts, &y, 0);
+        let pred = b.predict_run(&rts);
+        assert_eq!(monitorless_learn::metrics::f1_score(&y, &pred), 1.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Training-set coverage analysis — the iterative-improvement loop of
+//! Section 3.2.3.
+//!
+//! The paper normalizes the training data with a `MinMaxScaler`, keeps
+//! the fitted scaler, and checks validation data against it: "if any
+//! feature has its maximum or its minimum outside the scaling range of
+//! the trained scaler, we know that this feature was not sufficiently
+//! trained". Uncovered features point at missing training scenarios
+//! (steps 3-4: design additional training cases and repeat).
+
+use monitorless_learn::{Matrix, MinMaxScaler, Transformer};
+use serde::{Deserialize, Serialize};
+
+use crate::training::TrainingData;
+use crate::Error;
+
+/// One insufficiently-trained feature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UncoveredFeature {
+    /// Raw metric name.
+    pub name: String,
+    /// Range observed during training `(min, max)`.
+    pub train_range: (f64, f64),
+    /// Range observed in the validation data `(min, max)`.
+    pub validation_range: (f64, f64),
+}
+
+/// Report of a coverage check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageReport {
+    /// Features whose validation range escapes the training range.
+    pub uncovered: Vec<UncoveredFeature>,
+    /// Total features checked.
+    pub total_features: usize,
+}
+
+impl CoverageReport {
+    /// Fraction of features fully covered by the training set.
+    pub fn coverage_fraction(&self) -> f64 {
+        if self.total_features == 0 {
+            return 1.0;
+        }
+        1.0 - self.uncovered.len() as f64 / self.total_features as f64
+    }
+}
+
+/// A fitted coverage checker (the "normalizing instance" of step 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageChecker {
+    scaler: MinMaxScaler,
+    names: Vec<String>,
+}
+
+impl CoverageChecker {
+    /// Fits the checker on training data (raw metric space).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scaler errors.
+    pub fn fit(data: &TrainingData) -> Result<Self, Error> {
+        let mut scaler = MinMaxScaler::new();
+        scaler.fit(data.dataset.x())?;
+        Ok(CoverageChecker {
+            scaler,
+            names: data.dataset.feature_names().to_vec(),
+        })
+    }
+
+    /// Checks a validation matrix (same raw metric layout) against the
+    /// training ranges — step 2 of the paper's loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scaler errors (e.g. column-count mismatch).
+    pub fn check(&self, validation: &Matrix) -> Result<CoverageReport, Error> {
+        let uncovered_idx = self.scaler.uncovered_features(validation)?;
+        let (vmins, vmaxs) = validation.column_min_max();
+        let tmins = self.scaler.mins().expect("fitted");
+        let tmaxs = self.scaler.maxs().expect("fitted");
+        let uncovered = uncovered_idx
+            .into_iter()
+            .map(|i| UncoveredFeature {
+                name: self.names[i].clone(),
+                train_range: (tmins[i], tmaxs[i]),
+                validation_range: (vmins[i], vmaxs[i]),
+            })
+            .collect();
+        Ok(CoverageReport {
+            uncovered,
+            total_features: validation.cols(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::scenario::{run_eval_scenario, EvalApp, EvalOptions};
+    use crate::training::{generate_training_data, TrainingOptions};
+
+    #[test]
+    fn validation_within_training_ranges_is_covered() {
+        let data = generate_training_data(&TrainingOptions {
+            run_seconds: 40,
+            ramp_seconds: 120,
+            seed: 601,
+        })
+        .unwrap();
+        let checker = CoverageChecker::fit(&data).unwrap();
+        // The training data covers itself perfectly.
+        let report = checker.check(data.dataset.x()).unwrap();
+        assert!(report.uncovered.is_empty());
+        assert_eq!(report.coverage_fraction(), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_features_are_named() {
+        let data = generate_training_data(&TrainingOptions {
+            run_seconds: 30,
+            ramp_seconds: 100,
+            seed: 603,
+        })
+        .unwrap();
+        let checker = CoverageChecker::fit(&data).unwrap();
+        // Blow up one metric far beyond anything seen in training.
+        let mut validation = data.dataset.x().select_rows(&[0, 1, 2]);
+        let width = validation.cols();
+        validation.set(1, 5, 1e15);
+        let report = checker.check(&validation).unwrap();
+        assert_eq!(report.total_features, width);
+        assert!(report
+            .uncovered
+            .iter()
+            .any(|u| u.name == data.dataset.feature_names()[5]));
+        assert!(report.coverage_fraction() < 1.0);
+    }
+
+    #[test]
+    fn unseen_application_exposes_coverage_gaps() {
+        // The paper's step 2 in practice: validating against an unseen
+        // application usually reveals some insufficiently-trained
+        // features (and most features remain covered).
+        let data = generate_training_data(&TrainingOptions {
+            run_seconds: 40,
+            ramp_seconds: 120,
+            seed: 605,
+        })
+        .unwrap();
+        let checker = CoverageChecker::fit(&data).unwrap();
+        let run = run_eval_scenario(
+            EvalApp::ThreeTier,
+            None,
+            &EvalOptions {
+                duration: 100,
+                ramp_seconds: 120,
+                seed: 607,
+                record_raw: true,
+            },
+        )
+        .unwrap();
+        let raws = run.raw_instances.as_ref().unwrap();
+        let refs: Vec<&[f64]> = raws[0].1.iter().map(|r| r.as_slice()).collect();
+        let validation = monitorless_learn::Matrix::from_rows(&refs);
+        let report = checker.check(&validation).unwrap();
+        assert!(report.coverage_fraction() > 0.5, "most features covered");
+    }
+}

@@ -1,0 +1,115 @@
+//! Figure 2: observed throughput, Savitzky-Golay smoothed curve and the
+//! Kneedle difference curve for a linearly increasing load on Solr.
+
+use monitorless_label::kneedle::{detect_knee, Knee, KneedleParams};
+use monitorless_metrics::NodeId;
+use monitorless_sim::apps::{build_single, solr_profile};
+use monitorless_sim::{Cluster, ContainerLimits, NodeSpec};
+use monitorless_workload::{LoadProfile, RampProfile};
+use serde::{Deserialize, Serialize};
+
+use crate::Error;
+
+/// Options for [`run`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig2Options {
+    /// Ramp length in seconds.
+    pub ramp_seconds: u64,
+    /// Peak request rate of the ramp.
+    pub peak_rps: f64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for Fig2Options {
+    fn default() -> Self {
+        Fig2Options {
+            ramp_seconds: 300,
+            peak_rps: 1000.0,
+            seed: 2,
+        }
+    }
+}
+
+/// The three series of Figure 2 plus the detected knee.
+#[derive(Debug, Clone)]
+pub struct Fig2Data {
+    /// Workload intensity per second (x axis).
+    pub workload: Vec<f64>,
+    /// Observed throughput (blue dots).
+    pub observed: Vec<f64>,
+    /// Smoothed curve (orange line).
+    pub smoothed: Vec<f64>,
+    /// Normalized difference curve `β − α` (green line).
+    pub difference: Vec<f64>,
+    /// The detected knee.
+    pub knee: Knee,
+}
+
+impl Fig2Data {
+    /// Prints the series as CSV (`workload,observed,smoothed,difference`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("workload,observed,smoothed,difference\n");
+        for i in 0..self.workload.len() {
+            out.push_str(&format!(
+                "{:.2},{:.2},{:.2},{:.4}\n",
+                self.workload[i], self.observed[i], self.smoothed[i], self.difference[i]
+            ));
+        }
+        out
+    }
+}
+
+/// Regenerates Figure 2: ramps Solr (unlimited, on the training server)
+/// and runs the paper's four labeling steps.
+///
+/// # Errors
+///
+/// Propagates simulation and knee-detection errors.
+pub fn run(opts: &Fig2Options) -> Result<Fig2Data, Error> {
+    let mut cluster = Cluster::new(vec![NodeSpec::training_server()], opts.seed);
+    let (app, _) = build_single(
+        &mut cluster,
+        solr_profile(),
+        ContainerLimits::unlimited(),
+        NodeId(0),
+    );
+    let ramp = RampProfile::new(1.0, opts.peak_rps, opts.ramp_seconds);
+    let mut workload = Vec::new();
+    let mut observed = Vec::new();
+    for t in 0..opts.ramp_seconds {
+        let load = ramp.intensity(t);
+        let report = cluster.step(&[(app, load)]);
+        workload.push(load);
+        observed.push(report.kpi(app).expect("app exists").throughput_rps);
+    }
+    let knee = detect_knee(&workload, &observed, &KneedleParams::default())?;
+    Ok(Fig2Data {
+        workload,
+        observed,
+        smoothed: knee.smoothed.clone(),
+        difference: knee.difference.clone(),
+        knee,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knee_is_near_700_rps_as_in_the_paper() {
+        let data = run(&Fig2Options::default()).unwrap();
+        // Figure 2's knee sits around 700 req/s; the simulated Solr is
+        // calibrated for the same shape (48 cores / 65 ms per request).
+        assert!(
+            data.knee.x > 550.0 && data.knee.x < 850.0,
+            "knee at {} rps",
+            data.knee.x
+        );
+        assert_eq!(data.workload.len(), data.smoothed.len());
+        let csv = data.to_csv();
+        assert!(csv.lines().count() > 100);
+        assert!(csv.starts_with("workload,"));
+    }
+}

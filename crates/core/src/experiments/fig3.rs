@@ -1,0 +1,211 @@
+//! Figure 3: per-service prediction timeline for the TeaStore run.
+//!
+//! For each second and each TeaStore service, the service's OR-aggregated
+//! prediction is classified against the application ground truth with the
+//! lagged rules (green = TP₂, yellow = FP₂, red = FN₂ in the paper's
+//! plot; TNs are omitted). The workload (gray) and response-time (purple)
+//! curves are included as CSV columns.
+
+use monitorless_learn::metrics::{lagged_classification, SampleOutcome};
+use serde::{Deserialize, Serialize};
+
+use super::scenario::{EvalRun, EVAL_LAG};
+use crate::Error;
+
+/// Marker kind for one (service, second) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Marker {
+    /// Not shown in the paper's figure.
+    TrueNegative,
+    /// Green dot.
+    TruePositive,
+    /// Yellow dot.
+    FalsePositive,
+    /// Red dot.
+    FalseNegative,
+}
+
+impl Marker {
+    fn from_outcome(o: SampleOutcome) -> Self {
+        match o {
+            SampleOutcome::TrueNegative => Marker::TrueNegative,
+            SampleOutcome::TruePositive => Marker::TruePositive,
+            SampleOutcome::FalsePositive => Marker::FalsePositive,
+            SampleOutcome::FalseNegative => Marker::FalseNegative,
+        }
+    }
+
+    fn code(self) -> &'static str {
+        match self {
+            Marker::TrueNegative => "",
+            Marker::TruePositive => "TP",
+            Marker::FalsePositive => "FP",
+            Marker::FalseNegative => "FN",
+        }
+    }
+}
+
+/// The Figure 3 data: one marker row per service plus the two curves.
+#[derive(Debug, Clone)]
+pub struct Fig3Data {
+    /// Service names in display order.
+    pub services: Vec<String>,
+    /// `markers[s][t]` for service `s` at second `t`.
+    pub markers: Vec<Vec<Marker>>,
+    /// Workload intensity per second (gray curve).
+    pub workload: Vec<f64>,
+    /// Average response time per second (purple curve).
+    pub response_ms: Vec<f64>,
+}
+
+impl Fig3Data {
+    /// Serializes as CSV: `t,workload,response_ms,<service columns>`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t,workload,response_ms");
+        for s in &self.services {
+            out.push(',');
+            out.push_str(s);
+        }
+        out.push('\n');
+        for t in 0..self.workload.len() {
+            out.push_str(&format!(
+                "{t},{:.2},{:.2}",
+                self.workload[t], self.response_ms[t]
+            ));
+            for s in 0..self.services.len() {
+                out.push(',');
+                out.push_str(self.markers[s][t].code());
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Counts (TP, FP, FN) markers for one service.
+    pub fn counts(&self, service: &str) -> Option<(usize, usize, usize)> {
+        let idx = self.services.iter().position(|s| s == service)?;
+        let count = |m: Marker| self.markers[idx].iter().filter(|&&x| x == m).count();
+        Some((
+            count(Marker::TruePositive),
+            count(Marker::FalsePositive),
+            count(Marker::FalseNegative),
+        ))
+    }
+}
+
+/// Builds Figure 3 from a TeaStore evaluation run that carried a model.
+///
+/// # Errors
+///
+/// Returns [`Error::Invalid`] if the run has no per-service predictions.
+pub fn run(eval: &EvalRun) -> Result<Fig3Data, Error> {
+    let per_service = eval
+        .per_service
+        .as_ref()
+        .ok_or_else(|| Error::Invalid("run was executed without a model".into()))?;
+    // The KPI is only observable at application level, so false
+    // negatives cannot be attributed to one service (Section 4.2.2);
+    // FN markers are placed on every service row at seconds where the
+    // application-level OR missed.
+    let n = eval.ground_truth.len();
+    let mut app_pred = vec![0u8; n];
+    for (_, preds) in per_service {
+        for (t, &p) in preds.iter().enumerate() {
+            app_pred[t] |= p;
+        }
+    }
+    let app_outcomes = lagged_classification(&eval.ground_truth, &app_pred, EVAL_LAG);
+
+    let mut services = Vec::new();
+    let mut markers = Vec::new();
+    for (name, preds) in per_service {
+        let outcomes = lagged_classification(&eval.ground_truth, preds, EVAL_LAG);
+        services.push(name.clone());
+        markers.push(
+            outcomes
+                .into_iter()
+                .zip(&app_outcomes)
+                .map(|(o, app)| match (o, app) {
+                    // A silent service is only "wrong" when the whole
+                    // application missed the saturation.
+                    (SampleOutcome::FalseNegative, SampleOutcome::FalseNegative) => {
+                        Marker::FalseNegative
+                    }
+                    (SampleOutcome::FalseNegative, _) => Marker::TrueNegative,
+                    (other, _) => Marker::from_outcome(other),
+                })
+                .collect(),
+        );
+    }
+    Ok(Fig3Data {
+        services,
+        markers,
+        workload: eval.workload.clone(),
+        response_ms: eval.response_ms.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_run() -> EvalRun {
+        EvalRun {
+            ground_truth: vec![0, 0, 1, 1, 0],
+            workload: vec![10.0, 20.0, 90.0, 95.0, 15.0],
+            throughput: vec![10.0, 20.0, 70.0, 70.0, 15.0],
+            response_ms: vec![10.0, 12.0, 900.0, 950.0, 20.0],
+            utils: vec![vec![]; 5],
+            monitorless: Some(vec![0, 1, 1, 0, 0]),
+            per_service: Some(vec![
+                ("auth".into(), vec![0, 1, 1, 0, 0]),
+                ("webui".into(), vec![0, 0, 0, 0, 0]),
+            ]),
+            raw_instances: None,
+            upsilon: 60.0,
+        }
+    }
+
+    #[test]
+    fn markers_follow_lagged_rules() {
+        let data = run(&fake_run()).unwrap();
+        assert_eq!(data.services, vec!["auth", "webui"]);
+        // auth: early prediction at t=1 forgiven (saturation at t=2),
+        // miss at t=3 forgiven (prediction at t=2).
+        let (tp, fp, fn_) = data.counts("auth").unwrap();
+        assert_eq!((tp, fp, fn_), (2, 0, 0));
+        // webui never fires, but auth covered both saturated seconds at
+        // application level, so no FN is attributed to webui.
+        let (tp, fp, fn_) = data.counts("webui").unwrap();
+        assert_eq!((tp, fp, fn_), (0, 0, 0));
+    }
+
+    #[test]
+    fn app_level_misses_are_marked_on_every_service() {
+        let mut r = fake_run();
+        // Nothing ever fires: both saturated seconds are app-level FNs.
+        r.per_service = Some(vec![
+            ("auth".into(), vec![0, 0, 0, 0, 0]),
+            ("webui".into(), vec![0, 0, 0, 0, 0]),
+        ]);
+        let data = run(&r).unwrap();
+        assert_eq!(data.counts("auth").unwrap(), (0, 0, 2));
+        assert_eq!(data.counts("webui").unwrap(), (0, 0, 2));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let data = run(&fake_run()).unwrap();
+        let csv = data.to_csv();
+        assert!(csv.starts_with("t,workload,response_ms,auth,webui"));
+        assert_eq!(csv.lines().count(), 6);
+        assert!(csv.contains("TP"));
+    }
+
+    #[test]
+    fn missing_model_is_an_error() {
+        let mut r = fake_run();
+        r.per_service = None;
+        assert!(matches!(run(&r), Err(Error::Invalid(_))));
+    }
+}

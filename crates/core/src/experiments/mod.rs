@@ -1,0 +1,90 @@
+//! One harness per paper table/figure.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`fig2`] | Figure 2 — observed/smoothed/difference curves and the Kneedle knee |
+//! | [`table1`] | Table 1 — the training-configuration catalog with observed bottlenecks |
+//! | [`table2`] | Table 2 — hyper-parameter grid search |
+//! | [`table3`] | Table 3 — training/classification time and F1₂ of the six classifiers |
+//! | [`table4`] | Table 4 — top-30 random-forest feature importances |
+//! | [`table5`] | Table 5 — three-tier web application comparison |
+//! | [`table6`] | Table 6 — TeaStore multi-tenant comparison |
+//! | [`fig3`] | Figure 3 — per-service prediction timeline for TeaStore |
+//! | [`table7`] | Table 7 — autoscaling provisioning vs SLO violations |
+//! | [`table8`] | Table 8 — Sockshop comparison |
+//!
+//! Every harness takes a *scale* knob so tests run in seconds while the
+//! bench binaries can run at paper scale.
+
+pub mod fig2;
+pub mod fig3;
+pub mod scenario;
+pub mod table1;
+pub mod training_ablation;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+pub mod table8;
+
+use monitorless_learn::metrics::ConfusionMatrix;
+
+/// One comparison row shared by Tables 5, 6 and 8: a detector's lagged
+/// confusion counts plus the derived scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// Detector name (e.g. `"CPU (97%)"`, `"monitorless"`).
+    pub algorithm: String,
+    /// Lagged confusion matrix (k = 2 in the paper).
+    pub confusion: ConfusionMatrix,
+}
+
+impl ComparisonRow {
+    /// Formats the row like the paper's tables.
+    pub fn format(&self) -> String {
+        let c = &self.confusion;
+        format!(
+            "{:<22} {:>6} {:>6} {:>6} {:>6} {:>7.3} {:>7.3}",
+            self.algorithm,
+            c.tn,
+            c.fp,
+            c.fn_,
+            c.tp,
+            c.f1(),
+            c.accuracy()
+        )
+    }
+}
+
+/// Header matching [`ComparisonRow::format`].
+pub fn comparison_header() -> String {
+    format!(
+        "{:<22} {:>6} {:>6} {:>6} {:>6} {:>7} {:>7}",
+        "Algorithm", "TN2", "FP2", "FN2", "TP2", "F1_2", "Acc_2"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_format_aligned() {
+        let row = ComparisonRow {
+            algorithm: "monitorless".into(),
+            confusion: ConfusionMatrix {
+                tn: 607,
+                fp: 11,
+                fn_: 0,
+                tp: 1838,
+            },
+        };
+        let s = row.format();
+        assert!(s.contains("monitorless"));
+        assert!(s.contains("607"));
+        assert!(s.contains("0.997"));
+        assert_eq!(comparison_header().split_whitespace().count(), 7);
+    }
+}

@@ -1,0 +1,119 @@
+//! Table 1: the training-configuration catalog, with the bottleneck each
+//! configuration actually exhibits in the simulator.
+
+use monitorless_sim::Bottleneck;
+use serde::{Deserialize, Serialize};
+
+use crate::training::{generate_training_data, table1, TrainingOptions};
+use crate::Error;
+
+/// One printable Table 1 row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Row id (1-25).
+    pub id: u32,
+    /// Service name.
+    pub service: String,
+    /// CPU/MEM limits as printed in the paper ("–" = unlimited).
+    pub limits: String,
+    /// Partner row, if co-located.
+    pub parallel: String,
+    /// Traffic description.
+    pub traffic: String,
+    /// Bottleneck the paper reports.
+    pub expected: String,
+    /// Bottleneck observed in the simulation (dominant while saturated).
+    pub observed: String,
+    /// Whether expected and observed bottleneck classes agree
+    /// (IO classes are considered one family, as the distinction depends
+    /// on queue-depth details).
+    pub matches: bool,
+}
+
+fn io_family(b: Bottleneck) -> bool {
+    matches!(
+        b,
+        Bottleneck::IoBandwidth | Bottleneck::IoQueue | Bottleneck::IoWait | Bottleneck::MemBandwidth
+    )
+}
+
+/// Regenerates Table 1 with observed bottlenecks from a (scaled) run.
+///
+/// # Errors
+///
+/// Propagates training-data generation errors.
+pub fn run(opts: &TrainingOptions) -> Result<Vec<Table1Row>, Error> {
+    let configs = table1();
+    let data = generate_training_data(opts)?;
+    let rows = configs
+        .iter()
+        .map(|c| {
+            let observed = data
+                .observed_bottlenecks
+                .iter()
+                .find(|(id, _)| *id == c.id)
+                .map_or(Bottleneck::None, |(_, b)| *b);
+            let expected = c.expected_bottleneck;
+            let matches = observed == expected || (io_family(observed) && io_family(expected));
+            let cpu = c
+                .limits
+                .cpu_cores
+                .map_or("-".to_string(), |v| format!("{v}"));
+            let mem = c
+                .limits
+                .memory_gb
+                .map_or("-".to_string(), |v| format!("{v} GB"));
+            Table1Row {
+                id: c.id,
+                service: c.service.short_name(),
+                limits: format!("{cpu}/{mem}"),
+                parallel: c.parallel_with.map_or("-".into(), |p| p.to_string()),
+                traffic: c.traffic.describe(),
+                expected: expected.to_string(),
+                observed: observed.to_string(),
+                matches,
+            }
+        })
+        .collect();
+    Ok(rows)
+}
+
+/// Formats rows as the paper's table.
+pub fn format(rows: &[Table1Row]) -> String {
+    let mut out = format!(
+        "{:>3} {:<9} {:<10} {:>4} {:<18} {:<15} {:<15} {:<5}\n",
+        "#", "Service", "CPU,MEM", "Par", "Traffic", "Expected", "Observed", "Match"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>3} {:<9} {:<10} {:>4} {:<18} {:<15} {:<15} {:<5}\n",
+            r.id, r.service, r.limits, r.parallel, r.traffic, r.expected, r.observed, r.matches
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_observed_bottlenecks_match_the_paper() {
+        let rows = run(&TrainingOptions {
+            run_seconds: 40,
+            ramp_seconds: 120,
+            seed: 17,
+        })
+        .unwrap();
+        assert_eq!(rows.len(), 25);
+        let matching = rows.iter().filter(|r| r.matches).count();
+        assert!(
+            matching >= 17,
+            "only {matching}/25 bottlenecks match:\n{}",
+            format(&rows)
+        );
+        let table = format(&rows);
+        assert!(table.contains("Solr"));
+        assert!(table.contains("sinnoise1000"));
+    }
+}

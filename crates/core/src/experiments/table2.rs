@@ -1,0 +1,372 @@
+//! Table 2: hyper-parameter grid search per algorithm.
+//!
+//! The paper runs a 5-fold cross-validation where folds are whole
+//! training sets (20 train / 5 validation per fold) and reports the
+//! selected parameters. The full grids match Table 2; the quick grids
+//! shrink each axis so the search completes in seconds.
+
+use monitorless_learn::adaboost::{AdaBoost, AdaBoostParams, BoostAlgorithm};
+use monitorless_learn::forest::{ClassWeight, RandomForest, RandomForestParams};
+use monitorless_learn::gboost::{GradientBoosting, GradientBoostingParams};
+use monitorless_learn::linear::{
+    LinearSvc, LinearSvcParams, LogisticRegression, LogisticRegressionParams, Penalty,
+};
+use monitorless_learn::model_selection::{GridSearch, GroupKFold, ParamGrid, ParamSet, ParamValue};
+use monitorless_learn::nn::{Activation, NeuralNet, NeuralNetParams};
+use monitorless_learn::tree::{SplitCriterion, Splitter};
+use monitorless_learn::{Classifier, Matrix};
+use serde::{Deserialize, Serialize};
+
+use crate::Error;
+
+/// Grid size selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GridScale {
+    /// Shrunken grids for tests and quick runs.
+    Quick,
+    /// The paper's full Table 2 grids.
+    Full,
+}
+
+/// Algorithms examined by Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Algorithm {
+    LogisticRegression,
+    Svc,
+    AdaBoost,
+    XgBoost,
+    NeuralNet,
+    RandomForest,
+}
+
+impl Algorithm {
+    /// All six algorithms.
+    pub fn all() -> [Algorithm; 6] {
+        [
+            Algorithm::LogisticRegression,
+            Algorithm::Svc,
+            Algorithm::AdaBoost,
+            Algorithm::XgBoost,
+            Algorithm::NeuralNet,
+            Algorithm::RandomForest,
+        ]
+    }
+
+    /// Display name as in Tables 2/3.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::LogisticRegression => "Logistic Regression",
+            Algorithm::Svc => "SVC",
+            Algorithm::AdaBoost => "AdaBoost",
+            Algorithm::XgBoost => "XGBoost",
+            Algorithm::NeuralNet => "Neural Net",
+            Algorithm::RandomForest => "Random Forest",
+        }
+    }
+}
+
+fn f(values: &[f64]) -> Vec<ParamValue> {
+    values.iter().map(|&v| ParamValue::F(v)).collect()
+}
+
+fn i(values: &[i64]) -> Vec<ParamValue> {
+    values.iter().map(|&v| ParamValue::I(v)).collect()
+}
+
+fn s(values: &[&str]) -> Vec<ParamValue> {
+    values.iter().map(|&v| ParamValue::S(v.into())).collect()
+}
+
+/// The hyper-parameter grid for one algorithm.
+pub fn grid(algorithm: Algorithm, scale: GridScale) -> ParamGrid {
+    let full = matches!(scale, GridScale::Full);
+    match algorithm {
+        Algorithm::LogisticRegression => {
+            let c = if full { vec![0.01, 0.1, 1.0] } else { vec![0.1, 1.0] };
+            let tol = if full {
+                vec![0.1, 0.01, 0.001, 0.0001]
+            } else {
+                vec![0.01]
+            };
+            ParamGrid::new()
+                .add("C", f(&c))
+                .add("tol", f(&tol))
+                .add("class_weight", s(&["balanced", "none"]))
+        }
+        Algorithm::Svc => {
+            let c = if full { vec![0.1, 1.0, 10.0] } else { vec![1.0, 10.0] };
+            let tol = if full {
+                vec![0.01, 0.0001, 0.00001]
+            } else {
+                vec![0.01]
+            };
+            let cw = if full { vec!["balanced", "none"] } else { vec!["none"] };
+            ParamGrid::new()
+                .add("C", f(&c))
+                .add("tol", f(&tol))
+                .add("penalty", s(&["l1", "l2"]))
+                .add("class_weight", s(&cw))
+        }
+        Algorithm::AdaBoost => {
+            let n = if full { vec![50, 250, 500] } else { vec![20] };
+            let mss = if full { vec![5, 10, 20] } else { vec![5] };
+            let split = if full { vec!["random", "best"] } else { vec!["best"] };
+            ParamGrid::new()
+                .add("n_estimators", i(&n))
+                .add("algorithm", s(&["SAMME", "SAMME.R"]))
+                .add("DT_criterion", s(&["gini", "entropy"]))
+                .add("DT_splitter", s(&split))
+                .add("DT_min_samples_split", i(&mss))
+        }
+        Algorithm::XgBoost => {
+            let mcw = if full { vec![1, 4, 16, 64] } else { vec![1, 4] };
+            let depth = if full { vec![1, 4, 16, 64] } else { vec![4, 16] };
+            let gamma = if full { vec![0, 1, 4, 16] } else { vec![0] };
+            ParamGrid::new()
+                .add("min_child_weight", i(&mcw))
+                .add("max_depth", i(&depth))
+                .add("gamma", i(&gamma))
+        }
+        Algorithm::NeuralNet => {
+            let acts = if full {
+                vec!["softmax", "relu", "sigmoid", "linear"]
+            } else {
+                vec!["relu", "sigmoid"]
+            };
+            let out_acts: Vec<&str> = if full {
+                vec!["softmax", "relu", "sigmoid", "linear"]
+            } else {
+                vec!["sigmoid"]
+            };
+            ParamGrid::new()
+                .add("activation_function1", s(&acts))
+                .add("activation_function2", s(&acts))
+                .add("activation_function3", s(&out_acts))
+        }
+        Algorithm::RandomForest => {
+            let n = if full { vec![250, 500, 1000] } else { vec![30] };
+            let leaf = if full { vec![5, 10, 20, 30] } else { vec![5, 20] };
+            let split = if full { vec![5, 10, 20, 30] } else { vec![5] };
+            let cw = if full {
+                vec!["balanced", "subsample", "none"]
+            } else {
+                vec!["none"]
+            };
+            ParamGrid::new()
+                .add("n_estimators", i(&n))
+                .add("min_samples_leaf", i(&leaf))
+                .add("min_samples_split", i(&split))
+                .add("criterion", s(&["gini", "entropy"]))
+                .add("class_weight", s(&cw))
+        }
+    }
+}
+
+fn criterion_of(p: &ParamSet, key: &str) -> SplitCriterion {
+    match p[key].as_str() {
+        "entropy" => SplitCriterion::Entropy,
+        _ => SplitCriterion::Gini,
+    }
+}
+
+/// Builds a classifier for an algorithm from a grid parameter set.
+pub fn build(algorithm: Algorithm, p: &ParamSet, quick: bool) -> Box<dyn Classifier> {
+    match algorithm {
+        Algorithm::LogisticRegression => Box::new(LogisticRegression::new(
+            LogisticRegressionParams {
+                c: p["C"].as_f64(),
+                tol: p["tol"].as_f64(),
+                balanced: p["class_weight"].as_str() == "balanced",
+                max_iter: if quick { 20 } else { 100 },
+                ..LogisticRegressionParams::default()
+            },
+        )),
+        Algorithm::Svc => Box::new(LinearSvc::new(LinearSvcParams {
+            c: p["C"].as_f64(),
+            tol: p["tol"].as_f64(),
+            penalty: if p["penalty"].as_str() == "l1" {
+                Penalty::L1
+            } else {
+                Penalty::L2
+            },
+            balanced: p.get("class_weight").is_some_and(|v| v.as_str() == "balanced"),
+            max_iter: if quick { 30 } else { 200 },
+            ..LinearSvcParams::default()
+        })),
+        Algorithm::AdaBoost => Box::new(AdaBoost::new(AdaBoostParams {
+            n_estimators: p["n_estimators"].as_usize(),
+            algorithm: if p["algorithm"].as_str() == "SAMME" {
+                BoostAlgorithm::Samme
+            } else {
+                BoostAlgorithm::SammeR
+            },
+            criterion: criterion_of(p, "DT_criterion"),
+            splitter: if p["DT_splitter"].as_str() == "random" {
+                Splitter::Random
+            } else {
+                Splitter::Best
+            },
+            min_samples_split: p["DT_min_samples_split"].as_usize(),
+            ..AdaBoostParams::default()
+        })),
+        Algorithm::XgBoost => Box::new(GradientBoosting::new(GradientBoostingParams {
+            min_child_weight: p["min_child_weight"].as_f64(),
+            max_depth: p["max_depth"].as_usize(),
+            gamma: p["gamma"].as_f64(),
+            n_rounds: if quick { 15 } else { 50 },
+            ..GradientBoostingParams::default()
+        })),
+        Algorithm::NeuralNet => {
+            let act = |key: &str| match p[key].as_str() {
+                "relu" => Activation::Relu,
+                "sigmoid" => Activation::Sigmoid,
+                "linear" => Activation::Linear,
+                "softmax" => Activation::Softmax,
+                other => panic!("unknown activation {other}"),
+            };
+            Box::new(NeuralNet::new(NeuralNetParams {
+                activations: [
+                    act("activation_function1"),
+                    act("activation_function2"),
+                    act("activation_function3"),
+                ],
+                epochs: if quick { 15 } else { 100 },
+                ..NeuralNetParams::default()
+            }))
+        }
+        Algorithm::RandomForest => Box::new(RandomForest::new(RandomForestParams {
+            n_estimators: p["n_estimators"].as_usize(),
+            min_samples_leaf: p["min_samples_leaf"].as_usize(),
+            min_samples_split: p["min_samples_split"].as_usize(),
+            criterion: criterion_of(p, "criterion"),
+            class_weight: match p["class_weight"].as_str() {
+                "balanced" => ClassWeight::Balanced,
+                "subsample" => ClassWeight::BalancedSubsample,
+                _ => ClassWeight::None,
+            },
+            n_jobs: 4,
+            ..RandomForestParams::default()
+        })),
+    }
+}
+
+/// One Table 2 result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Best parameter set rendered as `key=value` pairs.
+    pub best_params: String,
+    /// Mean cross-validated F1 of the best combination.
+    pub best_f1: f64,
+    /// Number of grid points evaluated.
+    pub combinations: usize,
+}
+
+/// Runs the grid search for the given algorithms on transformed training
+/// features.
+///
+/// # Errors
+///
+/// Propagates learner errors.
+pub fn run(
+    x: &Matrix,
+    y: &[u8],
+    groups: &[u32],
+    algorithms: &[Algorithm],
+    scale: GridScale,
+) -> Result<Vec<Table2Row>, Error> {
+    let n_groups = {
+        let mut g = groups.to_vec();
+        g.sort_unstable();
+        g.dedup();
+        g.len()
+    };
+    let folds = GroupKFold::new(5.min(n_groups.max(2))).split(groups)?;
+    let quick = matches!(scale, GridScale::Quick);
+    let mut rows = Vec::new();
+    for &algorithm in algorithms {
+        let g = grid(algorithm, scale);
+        let combinations = g.len();
+        let search = GridSearch::new(g, folds.clone());
+        let result = search.run(
+            |p| build(algorithm, p, quick),
+            monitorless_learn::metrics::f1_score,
+            x,
+            y,
+        )?;
+        let (best, score) = result.best();
+        let best_params = best
+            .iter()
+            .map(|(k, v)| format!("{k}={v:?}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        rows.push(Table2Row {
+            algorithm: algorithm.name().to_string(),
+            best_params,
+            best_f1: score,
+            combinations,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Matrix, Vec<u8>, Vec<u32>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut groups = Vec::new();
+        for g in 0..6u32 {
+            for t in 0..30 {
+                let v = t as f64 / 30.0;
+                rows.push(vec![v, (g as f64) * 0.01, 1.0 - v]);
+                y.push(u8::from(v > 0.7));
+                groups.push(g);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), y, groups)
+    }
+
+    #[test]
+    fn full_grids_match_table2_sizes() {
+        assert_eq!(grid(Algorithm::LogisticRegression, GridScale::Full).len(), 24);
+        assert_eq!(grid(Algorithm::Svc, GridScale::Full).len(), 36);
+        assert_eq!(grid(Algorithm::AdaBoost, GridScale::Full).len(), 72);
+        assert_eq!(grid(Algorithm::XgBoost, GridScale::Full).len(), 64);
+        assert_eq!(grid(Algorithm::NeuralNet, GridScale::Full).len(), 64);
+        assert_eq!(grid(Algorithm::RandomForest, GridScale::Full).len(), 288);
+    }
+
+    #[test]
+    fn quick_search_finds_good_forest_params() {
+        let (x, y, groups) = toy();
+        let rows = run(
+            &x,
+            &y,
+            &groups,
+            &[Algorithm::RandomForest, Algorithm::XgBoost],
+            GridScale::Quick,
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert!(row.best_f1 > 0.8, "{} scored {}", row.algorithm, row.best_f1);
+            assert!(!row.best_params.is_empty());
+        }
+    }
+
+    #[test]
+    fn build_constructs_every_algorithm() {
+        for algorithm in Algorithm::all() {
+            let g = grid(algorithm, GridScale::Quick);
+            let combo = &g.iter_combinations()[0];
+            let clf = build(algorithm, combo, true);
+            assert!(!clf.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Table 4: the top-30 features by random-forest importance.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::MonitorlessModel;
+
+/// One importance-ranking row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Rank (1 = most important).
+    pub rank: usize,
+    /// Feature name (pipeline naming: products use `a × b`, time
+    /// variants use `-AVGk` / `-LAGk` suffixes).
+    pub feature: String,
+    /// Normalized importance.
+    pub importance: f64,
+}
+
+/// Extracts the top-`k` features of a trained model.
+pub fn run(model: &MonitorlessModel, k: usize) -> Vec<Table4Row> {
+    model
+        .feature_importances()
+        .into_iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, (feature, importance))| Table4Row {
+            rank: i + 1,
+            feature,
+            importance,
+        })
+        .collect()
+}
+
+/// Formats rows like the paper's Table 4.
+pub fn format(rows: &[Table4Row]) -> String {
+    let mut out = format!("{:>4}  {:<60} {:>10}\n", "Rank", "Feature name", "Importance");
+    for r in rows {
+        out.push_str(&format!(
+            "{:>4}  {:<60} {:>10.4}\n",
+            r.rank, r.feature, r.importance
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelOptions;
+    use crate::training::{generate_training_data, TrainingOptions};
+
+    #[test]
+    fn top_features_are_ranked_and_mostly_engineered() {
+        let data = generate_training_data(&TrainingOptions {
+            run_seconds: 40,
+            ramp_seconds: 120,
+            seed: 41,
+        })
+        .unwrap();
+        let model = MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap();
+        let rows = run(&model, 30);
+        assert!(!rows.is_empty());
+        assert!(rows.len() <= 30);
+        // Descending importance.
+        assert!(rows.windows(2).all(|w| w[0].importance >= w[1].importance));
+        // As in the paper, engineered features (products / time variants /
+        // binary levels) should dominate the top of the list.
+        let engineered = rows
+            .iter()
+            .filter(|r| {
+                r.feature.contains(" × ")
+                    || r.feature.contains("-AVG")
+                    || r.feature.contains("-LAG")
+                    || r.feature.contains("-HIGH")
+                    || r.feature.contains("-LOW")
+                    || r.feature.contains("-MEDIUM")
+                    || r.feature.contains("-VERYHIGH")
+                    || r.feature.contains("-EXTREME")
+            })
+            .count();
+        assert!(
+            engineered * 2 >= rows.len(),
+            "only {engineered}/{} engineered features:\n{}",
+            rows.len(),
+            format(&rows)
+        );
+        assert!(format(&rows).contains("Rank"));
+    }
+}

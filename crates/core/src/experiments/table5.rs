@@ -1,0 +1,69 @@
+//! Table 5: baseline comparison on the three-tier web application.
+
+use std::sync::Arc;
+
+use super::scenario::{comparison_rows, run_eval_scenario, EvalApp, EvalOptions};
+use super::ComparisonRow;
+use crate::model::MonitorlessModel;
+use crate::Error;
+
+/// Runs the three-tier evaluation and builds the Table 5 rows.
+///
+/// # Errors
+///
+/// Propagates scenario errors.
+pub fn run(model: &Arc<MonitorlessModel>, opts: &EvalOptions) -> Result<Vec<ComparisonRow>, Error> {
+    let run = run_eval_scenario(EvalApp::ThreeTier, Some(model), opts)?;
+    Ok(comparison_rows(&run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::comparison_header;
+    use crate::model::ModelOptions;
+    use crate::training::{generate_training_data, TrainingOptions};
+
+    #[test]
+    fn monitorless_is_competitive_on_the_three_tier_app() {
+        let data = generate_training_data(&TrainingOptions {
+            run_seconds: 60,
+            ramp_seconds: 150,
+            seed: 51,
+        })
+        .unwrap();
+        let model = Arc::new(MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap());
+        let rows = run(
+            &model,
+            &EvalOptions {
+                duration: 250,
+                ramp_seconds: 200,
+                seed: 53,
+                record_raw: false,
+            },
+        )
+        .unwrap();
+        let table = rows
+            .iter()
+            .map(|r| r.format())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(rows.len(), 5, "{table}");
+        let ml = rows.iter().find(|r| r.algorithm == "monitorless").unwrap();
+        let cpu = rows.iter().find(|r| r.algorithm.starts_with("CPU (")).unwrap();
+        // Paper shape: the front-end is CPU-bound, so both the optimal CPU
+        // detector and monitorless score high.
+        assert!(
+            cpu.confusion.f1() > 0.8,
+            "{}\n{}",
+            comparison_header(),
+            table
+        );
+        assert!(
+            ml.confusion.f1() > 0.6,
+            "monitorless F1_2 = {}\n{}",
+            ml.confusion.f1(),
+            table
+        );
+    }
+}

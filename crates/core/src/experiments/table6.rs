@@ -1,0 +1,61 @@
+//! Table 6: baseline comparison on TeaStore in the multi-tenant
+//! deployment.
+
+use std::sync::Arc;
+
+use super::scenario::{comparison_rows, run_eval_scenario, EvalApp, EvalOptions, EvalRun};
+use super::ComparisonRow;
+use crate::model::MonitorlessModel;
+use crate::Error;
+
+/// Runs the TeaStore evaluation; returns the comparison rows and the
+/// underlying run (reused by Figure 3 and Table 7).
+///
+/// # Errors
+///
+/// Propagates scenario errors.
+pub fn run(
+    model: &Arc<MonitorlessModel>,
+    opts: &EvalOptions,
+) -> Result<(Vec<ComparisonRow>, EvalRun), Error> {
+    let run = run_eval_scenario(EvalApp::TeaStore, Some(model), opts)?;
+    Ok((comparison_rows(&run), run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelOptions;
+    use crate::training::{generate_training_data, TrainingOptions};
+
+    #[test]
+    fn teastore_comparison_produces_five_rows() {
+        let data = generate_training_data(&TrainingOptions {
+            run_seconds: 60,
+            ramp_seconds: 150,
+            seed: 61,
+        })
+        .unwrap();
+        let model = Arc::new(MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap());
+        let (rows, run) = run(
+            &model,
+            &EvalOptions {
+                duration: 300,
+                ramp_seconds: 200,
+                seed: 63,
+                record_raw: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(rows.len(), 5);
+        assert!(run.per_service.as_ref().unwrap().len() == 7);
+        // Accuracy stays high for monitorless (paper: 0.977) because
+        // saturation is rare; F1 varies more at this scale.
+        let ml = rows.iter().find(|r| r.algorithm == "monitorless").unwrap();
+        assert!(
+            ml.confusion.accuracy() > 0.6,
+            "accuracy = {}",
+            ml.confusion.accuracy()
+        );
+    }
+}

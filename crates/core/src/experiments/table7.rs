@@ -1,0 +1,167 @@
+//! Table 7: autoscaling comparison — provisioning vs SLO violations.
+//!
+//! Seven policies from the paper: the four a-posteriori threshold
+//! scalers, monitorless, the no-scaling baseline and the RT-based
+//! (optimal) scaler. Thresholds for the a-posteriori scalers are tuned
+//! on an unscaled run of the same trace, exactly like the paper's
+//! baselines with "knowledge of the entire input data in advance".
+
+use std::sync::Arc;
+
+use monitorless_workload::LoadProfile;
+use serde::{Deserialize, Serialize};
+
+use super::scenario::{run_eval_scenario, EvalApp, EvalOptions, EVAL_LAG};
+use crate::autoscale::{run_teastore_autoscale, AutoscaleOptions, AutoscaleResult, Policy};
+use crate::baselines::{optimal_baseline, optimal_rt_baseline, BaselineKind};
+use crate::model::MonitorlessModel;
+use crate::Error;
+
+/// Options for the Table 7 harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table7Options {
+    /// Autoscaling run options.
+    pub autoscale: AutoscaleOptions,
+    /// Calibration-run options (for the a-posteriori thresholds).
+    pub eval: EvalOptions,
+}
+
+impl Table7Options {
+    /// Laptop-scale defaults.
+    pub fn quick(seed: u64) -> Self {
+        Table7Options {
+            autoscale: AutoscaleOptions::quick(seed),
+            eval: EvalOptions {
+                duration: 400,
+                ramp_seconds: 200,
+                seed,
+                record_raw: false,
+            },
+        }
+    }
+}
+
+/// Formats rows like the paper's Table 7.
+pub fn format(rows: &[AutoscaleResult]) -> String {
+    let mut out = format!(
+        "{:<26} {:>18} {:>14}\n",
+        "Algorithm", "Provisioning (Avg)", "SLO viol. (#)"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<26} {:>17.1}% {:>14}\n",
+            r.policy, r.provisioning_pct, r.slo_violations
+        ));
+    }
+    out
+}
+
+/// Runs the full Table 7 comparison.
+///
+/// # Errors
+///
+/// Propagates scenario/autoscale errors.
+pub fn run(
+    model: &Arc<MonitorlessModel>,
+    profile: &dyn LoadProfile,
+    opts: &Table7Options,
+) -> Result<Vec<AutoscaleResult>, Error> {
+    // Calibration pass: unscaled run of the trace to tune the
+    // a-posteriori thresholds (ground truth + utilizations + RTs).
+    let calibration = run_eval_scenario(EvalApp::TeaStore, None, &opts.eval)?;
+
+    let mut policies: Vec<Policy> = vec![
+        Policy::Threshold(optimal_baseline(
+            BaselineKind::Cpu,
+            &calibration.utils,
+            &calibration.ground_truth,
+            EVAL_LAG,
+        )),
+        Policy::Threshold(optimal_baseline(
+            BaselineKind::Mem,
+            &calibration.utils,
+            &calibration.ground_truth,
+            EVAL_LAG,
+        )),
+        Policy::Threshold(optimal_baseline(
+            BaselineKind::CpuOrMem,
+            &calibration.utils,
+            &calibration.ground_truth,
+            EVAL_LAG,
+        )),
+        Policy::Threshold(optimal_baseline(
+            BaselineKind::CpuAndMem,
+            &calibration.utils,
+            &calibration.ground_truth,
+            EVAL_LAG,
+        )),
+        Policy::Monitorless(Arc::clone(model)),
+        Policy::NoScaling,
+        Policy::RtBased {
+            rt_threshold_ms: optimal_rt_baseline(
+                &calibration.response_ms,
+                &calibration.ground_truth,
+                EVAL_LAG,
+            )
+            .rt_threshold_ms,
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for policy in &mut policies {
+        rows.push(run_teastore_autoscale(policy, profile, &opts.autoscale)?);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::scenario::eval_workload;
+    use crate::model::ModelOptions;
+    use crate::training::{generate_training_data, TrainingOptions};
+
+    #[test]
+    fn scaling_policies_beat_no_scaling() {
+        let data = generate_training_data(&TrainingOptions {
+            run_seconds: 50,
+            ramp_seconds: 120,
+            seed: 81,
+        })
+        .unwrap();
+        let model = Arc::new(MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap());
+        let opts = Table7Options {
+            autoscale: AutoscaleOptions {
+                duration: 350,
+                replica_lifespan: 120,
+                rt_slo_ms: 750.0,
+                background_rps: 60.0,
+                seed: 83,
+            },
+            eval: EvalOptions {
+                duration: 350,
+                ramp_seconds: 180,
+                seed: 83,
+                record_raw: false,
+            },
+        };
+        let profile = eval_workload(EvalApp::TeaStore, 350, 83);
+        let rows = run(&model, profile.as_ref(), &opts).unwrap();
+        assert_eq!(rows.len(), 7);
+        let table = format(&rows);
+        let no_scaling = rows
+            .iter()
+            .find(|r| r.policy.contains("No Scaling"))
+            .unwrap();
+        assert_eq!(no_scaling.provisioning_pct, 0.0);
+        // The RT-based (optimal) scaler must improve on no scaling.
+        let rt = rows.iter().find(|r| r.policy.contains("RT-based")).unwrap();
+        assert!(
+            rt.slo_violations <= no_scaling.slo_violations,
+            "{table}"
+        );
+        // Monitorless provisions a bounded amount.
+        let ml = rows.iter().find(|r| r.policy == "monitorless").unwrap();
+        assert!(ml.provisioning_pct >= 0.0 && ml.provisioning_pct < 60.0, "{table}");
+    }
+}

@@ -1,0 +1,205 @@
+//! Training-diversity ablation.
+//!
+//! The paper's central premise is that *one* saturation model trained on
+//! a small but diverse set of services (Solr, Memcache, Cassandra)
+//! transfers to unseen applications, and Section 3.3.4 explicitly
+//! "encourages the inclusion of many different training applications to
+//! stress different platform resources". This harness quantifies that:
+//! models are trained on single-service subsets of the Table 1 data and
+//! on the full set, then scored on the unseen three-tier application.
+
+use std::sync::Arc;
+
+use monitorless_learn::metrics::lagged_confusion;
+use serde::{Deserialize, Serialize};
+
+use super::scenario::{run_eval_scenario, EvalApp, EvalOptions, EVAL_LAG};
+use crate::model::{ModelOptions, MonitorlessModel};
+use crate::training::{table1, ServiceKind, TrainingData};
+use crate::Error;
+
+/// One ablation row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiversityRow {
+    /// Which training services were included.
+    pub services: String,
+    /// Training samples in the subset.
+    pub train_samples: usize,
+    /// Fraction of saturated training samples.
+    pub positive_fraction: f64,
+    /// Transfer F1₂ on the three-tier app.
+    pub f1_2: f64,
+    /// Transfer Acc₂ on the three-tier app.
+    pub acc_2: f64,
+}
+
+/// Restricts training data to the Table 1 rows of the given services.
+///
+/// # Errors
+///
+/// Returns [`Error::Invalid`] if the subset is empty.
+pub fn subset_by_service(
+    data: &TrainingData,
+    keep: &dyn Fn(ServiceKind) -> bool,
+) -> Result<TrainingData, Error> {
+    let keep_groups: Vec<u32> = table1()
+        .iter()
+        .filter(|c| keep(c.service))
+        .map(|c| c.id)
+        .collect();
+    let indices: Vec<usize> = (0..data.dataset.len())
+        .filter(|&i| keep_groups.contains(&data.dataset.groups()[i]))
+        .collect();
+    if indices.is_empty() {
+        return Err(Error::Invalid("empty training subset".into()));
+    }
+    Ok(TrainingData {
+        dataset: data.dataset.subset(&indices),
+        layout: data.layout.clone(),
+        thresholds: data
+            .thresholds
+            .iter()
+            .filter(|(id, _)| keep_groups.contains(id))
+            .cloned()
+            .collect(),
+        observed_bottlenecks: data
+            .observed_bottlenecks
+            .iter()
+            .filter(|(id, _)| keep_groups.contains(id))
+            .cloned()
+            .collect(),
+        scalein_labels: indices.iter().map(|&i| data.scalein_labels[i]).collect(),
+    })
+}
+
+/// Runs the diversity ablation: Solr-only, Memcache-only,
+/// Cassandra-only, and the full training set.
+///
+/// # Errors
+///
+/// Propagates training/scenario errors. Subsets whose model cannot be
+/// trained (e.g. single-class labels at tiny scale) are skipped.
+pub fn run(
+    data: &TrainingData,
+    model_opts: &ModelOptions,
+    eval_opts: &EvalOptions,
+) -> Result<Vec<DiversityRow>, Error> {
+    let subsets: Vec<(&str, Box<dyn Fn(ServiceKind) -> bool>)> = vec![
+        ("Solr only", Box::new(|s| matches!(s, ServiceKind::Solr))),
+        (
+            "Memcache only",
+            Box::new(|s| matches!(s, ServiceKind::Memcache)),
+        ),
+        (
+            "Cassandra only",
+            Box::new(|s| matches!(s, ServiceKind::Cassandra(_))),
+        ),
+        ("All services", Box::new(|_| true)),
+    ];
+    let mut rows = Vec::new();
+    for (name, keep) in subsets {
+        let subset = subset_by_service(data, keep.as_ref())?;
+        let model = match MonitorlessModel::train(&subset, model_opts) {
+            Ok(m) => Arc::new(m),
+            Err(Error::Learn(_)) => continue, // degenerate subset at tiny scale
+            Err(e) => return Err(e),
+        };
+        let run = run_eval_scenario(EvalApp::ThreeTier, Some(&model), eval_opts)?;
+        let cm = lagged_confusion(
+            &run.ground_truth,
+            run.monitorless.as_ref().expect("model given"),
+            EVAL_LAG,
+        );
+        rows.push(DiversityRow {
+            services: name.to_string(),
+            train_samples: subset.dataset.len(),
+            positive_fraction: subset.dataset.positive_fraction(),
+            f1_2: cm.f1(),
+            acc_2: cm.accuracy(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Formats the ablation rows.
+pub fn format(rows: &[DiversityRow]) -> String {
+    let mut out = format!(
+        "{:<16} {:>8} {:>6} {:>7} {:>7}\n",
+        "Training set", "samples", "pos%", "F1_2", "Acc_2"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>5.0}% {:>7.3} {:>7.3}\n",
+            r.services,
+            r.train_samples,
+            100.0 * r.positive_fraction,
+            r.f1_2,
+            r.acc_2
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{generate_training_data, TrainingOptions};
+
+    #[test]
+    fn subsets_partition_by_service() {
+        let data = generate_training_data(&TrainingOptions {
+            run_seconds: 30,
+            ramp_seconds: 100,
+            seed: 701,
+        })
+        .unwrap();
+        let solr = subset_by_service(&data, &|s| matches!(s, ServiceKind::Solr)).unwrap();
+        let memc = subset_by_service(&data, &|s| matches!(s, ServiceKind::Memcache)).unwrap();
+        let cass =
+            subset_by_service(&data, &|s| matches!(s, ServiceKind::Cassandra(_))).unwrap();
+        assert_eq!(
+            solr.dataset.len() + memc.dataset.len() + cass.dataset.len(),
+            data.dataset.len()
+        );
+        assert_eq!(solr.dataset.distinct_groups().len(), 6);
+        assert_eq!(memc.dataset.distinct_groups().len(), 4);
+        assert_eq!(cass.dataset.distinct_groups().len(), 15);
+        assert_eq!(solr.scalein_labels.len(), solr.dataset.len());
+    }
+
+    #[test]
+    fn diversity_ablation_produces_rows_and_full_set_transfers() {
+        let data = generate_training_data(&TrainingOptions {
+            run_seconds: 40,
+            ramp_seconds: 120,
+            seed: 703,
+        })
+        .unwrap();
+        let rows = run(
+            &data,
+            &ModelOptions::quick(),
+            &EvalOptions {
+                duration: 200,
+                ramp_seconds: 150,
+                seed: 705,
+                record_raw: false,
+            },
+        )
+        .unwrap();
+        let table = format(&rows);
+        assert!(rows.len() >= 2, "{table}");
+        let full = rows.iter().find(|r| r.services == "All services").unwrap();
+        assert!(full.f1_2 > 0.5, "full training set must transfer:\n{table}");
+        // The diverse training set should not be dominated by every
+        // narrow subset simultaneously.
+        let best_single = rows
+            .iter()
+            .filter(|r| r.services != "All services")
+            .map(|r| r.f1_2)
+            .fold(0.0, f64::max);
+        assert!(
+            full.f1_2 >= best_single - 0.3,
+            "diversity collapsed:\n{table}"
+        );
+    }
+}

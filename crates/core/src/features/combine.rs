@@ -1,0 +1,137 @@
+//! Stage 4b: multiplicative feature combinations (Section 3.3.6).
+//!
+//! Pairs of features from *different* resource domains are multiplied.
+//! Binary level features (`C-CPU-HIGH`, …) form their own domains and
+//! may also combine with each other — Table 4's top features include
+//! both `network.tcp.currestab × C-CPU-HIGH` (cross-domain) and
+//! `C-CPU-HIGH × C-CPU-VERYHIGH` (level × level). Time-dependent
+//! features are excluded from combination to bound the feature count.
+
+use serde::{Deserialize, Serialize};
+
+/// Resource domain of a feature, derived from its name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Domain {
+    /// CPU time / scheduling metrics.
+    Cpu,
+    /// Memory metrics.
+    Mem,
+    /// Network metrics.
+    Net,
+    /// Disk / filesystem metrics.
+    Disk,
+    /// Binary level indicators.
+    Level,
+    /// Everything else (inventory, process counts, …).
+    Other,
+}
+
+/// Classifies a feature name into a domain.
+pub fn domain_of(name: &str) -> Domain {
+    if name.contains("-LOW")
+        || name.contains("-MEDIUM")
+        || name.contains("-HIGH")
+        || name.contains("-VERYHIGH")
+        || name.contains("-EXTREME")
+    {
+        return Domain::Level;
+    }
+    let lower = name.to_ascii_lowercase();
+    if lower.contains("cpu") || lower.contains("cpusched") || lower.contains("load") {
+        Domain::Cpu
+    } else if lower.contains("mem") || lower.contains("vmstat") || lower.contains("swap") {
+        Domain::Mem
+    } else if lower.contains("network") || lower.contains("tcp") || lower.contains("udp") {
+        Domain::Net
+    } else if lower.contains("disk")
+        || lower.contains("blkio")
+        || lower.contains("vfs")
+        || lower.contains("filesys")
+    {
+        Domain::Disk
+    } else {
+        Domain::Other
+    }
+}
+
+/// Enumerates the index pairs to multiply for the given feature names:
+/// all unordered pairs from different domains, plus all pairs (including
+/// self-pairs) where both features are binary levels.
+pub fn product_pairs(names: &[String]) -> Vec<(usize, usize)> {
+    let domains: Vec<Domain> = names.iter().map(|n| domain_of(n)).collect();
+    let mut pairs = Vec::new();
+    for i in 0..names.len() {
+        for j in i..names.len() {
+            let cross = domains[i] != domains[j];
+            let both_levels = domains[i] == Domain::Level && domains[j] == Domain::Level;
+            if cross || both_levels {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+/// Names of the product features.
+pub fn product_names(names: &[String], pairs: &[(usize, usize)]) -> Vec<String> {
+    pairs
+        .iter()
+        .map(|&(i, j)| format!("{} × {}", names[i], names[j]))
+        .collect()
+}
+
+/// Appends the products of `pairs` to a feature vector.
+pub fn apply_products(row: &mut Vec<f64>, base: &[f64], pairs: &[(usize, usize)]) {
+    row.reserve(pairs.len());
+    for &(i, j) in pairs {
+        row.push(base[i] * base[j]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_are_classified() {
+        assert_eq!(domain_of("kernel.all.cpu.user"), Domain::Cpu);
+        assert_eq!(domain_of("mem.vmstat.pgpgin"), Domain::Mem);
+        assert_eq!(domain_of("network.tcp.currestab"), Domain::Net);
+        assert_eq!(domain_of("disk.all.aveq"), Domain::Disk);
+        assert_eq!(domain_of("C-CPU-VERYHIGH"), Domain::Level);
+        assert_eq!(domain_of("hinv.ninterface"), Domain::Other);
+    }
+
+    #[test]
+    fn pairs_cross_domains_only_except_levels() {
+        let names: Vec<String> = vec![
+            "kernel.all.cpu.user".into(),  // Cpu
+            "kernel.all.cpu.sys".into(),   // Cpu
+            "mem.util.used".into(),        // Mem
+            "C-CPU-HIGH".into(),           // Level
+            "C-CPU-VERYHIGH".into(),       // Level
+        ];
+        let pairs = product_pairs(&names);
+        // Cpu×Cpu (0,1) must be absent.
+        assert!(!pairs.contains(&(0, 1)));
+        // Cross-domain pairs present.
+        assert!(pairs.contains(&(0, 2)));
+        assert!(pairs.contains(&(2, 3)));
+        // Level×Level including self-pairs present.
+        assert!(pairs.contains(&(3, 4)));
+        assert!(pairs.contains(&(4, 4)));
+    }
+
+    #[test]
+    fn products_multiply_values() {
+        let names: Vec<String> = vec!["kernel.all.cpu.user".into(), "mem.util.used".into()];
+        let pairs = product_pairs(&names);
+        assert_eq!(pairs, vec![(0, 1)]);
+        let mut row = vec![3.0, 4.0];
+        let base = row.clone();
+        apply_products(&mut row, &base, &pairs);
+        assert_eq!(row, vec![3.0, 4.0, 12.0]);
+        let pnames = product_names(&names, &pairs);
+        assert_eq!(pnames[0], "kernel.all.cpu.user × mem.util.used");
+    }
+}

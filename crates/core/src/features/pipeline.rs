@@ -1,0 +1,518 @@
+//! Stage orchestration: the six-step feature pipeline (Section 3.3.7)
+//! and its online per-instance form.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use monitorless_learn::{Matrix, StandardScaler, Transformer};
+use serde::{Deserialize, Serialize};
+
+use super::base::{BaseExpander, RawLayout};
+use super::combine::{apply_products, product_names, product_pairs};
+use super::reduce::{FittedReduction, Reduction};
+use super::timefeat::TimeExpander;
+use crate::Error;
+
+/// Configuration of the feature pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Step 2: standardize features.
+    pub normalize: bool,
+    /// Step 3: first reduction.
+    pub reduce1: Reduction,
+    /// Step 4a: add `X-AVG`/`X-LAG` features.
+    pub time_features: bool,
+    /// Step 4b: add multiplicative cross-domain products.
+    pub products: bool,
+    /// Step 5: second reduction.
+    pub reduce2: Reduction,
+    /// Seed for the filtering forests.
+    pub seed: u64,
+}
+
+impl PipelineConfig {
+    /// The configuration the paper's grid search settled on: normalize,
+    /// forest-filter to the top-30 union, add time and product features,
+    /// then filter again.
+    pub fn paper_default() -> Self {
+        PipelineConfig {
+            normalize: true,
+            reduce1: Reduction::paper_filter(),
+            time_features: true,
+            products: true,
+            reduce2: Reduction::ForestFilter {
+                top_k: 30,
+                n_estimators: 50,
+            },
+            seed: 0,
+        }
+    }
+
+    /// A scaled-down configuration for tests and quick runs.
+    pub fn quick() -> Self {
+        PipelineConfig {
+            normalize: true,
+            reduce1: Reduction::ForestFilter {
+                top_k: 8,
+                n_estimators: 12,
+            },
+            time_features: true,
+            products: true,
+            reduce2: Reduction::ForestFilter {
+                top_k: 16,
+                n_estimators: 12,
+            },
+            seed: 0,
+        }
+    }
+}
+
+/// An unfitted feature pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeaturePipeline {
+    config: PipelineConfig,
+}
+
+impl FeaturePipeline {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        FeaturePipeline { config }
+    }
+
+    /// Fits the pipeline on raw metric vectors and returns the fitted
+    /// pipeline together with the transformed training matrix.
+    ///
+    /// Rows must be ordered chronologically *within* each group (a group
+    /// is one Table 1 training run / one instance's time series).
+    ///
+    /// # Errors
+    ///
+    /// Propagates learner errors; returns [`Error::Invalid`] for empty
+    /// input or mismatched lengths.
+    pub fn fit_transform(
+        &self,
+        x_raw: &Matrix,
+        y: &[u8],
+        groups: &[u32],
+        layout: RawLayout,
+    ) -> Result<(FittedPipeline, Matrix), Error> {
+        if x_raw.rows() == 0 {
+            return Err(Error::Invalid("empty training matrix".into()));
+        }
+        if y.len() != x_raw.rows() || groups.len() != x_raw.rows() {
+            return Err(Error::Invalid("labels/groups do not match rows".into()));
+        }
+        let cfg = self.config;
+        let expander = BaseExpander::new(layout);
+
+        // Step 1: base expansion.
+        let mut base_rows: Vec<f64> = Vec::with_capacity(x_raw.rows() * expander.len());
+        for row in x_raw.iter_rows() {
+            base_rows.extend(expander.expand(row));
+        }
+        let mut b = Matrix::from_vec(x_raw.rows(), expander.len(), base_rows);
+        let names_b = expander.names();
+
+        // Step 2: normalization.
+        let scaler = if cfg.normalize {
+            let mut s = StandardScaler::new();
+            b = s.fit_transform(&b)?;
+            Some(s)
+        } else {
+            None
+        };
+
+        // Step 3: first reduction. The binary level features and the
+        // relative utilization metrics are always kept: they are the
+        // scale-free features that make the model portable across
+        // hardware and load magnitudes (Sections 3.3.1-3.3.3) — absolute
+        // metrics alone would overfit each training configuration's
+        // traffic level.
+        let mut reduce1 = FittedReduction::fit(cfg.reduce1, &b, y, groups, cfg.seed)?;
+        if let FittedReduction::Select(idx) = &mut reduce1 {
+            idx.extend(forced_base_indices(&names_b));
+            idx.sort_unstable();
+            idx.dedup();
+        }
+        let c = reduce1.apply(&b)?;
+        let names_c = reduce1.names(&names_b);
+
+        // Step 4: time features + products (per group, chronological).
+        let time = cfg.time_features.then(|| TimeExpander::new(c.cols()));
+        let pairs = if cfg.products {
+            product_pairs(&names_c)
+        } else {
+            Vec::new()
+        };
+        let (d, names_d) = expand_stage_d(&c, groups, time.as_ref(), &pairs, &names_c);
+
+        // Step 5: second reduction, again keeping the scale-free
+        // originals and their pairwise products.
+        let mut reduce2 = FittedReduction::fit(cfg.reduce2, &d, y, groups, cfg.seed ^ 0x5a5a)?;
+        if let FittedReduction::Select(idx) = &mut reduce2 {
+            let forced_names: Vec<&String> = forced_base_indices(&names_b)
+                .into_iter()
+                .map(|i| &names_b[i])
+                .collect();
+            for (j, name) in names_d.iter().enumerate() {
+                let is_forced_original = forced_names.contains(&name);
+                let is_level_product = name.contains(" × ")
+                    && name.split(" × ").all(|part| {
+                        forced_names.iter().any(|f| part == *f)
+                    });
+                if is_forced_original || is_level_product {
+                    idx.push(j);
+                }
+            }
+            idx.sort_unstable();
+            idx.dedup();
+        }
+        let e = reduce2.apply(&d)?;
+        let names_e = reduce2.names(&names_d);
+
+        // Step 6: zero-variance removal.
+        let stds = e.column_stds();
+        let keep: Vec<usize> = (0..e.cols()).filter(|&i| stds[i] > 0.0).collect();
+        let final_x = e.select_columns(&keep);
+        let names: Vec<String> = keep.iter().map(|&i| names_e[i].clone()).collect();
+
+        let fitted = FittedPipeline {
+            config: cfg,
+            expander,
+            scaler,
+            reduce1,
+            time,
+            pairs,
+            names_c,
+            reduce2,
+            keep,
+            names,
+        };
+        Ok((fitted, final_x))
+    }
+}
+
+/// Indices of base features that are never filtered out: the 16 binary
+/// level features plus the four relative utilization metrics (and the
+/// cgroup throttle counter, which is relative to the period rate).
+fn forced_base_indices(names_b: &[String]) -> Vec<usize> {
+    names_b
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            n.contains("-LOW")
+                || n.contains("-MEDIUM")
+                || n.contains("-HIGH")
+                || n.contains("-VERYHIGH")
+                || n.contains("-EXTREME")
+                || n.as_str() == "ctr.containers.cpu.util"
+                || n.as_str() == "ctr.containers.mem.util"
+                || n.as_str() == "mem.util.used"
+                || n.as_str() == "kernel.all.cpu.idle"
+                || n.as_str() == "ctr.cgroup.cpusched.throttled"
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+fn expand_stage_d(
+    c: &Matrix,
+    groups: &[u32],
+    time: Option<&TimeExpander>,
+    pairs: &[(usize, usize)],
+    names_c: &[String],
+) -> (Matrix, Vec<String>) {
+    let time_width = time.map_or(c.cols(), |t| t.output_width());
+    let width = time_width + pairs.len();
+    let mut data = Vec::with_capacity(c.rows() * width);
+
+    // Partition rows by group, preserving order.
+    let mut i = 0;
+    while i < c.rows() {
+        let g = groups[i];
+        let mut j = i;
+        while j < c.rows() && groups[j] == g {
+            j += 1;
+        }
+        let block: Vec<Vec<f64>> = (i..j).map(|r| c.row(r).to_vec()).collect();
+        for (local, row) in block.iter().enumerate() {
+            let mut out = match time {
+                Some(t) => t.expand_at(&block, local),
+                None => row.clone(),
+            };
+            apply_products(&mut out, row, pairs);
+            data.extend(out);
+        }
+        i = j;
+    }
+
+    let mut names = match time {
+        Some(t) => t.names(names_c),
+        None => names_c.to_vec(),
+    };
+    names.extend(product_names(names_c, pairs));
+    (Matrix::from_vec(c.rows(), width, data), names)
+}
+
+/// A fitted feature pipeline: transforms raw metric windows into model
+/// inputs, both in batch (training) and online (per instance) form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FittedPipeline {
+    config: PipelineConfig,
+    expander: BaseExpander,
+    scaler: Option<StandardScaler>,
+    reduce1: FittedReduction,
+    time: Option<TimeExpander>,
+    pairs: Vec<(usize, usize)>,
+    names_c: Vec<String>,
+    reduce2: FittedReduction,
+    keep: Vec<usize>,
+    names: Vec<String>,
+}
+
+impl FittedPipeline {
+    /// The configuration used to fit.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Final feature names (model-input space).
+    pub fn feature_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of model-input features.
+    pub fn output_width(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Width of the intermediate (post-reduction-1) space.
+    pub fn reduced_width(&self) -> usize {
+        self.names_c.len()
+    }
+
+    /// Batch transform mirroring the fit-time flow. Rows must be ordered
+    /// chronologically within each group.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scaler/PCA errors.
+    pub fn transform_batch(&self, x_raw: &Matrix, groups: &[u32]) -> Result<Matrix, Error> {
+        let mut base_rows: Vec<f64> = Vec::with_capacity(x_raw.rows() * self.expander.len());
+        for row in x_raw.iter_rows() {
+            base_rows.extend(self.expander.expand(row));
+        }
+        let mut b = Matrix::from_vec(x_raw.rows(), self.expander.len(), base_rows);
+        if let Some(s) = &self.scaler {
+            b = s.transform(&b)?;
+        }
+        let c = self.reduce1.apply(&b)?;
+        let (d, _) = expand_stage_d(&c, groups, self.time.as_ref(), &self.pairs, &self.names_c);
+        let e = self.reduce2.apply(&d)?;
+        Ok(e.select_columns(&self.keep))
+    }
+
+    fn transform_window(&self, window: &[Vec<f64>]) -> Result<Vec<f64>, Error> {
+        let current = window.last().ok_or(Error::NotFitted)?;
+        let mut out = match &self.time {
+            Some(t) => t.expand_at(window, window.len() - 1),
+            None => current.clone(),
+        };
+        apply_products(&mut out, current, &self.pairs);
+        let reduced = self.reduce2.apply_row(&out)?;
+        Ok(self.keep.iter().map(|&i| reduced[i]).collect())
+    }
+
+    fn reduce_raw(&self, raw: &[f64]) -> Result<Vec<f64>, Error> {
+        let base = self.expander.expand(raw);
+        let scaled = match &self.scaler {
+            Some(s) => {
+                let m = Matrix::from_rows(&[base.as_slice()]);
+                s.transform(&m)?.row(0).to_vec()
+            }
+            None => base,
+        };
+        self.reduce1.apply_row(&scaled)
+    }
+}
+
+/// Online per-instance transformer: feeds one raw metric vector per
+/// second and yields the model-input vector using a rolling window for
+/// the time-dependent features — the orchestrator keeps one of these per
+/// running container.
+#[derive(Debug, Clone)]
+pub struct InstanceTransformer {
+    pipeline: Arc<FittedPipeline>,
+    window: VecDeque<Vec<f64>>,
+}
+
+/// Window length required by the 15-second lags (current + 15 history).
+pub const WINDOW_LEN: usize = 16;
+
+impl InstanceTransformer {
+    /// Creates a transformer bound to a fitted pipeline.
+    pub fn new(pipeline: Arc<FittedPipeline>) -> Self {
+        InstanceTransformer {
+            pipeline,
+            window: VecDeque::with_capacity(WINDOW_LEN),
+        }
+    }
+
+    /// Number of samples seen so far (capped at the window length).
+    pub fn warmup(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Pushes one raw metric vector and returns the model-input vector.
+    ///
+    /// Early samples use a truncated history, exactly like a training
+    /// block's first seconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn push(&mut self, raw: &[f64]) -> Result<Vec<f64>, Error> {
+        let reduced = self.pipeline.reduce_raw(raw)?;
+        if self.window.len() == WINDOW_LEN {
+            self.window.pop_front();
+        }
+        self.window.push_back(reduced);
+        let rows: Vec<Vec<f64>> = self.window.iter().cloned().collect();
+        self.pipeline.transform_window(&rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monitorless_metrics::catalog::Catalog;
+    use monitorless_metrics::signals::{ContainerSignals, HostSignals};
+
+    /// Builds a toy labeled run: container CPU utilization ramps up and
+    /// the label is "cpu util > 0.85".
+    fn toy_raw(n: usize, seed: u64) -> (Matrix, Vec<u8>, Vec<u32>) {
+        let catalog = Catalog::standard();
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut groups = Vec::new();
+        for g in 0..2u32 {
+            for t in 0..n {
+                let util = (t as f64 / n as f64).min(1.0);
+                let host = HostSignals {
+                    cpu_util: util * 0.9,
+                    tcp_estab: 50.0 + 100.0 * util,
+                    net_in_bytes: 1e6 * util,
+                    ..HostSignals::default()
+                };
+                let ctr = ContainerSignals {
+                    cpu_util: util,
+                    mem_util: 0.4,
+                    tcp_conns: 20.0 * util,
+                    ..ContainerSignals::default()
+                };
+                let mut v = catalog.expand_host(&host, t as u64, seed ^ u64::from(g));
+                v.extend(catalog.expand_container(&ctr, t as u64, seed ^ u64::from(g) ^ 1));
+                rows.push(v);
+                y.push(u8::from(util > 0.85));
+                groups.push(g);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), y, groups)
+    }
+
+    fn layout() -> RawLayout {
+        RawLayout::from_catalog(&Catalog::standard()).unwrap()
+    }
+
+    #[test]
+    fn fit_transform_produces_informative_features() {
+        let (x, y, groups) = toy_raw(60, 3);
+        let pipeline = FeaturePipeline::new(PipelineConfig::quick());
+        let (fitted, xt) = pipeline.fit_transform(&x, &y, &groups, layout()).unwrap();
+        assert_eq!(xt.rows(), x.rows());
+        assert!(xt.cols() > 0);
+        assert_eq!(xt.cols(), fitted.output_width());
+        // No zero-variance columns survive.
+        assert!(xt.column_stds().iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn transform_batch_matches_fit_transform() {
+        let (x, y, groups) = toy_raw(40, 5);
+        let pipeline = FeaturePipeline::new(PipelineConfig::quick());
+        let (fitted, xt) = pipeline.fit_transform(&x, &y, &groups, layout()).unwrap();
+        let again = fitted.transform_batch(&x, &groups).unwrap();
+        assert_eq!(xt.rows(), again.rows());
+        for r in 0..xt.rows() {
+            for (a, b) in xt.row(r).iter().zip(again.row(r)) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn online_transformer_matches_batch_after_warmup() {
+        let (x, y, groups) = toy_raw(40, 7);
+        let pipeline = FeaturePipeline::new(PipelineConfig::quick());
+        let (fitted, xt) = pipeline.fit_transform(&x, &y, &groups, layout()).unwrap();
+        let fitted = Arc::new(fitted);
+        let mut online = InstanceTransformer::new(Arc::clone(&fitted));
+        // Feed group 0's rows (first 40 rows).
+        for t in 0..40 {
+            let out = online.push(x.row(t)).unwrap();
+            if t >= WINDOW_LEN {
+                // After warmup the window holds only the last 16 samples;
+                // batch lag-15 looks back at most 15 → identical.
+                for (a, b) in out.iter().zip(xt.row(t)) {
+                    assert!((a - b).abs() < 1e-9, "t={t}");
+                }
+            }
+        }
+        assert_eq!(online.warmup(), WINDOW_LEN);
+    }
+
+    #[test]
+    fn product_features_appear_in_names() {
+        let (x, y, groups) = toy_raw(40, 9);
+        let pipeline = FeaturePipeline::new(PipelineConfig::quick());
+        let (fitted, _) = pipeline.fit_transform(&x, &y, &groups, layout()).unwrap();
+        let names = fitted.feature_names();
+        assert!(
+            names.iter().any(|n| n.contains(" × ")),
+            "expected product features among {names:?}"
+        );
+    }
+
+    #[test]
+    fn pca_pipeline_also_works() {
+        let (x, y, groups) = toy_raw(30, 11);
+        let config = PipelineConfig {
+            normalize: true,
+            reduce1: Reduction::Pca {
+                variance: 0.999,
+                max_components: 10,
+            },
+            time_features: true,
+            products: true,
+            reduce2: Reduction::Pca {
+                variance: 0.999,
+                max_components: 8,
+            },
+            seed: 0,
+        };
+        let (fitted, xt) = FeaturePipeline::new(config)
+            .fit_transform(&x, &y, &groups, layout())
+            .unwrap();
+        assert!(xt.cols() <= 8);
+        assert!(fitted.feature_names().iter().all(|n| n.starts_with("PC")));
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        let (x, y, _) = toy_raw(10, 1);
+        let pipeline = FeaturePipeline::new(PipelineConfig::quick());
+        let err = pipeline.fit_transform(&x, &y, &[0, 1], layout());
+        assert!(matches!(err, Err(Error::Invalid(_))));
+    }
+}

@@ -1,0 +1,326 @@
+//! Stages 3/5: feature reduction via random-forest filtering or PCA
+//! (Section 3.3.4).
+
+use monitorless_learn::pca::ComponentSelection;
+use monitorless_learn::{Classifier, Matrix, Pca, RandomForest, RandomForestParams};
+use serde::{Deserialize, Serialize};
+
+use crate::Error;
+
+/// Reduction strategy for a pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Reduction {
+    /// Keep everything.
+    None,
+    /// Train a random forest per training configuration and keep the
+    /// union of each configuration's `top_k` most important features —
+    /// the paper uses `top_k = 30`, yielding 117 unique features.
+    ForestFilter {
+        /// Features kept per configuration.
+        top_k: usize,
+        /// Trees per filtering forest (the paper uses defaults; smaller
+        /// values keep the quick configurations fast).
+        n_estimators: usize,
+    },
+    /// Project onto principal components explaining the given variance
+    /// fraction, capped at `max_components` (the paper reduces to 50
+    /// components at 99.99% variance).
+    Pca {
+        /// Cumulative explained-variance target in `(0, 1]`.
+        variance: f64,
+        /// Upper bound on components.
+        max_components: usize,
+    },
+}
+
+impl Reduction {
+    /// The paper's first-stage filter (top-30 per dataset).
+    pub fn paper_filter() -> Self {
+        Reduction::ForestFilter {
+            top_k: 30,
+            n_estimators: 50,
+        }
+    }
+
+    /// The paper's PCA alternative (50 components, 99.99% variance).
+    pub fn paper_pca() -> Self {
+        Reduction::Pca {
+            variance: 0.9999,
+            max_components: 50,
+        }
+    }
+}
+
+/// A fitted reduction stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FittedReduction {
+    /// Identity.
+    None,
+    /// Column selection (sorted indices into the stage input).
+    Select(Vec<usize>),
+    /// PCA projection.
+    Pca(Pca),
+}
+
+impl FittedReduction {
+    /// Fits the reduction on `(x, y, groups)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates learner errors; degenerate groups (single class) are
+    /// skipped for forest filtering.
+    pub fn fit(
+        reduction: Reduction,
+        x: &Matrix,
+        y: &[u8],
+        groups: &[u32],
+        seed: u64,
+    ) -> Result<Self, Error> {
+        match reduction {
+            Reduction::None => Ok(FittedReduction::None),
+            Reduction::Pca {
+                variance,
+                max_components,
+            } => {
+                // Fit capped, then trim to the variance target: fitting an
+                // uncapped variance fraction first would extract far more
+                // components than the stage can ever keep.
+                let mut pca = Pca::new(ComponentSelection::Count(max_components));
+                pca.fit(x)?;
+                let ratios = pca.explained_variance_ratio();
+                let mut acc = 0.0;
+                let mut keep = ratios.len();
+                for (i, r) in ratios.iter().enumerate() {
+                    acc += r;
+                    if acc >= variance {
+                        keep = i + 1;
+                        break;
+                    }
+                }
+                pca.truncate(keep.max(1));
+                Ok(FittedReduction::Pca(pca))
+            }
+            Reduction::ForestFilter {
+                top_k,
+                n_estimators,
+            } => {
+                let mut distinct: Vec<u32> = groups.to_vec();
+                distinct.sort_unstable();
+                distinct.dedup();
+                let mut union: Vec<usize> = Vec::new();
+                for g in distinct {
+                    let idx: Vec<usize> = (0..x.rows()).filter(|&i| groups[i] == g).collect();
+                    let yg: Vec<u8> = idx.iter().map(|&i| y[i]).collect();
+                    let n_pos = yg.iter().filter(|&&l| l == 1).count();
+                    if n_pos == 0 || n_pos == yg.len() {
+                        continue; // degenerate configuration
+                    }
+                    let xg = x.select_rows(&idx);
+                    let mut rf = RandomForest::new(RandomForestParams {
+                        n_estimators,
+                        seed: seed ^ u64::from(g),
+                        ..RandomForestParams::default()
+                    });
+                    rf.fit(&xg, &yg, None)?;
+                    union.extend(rf.top_features(top_k));
+                }
+                union.sort_unstable();
+                union.dedup();
+                if union.is_empty() {
+                    return Err(Error::Invalid(
+                        "forest filter found no informative features (all groups degenerate)"
+                            .into(),
+                    ));
+                }
+                Ok(FittedReduction::Select(union))
+            }
+        }
+    }
+
+    /// Output width for `input_width` inputs.
+    pub fn output_width(&self, input_width: usize) -> usize {
+        match self {
+            FittedReduction::None => input_width,
+            FittedReduction::Select(idx) => idx.len(),
+            FittedReduction::Pca(p) => p.n_components(),
+        }
+    }
+
+    /// Output feature names.
+    pub fn names(&self, input_names: &[String]) -> Vec<String> {
+        match self {
+            FittedReduction::None => input_names.to_vec(),
+            FittedReduction::Select(idx) => {
+                idx.iter().map(|&i| input_names[i].clone()).collect()
+            }
+            FittedReduction::Pca(p) => (0..p.n_components()).map(|i| format!("PC{i}")).collect(),
+        }
+    }
+
+    /// Applies the reduction to a matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PCA transform errors.
+    pub fn apply(&self, x: &Matrix) -> Result<Matrix, Error> {
+        match self {
+            FittedReduction::None => Ok(x.clone()),
+            FittedReduction::Select(idx) => Ok(x.select_columns(idx)),
+            FittedReduction::Pca(p) => Ok(p.transform(x)?),
+        }
+    }
+
+    /// Applies the reduction to a single row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PCA transform errors.
+    pub fn apply_row(&self, row: &[f64]) -> Result<Vec<f64>, Error> {
+        match self {
+            FittedReduction::None => Ok(row.to_vec()),
+            FittedReduction::Select(idx) => Ok(idx.iter().map(|&i| row[i]).collect()),
+            FittedReduction::Pca(p) => {
+                let m = Matrix::from_rows(&[row]);
+                Ok(p.transform(&m)?.row(0).to_vec())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Matrix, Vec<u8>, Vec<u32>) {
+        // Feature 0 informative in group 0, feature 1 in group 1,
+        // feature 2 pure noise.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut groups = Vec::new();
+        for i in 0..40 {
+            let label = u8::from(i % 2 == 1);
+            rows.push(vec![label as f64, 0.5, (i % 7) as f64]);
+            y.push(label);
+            groups.push(0);
+        }
+        for i in 0..40 {
+            let label = u8::from(i % 2 == 1);
+            rows.push(vec![0.5, label as f64, (i % 5) as f64]);
+            y.push(label);
+            groups.push(1);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), y, groups)
+    }
+
+    #[test]
+    fn forest_filter_unions_per_group_tops() {
+        let (x, y, groups) = toy();
+        let fitted = FittedReduction::fit(
+            Reduction::ForestFilter {
+                top_k: 1,
+                n_estimators: 15,
+            },
+            &x,
+            &y,
+            &groups,
+            0,
+        )
+        .unwrap();
+        match &fitted {
+            FittedReduction::Select(idx) => {
+                assert!(idx.contains(&0), "group 0 top feature");
+                assert!(idx.contains(&1), "group 1 top feature");
+                assert!(!idx.contains(&2), "noise feature filtered: {idx:?}");
+            }
+            other => panic!("expected Select, got {other:?}"),
+        }
+        let reduced = fitted.apply(&x).unwrap();
+        assert_eq!(reduced.cols(), 2);
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let (x, y, groups) = toy();
+        let fitted = FittedReduction::fit(Reduction::None, &x, &y, &groups, 0).unwrap();
+        assert_eq!(fitted.apply(&x).unwrap(), x);
+        assert_eq!(fitted.output_width(3), 3);
+    }
+
+    #[test]
+    fn pca_caps_components() {
+        let (x, y, groups) = toy();
+        let fitted = FittedReduction::fit(
+            Reduction::Pca {
+                variance: 1.0,
+                max_components: 2,
+            },
+            &x,
+            &y,
+            &groups,
+            0,
+        )
+        .unwrap();
+        assert_eq!(fitted.output_width(3), 2);
+        assert_eq!(fitted.apply(&x).unwrap().cols(), 2);
+        assert_eq!(fitted.names(&["a".into(), "b".into(), "c".into()]), vec!["PC0", "PC1"]);
+    }
+
+    #[test]
+    fn apply_row_matches_matrix_apply() {
+        let (x, y, groups) = toy();
+        for reduction in [
+            Reduction::None,
+            Reduction::ForestFilter {
+                top_k: 2,
+                n_estimators: 10,
+            },
+            Reduction::Pca {
+                variance: 0.99,
+                max_components: 3,
+            },
+        ] {
+            let fitted = FittedReduction::fit(reduction, &x, &y, &groups, 1).unwrap();
+            let whole = fitted.apply(&x).unwrap();
+            let row = fitted.apply_row(x.row(5)).unwrap();
+            for (a, b) in row.iter().zip(whole.row(5)) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_groups_are_skipped() {
+        // Group 1 has a single class; only group 0 contributes.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut groups = Vec::new();
+        for i in 0..20 {
+            rows.push(vec![(i % 2) as f64, 0.0]);
+            y.push((i % 2) as u8);
+            groups.push(0);
+        }
+        for _ in 0..10 {
+            rows.push(vec![0.0, 1.0]);
+            y.push(0);
+            groups.push(1);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let fitted = FittedReduction::fit(
+            Reduction::ForestFilter {
+                top_k: 1,
+                n_estimators: 10,
+            },
+            &x,
+            &y,
+            &groups,
+            0,
+        )
+        .unwrap();
+        match fitted {
+            FittedReduction::Select(idx) => assert_eq!(idx, vec![0]),
+            other => panic!("expected Select, got {other:?}"),
+        }
+    }
+}

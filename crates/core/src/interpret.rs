@@ -1,0 +1,160 @@
+//! Interpretability: distilling the forest into scaling rules.
+//!
+//! Section 5 ("Interpretability") suggests depth-restricted decision
+//! trees or LIME to turn the ensemble into user-interpretable scaling
+//! rules. This module implements the tree-distillation path: a shallow
+//! *student* tree is trained to imitate the forest's predictions on the
+//! training data; its root-to-leaf paths become human-readable rules.
+
+use monitorless_learn::tree::{DecisionTree, DecisionTreeParams};
+use monitorless_learn::Classifier;
+use serde::{Deserialize, Serialize};
+
+use crate::model::MonitorlessModel;
+use crate::training::TrainingData;
+use crate::Error;
+
+/// Options for [`distill`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistillOptions {
+    /// Depth limit of the student tree (the paper suggests
+    /// "depth-restricted decision trees"; 3 gives at most 8 rules).
+    pub max_depth: usize,
+    /// Minimum samples per student leaf.
+    pub min_samples_leaf: usize,
+    /// Only leaves at least this confident become rules.
+    pub min_rule_proba: f64,
+}
+
+impl Default for DistillOptions {
+    fn default() -> Self {
+        DistillOptions {
+            max_depth: 3,
+            min_samples_leaf: 10,
+            min_rule_proba: 0.6,
+        }
+    }
+}
+
+/// A distilled explanation of the monitorless model.
+#[derive(Debug, Clone)]
+pub struct Distilled {
+    /// The shallow student tree (predicts the forest's labels).
+    pub student: DecisionTree,
+    /// Human-readable scaling rules extracted from confident leaves.
+    pub rules: Vec<String>,
+    /// Agreement between student and forest on the training data
+    /// (fraction of identical hard predictions).
+    pub fidelity: f64,
+}
+
+/// Distills a trained model into a depth-restricted rule set.
+///
+/// # Errors
+///
+/// Propagates pipeline/learner errors; [`Error::Invalid`] when the forest
+/// predicts a single class on the training data (nothing to distill).
+pub fn distill(
+    model: &MonitorlessModel,
+    data: &TrainingData,
+    opts: &DistillOptions,
+) -> Result<Distilled, Error> {
+    // Teacher labels: the forest's own (thresholded) predictions over the
+    // transformed training features.
+    let x = model
+        .pipeline()
+        .transform_batch(data.dataset.x(), data.dataset.groups())?;
+    let teacher = model
+        .forest()
+        .predict_with_threshold(&x, model.threshold());
+    let positives = teacher.iter().filter(|&&l| l == 1).count();
+    if positives == 0 || positives == teacher.len() {
+        return Err(Error::Invalid(
+            "forest predicts a single class; nothing to distill".into(),
+        ));
+    }
+
+    let mut student = DecisionTree::new(DecisionTreeParams {
+        max_depth: Some(opts.max_depth),
+        min_samples_leaf: opts.min_samples_leaf,
+        ..DecisionTreeParams::default()
+    });
+    student.fit(&x, &teacher, None)?;
+
+    let agree = student
+        .predict(&x)
+        .iter()
+        .zip(&teacher)
+        .filter(|(a, b)| a == b)
+        .count();
+    let fidelity = agree as f64 / teacher.len() as f64;
+
+    let names: Vec<String> = model.pipeline().feature_names().to_vec();
+    let rules = student.decision_rules(&names, opts.min_rule_proba);
+    Ok(Distilled {
+        student,
+        rules,
+        fidelity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelOptions;
+    use crate::training::{generate_training_data, TrainingOptions};
+
+    #[test]
+    fn distilled_rules_are_faithful_and_readable() {
+        let data = generate_training_data(&TrainingOptions {
+            run_seconds: 40,
+            ramp_seconds: 120,
+            seed: 501,
+        })
+        .unwrap();
+        let model = MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap();
+        let distilled = distill(&model, &data, &DistillOptions::default()).unwrap();
+        assert!(
+            distilled.fidelity > 0.85,
+            "student fidelity {} too low",
+            distilled.fidelity
+        );
+        assert!(!distilled.rules.is_empty(), "no rules extracted");
+        assert!(distilled.rules.len() <= 8, "depth 3 gives at most 8 rules");
+        for rule in &distilled.rules {
+            assert!(rule.starts_with("IF "), "{rule}");
+            assert!(rule.contains("THEN saturated"), "{rule}");
+        }
+        assert!(distilled.student.depth() <= 3);
+    }
+
+    #[test]
+    fn deeper_students_are_at_least_as_faithful() {
+        let data = generate_training_data(&TrainingOptions {
+            run_seconds: 30,
+            ramp_seconds: 100,
+            seed: 503,
+        })
+        .unwrap();
+        let model = MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap();
+        let shallow = distill(
+            &model,
+            &data,
+            &DistillOptions {
+                max_depth: 1,
+                ..DistillOptions::default()
+            },
+        )
+        .unwrap();
+        let deep = distill(
+            &model,
+            &data,
+            &DistillOptions {
+                max_depth: 5,
+                ..DistillOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(deep.fidelity + 1e-9 >= shallow.fidelity);
+    }
+}

@@ -1,0 +1,269 @@
+//! The monitorless model: feature pipeline + random forest.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use monitorless_learn::{Classifier, Matrix, RandomForest, RandomForestParams};
+use serde::{Deserialize, Serialize};
+
+use crate::features::{FeaturePipeline, FittedPipeline, InstanceTransformer, PipelineConfig};
+use crate::training::TrainingData;
+use crate::Error;
+
+/// Training options for [`MonitorlessModel`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelOptions {
+    /// Feature-pipeline configuration.
+    pub pipeline: PipelineConfig,
+    /// Random-forest hyper-parameters.
+    pub forest: RandomForestParams,
+    /// Decision threshold; the paper uses 0.4 to bias against false
+    /// negatives (Section 4).
+    pub threshold: f64,
+}
+
+impl ModelOptions {
+    /// Laptop-scale options for tests and examples.
+    pub fn quick() -> Self {
+        ModelOptions {
+            pipeline: PipelineConfig::quick(),
+            forest: RandomForestParams {
+                n_estimators: 60,
+                min_samples_leaf: 15,
+                criterion: monitorless_learn::tree::SplitCriterion::Entropy,
+                n_jobs: 4,
+                ..RandomForestParams::default()
+            },
+            threshold: 0.4,
+        }
+    }
+
+    /// The paper's selected configuration: full pipeline, 250 trees,
+    /// 20 samples per leaf, information gain, threshold 0.4.
+    pub fn paper() -> Self {
+        ModelOptions {
+            pipeline: PipelineConfig::paper_default(),
+            forest: RandomForestParams {
+                n_jobs: 8,
+                ..RandomForestParams::paper_selected()
+            },
+            threshold: 0.4,
+        }
+    }
+}
+
+/// A trained monitorless model.
+///
+/// Consumes raw 1040-metric vectors (per instance, per second) and
+/// predicts whether the instance is saturated — no application KPIs are
+/// used at inference time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonitorlessModel {
+    pipeline: FittedPipeline,
+    forest: RandomForest,
+    threshold: f64,
+}
+
+impl MonitorlessModel {
+    /// Trains the model on generated training data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline and learner errors.
+    pub fn train(data: &TrainingData, opts: &ModelOptions) -> Result<Self, Error> {
+        Self::train_with_labels(data, data.dataset.y(), opts)
+    }
+
+    /// Trains the model against alternative per-sample labels (same rows
+    /// as `data.dataset`) — used by the Section 5 scale-in classifier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline and learner errors; [`Error::Invalid`] if the
+    /// labels do not match the dataset length.
+    pub fn train_with_labels(
+        data: &TrainingData,
+        labels: &[u8],
+        opts: &ModelOptions,
+    ) -> Result<Self, Error> {
+        if labels.len() != data.dataset.len() {
+            return Err(Error::Invalid("labels do not match dataset rows".into()));
+        }
+        let pipeline = FeaturePipeline::new(opts.pipeline);
+        let (fitted, x) = pipeline.fit_transform(
+            data.dataset.x(),
+            labels,
+            data.dataset.groups(),
+            data.layout.clone(),
+        )?;
+        let mut forest = RandomForest::new(opts.forest.clone());
+        forest.fit(&x, labels, None)?;
+        Ok(MonitorlessModel {
+            pipeline: fitted,
+            forest,
+            threshold: opts.threshold,
+        })
+    }
+
+    /// The fitted feature pipeline.
+    pub fn pipeline(&self) -> &FittedPipeline {
+        &self.pipeline
+    }
+
+    /// The trained forest.
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+
+    /// The decision threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Overrides the decision threshold (FN/FP trade-off, Section 4).
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold;
+    }
+
+    /// Batch prediction on raw vectors (chronological within groups).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn predict_batch(&self, x_raw: &Matrix, groups: &[u32]) -> Result<Vec<u8>, Error> {
+        let x = self.pipeline.transform_batch(x_raw, groups)?;
+        Ok(self.forest.predict_with_threshold(&x, self.threshold))
+    }
+
+    /// Batch probabilities on raw vectors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn predict_proba_batch(&self, x_raw: &Matrix, groups: &[u32]) -> Result<Vec<f64>, Error> {
+        let x = self.pipeline.transform_batch(x_raw, groups)?;
+        Ok(self.forest.predict_proba(&x))
+    }
+
+    /// Creates a per-instance online transformer sharing this model's
+    /// pipeline.
+    pub fn transformer(self: &Arc<Self>) -> InstanceTransformer {
+        InstanceTransformer::new(Arc::new(self.pipeline.clone()))
+    }
+
+    /// Predicts from an already-transformed feature vector.
+    pub fn predict_features(&self, features: &[f64]) -> (f64, u8) {
+        let m = Matrix::from_rows(&[features]);
+        let p = self.forest.predict_proba(&m)[0];
+        (p, u8::from(p >= self.threshold))
+    }
+
+    /// Feature importances of the trained forest, paired with pipeline
+    /// feature names and sorted descending — the Table 4 ranking.
+    pub fn feature_importances(&self) -> Vec<(String, f64)> {
+        let imp = self.forest.feature_importances();
+        let mut pairs: Vec<(String, f64)> = self
+            .pipeline
+            .feature_names()
+            .iter()
+            .cloned()
+            .zip(imp)
+            .collect();
+        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        pairs
+    }
+
+    /// Persists the model as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or serialization errors.
+    pub fn save(&self, path: &Path) -> Result<(), Error> {
+        let json = serde_json::to_string(self)?;
+        std::fs::write(path, json)?;
+        Ok(())
+    }
+
+    /// Loads a model saved with [`MonitorlessModel::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or deserialization errors.
+    pub fn load(path: &Path) -> Result<Self, Error> {
+        let json = std::fs::read_to_string(path)?;
+        Ok(serde_json::from_str(&json)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{generate_training_data, TrainingOptions};
+
+    fn tiny_data() -> TrainingData {
+        generate_training_data(&TrainingOptions {
+            run_seconds: 30,
+            ramp_seconds: 100,
+            seed: 5,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn train_and_self_predict() {
+        let data = tiny_data();
+        let model = MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap();
+        let pred = model
+            .predict_batch(data.dataset.x(), data.dataset.groups())
+            .unwrap();
+        let f1 = monitorless_learn::metrics::f1_score(data.dataset.y(), &pred);
+        assert!(f1 > 0.8, "training F1 = {f1}");
+        assert!(model.pipeline().output_width() > 0);
+    }
+
+    #[test]
+    fn importances_are_normalized_and_named() {
+        let data = tiny_data();
+        let model = MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap();
+        let imp = model.feature_importances();
+        assert_eq!(imp.len(), model.pipeline().output_width());
+        let total: f64 = imp.iter().map(|(_, v)| v).sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        // Sorted descending.
+        assert!(imp.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let data = tiny_data();
+        let model = MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap();
+        let dir = std::env::temp_dir().join("monitorless_model_test.json");
+        model.save(&dir).unwrap();
+        let back = MonitorlessModel::load(&dir).unwrap();
+        let p1 = model
+            .predict_proba_batch(data.dataset.x(), data.dataset.groups())
+            .unwrap();
+        let p2 = back
+            .predict_proba_batch(data.dataset.x(), data.dataset.groups())
+            .unwrap();
+        assert_eq!(p1, p2);
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn threshold_is_adjustable() {
+        let data = tiny_data();
+        let mut model = MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap();
+        assert_eq!(model.threshold(), 0.4);
+        model.set_threshold(0.9);
+        let strict = model
+            .predict_batch(data.dataset.x(), data.dataset.groups())
+            .unwrap();
+        model.set_threshold(0.1);
+        let lax = model
+            .predict_batch(data.dataset.x(), data.dataset.groups())
+            .unwrap();
+        let count = |v: &[u8]| v.iter().filter(|&&l| l == 1).count();
+        assert!(count(&lax) >= count(&strict));
+    }
+}

@@ -1,0 +1,364 @@
+//! Online inference: the orchestrator of Figure 1.
+//!
+//! The orchestrator receives per-node observations every second, keeps a
+//! rolling feature window per container, predicts saturation per
+//! instance and aggregates instance predictions to application level
+//! with a logical OR (Section 4).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use monitorless_metrics::{InstanceId, Observation};
+use serde::{Deserialize, Serialize};
+
+use crate::features::InstanceTransformer;
+use crate::model::MonitorlessModel;
+use crate::Error;
+
+/// How instance predictions are combined into an application
+/// prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// Any saturated instance saturates the application (the paper's
+    /// choice — right for scaling decisions).
+    #[default]
+    Or,
+    /// All instances must be saturated.
+    And,
+    /// More than half of the instances must be saturated.
+    Majority,
+}
+
+impl Aggregation {
+    /// Combines instance-level boolean predictions.
+    pub fn combine(self, predictions: &[u8]) -> u8 {
+        if predictions.is_empty() {
+            return 0;
+        }
+        let pos = predictions.iter().filter(|&&p| p == 1).count();
+        let result = match self {
+            Aggregation::Or => pos > 0,
+            Aggregation::And => pos == predictions.len(),
+            Aggregation::Majority => 2 * pos > predictions.len(),
+        };
+        u8::from(result)
+    }
+}
+
+/// Per-instance prediction for one second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstancePrediction {
+    /// The instance.
+    pub instance: InstanceId,
+    /// Saturation probability.
+    pub probability: f64,
+    /// Thresholded label.
+    pub saturated: u8,
+}
+
+/// The online orchestrator.
+#[derive(Debug)]
+pub struct Orchestrator {
+    model: Arc<MonitorlessModel>,
+    transformers: HashMap<InstanceId, InstanceTransformer>,
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator around a trained model.
+    pub fn new(model: Arc<MonitorlessModel>) -> Self {
+        Orchestrator {
+            model,
+            transformers: HashMap::new(),
+        }
+    }
+
+    /// The model driving predictions.
+    pub fn model(&self) -> &Arc<MonitorlessModel> {
+        &self.model
+    }
+
+    /// Number of instances currently tracked.
+    pub fn tracked_instances(&self) -> usize {
+        self.transformers.len()
+    }
+
+    /// Ingests one second of observations from all nodes and returns
+    /// per-instance predictions. Rolling windows for instances that
+    /// disappeared (scale-in) are dropped; new instances start cold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-pipeline errors.
+    pub fn step(&mut self, observations: &[Observation]) -> Result<Vec<InstancePrediction>, Error> {
+        let mut live: Vec<InstanceId> = Vec::new();
+        let mut predictions = Vec::new();
+        for obs in observations {
+            for instance in obs.instances() {
+                live.push(instance);
+                let raw = obs
+                    .instance_vector(instance)
+                    .expect("instance listed by the observation");
+                let transformer = self
+                    .transformers
+                    .entry(instance)
+                    .or_insert_with(|| self.model.transformer());
+                let features = transformer.push(&raw)?;
+                let (probability, saturated) = self.model.predict_features(&features);
+                predictions.push(InstancePrediction {
+                    instance,
+                    probability,
+                    saturated,
+                });
+            }
+        }
+        self.transformers.retain(|id, _| live.contains(id));
+        Ok(predictions)
+    }
+
+    /// Aggregates predictions for the given application instances.
+    pub fn application_prediction(
+        predictions: &[InstancePrediction],
+        app_instances: &[InstanceId],
+        aggregation: Aggregation,
+    ) -> u8 {
+        let labels: Vec<u8> = predictions
+            .iter()
+            .filter(|p| app_instances.contains(&p.instance))
+            .map(|p| p.saturated)
+            .collect();
+        aggregation.combine(&labels)
+    }
+}
+
+/// A monitoring-pipeline handle: per-node agents (producer threads) send
+/// observations over a bounded channel; a dedicated orchestrator thread
+/// transforms, predicts and publishes per-second prediction batches —
+/// the deployment shape of the paper's Figure 1, where agents on every
+/// node feed one central orchestrator.
+#[derive(Debug)]
+pub struct StreamingOrchestrator {
+    observation_tx: crossbeam::channel::Sender<Observation>,
+    prediction_rx: crossbeam::channel::Receiver<TickPredictions>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+/// One second's worth of predictions published by the streaming
+/// orchestrator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickPredictions {
+    /// The second these observations belong to.
+    pub time: u64,
+    /// Per-instance predictions across all nodes that reported.
+    pub predictions: Vec<InstancePrediction>,
+}
+
+impl StreamingOrchestrator {
+    /// Spawns the orchestrator thread. `nodes` is the number of agents
+    /// expected to report each second: a tick's predictions are published
+    /// once observations for that second have arrived from every node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn spawn(model: Arc<MonitorlessModel>, nodes: usize) -> Self {
+        assert!(nodes > 0, "at least one node must report");
+        let (observation_tx, observation_rx) =
+            crossbeam::channel::bounded::<Observation>(nodes * 4);
+        let (prediction_tx, prediction_rx) = crossbeam::channel::unbounded();
+        let worker = std::thread::spawn(move || {
+            let mut orchestrator = Orchestrator::new(model);
+            let mut pending: HashMap<u64, Vec<Observation>> = HashMap::new();
+            while let Ok(obs) = observation_rx.recv() {
+                let t = obs.time;
+                let batch = pending.entry(t).or_default();
+                batch.push(obs);
+                if batch.len() == nodes {
+                    let batch = pending.remove(&t).expect("inserted above");
+                    match orchestrator.step(&batch) {
+                        Ok(predictions) => {
+                            if prediction_tx
+                                .send(TickPredictions {
+                                    time: t,
+                                    predictions,
+                                })
+                                .is_err()
+                            {
+                                break; // receiver dropped
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+        });
+        StreamingOrchestrator {
+            observation_tx,
+            prediction_rx,
+            worker: Some(worker),
+        }
+    }
+
+    /// Channel on which node agents submit observations.
+    pub fn observations(&self) -> &crossbeam::channel::Sender<Observation> {
+        &self.observation_tx
+    }
+
+    /// Channel delivering completed prediction ticks.
+    pub fn predictions(&self) -> &crossbeam::channel::Receiver<TickPredictions> {
+        &self.prediction_rx
+    }
+
+    /// Closes the observation channel and joins the worker thread,
+    /// returning any prediction ticks still queued.
+    pub fn shutdown(mut self) -> Vec<TickPredictions> {
+        // Replace (and thereby drop) our sender so the worker drains and
+        // exits, then join it before collecting the queued ticks.
+        let (dead_tx, _) = crossbeam::channel::bounded(1);
+        let _ = std::mem::replace(&mut self.observation_tx, dead_tx);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        let mut rest = Vec::new();
+        while let Ok(tick) = self.prediction_rx.try_recv() {
+            rest.push(tick);
+        }
+        rest
+    }
+}
+
+impl Drop for StreamingOrchestrator {
+    fn drop(&mut self) {
+        // Close our sender so the worker exits once all clones are gone;
+        // the handle is detached rather than joined (C-DTOR-BLOCK) — use
+        // [`StreamingOrchestrator::shutdown`] for a clean teardown.
+        let (dead_tx, _) = crossbeam::channel::bounded(1);
+        let _ = std::mem::replace(&mut self.observation_tx, dead_tx);
+        drop(self.worker.take());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelOptions;
+    use crate::training::{generate_training_data, TrainingOptions};
+    use monitorless_metrics::NodeId;
+    use monitorless_sim::apps::build_single;
+    use monitorless_sim::{Cluster, ContainerLimits, NodeSpec, ServiceProfile};
+
+    fn trained_model() -> Arc<MonitorlessModel> {
+        let data = generate_training_data(&TrainingOptions {
+            run_seconds: 30,
+            ramp_seconds: 100,
+            seed: 7,
+        })
+        .unwrap();
+        Arc::new(MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap())
+    }
+
+    #[test]
+    fn aggregation_rules() {
+        assert_eq!(Aggregation::Or.combine(&[0, 0, 1]), 1);
+        assert_eq!(Aggregation::Or.combine(&[0, 0]), 0);
+        assert_eq!(Aggregation::And.combine(&[1, 1]), 1);
+        assert_eq!(Aggregation::And.combine(&[1, 0]), 0);
+        assert_eq!(Aggregation::Majority.combine(&[1, 1, 0]), 1);
+        assert_eq!(Aggregation::Majority.combine(&[1, 0]), 0);
+        assert_eq!(Aggregation::Or.combine(&[]), 0);
+    }
+
+    #[test]
+    fn orchestrator_tracks_and_forgets_instances() {
+        let model = trained_model();
+        let mut orch = Orchestrator::new(model);
+        let mut cluster = Cluster::new(vec![NodeSpec::training_server()], 9);
+        let (app, _) = build_single(
+            &mut cluster,
+            ServiceProfile::test_cpu_bound("svc", 10.0),
+            ContainerLimits::cpu(1.0),
+            NodeId(0),
+        );
+        let report = cluster.step(&[(app, 10.0)]);
+        let preds = orch.step(&report.observations).unwrap();
+        assert_eq!(preds.len(), 1);
+        assert_eq!(orch.tracked_instances(), 1);
+        assert!((0.0..=1.0).contains(&preds[0].probability));
+        // Scale out: second instance appears next tick.
+        cluster.scale_out(app, "svc", NodeId(0));
+        let report = cluster.step(&[(app, 10.0)]);
+        let preds = orch.step(&report.observations).unwrap();
+        assert_eq!(preds.len(), 2);
+        assert_eq!(orch.tracked_instances(), 2);
+    }
+
+    #[test]
+    fn streaming_orchestrator_collates_nodes_per_tick() {
+        let model = trained_model();
+        // Two nodes, two services.
+        let mut cluster = Cluster::new(vec![NodeSpec::m1(), NodeSpec::m2()], 19);
+        let app = cluster.add_app("dist");
+        for (name, node) in [("front", NodeId(0)), ("back", NodeId(1))] {
+            cluster.add_service(
+                app,
+                monitorless_sim::ServiceRole {
+                    name: name.into(),
+                    profile: ServiceProfile::test_cpu_bound(name, 10.0),
+                    fanout: 1.0,
+                    limits: ContainerLimits::cpu(1.0),
+                },
+                node,
+            );
+        }
+        let streaming = StreamingOrchestrator::spawn(model, 2);
+        for _ in 0..5 {
+            let report = cluster.step(&[(app, 20.0)]);
+            for obs in report.observations {
+                streaming.observations().send(obs).unwrap();
+            }
+        }
+        let mut ticks = Vec::new();
+        for _ in 0..5 {
+            ticks.push(
+                streaming
+                    .predictions()
+                    .recv_timeout(std::time::Duration::from_secs(30))
+                    .unwrap(),
+            );
+        }
+        // Ticks arrive in order with predictions from both nodes.
+        for (i, tick) in ticks.iter().enumerate() {
+            assert_eq!(tick.time, i as u64);
+            assert_eq!(tick.predictions.len(), 2);
+        }
+        let rest = streaming.shutdown();
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn streaming_orchestrator_drop_does_not_block() {
+        let model = trained_model();
+        let streaming = StreamingOrchestrator::spawn(model, 1);
+        drop(streaming); // must return promptly without panicking
+    }
+
+    #[test]
+    fn application_prediction_uses_only_app_instances() {
+        let preds = vec![
+            InstancePrediction {
+                instance: InstanceId(0),
+                probability: 0.9,
+                saturated: 1,
+            },
+            InstancePrediction {
+                instance: InstanceId(1),
+                probability: 0.1,
+                saturated: 0,
+            },
+        ];
+        // Application B contains only the healthy instance.
+        let a = Orchestrator::application_prediction(&preds, &[InstanceId(0)], Aggregation::Or);
+        let b = Orchestrator::application_prediction(&preds, &[InstanceId(1)], Aggregation::Or);
+        assert_eq!(a, 1);
+        assert_eq!(b, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! The Kneedle knee/elbow detector (Satopää et al. 2011), as specialized
+//! by the paper (Section 2.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::savgol::SavitzkyGolay;
+use crate::Error;
+
+/// Parameters for [`detect_knee`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KneedleParams {
+    /// Savitzky-Golay window (odd, ≥ 3).
+    pub smooth_window: usize,
+    /// Savitzky-Golay polynomial degree.
+    pub smooth_degree: usize,
+    /// If true, the curve is assumed concave-down (throughput-like,
+    /// positive concavity in the paper's phrasing). If false the inputs
+    /// are flipped as described in Section 2.2 for the opposite case.
+    pub concave_down: bool,
+    /// Minimum normalized height of the difference curve for a local
+    /// maximum to count as a knee candidate; filters numerical noise on
+    /// (near-)linear curves.
+    pub min_strength: f64,
+}
+
+impl Default for KneedleParams {
+    fn default() -> Self {
+        KneedleParams {
+            smooth_window: 11,
+            smooth_degree: 2,
+            concave_down: true,
+            min_strength: 0.01,
+        }
+    }
+}
+
+/// A detected knee.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Knee {
+    /// Index of the knee in the input series.
+    pub index: usize,
+    /// Workload intensity at the knee (original scale).
+    pub x: f64,
+    /// KPI value at the knee (original scale) — the saturation threshold
+    /// `Υ` of the paper.
+    pub y: f64,
+    /// Height of the difference curve at the knee (normalized units).
+    pub strength: f64,
+    /// All candidate knees (indices of local maxima of the difference
+    /// curve), mirroring the paper's "manually choose the local maximum";
+    /// [`detect_knee`] auto-selects the strongest.
+    pub candidates: Vec<usize>,
+    /// The smoothed KPI curve (original scale), useful for plotting
+    /// (Figure 2's orange curve).
+    pub smoothed: Vec<f64>,
+    /// The difference curve `β_i − α_i` in normalized units (Figure 2's
+    /// green curve).
+    pub difference: Vec<f64>,
+}
+
+/// Normalizes a series to `[0, 1]`; constant series map to all-zeros.
+pub fn normalize_unit(v: &[f64]) -> Vec<f64> {
+    let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let range = max - min;
+    v.iter()
+        .map(|&x| if range > 0.0 { (x - min) / range } else { 0.0 })
+        .collect()
+}
+
+/// Detects the knee of the discrete function `f(x_i) = y_i`.
+///
+/// Implements the paper's four labeling steps: Savitzky-Golay smoothing,
+/// unit-square normalization, difference curve, local-maximum selection.
+/// The strongest local maximum is returned; all candidates are listed in
+/// [`Knee::candidates`] for the "visual sanity check" the paper
+/// recommends.
+///
+/// # Errors
+///
+/// Returns [`Error::LengthMismatch`] when `x` and `y` differ in length,
+/// [`Error::TooShort`] when the series is shorter than the smoothing
+/// window, and [`Error::NoKnee`] when the difference curve has no local
+/// maximum (e.g. a perfectly linear KPI).
+pub fn detect_knee(x: &[f64], y: &[f64], params: &KneedleParams) -> Result<Knee, Error> {
+    if x.len() != y.len() {
+        return Err(Error::LengthMismatch);
+    }
+    let sg = SavitzkyGolay::new(params.smooth_window, params.smooth_degree)?;
+    let smoothed = sg.smooth(y)?;
+
+    // Flip for curves with the opposite concavity (Section 2.2).
+    let (xs, ys): (Vec<f64>, Vec<f64>) = if params.concave_down {
+        (x.to_vec(), smoothed.clone())
+    } else {
+        let xmax = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let ymax = smoothed.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        (
+            x.iter().map(|&v| xmax - v).collect(),
+            smoothed.iter().map(|&v| ymax - v).collect(),
+        )
+    };
+
+    let xn = normalize_unit(&xs);
+    let yn = normalize_unit(&ys);
+    let difference: Vec<f64> = yn.iter().zip(&xn).map(|(b, a)| b - a).collect();
+
+    // Local maxima of the difference curve (strictly greater than the
+    // previous point, at least as great as the next).
+    let mut candidates = Vec::new();
+    for i in 1..difference.len() - 1 {
+        if difference[i] > difference[i - 1]
+            && difference[i] >= difference[i + 1]
+            && difference[i] >= params.min_strength
+        {
+            candidates.push(i);
+        }
+    }
+    let &best = candidates
+        .iter()
+        .max_by(|&&a, &&b| {
+            difference[a]
+                .partial_cmp(&difference[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .ok_or(Error::NoKnee)?;
+
+    Ok(Knee {
+        index: best,
+        x: x[best],
+        y: smoothed[best],
+        strength: difference[best],
+        candidates,
+        smoothed,
+        difference,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn saturating_curve(n: usize, knee_at: f64, cap: f64) -> (Vec<f64>, Vec<f64>) {
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        // Smooth saturating curve: y = cap * (1 - exp(-x/knee)).
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| cap * (1.0 - (-v / knee_at).exp()))
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn knee_of_piecewise_linear() {
+        let x: Vec<f64> = (0..120).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| v.min(60.0)).collect();
+        let knee = detect_knee(&x, &y, &KneedleParams::default()).unwrap();
+        assert!((knee.x - 60.0).abs() < 5.0, "knee at {}", knee.x);
+        assert!((knee.y - 60.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn knee_of_exponential_saturation() {
+        let (x, y) = saturating_curve(200, 40.0, 1000.0);
+        let knee = detect_knee(&x, &y, &KneedleParams::default()).unwrap();
+        // The Kneedle knee of 1-exp(-x/τ) lands within a couple of τ.
+        assert!(knee.x > 20.0 && knee.x < 120.0, "knee at {}", knee.x);
+        assert!(knee.strength > 0.1);
+    }
+
+    #[test]
+    fn noisy_curve_still_finds_knee() {
+        let (x, mut y) = saturating_curve(300, 50.0, 700.0);
+        for (i, v) in y.iter_mut().enumerate() {
+            *v += 30.0 * (((i * 2654435761) % 100) as f64 / 100.0 - 0.5);
+        }
+        let knee = detect_knee(&x, &y, &KneedleParams::default()).unwrap();
+        assert!(knee.x > 20.0 && knee.x < 160.0, "knee at {}", knee.x);
+    }
+
+    #[test]
+    fn linear_curve_has_no_knee() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y = x.clone();
+        let res = detect_knee(&x, &y, &KneedleParams::default());
+        assert!(matches!(res, Err(Error::NoKnee)));
+    }
+
+    #[test]
+    fn concave_up_curves_are_flipped() {
+        // Response-time-like hockey stick: flat then rising steeply.
+        let x: Vec<f64> = (0..120).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|&v| if v < 80.0 { 10.0 } else { 10.0 + (v - 80.0).powi(2) })
+            .collect();
+        let params = KneedleParams {
+            concave_down: false,
+            ..KneedleParams::default()
+        };
+        let knee = detect_knee(&x, &y, &params).unwrap();
+        assert!(knee.x > 60.0 && knee.x < 115.0, "knee at {}", knee.x);
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(matches!(
+            detect_knee(&[1.0], &[1.0, 2.0], &KneedleParams::default()),
+            Err(Error::LengthMismatch)
+        ));
+    }
+
+    #[test]
+    fn candidates_include_best() {
+        let (x, y) = saturating_curve(150, 30.0, 500.0);
+        let knee = detect_knee(&x, &y, &KneedleParams::default()).unwrap();
+        assert!(knee.candidates.contains(&knee.index));
+        assert_eq!(knee.smoothed.len(), 150);
+        assert_eq!(knee.difference.len(), 150);
+    }
+
+    #[test]
+    fn normalize_unit_handles_constant() {
+        assert_eq!(normalize_unit(&[5.0, 5.0]), vec![0.0, 0.0]);
+        assert_eq!(normalize_unit(&[0.0, 10.0]), vec![0.0, 1.0]);
+    }
+}

@@ -1,0 +1,263 @@
+//! Savitzky-Golay smoothing (Savitzky & Golay 1964).
+//!
+//! A window of `2m+1` points is fit with a least-squares polynomial; the
+//! smoothed value is the polynomial evaluated at the window position.
+//! Coefficients are computed exactly by solving the small normal-equation
+//! system with Gaussian elimination — no external linear algebra.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Error;
+
+/// A configured Savitzky-Golay filter.
+///
+/// ```
+/// use monitorless_label::SavitzkyGolay;
+///
+/// # fn main() -> Result<(), monitorless_label::Error> {
+/// let sg = SavitzkyGolay::new(7, 2)?;
+/// // A quadratic is reproduced exactly by a degree-2 fit.
+/// let y: Vec<f64> = (0..30).map(|i| (i * i) as f64).collect();
+/// let s = sg.smooth(&y)?;
+/// for (a, b) in y.iter().zip(&s) {
+///     assert!((a - b).abs() < 1e-6);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavitzkyGolay {
+    window: usize,
+    degree: usize,
+}
+
+impl SavitzkyGolay {
+    /// Creates a filter with the given odd `window` length and polynomial
+    /// `degree`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the window is even, smaller
+    /// than 3, or not larger than the degree.
+    pub fn new(window: usize, degree: usize) -> Result<Self, Error> {
+        if window < 3 || window.is_multiple_of(2) {
+            return Err(Error::InvalidParameter(
+                "window must be odd and at least 3".into(),
+            ));
+        }
+        if degree + 1 >= window {
+            return Err(Error::InvalidParameter(
+                "degree must be smaller than window - 1".into(),
+            ));
+        }
+        Ok(SavitzkyGolay { window, degree })
+    }
+
+    /// The window length.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The polynomial degree.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Smooths `y`, returning a series of the same length.
+    ///
+    /// Boundary points are handled by fitting the first/last full window
+    /// and evaluating the polynomial off-center (the standard approach).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TooShort`] if `y` is shorter than the window.
+    #[allow(clippy::needless_range_loop)]
+    pub fn smooth(&self, y: &[f64]) -> Result<Vec<f64>, Error> {
+        if y.len() < self.window {
+            return Err(Error::TooShort {
+                needed: self.window,
+                got: y.len(),
+            });
+        }
+        let m = self.window / 2;
+        let n = y.len();
+        let mut out = vec![0.0; n];
+
+        // Central weights (evaluation at x = 0).
+        let center = self.weights_for(0)?;
+        for i in m..n - m {
+            out[i] = convolve(&y[i - m..=i + m], &center);
+        }
+        // Left edge: window [0, 2m], evaluate at x = i - m.
+        for i in 0..m {
+            let w = self.weights_for(i as isize - m as isize)?;
+            out[i] = convolve(&y[0..self.window], &w);
+        }
+        // Right edge: window [n-2m-1, n-1], evaluate at x = i - (n-1-m).
+        for i in n - m..n {
+            let x = i as isize - (n - 1 - m) as isize;
+            let w = self.weights_for(x)?;
+            out[i] = convolve(&y[n - self.window..n], &w);
+        }
+        Ok(out)
+    }
+
+    /// Convolution weights that evaluate the least-squares polynomial of
+    /// the window at offset `x` (in samples from the window center).
+    fn weights_for(&self, x: isize) -> Result<Vec<f64>, Error> {
+        let m = self.window as isize / 2;
+        let p = self.degree + 1;
+        // Normal matrix JᵀJ with J[i][j] = i^j for i in -m..=m.
+        let mut jtj = vec![vec![0.0; p]; p];
+        for i in -m..=m {
+            let fi = i as f64;
+            let mut powers = vec![1.0; 2 * p - 1];
+            for k in 1..2 * p - 1 {
+                powers[k] = powers[k - 1] * fi;
+            }
+            for (r, row) in jtj.iter_mut().enumerate() {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v += powers[r + c];
+                }
+            }
+        }
+        // Solve JᵀJ · a_k = (x^0, …)ᵀ-projected basis columns; we need
+        // w_i = Σ_j x^j · [(JᵀJ)⁻¹ Jᵀ]_{j,i}. Compute u = (JᵀJ)⁻¹ xvec,
+        // then w_i = Σ_j u_j i^j.
+        let xvec: Vec<f64> = (0..p).map(|j| (x as f64).powi(j as i32)).collect();
+        let u = solve(jtj, xvec)?;
+        let mut w = Vec::with_capacity(self.window);
+        for i in -m..=m {
+            let fi = i as f64;
+            let mut acc = 0.0;
+            let mut pow = 1.0;
+            for &uj in &u {
+                acc += uj * pow;
+                pow *= fi;
+            }
+            w.push(acc);
+        }
+        Ok(w)
+    }
+}
+
+fn convolve(window: &[f64], weights: &[f64]) -> f64 {
+    window.iter().zip(weights).map(|(a, b)| a * b).sum()
+}
+
+/// Gaussian elimination with partial pivoting for the small SG system.
+#[allow(clippy::needless_range_loop)]
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, Error> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&r1, &r2| {
+                a[r1][col]
+                    .abs()
+                    .partial_cmp(&a[r2][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("nonempty range");
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(Error::InvalidParameter(
+                "singular normal matrix in savitzky-golay fit".into(),
+            ));
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(SavitzkyGolay::new(4, 2).is_err());
+        assert!(SavitzkyGolay::new(1, 0).is_err());
+        assert!(SavitzkyGolay::new(5, 4).is_err());
+        assert!(SavitzkyGolay::new(5, 2).is_ok());
+    }
+
+    #[test]
+    fn too_short_series_rejected() {
+        let sg = SavitzkyGolay::new(7, 2).unwrap();
+        assert!(matches!(
+            sg.smooth(&[1.0, 2.0]),
+            Err(Error::TooShort { needed: 7, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn preserves_linear_series_exactly() {
+        let sg = SavitzkyGolay::new(9, 2).unwrap();
+        let y: Vec<f64> = (0..50).map(|i| 3.0 * i as f64 + 2.0).collect();
+        let s = sg.smooth(&y).unwrap();
+        for (a, b) in y.iter().zip(&s) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn preserves_cubic_with_degree_three() {
+        let sg = SavitzkyGolay::new(11, 3).unwrap();
+        let y: Vec<f64> = (0..40)
+            .map(|i| {
+                let x = i as f64 * 0.1;
+                x * x * x - 2.0 * x
+            })
+            .collect();
+        let s = sg.smooth(&y).unwrap();
+        for (a, b) in y.iter().zip(&s) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn reduces_noise_variance() {
+        let sg = SavitzkyGolay::new(11, 2).unwrap();
+        // Deterministic pseudo-noise around a sine.
+        let y: Vec<f64> = (0..200)
+            .map(|i| {
+                let t = i as f64 * 0.05;
+                t.sin() + 0.3 * ((i * 2654435761u64 as usize) % 100) as f64 / 100.0
+            })
+            .collect();
+        let s = sg.smooth(&y).unwrap();
+        let rough = |v: &[f64]| -> f64 {
+            v.windows(2).map(|w| (w[1] - w[0]).powi(2)).sum::<f64>()
+        };
+        assert!(rough(&s) < rough(&y) * 0.5);
+    }
+
+    #[test]
+    fn center_weights_sum_to_one() {
+        let sg = SavitzkyGolay::new(9, 3).unwrap();
+        let w = sg.weights_for(0).unwrap();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn output_length_matches_input() {
+        let sg = SavitzkyGolay::new(5, 2).unwrap();
+        let y: Vec<f64> = (0..13).map(|i| i as f64).collect();
+        assert_eq!(sg.smooth(&y).unwrap().len(), 13);
+    }
+}

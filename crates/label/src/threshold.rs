@@ -1,0 +1,144 @@
+//! Saturation-threshold labeling (`P̃_A` in the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::kneedle::{detect_knee, KneedleParams};
+use crate::Error;
+
+/// Which side of the threshold means "saturated".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SaturationDirection {
+    /// KPI values *above* the threshold are saturated (throughput-like:
+    /// past the knee the service is at capacity).
+    Above,
+    /// KPI values *below* the threshold are saturated (e.g. goodput
+    /// collapse or availability KPIs).
+    Below,
+}
+
+/// A calibrated saturation threshold `Υ` for one application.
+///
+/// ```
+/// use monitorless_label::{SaturationThreshold, SaturationDirection};
+///
+/// let t = SaturationThreshold::new(700.0, SaturationDirection::Above);
+/// assert_eq!(t.label(650.0), 0);
+/// assert_eq!(t.label(710.0), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SaturationThreshold {
+    upsilon: f64,
+    direction: SaturationDirection,
+}
+
+impl SaturationThreshold {
+    /// Creates a threshold directly from a known `Υ`.
+    pub fn new(upsilon: f64, direction: SaturationDirection) -> Self {
+        SaturationThreshold { upsilon, direction }
+    }
+
+    /// Calibrates `Υ` from a linearly increasing load test: detects the
+    /// knee of `(workload, kpi)` and uses the KPI at the knee
+    /// (paper Section 2.2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates knee-detection errors.
+    pub fn calibrate(
+        workload: &[f64],
+        kpi: &[f64],
+        params: &KneedleParams,
+        direction: SaturationDirection,
+    ) -> Result<Self, Error> {
+        let knee = detect_knee(workload, kpi, params)?;
+        Ok(SaturationThreshold {
+            upsilon: knee.y,
+            direction,
+        })
+    }
+
+    /// The threshold value `Υ`.
+    pub fn upsilon(&self) -> f64 {
+        self.upsilon
+    }
+
+    /// The saturation direction.
+    pub fn direction(&self) -> SaturationDirection {
+        self.direction
+    }
+
+    /// Labels one KPI observation: 1 = saturated, 0 = not saturated.
+    ///
+    /// Matches the paper's `P̃_A(t)`: 0 iff `P_A(t) ≤ Υ` for
+    /// [`SaturationDirection::Above`].
+    pub fn label(&self, kpi: f64) -> u8 {
+        match self.direction {
+            SaturationDirection::Above => u8::from(kpi > self.upsilon),
+            SaturationDirection::Below => u8::from(kpi < self.upsilon),
+        }
+    }
+}
+
+/// Labels a whole KPI series.
+pub fn label_series(kpi: &[f64], threshold: &SaturationThreshold) -> Vec<u8> {
+    kpi.iter().map(|&v| threshold.label(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn above_direction_labels_high_values() {
+        let t = SaturationThreshold::new(100.0, SaturationDirection::Above);
+        assert_eq!(t.label(100.0), 0, "boundary is not saturated");
+        assert_eq!(t.label(100.1), 1);
+        assert_eq!(t.label(0.0), 0);
+    }
+
+    #[test]
+    fn below_direction_labels_low_values() {
+        let t = SaturationThreshold::new(10.0, SaturationDirection::Below);
+        assert_eq!(t.label(5.0), 1);
+        assert_eq!(t.label(10.0), 0);
+        assert_eq!(t.label(15.0), 0);
+    }
+
+    #[test]
+    fn calibrate_from_ramp() {
+        // Throughput saturates at 60: the calibrated threshold should be
+        // near 60 and label the flat region as saturated.
+        let workload: Vec<f64> = (0..150).map(|i| i as f64).collect();
+        let kpi: Vec<f64> = workload.iter().map(|&v| v.min(60.0)).collect();
+        let t = SaturationThreshold::calibrate(
+            &workload,
+            &kpi,
+            &KneedleParams::default(),
+            SaturationDirection::Above,
+        )
+        .unwrap();
+        assert!((t.upsilon() - 60.0).abs() < 6.0, "upsilon = {}", t.upsilon());
+        let labels = label_series(&kpi, &t);
+        assert_eq!(labels[10], 0);
+        // Points just below the cap but above the knee's smoothed value
+        // may or may not be labeled; far past the knee the cap value is
+        // only saturated if upsilon sits strictly below it.
+        let saturated: usize = labels.iter().map(|&l| l as usize).sum();
+        let expected_saturated = kpi.iter().filter(|&&v| v > t.upsilon()).count();
+        assert_eq!(saturated, expected_saturated);
+    }
+
+    #[test]
+    fn series_labeling_matches_pointwise() {
+        let t = SaturationThreshold::new(5.0, SaturationDirection::Above);
+        assert_eq!(label_series(&[1.0, 6.0, 5.0], &t), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn threshold_serializes() {
+        let t = SaturationThreshold::new(42.0, SaturationDirection::Above);
+        let back: SaturationThreshold =
+            serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for labeling invariants.
+
+use monitorless_label::kneedle::{detect_knee, normalize_unit, KneedleParams};
+use monitorless_label::{label_series, SaturationDirection, SaturationThreshold, SavitzkyGolay};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn normalize_unit_is_bounded_and_monotone(
+        v in proptest::collection::vec(-1e9_f64..1e9, 2..50),
+    ) {
+        let n = normalize_unit(&v);
+        for x in &n {
+            prop_assert!((0.0..=1.0).contains(x));
+        }
+        for i in 0..v.len() {
+            for j in 0..v.len() {
+                if v[i] < v[j] {
+                    prop_assert!(n[i] <= n[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn savgol_reproduces_polynomials_up_to_degree(
+        a in -5.0_f64..5.0,
+        b in -5.0_f64..5.0,
+        c in -0.5_f64..0.5,
+    ) {
+        let sg = SavitzkyGolay::new(9, 2).unwrap();
+        let y: Vec<f64> = (0..40)
+            .map(|i| {
+                let x = i as f64;
+                a + b * x + c * x * x
+            })
+            .collect();
+        let s = sg.smooth(&y).unwrap();
+        for (orig, sm) in y.iter().zip(&s) {
+            prop_assert!((orig - sm).abs() < 1e-6 * (1.0 + orig.abs()));
+        }
+    }
+
+    #[test]
+    fn savgol_preserves_length_and_mean_roughly(
+        y in proptest::collection::vec(0.0_f64..1000.0, 15..80),
+    ) {
+        let sg = SavitzkyGolay::new(7, 2).unwrap();
+        let s = sg.smooth(&y).unwrap();
+        prop_assert_eq!(s.len(), y.len());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        // Smoothing is a local least-squares fit: the mean stays close.
+        prop_assert!((mean(&s) - mean(&y)).abs() < 0.25 * (mean(&y).abs() + 1.0));
+    }
+
+    #[test]
+    fn threshold_labels_are_monotone_in_kpi(
+        upsilon in 1.0_f64..1000.0,
+        kpis in proptest::collection::vec(0.0_f64..2000.0, 1..50),
+    ) {
+        let t = SaturationThreshold::new(upsilon, SaturationDirection::Above);
+        let labels = label_series(&kpis, &t);
+        for (kpi, label) in kpis.iter().zip(&labels) {
+            prop_assert_eq!(*label, u8::from(*kpi > upsilon));
+        }
+    }
+
+    #[test]
+    fn knee_of_capped_linear_curve_is_near_the_cap(
+        cap in 20.0_f64..80.0,
+    ) {
+        let x: Vec<f64> = (0..120).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|&v| v.min(cap)).collect();
+        let knee = detect_knee(&x, &y, &KneedleParams::default()).unwrap();
+        prop_assert!((knee.x - cap).abs() < 8.0, "knee at {} for cap {cap}", knee.x);
+    }
+}

@@ -1,0 +1,254 @@
+//! Labeled dataset container used throughout the pipeline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Matrix};
+
+/// A labeled dataset: feature matrix, binary labels, feature names and
+/// group ids.
+///
+/// The group id records which *training configuration* (Table 1 row) each
+/// sample came from, so cross-validation can partition by configuration
+/// instead of by sample — the paper's 5-fold scheme uses 20 sets for
+/// training and 5 sets for validation per fold.
+///
+/// ```
+/// use monitorless_learn::{Dataset, Matrix};
+///
+/// let ds = Dataset::new(
+///     Matrix::from_rows(&[&[1.0], &[2.0]]),
+///     vec![0, 1],
+///     vec!["cpu.util".into()],
+///     vec![0, 0],
+/// ).unwrap();
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.positive_fraction(), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    x: Matrix,
+    y: Vec<u8>,
+    feature_names: Vec<String>,
+    groups: Vec<u32>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that all components agree in shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if labels or groups do not match
+    /// the number of rows, or feature names the number of columns, and
+    /// [`Error::InvalidLabels`] if any label is not 0/1.
+    pub fn new(
+        x: Matrix,
+        y: Vec<u8>,
+        feature_names: Vec<String>,
+        groups: Vec<u32>,
+    ) -> Result<Self, Error> {
+        if y.len() != x.rows() {
+            return Err(Error::DimensionMismatch {
+                expected: x.rows(),
+                got: y.len(),
+            });
+        }
+        if groups.len() != x.rows() {
+            return Err(Error::DimensionMismatch {
+                expected: x.rows(),
+                got: groups.len(),
+            });
+        }
+        if feature_names.len() != x.cols() {
+            return Err(Error::DimensionMismatch {
+                expected: x.cols(),
+                got: feature_names.len(),
+            });
+        }
+        if y.iter().any(|&l| l > 1) {
+            return Err(Error::InvalidLabels);
+        }
+        Ok(Dataset {
+            x,
+            y,
+            feature_names,
+            groups,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Whether the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// The feature matrix.
+    pub fn x(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// The binary labels.
+    pub fn y(&self) -> &[u8] {
+        &self.y
+    }
+
+    /// The feature names (one per column).
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// The group id of each sample.
+    pub fn groups(&self) -> &[u32] {
+        &self.groups
+    }
+
+    /// Fraction of positive (saturated) samples; 0.0 when empty.
+    ///
+    /// The paper reports 26% saturated samples in the combined training set.
+    pub fn positive_fraction(&self) -> f64 {
+        if self.y.is_empty() {
+            return 0.0;
+        }
+        self.y.iter().filter(|&&l| l == 1).count() as f64 / self.y.len() as f64
+    }
+
+    /// Sorted list of distinct group ids.
+    pub fn distinct_groups(&self) -> Vec<u32> {
+        let mut g: Vec<u32> = self.groups.clone();
+        g.sort_unstable();
+        g.dedup();
+        g
+    }
+
+    /// Returns a new dataset with only the rows at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_rows(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+            feature_names: self.feature_names.clone(),
+            groups: indices.iter().map(|&i| self.groups[i]).collect(),
+        }
+    }
+
+    /// Returns a new dataset keeping only the feature columns at `indices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_features(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.select_columns(indices),
+            y: self.y.clone(),
+            feature_names: indices
+                .iter()
+                .map(|&i| self.feature_names[i].clone())
+                .collect(),
+            groups: self.groups.clone(),
+        }
+    }
+
+    /// Concatenates two datasets with identical feature sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] if the feature counts differ.
+    pub fn concat(&self, other: &Dataset) -> Result<Dataset, Error> {
+        if self.n_features() != other.n_features() {
+            return Err(Error::DimensionMismatch {
+                expected: self.n_features(),
+                got: other.n_features(),
+            });
+        }
+        let mut y = self.y.clone();
+        y.extend_from_slice(&other.y);
+        let mut groups = self.groups.clone();
+        groups.extend_from_slice(&other.groups);
+        Ok(Dataset {
+            x: self.x.vstack(&other.x),
+            y,
+            feature_names: self.feature_names.clone(),
+            groups,
+        })
+    }
+
+    /// Decomposes the dataset into `(x, y, feature_names, groups)`.
+    pub fn into_parts(self) -> (Matrix, Vec<u8>, Vec<String>, Vec<u32>) {
+        (self.x, self.y, self.feature_names, self.groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            Matrix::from_rows(&[&[1.0, 9.0], &[2.0, 8.0], &[3.0, 7.0], &[4.0, 6.0]]),
+            vec![0, 0, 1, 1],
+            vec!["a".into(), "b".into()],
+            vec![0, 0, 1, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_shapes() {
+        let x = Matrix::zeros(2, 1);
+        assert!(Dataset::new(x.clone(), vec![0], vec!["f".into()], vec![0, 0]).is_err());
+        assert!(Dataset::new(x.clone(), vec![0, 1], vec![], vec![0, 0]).is_err());
+        assert!(Dataset::new(x.clone(), vec![0, 1], vec!["f".into()], vec![0]).is_err());
+        assert!(Dataset::new(x, vec![0, 2], vec!["f".into()], vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn positive_fraction_counts_ones() {
+        assert_eq!(toy().positive_fraction(), 0.5);
+    }
+
+    #[test]
+    fn subset_keeps_alignment() {
+        let s = toy().subset(&[2, 0]);
+        assert_eq!(s.y(), &[1, 0]);
+        assert_eq!(s.groups(), &[1, 0]);
+        assert_eq!(s.x().get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn select_features_renames() {
+        let s = toy().select_features(&[1]);
+        assert_eq!(s.feature_names(), &["b".to_string()]);
+        assert_eq!(s.x().column(0), vec![9.0, 8.0, 7.0, 6.0]);
+    }
+
+    #[test]
+    fn concat_appends_rows() {
+        let d = toy();
+        let joined = d.concat(&d).unwrap();
+        assert_eq!(joined.len(), 8);
+        assert_eq!(joined.n_features(), 2);
+    }
+
+    #[test]
+    fn concat_rejects_mismatch() {
+        let d = toy();
+        let narrow = d.select_features(&[0]);
+        assert!(d.concat(&narrow).is_err());
+    }
+
+    #[test]
+    fn distinct_groups_sorted() {
+        assert_eq!(toy().distinct_groups(), vec![0, 1]);
+    }
+}

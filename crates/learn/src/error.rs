@@ -1,0 +1,74 @@
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The input matrix had zero rows or zero columns.
+    EmptyInput,
+    /// Two inputs that must agree in length/shape did not.
+    DimensionMismatch {
+        /// The length the API expected.
+        expected: usize,
+        /// The length it received.
+        got: usize,
+    },
+    /// Labels were not binary 0/1, or only one class was present.
+    InvalidLabels,
+    /// A hyper-parameter was out of its valid range.
+    InvalidParameter(String),
+    /// The model was used before `fit` succeeded.
+    NotFitted,
+    /// A numerical routine failed to converge.
+    NoConvergence(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyInput => write!(f, "input matrix is empty"),
+            Error::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            Error::InvalidLabels => {
+                write!(f, "labels must be binary 0/1 and contain both classes")
+            }
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::NotFitted => write!(f, "model has not been fitted"),
+            Error::NoConvergence(msg) => write!(f, "no convergence: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            Error::EmptyInput,
+            Error::DimensionMismatch {
+                expected: 3,
+                got: 2,
+            },
+            Error::InvalidLabels,
+            Error::InvalidParameter("C must be positive".into()),
+            Error::NotFitted,
+            Error::NoConvergence("jacobi sweep limit".into()),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

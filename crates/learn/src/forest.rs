@@ -1,0 +1,476 @@
+//! Random-forest classifier (Breiman 2001).
+//!
+//! This is the algorithm the paper ultimately selects for *monitorless*
+//! (Table 3: F1₂ = 0.997): 250 trees, `min_samples_leaf` around 20,
+//! information-gain splitting and no class weighting, with the decision
+//! threshold later lowered to 0.4 to favour recall (Section 4).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::tree::{DecisionTree, DecisionTreeParams, MaxFeatures, SplitCriterion, Splitter};
+use crate::{validate_fit_input, Classifier, Error, Matrix};
+
+/// Class weighting schemes from the Table 2 grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ClassWeight {
+    /// No reweighting (the value the grid search selected).
+    #[default]
+    None,
+    /// Weights inversely proportional to class frequencies in the full
+    /// training set.
+    Balanced,
+    /// Like `Balanced`, but computed per bootstrap sample.
+    BalancedSubsample,
+}
+
+/// Hyper-parameters for [`RandomForest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestParams {
+    /// Number of trees.
+    pub n_estimators: usize,
+    /// Split criterion for every tree.
+    pub criterion: SplitCriterion,
+    /// Maximum depth per tree (`None` = unbounded).
+    pub max_depth: Option<usize>,
+    /// Minimum samples to split a node.
+    pub min_samples_split: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Features considered per split (defaults to `sqrt`).
+    pub max_features: MaxFeatures,
+    /// Whether to draw bootstrap samples.
+    pub bootstrap: bool,
+    /// Class weighting scheme.
+    pub class_weight: ClassWeight,
+    /// Number of worker threads for training (1 = sequential).
+    pub n_jobs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomForestParams {
+    fn default() -> Self {
+        RandomForestParams {
+            n_estimators: 100,
+            criterion: SplitCriterion::Gini,
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::Sqrt,
+            bootstrap: true,
+            class_weight: ClassWeight::None,
+            n_jobs: 1,
+            seed: 0,
+        }
+    }
+}
+
+impl RandomForestParams {
+    /// The configuration the paper's grid search selected (Section 3.4):
+    /// 250 trees, 20 samples per leaf, information gain, no class weights.
+    pub fn paper_selected() -> Self {
+        RandomForestParams {
+            n_estimators: 250,
+            criterion: SplitCriterion::Entropy,
+            min_samples_leaf: 20,
+            min_samples_split: 2,
+            class_weight: ClassWeight::None,
+            ..RandomForestParams::default()
+        }
+    }
+}
+
+/// Random-forest binary classifier with impurity feature importances.
+///
+/// ```
+/// use monitorless_learn::prelude::*;
+///
+/// # fn main() -> Result<(), monitorless_learn::Error> {
+/// let x = Matrix::from_rows(&[
+///     &[0.0, 1.0], &[0.1, 0.9], &[0.2, 1.1], &[0.9, 1.0], &[1.0, 0.9], &[1.1, 1.1],
+/// ]);
+/// let y = vec![0, 0, 0, 1, 1, 1];
+/// let mut rf = RandomForest::new(RandomForestParams {
+///     n_estimators: 25,
+///     ..RandomForestParams::default()
+/// });
+/// rf.fit(&x, &y, None)?;
+/// assert_eq!(rf.predict(&x), y);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    params: RandomForestParams,
+    trees: Vec<DecisionTree>,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Creates an unfitted forest with the given hyper-parameters.
+    pub fn new(params: RandomForestParams) -> Self {
+        RandomForest {
+            params,
+            trees: Vec::new(),
+            n_features: 0,
+        }
+    }
+
+    /// The hyper-parameters this forest was configured with.
+    pub fn params(&self) -> &RandomForestParams {
+        &self.params
+    }
+
+    /// Whether `fit` has completed successfully.
+    pub fn is_fitted(&self) -> bool {
+        !self.trees.is_empty()
+    }
+
+    /// The fitted trees (empty before fitting).
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Mean impurity-decrease feature importances across trees,
+    /// normalized to sum to 1.
+    ///
+    /// Used to reproduce the Table 4 top-30 feature ranking and the
+    /// Section 3.3.4 filtering step (union of per-dataset top-30 lists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest is unfitted.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        assert!(self.is_fitted(), "forest must be fitted");
+        let mut acc = vec![0.0; self.n_features];
+        for tree in &self.trees {
+            for (a, &i) in acc.iter_mut().zip(tree.feature_importances()) {
+                *a += i;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in &mut acc {
+                *a /= total;
+            }
+        }
+        acc
+    }
+
+    /// Indices of the `k` most important features, descending by
+    /// importance (ties broken by index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest is unfitted.
+    pub fn top_features(&self, k: usize) -> Vec<usize> {
+        let imp = self.feature_importances();
+        let mut idx: Vec<usize> = (0..imp.len()).collect();
+        idx.sort_by(|&a, &b| {
+            imp[b]
+                .partial_cmp(&imp[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    fn class_weights_for(y: &[u8], indices: &[usize]) -> (f64, f64) {
+        let n = indices.len() as f64;
+        let n1 = indices.iter().filter(|&&i| y[i] == 1).count() as f64;
+        let n0 = n - n1;
+        // sklearn "balanced": n_samples / (n_classes * bincount).
+        let w0 = if n0 > 0.0 { n / (2.0 * n0) } else { 0.0 };
+        let w1 = if n1 > 0.0 { n / (2.0 * n1) } else { 0.0 };
+        (w0, w1)
+    }
+
+    fn train_one(
+        &self,
+        x: &Matrix,
+        y: &[u8],
+        base_weight: &[f64],
+        global_cw: (f64, f64),
+        tree_idx: usize,
+    ) -> DecisionTree {
+        let mut rng = StdRng::seed_from_u64(
+            self.params
+                .seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(tree_idx as u64),
+        );
+        let n = x.rows();
+        let indices: Vec<usize> = if self.params.bootstrap {
+            (0..n).map(|_| rng.gen_range(0..n)).collect()
+        } else {
+            (0..n).collect()
+        };
+
+        let cw = match self.params.class_weight {
+            ClassWeight::None => (1.0, 1.0),
+            ClassWeight::Balanced => global_cw,
+            ClassWeight::BalancedSubsample => Self::class_weights_for(y, &indices),
+        };
+
+        let xb = x.select_rows(&indices);
+        let yb: Vec<u8> = indices.iter().map(|&i| y[i]).collect();
+        let wb: Vec<f64> = indices
+            .iter()
+            .map(|&i| base_weight[i] * if y[i] == 1 { cw.1 } else { cw.0 })
+            .collect();
+
+        let mut tree = DecisionTree::new(DecisionTreeParams {
+            criterion: self.params.criterion,
+            splitter: Splitter::Best,
+            max_depth: self.params.max_depth,
+            min_samples_split: self.params.min_samples_split,
+            min_samples_leaf: self.params.min_samples_leaf,
+            max_features: self.params.max_features,
+            seed: rng.gen(),
+        });
+        // A bootstrap sample may contain a single class; fall back to a
+        // stump trained on the full data in that unlikely case.
+        if tree.fit(&xb, &yb, Some(&wb)).is_err() {
+            let mut fallback = DecisionTree::new(DecisionTreeParams {
+                max_depth: Some(1),
+                ..DecisionTreeParams::default()
+            });
+            fallback
+                .fit(x, y, Some(base_weight))
+                .expect("full training data was validated in fit");
+            return fallback;
+        }
+        tree
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[u8], sample_weight: Option<&[f64]>) -> Result<(), Error> {
+        validate_fit_input(x, y, sample_weight)?;
+        if self.params.n_estimators == 0 {
+            return Err(Error::InvalidParameter(
+                "n_estimators must be at least 1".into(),
+            ));
+        }
+        self.n_features = x.cols();
+        let base_weight: Vec<f64> = match sample_weight {
+            Some(w) => w.to_vec(),
+            None => vec![1.0; x.rows()],
+        };
+        let all: Vec<usize> = (0..x.rows()).collect();
+        let global_cw = Self::class_weights_for(y, &all);
+
+        let n_jobs = self.params.n_jobs.max(1);
+        let n_trees = self.params.n_estimators;
+        if n_jobs == 1 {
+            self.trees = (0..n_trees)
+                .map(|t| self.train_one(x, y, &base_weight, global_cw, t))
+                .collect();
+        } else {
+            let mut trees: Vec<Option<DecisionTree>> = vec![None; n_trees];
+            let this = &*self;
+            let bw = &base_weight;
+            crossbeam::thread::scope(|scope| {
+                for (chunk_id, chunk) in trees.chunks_mut(n_trees.div_ceil(n_jobs)).enumerate() {
+                    let chunk_size = n_trees.div_ceil(n_jobs);
+                    scope.spawn(move |_| {
+                        for (off, slot) in chunk.iter_mut().enumerate() {
+                            let t = chunk_id * chunk_size + off;
+                            *slot = Some(this.train_one(x, y, bw, global_cw, t));
+                        }
+                    });
+                }
+            })
+            .expect("forest worker thread panicked");
+            self.trees = trees
+                .into_iter()
+                .map(|t| t.expect("all tree slots are filled by workers"))
+                .collect();
+        }
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        assert!(self.is_fitted(), "forest must be fitted before predicting");
+        let mut acc = vec![0.0; x.rows()];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict_proba(x)) {
+                *a += p;
+            }
+        }
+        let n = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
+
+    fn name(&self) -> &'static str {
+        "RandomForest"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_data(n_per_class: usize) -> (Matrix, Vec<u8>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..n_per_class {
+            rows.push(vec![rng.gen::<f64>() * 0.4, rng.gen::<f64>() * 0.4]);
+            y.push(0);
+            rows.push(vec![
+                0.6 + rng.gen::<f64>() * 0.4,
+                0.6 + rng.gen::<f64>() * 0.4,
+            ]);
+            y.push(1);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), y)
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let (x, y) = blob_data(30);
+        let mut rf = RandomForest::new(RandomForestParams {
+            n_estimators: 30,
+            ..RandomForestParams::default()
+        });
+        rf.fit(&x, &y, None).unwrap();
+        assert_eq!(rf.predict(&x), y);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (x, y) = blob_data(20);
+        let mut seq = RandomForest::new(RandomForestParams {
+            n_estimators: 16,
+            n_jobs: 1,
+            seed: 3,
+            ..RandomForestParams::default()
+        });
+        let mut par = RandomForest::new(RandomForestParams {
+            n_estimators: 16,
+            n_jobs: 4,
+            seed: 3,
+            ..RandomForestParams::default()
+        });
+        seq.fit(&x, &y, None).unwrap();
+        par.fit(&x, &y, None).unwrap();
+        assert_eq!(seq.predict_proba(&x), par.predict_proba(&x));
+    }
+
+    #[test]
+    fn probabilities_are_in_unit_interval() {
+        let (x, y) = blob_data(15);
+        let mut rf = RandomForest::new(RandomForestParams {
+            n_estimators: 10,
+            ..RandomForestParams::default()
+        });
+        rf.fit(&x, &y, None).unwrap();
+        assert!(rf
+            .predict_proba(&x)
+            .iter()
+            .all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn importances_identify_informative_feature() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..60 {
+            let informative = if i % 2 == 0 { 0.1 } else { 0.9 };
+            rows.push(vec![informative + rng.gen::<f64>() * 0.05, rng.gen()]);
+            y.push(u8::from(i % 2 == 1));
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let mut rf = RandomForest::new(RandomForestParams {
+            n_estimators: 20,
+            max_features: MaxFeatures::All,
+            ..RandomForestParams::default()
+        });
+        rf.fit(&x, &y, None).unwrap();
+        let imp = rf.feature_importances();
+        assert!(imp[0] > imp[1]);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(rf.top_features(1), vec![0]);
+    }
+
+    #[test]
+    fn class_weight_balanced_raises_minority_probability() {
+        // 90/10 imbalance on inseparable data: balancing raises the
+        // positive-class probability.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            rows.push(vec![0.5]);
+            y.push(u8::from(i < 10));
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let mut plain = RandomForest::new(RandomForestParams {
+            n_estimators: 10,
+            class_weight: ClassWeight::None,
+            seed: 1,
+            ..RandomForestParams::default()
+        });
+        let mut balanced = RandomForest::new(RandomForestParams {
+            n_estimators: 10,
+            class_weight: ClassWeight::Balanced,
+            seed: 1,
+            ..RandomForestParams::default()
+        });
+        plain.fit(&x, &y, None).unwrap();
+        balanced.fit(&x, &y, None).unwrap();
+        let p_plain = plain.predict_proba(&x)[0];
+        let p_bal = balanced.predict_proba(&x)[0];
+        assert!(p_bal > p_plain);
+        assert!((p_bal - 0.5).abs() < 0.15);
+    }
+
+    #[test]
+    fn threshold_04_is_more_recall_oriented() {
+        let (x, y) = blob_data(20);
+        let mut rf = RandomForest::new(RandomForestParams {
+            n_estimators: 15,
+            ..RandomForestParams::default()
+        });
+        rf.fit(&x, &y, None).unwrap();
+        let at_05: usize = rf.predict_with_threshold(&x, 0.5).iter().map(|&v| v as usize).sum();
+        let at_04: usize = rf.predict_with_threshold(&x, 0.4).iter().map(|&v| v as usize).sum();
+        assert!(at_04 >= at_05);
+    }
+
+    #[test]
+    fn zero_estimators_rejected() {
+        let mut rf = RandomForest::new(RandomForestParams {
+            n_estimators: 0,
+            ..RandomForestParams::default()
+        });
+        let x = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        assert!(matches!(
+            rf.fit(&x, &[0, 1], None),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let (x, y) = blob_data(10);
+        let mut rf = RandomForest::new(RandomForestParams {
+            n_estimators: 8,
+            ..RandomForestParams::default()
+        });
+        rf.fit(&x, &y, None).unwrap();
+        let json = serde_json::to_string(&rf).unwrap();
+        let back: RandomForest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.predict_proba(&x), rf.predict_proba(&x));
+    }
+}

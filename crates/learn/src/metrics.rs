@@ -1,0 +1,410 @@
+//! Classification metrics, including the paper's *lagged* variants.
+//!
+//! Section 4 of the paper observes that predictions and ground-truth labels
+//! are misaligned by up to a couple of seconds because saturated
+//! applications answer slowly, delaying the KPI observation. The lagged
+//! metrics `F1_k` / `Acc_k` therefore:
+//!
+//! * reclassify a false positive at time `t` as a **true negative** if a
+//!   ground-truth "saturated" sample occurs within `[t+1, t+k]`, and
+//! * reclassify a false negative at time `t` as a **true positive** if a
+//!   positive *prediction* occurred within `[t-k, t-1]`.
+//!
+//! Late predictions (after saturation was already observed) stay wrong.
+//! The paper evaluates with `k = 2`.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2×2 confusion matrix for binary classification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Correctly predicted negatives.
+    pub tn: usize,
+    /// Incorrectly predicted positives.
+    pub fp: usize,
+    /// Incorrectly predicted negatives.
+    pub fn_: usize,
+    /// Correctly predicted positives.
+    pub tp: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the (unlagged) confusion matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn from_predictions(y_true: &[u8], y_pred: &[u8]) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+        let mut cm = ConfusionMatrix::default();
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            match (t != 0, p != 0) {
+                (false, false) => cm.tn += 1,
+                (false, true) => cm.fp += 1,
+                (true, false) => cm.fn_ += 1,
+                (true, true) => cm.tp += 1,
+            }
+        }
+        cm
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> usize {
+        self.tn + self.fp + self.fn_ + self.tp
+    }
+
+    /// `(TP + TN) / total`; 0.0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / total as f64
+    }
+
+    /// `TP / (TP + FP)`; 0.0 when no positives were predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// `TP / (TP + FN)`; 0.0 when there are no positive samples.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            return 0.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// Sørensen–Dice coefficient `2 TP / (2 TP + FP + FN)`;
+    /// 0.0 when the denominator is zero.
+    pub fn f1(&self) -> f64 {
+        let denom = 2 * self.tp + self.fp + self.fn_;
+        if denom == 0 {
+            return 0.0;
+        }
+        2.0 * self.tp as f64 / denom as f64
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TN={} FP={} FN={} TP={} F1={:.3} Acc={:.3}",
+            self.tn,
+            self.fp,
+            self.fn_,
+            self.tp,
+            self.f1(),
+            self.accuracy()
+        )
+    }
+}
+
+/// Plain accuracy over hard predictions.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn accuracy(y_true: &[u8], y_pred: &[u8]) -> f64 {
+    ConfusionMatrix::from_predictions(y_true, y_pred).accuracy()
+}
+
+/// Plain F1 score over hard predictions.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn f1_score(y_true: &[u8], y_pred: &[u8]) -> f64 {
+    ConfusionMatrix::from_predictions(y_true, y_pred).f1()
+}
+
+/// Per-sample outcome under the lagged scoring rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SampleOutcome {
+    /// Correct negative (`TN_k`).
+    TrueNegative,
+    /// Incorrect positive (`FP_k`).
+    FalsePositive,
+    /// Incorrect negative (`FN_k`).
+    FalseNegative,
+    /// Correct positive (`TP_k`).
+    TruePositive,
+}
+
+/// Classifies every sample under the lagged rules with lag distance `k`
+/// — the per-sample form used to paint Figure 3's TP/FP/FN markers.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn lagged_classification(y_true: &[u8], y_pred: &[u8], k: usize) -> Vec<SampleOutcome> {
+    assert_eq!(y_true.len(), y_pred.len(), "length mismatch");
+    let n = y_true.len();
+    let mut out = Vec::with_capacity(n);
+    for t in 0..n {
+        let outcome = match (y_true[t] != 0, y_pred[t] != 0) {
+            (false, false) => SampleOutcome::TrueNegative,
+            (true, true) => SampleOutcome::TruePositive,
+            (false, true) => {
+                // Early prediction: forgiven if saturation follows within k.
+                let upcoming = (t + 1..n.min(t + k + 1)).any(|j| y_true[j] != 0);
+                if upcoming {
+                    SampleOutcome::TrueNegative
+                } else {
+                    SampleOutcome::FalsePositive
+                }
+            }
+            (true, false) => {
+                // Missed sample: forgiven if a positive prediction preceded it.
+                let preceded = (t.saturating_sub(k)..t).any(|j| y_pred[j] != 0);
+                if preceded {
+                    SampleOutcome::TruePositive
+                } else {
+                    SampleOutcome::FalseNegative
+                }
+            }
+        };
+        out.push(outcome);
+    }
+    out
+}
+
+/// Builds the lagged confusion matrix with lag distance `k`
+/// (Section 4 of the paper; the evaluation uses `k = 2`).
+///
+/// With `k = 0` this is exactly [`ConfusionMatrix::from_predictions`].
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn lagged_confusion(y_true: &[u8], y_pred: &[u8], k: usize) -> ConfusionMatrix {
+    let mut cm = ConfusionMatrix::default();
+    for outcome in lagged_classification(y_true, y_pred, k) {
+        match outcome {
+            SampleOutcome::TrueNegative => cm.tn += 1,
+            SampleOutcome::FalsePositive => cm.fp += 1,
+            SampleOutcome::FalseNegative => cm.fn_ += 1,
+            SampleOutcome::TruePositive => cm.tp += 1,
+        }
+    }
+    cm
+}
+
+/// Area under the ROC curve from scores (probabilities) and binary
+/// labels, computed via the rank statistic (ties get half credit).
+/// Returns 0.5 when only one class is present.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn roc_auc(y_true: &[u8], scores: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), scores.len(), "length mismatch");
+    let n_pos = y_true.iter().filter(|&&l| l == 1).count();
+    let n_neg = y_true.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank the scores (average rank for ties).
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(y_true)
+        .filter(|(_, &l)| l == 1)
+        .map(|(r, _)| *r)
+        .sum();
+    (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+/// Lagged F1 score (`F1_k` in the paper).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn lagged_f1(y_true: &[u8], y_pred: &[u8], k: usize) -> f64 {
+    lagged_confusion(y_true, y_pred, k).f1()
+}
+
+/// Lagged accuracy (`Acc_k` in the paper).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn lagged_accuracy(y_true: &[u8], y_pred: &[u8], k: usize) -> f64 {
+    lagged_confusion(y_true, y_pred, k).accuracy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 0, 1, 1], &[0, 1, 0, 1]);
+        assert_eq!(
+            cm,
+            ConfusionMatrix {
+                tn: 1,
+                fp: 1,
+                fn_: 1,
+                tp: 1
+            }
+        );
+        assert_eq!(cm.accuracy(), 0.5);
+        assert_eq!(cm.precision(), 0.5);
+        assert_eq!(cm.recall(), 0.5);
+        assert_eq!(cm.f1(), 0.5);
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let y = [0, 1, 0, 1, 1];
+        assert_eq!(accuracy(&y, &y), 1.0);
+        assert_eq!(f1_score(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        let cm = ConfusionMatrix::default();
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.f1(), 0.0);
+        assert_eq!(cm.precision(), 0.0);
+        assert_eq!(cm.recall(), 0.0);
+    }
+
+    #[test]
+    fn lag_zero_equals_plain() {
+        let yt = [0, 1, 0, 1, 0, 0, 1];
+        let yp = [1, 0, 0, 1, 1, 0, 0];
+        assert_eq!(
+            lagged_confusion(&yt, &yp, 0),
+            ConfusionMatrix::from_predictions(&yt, &yp)
+        );
+    }
+
+    #[test]
+    fn early_prediction_becomes_tn() {
+        // Prediction fires one step before the ground truth saturates.
+        let yt = [0, 0, 1, 1];
+        let yp = [0, 1, 1, 1];
+        let plain = ConfusionMatrix::from_predictions(&yt, &yp);
+        assert_eq!(plain.fp, 1);
+        let lag = lagged_confusion(&yt, &yp, 2);
+        assert_eq!(lag.fp, 0);
+        assert_eq!(lag.tn, 2);
+    }
+
+    #[test]
+    fn missed_sample_after_early_prediction_becomes_tp() {
+        // A positive prediction at t=1 covers the missed label at t=2.
+        let yt = [0, 0, 1, 0];
+        let yp = [0, 1, 0, 0];
+        let lag = lagged_confusion(&yt, &yp, 2);
+        assert_eq!(lag.fn_, 0);
+        assert_eq!(lag.tp, 1);
+        // And the early FP at t=1 is forgiven because yt[2] = 1.
+        assert_eq!(lag.fp, 0);
+    }
+
+    #[test]
+    fn late_prediction_stays_wrong() {
+        // Prediction only fires AFTER the saturated sample: both the missed
+        // label (t=1) and the late positive (t=2) remain errors.
+        let yt = [0, 1, 0, 0];
+        let yp = [0, 0, 1, 0];
+        let lag = lagged_confusion(&yt, &yp, 2);
+        assert_eq!(lag.fn_, 1);
+        assert_eq!(lag.fp, 1);
+    }
+
+    #[test]
+    fn lag_window_is_bounded() {
+        // Ground-truth saturation is 3 steps after the prediction; with
+        // k = 2 the FP is NOT forgiven.
+        let yt = [0, 0, 0, 0, 1];
+        let yp = [0, 1, 0, 0, 1];
+        let lag = lagged_confusion(&yt, &yp, 2);
+        assert_eq!(lag.fp, 1);
+    }
+
+    #[test]
+    fn lagged_scores_match_matrix() {
+        let yt = [0, 0, 1, 1, 0, 1];
+        let yp = [0, 1, 1, 0, 0, 1];
+        let cm = lagged_confusion(&yt, &yp, 2);
+        assert_eq!(lagged_f1(&yt, &yp, 2), cm.f1());
+        assert_eq!(lagged_accuracy(&yt, &yp, 2), cm.accuracy());
+    }
+
+    #[test]
+    fn roc_auc_perfect_and_random() {
+        let y = [0, 0, 1, 1];
+        assert_eq!(roc_auc(&y, &[0.1, 0.2, 0.8, 0.9]), 1.0);
+        assert_eq!(roc_auc(&y, &[0.9, 0.8, 0.2, 0.1]), 0.0);
+        // All-equal scores: chance level via tie handling.
+        assert!((roc_auc(&y, &[0.5, 0.5, 0.5, 0.5]) - 0.5).abs() < 1e-12);
+        // Single class: defined as 0.5.
+        assert_eq!(roc_auc(&[1, 1], &[0.2, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn roc_auc_is_rank_invariant() {
+        let y = [0, 1, 0, 1, 1, 0];
+        let s1 = [0.1, 0.7, 0.3, 0.9, 0.6, 0.2];
+        let s2: Vec<f64> = s1.iter().map(|v| v * 100.0 - 3.0).collect();
+        assert!((roc_auc(&y, &s1) - roc_auc(&y, &s2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let cm = ConfusionMatrix {
+            tn: 1,
+            fp: 2,
+            fn_: 3,
+            tp: 4,
+        };
+        let s = cm.to_string();
+        assert!(s.contains("TN=1") && s.contains("TP=4"));
+    }
+
+    #[test]
+    fn per_sample_classification_matches_matrix() {
+        let yt = [0, 0, 1, 1, 0, 1];
+        let yp = [0, 1, 1, 0, 0, 1];
+        let outcomes = lagged_classification(&yt, &yp, 2);
+        let cm = lagged_confusion(&yt, &yp, 2);
+        let count = |o: SampleOutcome| outcomes.iter().filter(|&&x| x == o).count();
+        assert_eq!(count(SampleOutcome::TrueNegative), cm.tn);
+        assert_eq!(count(SampleOutcome::FalsePositive), cm.fp);
+        assert_eq!(count(SampleOutcome::FalseNegative), cm.fn_);
+        assert_eq!(count(SampleOutcome::TruePositive), cm.tp);
+    }
+
+    #[test]
+    fn lagged_total_is_preserved() {
+        let yt = [0, 1, 0, 1, 1, 0, 0, 1];
+        let yp = [1, 0, 1, 1, 0, 0, 1, 1];
+        for k in 0..4 {
+            assert_eq!(lagged_confusion(&yt, &yp, k).total(), yt.len());
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! A small fully-connected neural network.
+//!
+//! Reproduces the paper's "three-layer, fully connected, sequential neural
+//! network" (Keras/TensorFlow in the original). Each of the three layers
+//! has a configurable activation — the Table 2 grid searches over
+//! `softmax`, `relu`, `sigmoid` and `linear` per layer. Training uses
+//! mini-batch Adam on binary cross-entropy with a sigmoid output link.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{validate_fit_input, Classifier, Error, Matrix};
+
+/// Activation functions from the Table 2 grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit.
+    #[default]
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Identity.
+    Linear,
+    /// Softmax over the layer's units (reduces to a constant for width-1
+    /// layers, exactly as in Keras).
+    Softmax,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    fn apply(self, z: &mut [f64]) {
+        match self {
+            Activation::Relu => {
+                for v in z.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            Activation::Sigmoid => {
+                for v in z.iter_mut() {
+                    *v = 1.0 / (1.0 + (-*v).exp());
+                }
+            }
+            Activation::Linear => {}
+            Activation::Tanh => {
+                for v in z.iter_mut() {
+                    *v = v.tanh();
+                }
+            }
+            Activation::Softmax => {
+                let max = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut sum = 0.0;
+                for v in z.iter_mut() {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                for v in z.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+    }
+
+    /// Derivative with respect to pre-activation, given the activated value.
+    /// For softmax we use the diagonal term (standard simplification when
+    /// the loss is not categorical cross-entropy).
+    fn derivative(self, activated: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if activated > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Sigmoid | Activation::Softmax => activated * (1.0 - activated),
+            Activation::Linear => 1.0,
+            Activation::Tanh => 1.0 - activated * activated,
+        }
+    }
+}
+
+/// Hyper-parameters for [`NeuralNet`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuralNetParams {
+    /// Widths of the two hidden layers.
+    pub hidden: [usize; 2],
+    /// Activations of layer 1, layer 2 and the output layer.
+    pub activations: [Activation; 3],
+    /// Number of training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// RNG seed for weight init and shuffling.
+    pub seed: u64,
+}
+
+impl Default for NeuralNetParams {
+    fn default() -> Self {
+        NeuralNetParams {
+            hidden: [32, 16],
+            activations: [Activation::Relu, Activation::Relu, Activation::Sigmoid],
+            epochs: 100,
+            batch_size: 32,
+            learning_rate: 1e-2,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Layer {
+    // weights[out][in], row-major.
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    activation: Activation,
+}
+
+impl Layer {
+    fn forward(&self, input: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.n_out {
+            let row = &self.weights[o * self.n_in..(o + 1) * self.n_in];
+            let z: f64 = self.bias[o]
+                + row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>();
+            out.push(z);
+        }
+        self.activation.apply(out);
+    }
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct AdamState {
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+/// Three-layer MLP binary classifier.
+///
+/// ```
+/// use monitorless_learn::prelude::*;
+///
+/// # fn main() -> Result<(), monitorless_learn::Error> {
+/// let x = Matrix::from_rows(&[&[0.0], &[0.1], &[0.9], &[1.0]]);
+/// let y = vec![0, 0, 1, 1];
+/// let mut nn = NeuralNet::new(NeuralNetParams { epochs: 300, ..NeuralNetParams::default() });
+/// nn.fit(&x, &y, None)?;
+/// assert_eq!(nn.predict(&x), y);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NeuralNet {
+    params: NeuralNetParams,
+    layers: Vec<Layer>,
+}
+
+impl NeuralNet {
+    /// Creates an unfitted network with the given hyper-parameters.
+    pub fn new(params: NeuralNetParams) -> Self {
+        NeuralNet {
+            params,
+            layers: Vec::new(),
+        }
+    }
+
+    /// The hyper-parameters this network was configured with.
+    pub fn params(&self) -> &NeuralNetParams {
+        &self.params
+    }
+
+    /// Whether `fit` has completed successfully.
+    pub fn is_fitted(&self) -> bool {
+        !self.layers.is_empty()
+    }
+
+    fn init_layers(&mut self, n_features: usize, rng: &mut StdRng) {
+        let sizes = [
+            n_features,
+            self.params.hidden[0],
+            self.params.hidden[1],
+            1,
+        ];
+        self.layers = (0..3)
+            .map(|l| {
+                let (n_in, n_out) = (sizes[l], sizes[l + 1]);
+                // Glorot-uniform initialization.
+                let limit = (6.0 / (n_in + n_out) as f64).sqrt();
+                Layer {
+                    weights: (0..n_in * n_out)
+                        .map(|_| rng.gen_range(-limit..limit))
+                        .collect(),
+                    bias: vec![0.0; n_out],
+                    n_in,
+                    n_out,
+                    activation: self.params.activations[l],
+                }
+            })
+            .collect();
+    }
+
+    fn forward(&self, row: &[f64]) -> Vec<Vec<f64>> {
+        let mut activations: Vec<Vec<f64>> = Vec::with_capacity(4);
+        activations.push(row.to_vec());
+        let mut buf = Vec::new();
+        for layer in &self.layers {
+            layer.forward(activations.last().expect("nonempty"), &mut buf);
+            activations.push(buf.clone());
+        }
+        activations
+    }
+
+    fn output_proba(&self, row: &[f64]) -> f64 {
+        let acts = self.forward(row);
+        // Width-1 output; clamp so non-sigmoid output activations (linear,
+        // relu) still give a usable probability.
+        acts.last().expect("output layer exists")[0].clamp(1e-9, 1.0 - 1e-9)
+    }
+}
+
+impl Classifier for NeuralNet {
+    #[allow(clippy::needless_range_loop)]
+    fn fit(&mut self, x: &Matrix, y: &[u8], sample_weight: Option<&[f64]>) -> Result<(), Error> {
+        validate_fit_input(x, y, sample_weight)?;
+        if self.params.hidden.contains(&0) {
+            return Err(Error::InvalidParameter(
+                "hidden layer widths must be positive".into(),
+            ));
+        }
+        if self.params.batch_size == 0 || self.params.epochs == 0 {
+            return Err(Error::InvalidParameter(
+                "batch_size and epochs must be positive".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        self.init_layers(x.cols(), &mut rng);
+
+        let n = x.rows();
+        let mut adam: Vec<(AdamState, AdamState)> = self
+            .layers
+            .iter()
+            .map(|l| {
+                (
+                    AdamState {
+                        m: vec![0.0; l.weights.len()],
+                        v: vec![0.0; l.weights.len()],
+                        t: 0,
+                    },
+                    AdamState {
+                        m: vec![0.0; l.bias.len()],
+                        v: vec![0.0; l.bias.len()],
+                        t: 0,
+                    },
+                )
+            })
+            .collect();
+        let (beta1, beta2, eps) = (0.9, 0.999, 1e-8);
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for _epoch in 0..self.params.epochs {
+            order.shuffle(&mut rng);
+            for batch in order.chunks(self.params.batch_size) {
+                // Accumulate gradients over the batch.
+                let mut grad_w: Vec<Vec<f64>> =
+                    self.layers.iter().map(|l| vec![0.0; l.weights.len()]).collect();
+                let mut grad_b: Vec<Vec<f64>> =
+                    self.layers.iter().map(|l| vec![0.0; l.bias.len()]).collect();
+
+                for &i in batch {
+                    let acts = self.forward(x.row(i));
+                    let wi = sample_weight.map_or(1.0, |w| w[i]);
+                    let out = acts[3][0].clamp(1e-9, 1.0 - 1e-9);
+                    let target = y[i] as f64;
+                    // dL/dz for BCE; exact when the output activation is
+                    // sigmoid, otherwise chain through the derivative.
+                    let mut delta: Vec<f64> =
+                        match self.params.activations[2] {
+                            Activation::Sigmoid | Activation::Softmax => vec![wi * (out - target)],
+                            act => {
+                                let dl_da = wi * ((out - target) / (out * (1.0 - out)));
+                                vec![dl_da * act.derivative(acts[3][0])]
+                            }
+                        };
+
+                    for l in (0..3).rev() {
+                        let input = &acts[l];
+                        let layer = &self.layers[l];
+                        for o in 0..layer.n_out {
+                            grad_b[l][o] += delta[o];
+                            let wrow = o * layer.n_in;
+                            for (j, &xv) in input.iter().enumerate() {
+                                grad_w[l][wrow + j] += delta[o] * xv;
+                            }
+                        }
+                        if l > 0 {
+                            let prev_act = self.layers[l - 1].activation;
+                            let mut prev = vec![0.0; layer.n_in];
+                            for (j, p) in prev.iter_mut().enumerate() {
+                                let mut acc = 0.0;
+                                for o in 0..layer.n_out {
+                                    acc += delta[o] * layer.weights[o * layer.n_in + j];
+                                }
+                                *p = acc * prev_act.derivative(acts[l][j]);
+                            }
+                            delta = prev;
+                        }
+                    }
+                }
+
+                // Adam update.
+                let scale = 1.0 / batch.len() as f64;
+                for l in 0..3 {
+                    let (ws, bs) = &mut adam[l];
+                    ws.t += 1;
+                    bs.t += 1;
+                    let lr = self.params.learning_rate;
+                    for (k, g) in grad_w[l].iter().enumerate() {
+                        let g = g * scale;
+                        ws.m[k] = beta1 * ws.m[k] + (1.0 - beta1) * g;
+                        ws.v[k] = beta2 * ws.v[k] + (1.0 - beta2) * g * g;
+                        let mhat = ws.m[k] / (1.0 - beta1.powi(ws.t as i32));
+                        let vhat = ws.v[k] / (1.0 - beta2.powi(ws.t as i32));
+                        self.layers[l].weights[k] -= lr * mhat / (vhat.sqrt() + eps);
+                    }
+                    for (k, g) in grad_b[l].iter().enumerate() {
+                        let g = g * scale;
+                        bs.m[k] = beta1 * bs.m[k] + (1.0 - beta1) * g;
+                        bs.v[k] = beta2 * bs.v[k] + (1.0 - beta2) * g * g;
+                        let mhat = bs.m[k] / (1.0 - beta1.powi(bs.t as i32));
+                        let vhat = bs.v[k] / (1.0 - beta2.powi(bs.t as i32));
+                        self.layers[l].bias[k] -= lr * mhat / (vhat.sqrt() + eps);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        assert!(self.is_fitted(), "network must be fitted before predicting");
+        x.iter_rows().map(|row| self.output_proba(row)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "NeuralNet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Matrix, Vec<u8>) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..40 {
+            rows.push(vec![rng.gen::<f64>() * 0.3, rng.gen::<f64>() * 0.3]);
+            y.push(0);
+            rows.push(vec![
+                0.7 + rng.gen::<f64>() * 0.3,
+                0.7 + rng.gen::<f64>() * 0.3,
+            ]);
+            y.push(1);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), y)
+    }
+
+    #[test]
+    fn learns_separable_blobs() {
+        let (x, y) = blobs();
+        let mut nn = NeuralNet::new(NeuralNetParams {
+            epochs: 150,
+            ..NeuralNetParams::default()
+        });
+        nn.fit(&x, &y, None).unwrap();
+        let acc = crate::metrics::accuracy(&y, &nn.predict(&x));
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn learns_xor_with_hidden_layers() {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            for k in 0..8 {
+                rows.push(vec![a + 0.01 * k as f64, b - 0.01 * k as f64]);
+                y.push(u8::from((a > 0.5) != (b > 0.5)));
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let mut nn = NeuralNet::new(NeuralNetParams {
+            epochs: 400,
+            hidden: [16, 8],
+            learning_rate: 2e-2,
+            ..NeuralNetParams::default()
+        });
+        nn.fit(&x, &y, None).unwrap();
+        let acc = crate::metrics::accuracy(&y, &nn.predict(&x));
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn tanh_and_sigmoid_hidden_also_learn() {
+        let (x, y) = blobs();
+        let mut nn = NeuralNet::new(NeuralNetParams {
+            activations: [Activation::Tanh, Activation::Sigmoid, Activation::Sigmoid],
+            epochs: 200,
+            ..NeuralNetParams::default()
+        });
+        nn.fit(&x, &y, None).unwrap();
+        let acc = crate::metrics::accuracy(&y, &nn.predict(&x));
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let (x, y) = blobs();
+        let mut nn = NeuralNet::new(NeuralNetParams {
+            epochs: 20,
+            ..NeuralNetParams::default()
+        });
+        nn.fit(&x, &y, None).unwrap();
+        assert!(nn
+            .predict_proba(&x)
+            .iter()
+            .all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let mut nn = NeuralNet::new(NeuralNetParams {
+            hidden: [0, 4],
+            ..NeuralNetParams::default()
+        });
+        assert!(nn.fit(&x, &[0, 1], None).is_err());
+        let mut nn = NeuralNet::new(NeuralNetParams {
+            epochs: 0,
+            ..NeuralNetParams::default()
+        });
+        assert!(nn.fit(&x, &[0, 1], None).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs();
+        let make = || {
+            let mut nn = NeuralNet::new(NeuralNetParams {
+                epochs: 10,
+                seed: 99,
+                ..NeuralNetParams::default()
+            });
+            nn.fit(&x, &y, None).unwrap();
+            nn.predict_proba(&x)
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn activation_derivatives_match_definitions() {
+        assert_eq!(Activation::Relu.derivative(1.0), 1.0);
+        assert_eq!(Activation::Relu.derivative(0.0), 0.0);
+        assert_eq!(Activation::Linear.derivative(5.0), 1.0);
+        let s = 0.7;
+        assert!((Activation::Sigmoid.derivative(s) - s * (1.0 - s)).abs() < 1e-12);
+        let t: f64 = 0.5;
+        assert!((Activation::Tanh.derivative(t) - (1.0 - t * t)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let mut z = vec![1.0, 2.0, 3.0];
+        Activation::Softmax.apply(&mut z);
+        assert!((z.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(z[2] > z[1] && z[1] > z[0]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Feature scalers: min-max scaling and standardization.
+//!
+//! The paper uses scikit-learn's `MinMaxScaler` for the iterative
+//! training-set improvement loop (Section 3.2.3) and `StandardScaler` for
+//! feature normalization (Section 3.3.3). Both are reproduced here behind
+//! the [`Transformer`] trait.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Matrix};
+
+/// A fit/transform preprocessing step.
+pub trait Transformer: std::fmt::Debug {
+    /// Learns the transformation parameters from `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EmptyInput`] when `x` has no rows or columns.
+    fn fit(&mut self, x: &Matrix) -> Result<(), Error>;
+
+    /// Applies the learned transformation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] if called before [`Transformer::fit`],
+    /// or [`Error::DimensionMismatch`] on a column-count mismatch.
+    fn transform(&self, x: &Matrix) -> Result<Matrix, Error>;
+
+    /// Convenience: `fit` followed by `transform` on the same data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from either step.
+    fn fit_transform(&mut self, x: &Matrix) -> Result<Matrix, Error> {
+        self.fit(x)?;
+        self.transform(x)
+    }
+}
+
+/// Scales each feature to the `[0, 1]` range observed during `fit`.
+///
+/// ```
+/// use monitorless_learn::{Matrix, MinMaxScaler, Transformer};
+///
+/// # fn main() -> Result<(), monitorless_learn::Error> {
+/// let mut s = MinMaxScaler::new();
+/// let t = s.fit_transform(&Matrix::from_rows(&[&[0.0], &[10.0]]))?;
+/// assert_eq!(t.column(0), vec![0.0, 1.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Option<Vec<f64>>,
+    maxs: Option<Vec<f64>>,
+}
+
+impl MinMaxScaler {
+    /// Creates an unfitted scaler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-feature minima learned during `fit`, if fitted.
+    pub fn mins(&self) -> Option<&[f64]> {
+        self.mins.as_deref()
+    }
+
+    /// The per-feature maxima learned during `fit`, if fitted.
+    pub fn maxs(&self) -> Option<&[f64]> {
+        self.maxs.as_deref()
+    }
+
+    /// Indices of features in `x` whose observed range exceeds the fitted
+    /// range — the paper's *training-set coverage* check (Section 3.2.3,
+    /// step 2): a validation feature outside the fitted scaling range means
+    /// that feature was not sufficiently trained.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] if the scaler was never fitted, or
+    /// [`Error::DimensionMismatch`] on a column-count mismatch.
+    pub fn uncovered_features(&self, x: &Matrix) -> Result<Vec<usize>, Error> {
+        let (mins, maxs) = match (&self.mins, &self.maxs) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err(Error::NotFitted),
+        };
+        if x.cols() != mins.len() {
+            return Err(Error::DimensionMismatch {
+                expected: mins.len(),
+                got: x.cols(),
+            });
+        }
+        let (xmins, xmaxs) = x.column_min_max();
+        Ok((0..x.cols())
+            .filter(|&c| xmins[c] < mins[c] || xmaxs[c] > maxs[c])
+            .collect())
+    }
+}
+
+impl Transformer for MinMaxScaler {
+    fn fit(&mut self, x: &Matrix) -> Result<(), Error> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(Error::EmptyInput);
+        }
+        let (mins, maxs) = x.column_min_max();
+        self.mins = Some(mins);
+        self.maxs = Some(maxs);
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix, Error> {
+        let (mins, maxs) = match (&self.mins, &self.maxs) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err(Error::NotFitted),
+        };
+        if x.cols() != mins.len() {
+            return Err(Error::DimensionMismatch {
+                expected: mins.len(),
+                got: x.cols(),
+            });
+        }
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                let range = maxs[c] - mins[c];
+                *v = if range > 0.0 { (*v - mins[c]) / range } else { 0.0 };
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Standardizes each feature to zero mean and unit standard deviation.
+///
+/// Features with zero variance are left centered at zero (division is
+/// skipped), matching scikit-learn behaviour.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StandardScaler {
+    means: Option<Vec<f64>>,
+    stds: Option<Vec<f64>>,
+}
+
+impl StandardScaler {
+    /// Creates an unfitted scaler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-feature means learned during `fit`, if fitted.
+    pub fn means(&self) -> Option<&[f64]> {
+        self.means.as_deref()
+    }
+
+    /// The per-feature standard deviations learned during `fit`, if fitted.
+    pub fn stds(&self) -> Option<&[f64]> {
+        self.stds.as_deref()
+    }
+}
+
+impl Transformer for StandardScaler {
+    fn fit(&mut self, x: &Matrix) -> Result<(), Error> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(Error::EmptyInput);
+        }
+        self.means = Some(x.column_means());
+        self.stds = Some(x.column_stds());
+        Ok(())
+    }
+
+    fn transform(&self, x: &Matrix) -> Result<Matrix, Error> {
+        let (means, stds) = match (&self.means, &self.stds) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err(Error::NotFitted),
+        };
+        if x.cols() != means.len() {
+            return Err(Error::DimensionMismatch {
+                expected: means.len(),
+                got: x.cols(),
+            });
+        }
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v -= means[c];
+                if stds[c] > 0.0 {
+                    *v /= stds[c];
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let mut s = MinMaxScaler::new();
+        let x = Matrix::from_rows(&[&[2.0, -1.0], &[4.0, 1.0], &[3.0, 0.0]]);
+        let t = s.fit_transform(&x).unwrap();
+        let (mins, maxs) = t.column_min_max();
+        assert_eq!(mins, vec![0.0, 0.0]);
+        assert_eq!(maxs, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn minmax_constant_feature_maps_to_zero() {
+        let mut s = MinMaxScaler::new();
+        let x = Matrix::from_rows(&[&[5.0], &[5.0]]);
+        let t = s.fit_transform(&x).unwrap();
+        assert_eq!(t.column(0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn minmax_transform_before_fit_errors() {
+        let s = MinMaxScaler::new();
+        assert!(matches!(
+            s.transform(&Matrix::zeros(1, 1)),
+            Err(Error::NotFitted)
+        ));
+    }
+
+    #[test]
+    fn uncovered_features_detects_out_of_range() {
+        let mut s = MinMaxScaler::new();
+        s.fit(&Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]])).unwrap();
+        let val = Matrix::from_rows(&[&[0.5, 2.0]]);
+        assert_eq!(s.uncovered_features(&val).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn standard_zero_mean_unit_std() {
+        let mut s = StandardScaler::new();
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let t = s.fit_transform(&x).unwrap();
+        let mean: f64 = t.column(0).iter().sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        let std = t.column_stds()[0];
+        assert!((std - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standard_constant_feature_centered() {
+        let mut s = StandardScaler::new();
+        let t = s
+            .fit_transform(&Matrix::from_rows(&[&[3.0], &[3.0]]))
+            .unwrap();
+        assert_eq!(t.column(0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let mut s = StandardScaler::new();
+        s.fit(&Matrix::zeros(2, 2)).unwrap();
+        assert!(matches!(
+            s.transform(&Matrix::zeros(2, 3)),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn scalers_serialize() {
+        let mut s = StandardScaler::new();
+        s.fit(&Matrix::from_rows(&[&[1.0], &[2.0]])).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: StandardScaler = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

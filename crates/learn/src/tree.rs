@@ -1,0 +1,739 @@
+//! CART decision-tree classifier.
+//!
+//! Supports the hyper-parameters examined by the paper's grid search
+//! (Table 2): split criterion (`gini`/`entropy`), splitter
+//! (`best`/`random`), `min_samples_split`, `min_samples_leaf`, a depth
+//! limit and per-node feature subsampling (used by the random forest).
+//! Sample weights are supported so AdaBoost and class weighting can reuse
+//! the same builder.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{validate_fit_input, Classifier, Error, Matrix};
+
+/// Impurity criterion for choosing splits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SplitCriterion {
+    /// Gini impurity `2 p (1 - p)`.
+    #[default]
+    Gini,
+    /// Shannon entropy (information gain).
+    Entropy,
+}
+
+impl SplitCriterion {
+    /// Impurity of a node with weighted class masses `w0`, `w1`.
+    pub fn impurity(self, w0: f64, w1: f64) -> f64 {
+        let total = w0 + w1;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let p = w1 / total;
+        match self {
+            SplitCriterion::Gini => 2.0 * p * (1.0 - p),
+            SplitCriterion::Entropy => {
+                let mut h = 0.0;
+                for q in [p, 1.0 - p] {
+                    if q > 0.0 {
+                        h -= q * q.log2();
+                    }
+                }
+                h
+            }
+        }
+    }
+}
+
+/// Split-point search strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Splitter {
+    /// Exhaustive scan over candidate thresholds (CART default).
+    #[default]
+    Best,
+    /// One uniformly random threshold per candidate feature
+    /// (extra-trees style; `DT_splitter = random` in Table 2).
+    Random,
+}
+
+/// How many features to consider at each split.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum MaxFeatures {
+    /// All features (plain CART).
+    #[default]
+    All,
+    /// `sqrt(n_features)` — the random-forest default.
+    Sqrt,
+    /// `log2(n_features)`.
+    Log2,
+    /// A fixed fraction in `(0, 1]` of the features.
+    Fraction(f64),
+}
+
+impl MaxFeatures {
+    /// Resolves to a concrete feature count for `n_features` total.
+    pub fn resolve(self, n_features: usize) -> usize {
+        let n = n_features.max(1);
+        let k = match self {
+            MaxFeatures::All => n,
+            MaxFeatures::Sqrt => (n as f64).sqrt().round() as usize,
+            MaxFeatures::Log2 => (n as f64).log2().floor() as usize,
+            MaxFeatures::Fraction(f) => (n as f64 * f).ceil() as usize,
+        };
+        k.clamp(1, n)
+    }
+}
+
+/// Hyper-parameters for [`DecisionTree`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTreeParams {
+    /// Impurity criterion.
+    pub criterion: SplitCriterion,
+    /// Threshold search strategy.
+    pub splitter: Splitter,
+    /// Maximum tree depth (`None` = unbounded).
+    pub max_depth: Option<usize>,
+    /// Minimum number of samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum number of samples required in each leaf.
+    pub min_samples_leaf: usize,
+    /// Features considered per split.
+    pub max_features: MaxFeatures,
+    /// RNG seed for feature subsampling / random splits.
+    pub seed: u64,
+}
+
+impl Default for DecisionTreeParams {
+    fn default() -> Self {
+        DecisionTreeParams {
+            criterion: SplitCriterion::Gini,
+            splitter: Splitter::Best,
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::All,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        proba: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted (or unfitted) CART binary classifier.
+///
+/// ```
+/// use monitorless_learn::prelude::*;
+///
+/// # fn main() -> Result<(), monitorless_learn::Error> {
+/// let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+/// let y = vec![0, 0, 1, 1];
+/// let mut tree = DecisionTree::new(DecisionTreeParams::default());
+/// tree.fit(&x, &y, None)?;
+/// assert_eq!(tree.predict(&x), y);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    params: DecisionTreeParams,
+    nodes: Vec<Node>,
+    n_features: usize,
+    importances: Vec<f64>,
+}
+
+impl DecisionTree {
+    /// Creates an unfitted tree with the given hyper-parameters.
+    pub fn new(params: DecisionTreeParams) -> Self {
+        DecisionTree {
+            params,
+            nodes: Vec::new(),
+            n_features: 0,
+            importances: Vec::new(),
+        }
+    }
+
+    /// The hyper-parameters this tree was configured with.
+    pub fn params(&self) -> &DecisionTreeParams {
+        &self.params
+    }
+
+    /// Whether `fit` has completed successfully.
+    pub fn is_fitted(&self) -> bool {
+        !self.nodes.is_empty()
+    }
+
+    /// Number of nodes in the fitted tree (0 before fitting).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the fitted tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], idx: usize) -> usize {
+            match &nodes[idx] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left).max(depth_of(nodes, *right))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    /// Impurity-decrease feature importances, normalized to sum to 1
+    /// (all zeros if the tree is a single leaf).
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Extracts human-readable decision rules for leaves whose positive
+    /// probability is at least `min_proba` — the depth-restricted
+    /// interpretability path discussed in the paper's Section 5.
+    ///
+    /// Each rule reads `IF f₁ <= a AND f₂ > b THEN saturated (p=…)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is unfitted or `feature_names` is shorter than
+    /// the training feature count.
+    pub fn decision_rules(&self, feature_names: &[String], min_proba: f64) -> Vec<String> {
+        assert!(self.is_fitted(), "tree must be fitted");
+        assert!(
+            feature_names.len() >= self.n_features,
+            "feature names must cover all features"
+        );
+        let mut rules = Vec::new();
+        let mut path: Vec<String> = Vec::new();
+        self.walk_rules(0, feature_names, min_proba, &mut path, &mut rules);
+        rules
+    }
+
+    fn walk_rules(
+        &self,
+        idx: usize,
+        names: &[String],
+        min_proba: f64,
+        path: &mut Vec<String>,
+        rules: &mut Vec<String>,
+    ) {
+        match &self.nodes[idx] {
+            Node::Leaf { proba } => {
+                if *proba >= min_proba {
+                    let condition = if path.is_empty() {
+                        "always".to_string()
+                    } else {
+                        path.join(" AND ")
+                    };
+                    rules.push(format!("IF {condition} THEN saturated (p={proba:.2})"));
+                }
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
+                path.push(format!("{} <= {threshold:.3}", names[*feature]));
+                self.walk_rules(*left, names, min_proba, path, rules);
+                path.pop();
+                path.push(format!("{} > {threshold:.3}", names[*feature]));
+                self.walk_rules(*right, names, min_proba, path, rules);
+                path.pop();
+            }
+        }
+    }
+
+    /// Probability of class 1 for a single sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is unfitted or `row` is shorter than the number
+    /// of training features.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        assert!(self.is_fitted(), "tree must be fitted before predicting");
+        let mut idx = 0;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { proba } => return *proba,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        &mut self,
+        x: &Matrix,
+        y: &[u8],
+        w: &[f64],
+        indices: &[usize],
+        depth: usize,
+        total_weight: f64,
+        rng: &mut StdRng,
+    ) -> usize {
+        let (mut w0, mut w1) = (0.0, 0.0);
+        for &i in indices.iter() {
+            if y[i] == 1 {
+                w1 += w[i];
+            } else {
+                w0 += w[i];
+            }
+        }
+        let node_weight = w0 + w1;
+        let proba = if node_weight > 0.0 { w1 / node_weight } else { 0.5 };
+        let impurity = self.params.criterion.impurity(w0, w1);
+
+        let stop = indices.len() < self.params.min_samples_split
+            || indices.len() < 2 * self.params.min_samples_leaf
+            || impurity <= 0.0
+            || self.params.max_depth.is_some_and(|d| depth >= d);
+        if stop {
+            self.nodes.push(Node::Leaf { proba });
+            return self.nodes.len() - 1;
+        }
+
+        let best = self.find_split(x, y, w, indices, impurity, node_weight, rng);
+        let Some(split) = best else {
+            self.nodes.push(Node::Leaf { proba });
+            return self.nodes.len() - 1;
+        };
+
+        // Record importance as the weighted impurity decrease at this node.
+        self.importances[split.feature] += node_weight / total_weight * split.decrease;
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| x.get(i, split.feature) <= split.threshold);
+
+        let node_pos = self.nodes.len();
+        // Placeholder; children indices are patched after recursion.
+        self.nodes.push(Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left: 0,
+            right: 0,
+        });
+        let left = self.build(x, y, w, &left_idx, depth + 1, total_weight, rng);
+        let right = self.build(x, y, w, &right_idx, depth + 1, total_weight, rng);
+        if let Node::Split {
+            left: l, right: r, ..
+        } = &mut self.nodes[node_pos]
+        {
+            *l = left;
+            *r = right;
+        }
+        node_pos
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn find_split(
+        &self,
+        x: &Matrix,
+        y: &[u8],
+        w: &[f64],
+        indices: &[usize],
+        parent_impurity: f64,
+        node_weight: f64,
+        rng: &mut StdRng,
+    ) -> Option<SplitCandidate> {
+        let k = self.params.max_features.resolve(self.n_features);
+        let mut features: Vec<usize> = (0..self.n_features).collect();
+        if k < self.n_features {
+            features.shuffle(rng);
+            features.truncate(k);
+        }
+
+        let mut best: Option<SplitCandidate> = None;
+        let mut sorted: Vec<(f64, u8, f64)> = Vec::with_capacity(indices.len());
+        for &feature in &features {
+            sorted.clear();
+            sorted.extend(
+                indices
+                    .iter()
+                    .map(|&i| (x.get(i, feature), y[i], w[i])),
+            );
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let lo = sorted[0].0;
+            let hi = sorted[sorted.len() - 1].0;
+            if lo == hi {
+                continue;
+            }
+
+            match self.params.splitter {
+                Splitter::Best => {
+                    let candidate = self.scan_best_threshold(&sorted, parent_impurity, node_weight);
+                    if let Some(c) = candidate {
+                        if best.as_ref().is_none_or(|b| c.decrease > b.decrease) {
+                            best = Some(SplitCandidate { feature, ..c });
+                        }
+                    }
+                }
+                Splitter::Random => {
+                    let threshold = rng.gen_range(lo..hi);
+                    if let Some(c) =
+                        self.evaluate_threshold(&sorted, threshold, parent_impurity, node_weight)
+                    {
+                        if best.as_ref().is_none_or(|b| c.decrease > b.decrease) {
+                            best = Some(SplitCandidate { feature, ..c });
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Scans all midpoints between adjacent distinct values.
+    fn scan_best_threshold(
+        &self,
+        sorted: &[(f64, u8, f64)],
+        parent_impurity: f64,
+        node_weight: f64,
+    ) -> Option<SplitCandidate> {
+        let n = sorted.len();
+        let (mut lw0, mut lw1) = (0.0_f64, 0.0_f64);
+        let (mut rw0, mut rw1) = (0.0_f64, 0.0_f64);
+        for &(_, label, weight) in sorted {
+            if label == 1 {
+                rw1 += weight;
+            } else {
+                rw0 += weight;
+            }
+        }
+        let mut best: Option<SplitCandidate> = None;
+        for i in 0..n - 1 {
+            let (v, label, weight) = sorted[i];
+            if label == 1 {
+                lw1 += weight;
+                rw1 -= weight;
+            } else {
+                lw0 += weight;
+                rw0 -= weight;
+            }
+            let next = sorted[i + 1].0;
+            if next <= v {
+                continue;
+            }
+            let left_count = i + 1;
+            let right_count = n - left_count;
+            if left_count < self.params.min_samples_leaf
+                || right_count < self.params.min_samples_leaf
+            {
+                continue;
+            }
+            let lw = lw0 + lw1;
+            let rw = rw0 + rw1;
+            if lw <= 0.0 || rw <= 0.0 {
+                continue;
+            }
+            let child = (lw * self.params.criterion.impurity(lw0, lw1)
+                + rw * self.params.criterion.impurity(rw0, rw1))
+                / node_weight;
+            // Ties (zero decrease) are accepted: CART must be able to make
+            // progress on symmetric problems like XOR where the first split
+            // has no immediate gain.
+            let decrease = (parent_impurity - child).max(0.0);
+            if best.as_ref().is_none_or(|b| decrease > b.decrease) {
+                best = Some(SplitCandidate {
+                    feature: 0,
+                    threshold: v + (next - v) / 2.0,
+                    decrease,
+                });
+            }
+        }
+        best
+    }
+
+    /// Evaluates one fixed threshold (random splitter).
+    fn evaluate_threshold(
+        &self,
+        sorted: &[(f64, u8, f64)],
+        threshold: f64,
+        parent_impurity: f64,
+        node_weight: f64,
+    ) -> Option<SplitCandidate> {
+        let (mut lw0, mut lw1, mut rw0, mut rw1) = (0.0, 0.0, 0.0, 0.0);
+        let mut left_count = 0usize;
+        for &(v, label, weight) in sorted {
+            let left = v <= threshold;
+            match (left, label) {
+                (true, 1) => lw1 += weight,
+                (true, _) => lw0 += weight,
+                (false, 1) => rw1 += weight,
+                (false, _) => rw0 += weight,
+            }
+            if left {
+                left_count += 1;
+            }
+        }
+        let right_count = sorted.len() - left_count;
+        if left_count < self.params.min_samples_leaf || right_count < self.params.min_samples_leaf
+        {
+            return None;
+        }
+        let lw = lw0 + lw1;
+        let rw = rw0 + rw1;
+        if lw <= 0.0 || rw <= 0.0 {
+            return None;
+        }
+        let child = (lw * self.params.criterion.impurity(lw0, lw1)
+            + rw * self.params.criterion.impurity(rw0, rw1))
+            / node_weight;
+        let decrease = (parent_impurity - child).max(0.0);
+        Some(SplitCandidate {
+            feature: 0,
+            threshold,
+            decrease,
+        })
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SplitCandidate {
+    feature: usize,
+    threshold: f64,
+    decrease: f64,
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &Matrix, y: &[u8], sample_weight: Option<&[f64]>) -> Result<(), Error> {
+        validate_fit_input(x, y, sample_weight)?;
+        if self.params.min_samples_split < 2 {
+            return Err(Error::InvalidParameter(
+                "min_samples_split must be at least 2".into(),
+            ));
+        }
+        if self.params.min_samples_leaf < 1 {
+            return Err(Error::InvalidParameter(
+                "min_samples_leaf must be at least 1".into(),
+            ));
+        }
+        self.nodes.clear();
+        self.n_features = x.cols();
+        self.importances = vec![0.0; x.cols()];
+
+        let weights: Vec<f64> = match sample_weight {
+            Some(w) => w.to_vec(),
+            None => vec![1.0; x.rows()],
+        };
+        let total_weight: f64 = weights.iter().sum();
+        if total_weight <= 0.0 {
+            return Err(Error::InvalidParameter(
+                "sample weights must not all be zero".into(),
+            ));
+        }
+        let indices: Vec<usize> = (0..x.rows()).collect();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        self.build(x, y, &weights, &indices, 0, total_weight, &mut rng);
+
+        let total: f64 = self.importances.iter().sum();
+        if total > 0.0 {
+            for imp in &mut self.importances {
+                *imp /= total;
+            }
+        }
+        Ok(())
+    }
+
+    fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
+        assert!(self.is_fitted(), "tree must be fitted before predicting");
+        assert_eq!(
+            x.cols(),
+            self.n_features,
+            "feature count must match training data"
+        );
+        x.iter_rows().map(|row| self.predict_row(row)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "DecisionTree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<u8>) {
+        // XOR needs depth >= 2 — a sanity check that recursion works.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            for k in 0..5 {
+                rows.push(vec![a + 0.01 * k as f64, b + 0.01 * k as f64]);
+                y.push(u8::from((a > 0.5) != (b > 0.5)));
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Matrix::from_rows(&refs), y)
+    }
+
+    #[test]
+    fn perfectly_separable_is_learned() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[10.0], &[11.0]]);
+        let y = vec![0, 0, 1, 1];
+        let mut t = DecisionTree::new(DecisionTreeParams::default());
+        t.fit(&x, &y, None).unwrap();
+        assert_eq!(t.predict(&x), y);
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn xor_is_learned() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::new(DecisionTreeParams::default());
+        t.fit(&x, &y, None).unwrap();
+        assert_eq!(t.predict(&x), y);
+        assert!(t.depth() >= 2);
+    }
+
+    #[test]
+    fn entropy_criterion_also_learns() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::new(DecisionTreeParams {
+            criterion: SplitCriterion::Entropy,
+            ..DecisionTreeParams::default()
+        });
+        t.fit(&x, &y, None).unwrap();
+        assert_eq!(t.predict(&x), y);
+    }
+
+    #[test]
+    fn random_splitter_learns_separable_data() {
+        let x = Matrix::from_rows(&[&[0.0], &[0.1], &[0.9], &[1.0]]);
+        let y = vec![0, 0, 1, 1];
+        let mut t = DecisionTree::new(DecisionTreeParams {
+            splitter: Splitter::Random,
+            seed: 42,
+            ..DecisionTreeParams::default()
+        });
+        t.fit(&x, &y, None).unwrap();
+        assert_eq!(t.predict(&x), y);
+    }
+
+    #[test]
+    fn max_depth_zero_yields_single_leaf() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::new(DecisionTreeParams {
+            max_depth: Some(0),
+            ..DecisionTreeParams::default()
+        });
+        t.fit(&x, &y, None).unwrap();
+        assert_eq!(t.node_count(), 1);
+        let p = t.predict_proba(&x);
+        assert!(p.iter().all(|&v| (v - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0], &[4.0], &[5.0]]);
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let mut t = DecisionTree::new(DecisionTreeParams {
+            min_samples_leaf: 3,
+            ..DecisionTreeParams::default()
+        });
+        t.fit(&x, &y, None).unwrap();
+        // Only the midpoint split keeps 3 samples per leaf.
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn importances_sum_to_one_and_pick_informative_feature() {
+        let x = Matrix::from_rows(&[
+            &[0.0, 5.0],
+            &[0.1, 5.0],
+            &[0.2, 5.0],
+            &[0.9, 5.0],
+            &[1.0, 5.0],
+            &[1.1, 5.0],
+        ]);
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let mut t = DecisionTree::new(DecisionTreeParams::default());
+        t.fit(&x, &y, None).unwrap();
+        let imp = t.feature_importances();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(imp[0] > 0.99);
+        assert!(imp[1] < 0.01);
+    }
+
+    #[test]
+    fn sample_weights_shift_the_split() {
+        // Upweighting the positive samples pulls the predicted probability.
+        let x = Matrix::from_rows(&[&[0.0], &[0.0], &[0.0], &[0.0]]);
+        let y = vec![0, 0, 0, 1];
+        let mut t = DecisionTree::new(DecisionTreeParams::default());
+        t.fit(&x, &y, Some(&[1.0, 1.0, 1.0, 9.0])).unwrap();
+        let p = t.predict_proba(&x)[0];
+        assert!((p - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        let mut t = DecisionTree::new(DecisionTreeParams {
+            min_samples_split: 1,
+            ..DecisionTreeParams::default()
+        });
+        assert!(matches!(
+            t.fit(&x, &[0, 1], None),
+            Err(Error::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_predictions() {
+        let (x, y) = xor_data();
+        let mut t = DecisionTree::new(DecisionTreeParams::default());
+        t.fit(&x, &y, None).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.predict_proba(&x), t.predict_proba(&x));
+    }
+
+    #[test]
+    fn decision_rules_describe_the_split() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[10.0], &[11.0]]);
+        let y = vec![0, 0, 1, 1];
+        let mut t = DecisionTree::new(DecisionTreeParams::default());
+        t.fit(&x, &y, None).unwrap();
+        let rules = t.decision_rules(&["cpu.util".to_string()], 0.5);
+        assert_eq!(rules.len(), 1);
+        assert!(rules[0].contains("cpu.util >"), "{}", rules[0]);
+        assert!(rules[0].contains("p=1.00"));
+        // No rule qualifies at an impossible probability floor.
+        assert!(t.decision_rules(&["cpu.util".to_string()], 1.1).is_empty());
+    }
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(MaxFeatures::All.resolve(10), 10);
+        assert_eq!(MaxFeatures::Sqrt.resolve(100), 10);
+        assert_eq!(MaxFeatures::Log2.resolve(64), 6);
+        assert_eq!(MaxFeatures::Fraction(0.25).resolve(10), 3);
+        assert_eq!(MaxFeatures::Fraction(0.001).resolve(10), 1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the core learning data structures and
+//! invariants.
+
+use monitorless_learn::metrics::{lagged_confusion, ConfusionMatrix};
+use monitorless_learn::prelude::*;
+use proptest::prelude::*;
+
+fn matrix_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-1e6_f64..1e6, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_an_involution(m in matrix_strategy(8, 8)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_with_identity_is_identity(m in matrix_strategy(6, 6)) {
+        let mut id = Matrix::zeros(m.cols(), m.cols());
+        for i in 0..m.cols() {
+            id.set(i, i, 1.0);
+        }
+        prop_assert_eq!(m.matmul(&id), m);
+    }
+
+    #[test]
+    fn hstack_then_select_recovers_left(m in matrix_strategy(5, 5)) {
+        let stacked = m.hstack(&m);
+        let left: Vec<usize> = (0..m.cols()).collect();
+        prop_assert_eq!(stacked.select_columns(&left), m);
+    }
+
+    #[test]
+    fn column_min_max_bound_all_values(m in matrix_strategy(8, 5)) {
+        let (mins, maxs) = m.column_min_max();
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                prop_assert!(m.get(r, c) >= mins[c]);
+                prop_assert!(m.get(r, c) <= maxs[c]);
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_scaler_output_is_in_unit_interval(m in matrix_strategy(10, 4)) {
+        let mut scaler = MinMaxScaler::new();
+        let t = scaler.fit_transform(&m).unwrap();
+        for v in t.as_slice() {
+            prop_assert!((0.0..=1.0).contains(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn standard_scaler_centers_columns(m in matrix_strategy(10, 4)) {
+        let mut scaler = StandardScaler::new();
+        let t = scaler.fit_transform(&m).unwrap();
+        for mean in t.column_means() {
+            prop_assert!(mean.abs() < 1e-6, "mean {mean}");
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_scores_are_bounded(
+        yt in proptest::collection::vec(0u8..=1, 1..100),
+        seed in 0u64..1000,
+    ) {
+        // Random predictions of the same length.
+        let yp: Vec<u8> = yt.iter().enumerate()
+            .map(|(i, _)| (seed as usize + i * 7).is_multiple_of(3) as u8)
+            .collect();
+        let cm = ConfusionMatrix::from_predictions(&yt, &yp);
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&cm.f1()));
+        prop_assert_eq!(cm.total(), yt.len());
+    }
+
+    #[test]
+    fn lagged_scores_never_decrease_with_k(
+        yt in proptest::collection::vec(0u8..=1, 2..80),
+        seed in 0u64..1000,
+    ) {
+        let yp: Vec<u8> = yt.iter().enumerate()
+            .map(|(i, _)| (seed as usize).wrapping_mul(31).wrapping_add(i * 13).is_multiple_of(4) as u8)
+            .collect();
+        // Forgiving more (larger k) can only move FP→TN and FN→TP.
+        let mut last_f1 = -1.0;
+        for k in 0..4 {
+            let cm = lagged_confusion(&yt, &yp, k);
+            prop_assert!(cm.f1() + 1e-12 >= last_f1, "k={k}");
+            last_f1 = cm.f1();
+        }
+    }
+
+    #[test]
+    fn forest_probabilities_stay_in_unit_interval(
+        seed in 0u64..50,
+        n in 10usize..40,
+    ) {
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..n {
+            let v = (i as f64 + seed as f64 * 0.1) % 10.0;
+            rows.push(vec![v, 10.0 - v]);
+            y.push(u8::from(i % 2 == 0));
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let mut rf = RandomForest::new(RandomForestParams {
+            n_estimators: 5,
+            seed,
+            ..RandomForestParams::default()
+        });
+        rf.fit(&x, &y, None).unwrap();
+        for p in rf.predict_proba(&x) {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn tree_training_is_deterministic(seed in 0u64..100) {
+        let x = Matrix::from_rows(&[
+            &[0.0, 3.0], &[1.0, 2.0], &[2.0, 1.0], &[3.0, 0.0],
+            &[4.0, 3.0], &[5.0, 2.0], &[6.0, 1.0], &[7.0, 0.0],
+        ]);
+        let y = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let train = |s| {
+            let mut t = DecisionTree::new(DecisionTreeParams {
+                seed: s,
+                ..DecisionTreeParams::default()
+            });
+            t.fit(&x, &y, None).unwrap();
+            t.predict_proba(&x)
+        };
+        prop_assert_eq!(train(seed), train(seed));
+    }
+
+    #[test]
+    fn kfold_covers_every_index_exactly_once(
+        n in 4usize..50,
+        k in 2usize..5,
+    ) {
+        prop_assume!(n >= k);
+        let splits = KFold::new(k).split(n).unwrap();
+        let mut seen = vec![0usize; n];
+        for (_, val) in &splits {
+            for &i in val {
+                seen[i] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1));
+    }
+}

@@ -1,0 +1,203 @@
+//! The per-node monitoring agent.
+//!
+//! One agent runs on every cloud node (paper Figure 1). Each second it
+//! receives the node's signal frames from the simulator, expands them to
+//! the full catalog, emits raw (cumulative-counter) values, and converts
+//! them back to processed per-second vectors — the exact data the
+//! orchestrator trains and predicts on.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::catalog::Catalog;
+use crate::rates::{CounterAccumulator, RateConverter};
+use crate::sample::{InstanceId, NodeId, Observation};
+use crate::signals::{ContainerSignals, HostSignals};
+
+/// Monitoring agent for one node.
+///
+/// The agent is `Send + Sync`; per-instance rate state is behind a mutex
+/// so a collection thread per node can feed a shared orchestrator.
+#[derive(Debug)]
+pub struct MonitoringAgent {
+    node: NodeId,
+    catalog: Arc<Catalog>,
+    seed: u64,
+    state: Mutex<AgentState>,
+}
+
+#[derive(Debug)]
+struct AgentState {
+    host_acc: CounterAccumulator,
+    host_rates: RateConverter,
+    containers: HashMap<InstanceId, (CounterAccumulator, RateConverter)>,
+}
+
+impl MonitoringAgent {
+    /// Creates an agent for `node` using the given catalog and noise seed.
+    pub fn new(node: NodeId, catalog: Arc<Catalog>, seed: u64) -> Self {
+        let host_kinds: Vec<_> = catalog.host_metrics().iter().map(|m| m.kind).collect();
+        MonitoringAgent {
+            node,
+            seed,
+            state: Mutex::new(AgentState {
+                host_acc: CounterAccumulator::new(host_kinds.clone()),
+                host_rates: RateConverter::new(host_kinds),
+                containers: HashMap::new(),
+            }),
+            catalog,
+        }
+    }
+
+    /// The node this agent monitors.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The catalog this agent expands against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Collects one second of data: expands signals, accumulates counters
+    /// and derives rates, producing the processed [`Observation`].
+    ///
+    /// Instances that disappear (scale-in) have their rate state dropped;
+    /// new instances start with a zero-rate first interval, exactly like a
+    /// freshly started container.
+    pub fn collect(
+        &self,
+        time: u64,
+        host: &HostSignals,
+        containers: &[(InstanceId, ContainerSignals)],
+    ) -> Observation {
+        let mut state = self.state.lock();
+
+        let host_inst = self.catalog.expand_host(host, time, self.seed);
+        let host_raw = state.host_acc.accumulate(&host_inst);
+        let host_processed = state.host_rates.convert(&host_raw, 1.0);
+
+        // Drop state for instances that no longer exist.
+        let live: Vec<InstanceId> = containers.iter().map(|(id, _)| *id).collect();
+        state.containers.retain(|id, _| live.contains(id));
+
+        let ctr_kinds: Vec<_> = self
+            .catalog
+            .container_metrics()
+            .iter()
+            .map(|m| m.kind)
+            .collect();
+        let mut out = Vec::with_capacity(containers.len());
+        for (id, signals) in containers {
+            let inst = self.catalog.expand_container(
+                signals,
+                time,
+                self.seed ^ (id.0 as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+            );
+            let (acc, conv) = state
+                .containers
+                .entry(*id)
+                .or_insert_with(|| {
+                    (
+                        CounterAccumulator::new(ctr_kinds.clone()),
+                        RateConverter::new(ctr_kinds.clone()),
+                    )
+                });
+            let raw = acc.accumulate(&inst);
+            out.push((*id, conv.convert(&raw, 1.0)));
+        }
+
+        Observation {
+            node: self.node,
+            time,
+            host: host_processed,
+            containers: out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agent() -> MonitoringAgent {
+        MonitoringAgent::new(NodeId(0), Arc::new(Catalog::standard()), 7)
+    }
+
+    #[test]
+    fn collect_produces_full_vectors() {
+        let a = agent();
+        let obs = a.collect(
+            0,
+            &HostSignals::default(),
+            &[(InstanceId(1), ContainerSignals::default())],
+        );
+        assert_eq!(obs.host.len(), 952);
+        assert_eq!(obs.containers[0].1.len(), 88);
+        assert_eq!(obs.instance_vector(InstanceId(1)).unwrap().len(), 1040);
+    }
+
+    #[test]
+    fn counter_rates_recover_after_warmup() {
+        let a = agent();
+        let cat = Catalog::standard();
+        let pswitch = cat.host_index("kernel.all.pswitch").unwrap();
+        let hs = HostSignals {
+            ctx_switch_rate: 1000.0,
+            ..HostSignals::default()
+        };
+        let first = a.collect(0, &hs, &[]);
+        assert_eq!(first.host[pswitch], 0.0, "first counter interval dropped");
+        let second = a.collect(1, &hs, &[]);
+        assert!(
+            (second.host[pswitch] - 1000.0).abs() < 150.0,
+            "rate = {}",
+            second.host[pswitch]
+        );
+    }
+
+    #[test]
+    fn departed_instances_reset_rate_state() {
+        let a = agent();
+        let cs = ContainerSignals {
+            pgfault_rate: 100.0,
+            ..ContainerSignals::default()
+        };
+        let cat = Catalog::standard();
+        let pgfault = cat.container_index("cgroup.memory.stat.pgfault").unwrap();
+        a.collect(0, &HostSignals::default(), &[(InstanceId(1), cs)]);
+        a.collect(1, &HostSignals::default(), &[(InstanceId(1), cs)]);
+        // Instance disappears, then reappears: first interval is dropped
+        // again rather than producing a huge negative/positive spike.
+        a.collect(2, &HostSignals::default(), &[]);
+        let back = a.collect(3, &HostSignals::default(), &[(InstanceId(1), cs)]);
+        assert_eq!(back.containers[0].1[pgfault], 0.0);
+    }
+
+    #[test]
+    fn agent_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MonitoringAgent>();
+    }
+
+    #[test]
+    fn different_containers_get_different_noise() {
+        let a = agent();
+        let cs = ContainerSignals {
+            tcp_conns: 50.0,
+            ..ContainerSignals::default()
+        };
+        let obs = a.collect(0, &HostSignals::default(), &[
+            (InstanceId(1), cs),
+            (InstanceId(2), cs),
+        ]);
+        let cat = Catalog::standard();
+        let conns = cat.container_index("containers.net.tcp.conns").unwrap();
+        let v1 = obs.containers[0].1[conns];
+        let v2 = obs.containers[1].1[conns];
+        assert_ne!(v1, v2);
+        assert!((v1 - 50.0).abs() < 5.0 && (v2 - 50.0).abs() < 5.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Counter accumulation and rate conversion.
+//!
+//! PCP reports most kernel metrics as monotonically increasing counters;
+//! the paper's first preprocessing step converts them to per-second rates
+//! (Section 3.1). [`CounterAccumulator`] plays the kernel's role
+//! (integrating instantaneous rates into cumulative counters) and
+//! [`RateConverter`] plays the agent's role (differentiating successive
+//! raw samples back into rates).
+
+use serde::{Deserialize, Serialize};
+
+use crate::kind::MetricKind;
+
+/// Integrates per-second rates into cumulative counter values for the
+/// counter-kind entries of a metric vector; other kinds pass through.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterAccumulator {
+    kinds: Vec<MetricKind>,
+    totals: Vec<f64>,
+}
+
+impl CounterAccumulator {
+    /// Creates an accumulator for a vector with the given kinds.
+    pub fn new(kinds: Vec<MetricKind>) -> Self {
+        let totals = vec![0.0; kinds.len()];
+        CounterAccumulator { kinds, totals }
+    }
+
+    /// Folds one tick of instantaneous values into raw "as reported"
+    /// values: counters become cumulative, everything else is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has a different length than the kinds vector.
+    pub fn accumulate(&mut self, values: &[f64]) -> Vec<f64> {
+        assert_eq!(values.len(), self.kinds.len(), "length mismatch");
+        values
+            .iter()
+            .zip(self.kinds.iter())
+            .zip(self.totals.iter_mut())
+            .map(|((&v, kind), total)| match kind {
+                MetricKind::Counter => {
+                    *total += v.max(0.0);
+                    *total
+                }
+                _ => v,
+            })
+            .collect()
+    }
+}
+
+/// Converts successive raw samples into per-second rates for counter-kind
+/// entries; other kinds pass through.
+///
+/// The first sample yields rate 0 for counters (no predecessor), matching
+/// how monitoring agents discard the first interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateConverter {
+    kinds: Vec<MetricKind>,
+    previous: Option<Vec<f64>>,
+}
+
+impl RateConverter {
+    /// Creates a converter for a vector with the given kinds.
+    pub fn new(kinds: Vec<MetricKind>) -> Self {
+        RateConverter {
+            kinds,
+            previous: None,
+        }
+    }
+
+    /// Converts one raw sample (interval `dt_seconds` since the previous
+    /// one) into the processed vector.
+    ///
+    /// Counter resets (value decreasing) are treated as a restart and
+    /// yield rate 0 for that interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` has a different length than the kinds vector, or
+    /// if `dt_seconds` is not positive.
+    pub fn convert(&mut self, raw: &[f64], dt_seconds: f64) -> Vec<f64> {
+        assert_eq!(raw.len(), self.kinds.len(), "length mismatch");
+        assert!(dt_seconds > 0.0, "dt must be positive");
+        let out: Vec<f64> = match &self.previous {
+            None => raw
+                .iter()
+                .zip(self.kinds.iter())
+                .map(|(&v, kind)| match kind {
+                    MetricKind::Counter => 0.0,
+                    _ => v,
+                })
+                .collect(),
+            Some(prev) => raw
+                .iter()
+                .zip(prev)
+                .zip(self.kinds.iter())
+                .map(|((&v, &p), kind)| match kind {
+                    MetricKind::Counter => {
+                        if v >= p {
+                            (v - p) / dt_seconds
+                        } else {
+                            0.0
+                        }
+                    }
+                    _ => v,
+                })
+                .collect(),
+        };
+        self.previous = Some(raw.to_vec());
+        out
+    }
+
+    /// Forgets the previous sample (e.g. after a container restart).
+    pub fn reset(&mut self) {
+        self.previous = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MetricKind as K;
+
+    #[test]
+    fn accumulate_then_differentiate_roundtrips() {
+        let kinds = vec![K::Counter, K::Gauge, K::Utilization];
+        let mut acc = CounterAccumulator::new(kinds.clone());
+        let mut conv = RateConverter::new(kinds);
+        let rates = [[10.0, 5.0, 50.0], [20.0, 6.0, 60.0], [30.0, 7.0, 70.0]];
+        let mut out = Vec::new();
+        for r in &rates {
+            let raw = acc.accumulate(r);
+            out.push(conv.convert(&raw, 1.0));
+        }
+        // First counter interval is dropped; later ones recover the rates.
+        assert_eq!(out[0], vec![0.0, 5.0, 50.0]);
+        assert_eq!(out[1], vec![20.0, 6.0, 60.0]);
+        assert_eq!(out[2], vec![30.0, 7.0, 70.0]);
+    }
+
+    #[test]
+    fn counters_are_monotone() {
+        let mut acc = CounterAccumulator::new(vec![K::Counter]);
+        let a = acc.accumulate(&[3.0])[0];
+        let b = acc.accumulate(&[1.0])[0];
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn counter_reset_yields_zero_rate() {
+        let mut conv = RateConverter::new(vec![K::Counter]);
+        conv.convert(&[100.0], 1.0);
+        let out = conv.convert(&[5.0], 1.0);
+        assert_eq!(out[0], 0.0);
+    }
+
+    #[test]
+    fn dt_scaling() {
+        let mut conv = RateConverter::new(vec![K::Counter]);
+        conv.convert(&[0.0], 1.0);
+        let out = conv.convert(&[10.0], 2.0);
+        assert_eq!(out[0], 5.0);
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut conv = RateConverter::new(vec![K::Counter]);
+        conv.convert(&[50.0], 1.0);
+        conv.reset();
+        let out = conv.convert(&[60.0], 1.0);
+        assert_eq!(out[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let mut conv = RateConverter::new(vec![K::Counter]);
+        let _ = conv.convert(&[1.0, 2.0], 1.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Sample types exchanged between agents and the orchestrator.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a cloud node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// Identifier of one service instance (container).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstanceId(pub u32);
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "instance{}", self.0)
+    }
+}
+
+/// One second of processed monitoring data from one node: the host
+/// metric vector plus one container vector per running instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    /// Node the observation came from.
+    pub node: NodeId,
+    /// Timestamp in seconds since experiment start.
+    pub time: u64,
+    /// Processed host metrics (rates already derived).
+    pub host: Vec<f64>,
+    /// Processed container metrics per instance.
+    pub containers: Vec<(InstanceId, Vec<f64>)>,
+}
+
+impl Observation {
+    /// The concatenated per-instance vector `M_{I,t}` = host ++ container
+    /// for the given instance, or `None` if the instance is not present.
+    ///
+    /// Multiple containers on the same node share the host part but have
+    /// different container parts (paper Section 2.3).
+    pub fn instance_vector(&self, instance: InstanceId) -> Option<Vec<f64>> {
+        self.containers.iter().find(|(id, _)| *id == instance).map(
+            |(_, ctr)| {
+                let mut v = self.host.clone();
+                v.extend_from_slice(ctr);
+                v
+            },
+        )
+    }
+
+    /// All instances present in this observation.
+    pub fn instances(&self) -> impl Iterator<Item = InstanceId> + '_ {
+        self.containers.iter().map(|(id, _)| *id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instance_vector_concatenates() {
+        let obs = Observation {
+            node: NodeId(0),
+            time: 3,
+            host: vec![1.0, 2.0],
+            containers: vec![(InstanceId(7), vec![3.0]), (InstanceId(8), vec![4.0])],
+        };
+        assert_eq!(obs.instance_vector(InstanceId(7)).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(obs.instance_vector(InstanceId(8)).unwrap(), vec![1.0, 2.0, 4.0]);
+        assert!(obs.instance_vector(InstanceId(9)).is_none());
+        assert_eq!(obs.instances().count(), 2);
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(NodeId(2).to_string(), "node2");
+        assert_eq!(InstanceId(5).to_string(), "instance5");
+    }
+}

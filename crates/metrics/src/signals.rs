@@ -1,0 +1,314 @@
+//! The signal layer: the physical quantities a simulator provides each
+//! second, from which the full metric catalog is expanded.
+//!
+//! Real PCP exports hundreds of metrics, but most are per-device or
+//! per-protocol refinements of a much smaller set of underlying
+//! quantities (total CPU time, bytes moved, established connections, …).
+//! The catalog references these signals symbolically via [`HostSignal`]
+//! and [`ContainerSignal`].
+
+use serde::{Deserialize, Serialize};
+
+/// Host-level quantities for one node at one second.
+///
+/// Utilizations are fractions in `[0, 1]`; rates are per second; byte
+/// quantities are bytes (totals) or bytes/second (rates).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct HostSignals {
+    /// Overall CPU utilization.
+    pub cpu_util: f64,
+    /// User-mode share of CPU time.
+    pub cpu_user: f64,
+    /// System-mode share of CPU time.
+    pub cpu_sys: f64,
+    /// I/O-wait share of CPU time.
+    pub cpu_iowait: f64,
+    /// Context switches per second.
+    pub ctx_switch_rate: f64,
+    /// Interrupts per second.
+    pub intr_rate: f64,
+    /// System calls per second.
+    pub syscall_rate: f64,
+    /// Number of processes.
+    pub nprocs: f64,
+    /// Runnable processes.
+    pub runnable: f64,
+    /// 1-minute load average.
+    pub load1: f64,
+    /// Memory utilization.
+    pub mem_util: f64,
+    /// Used memory in bytes.
+    pub mem_used_bytes: f64,
+    /// Page-cache size in bytes.
+    pub mem_cached_bytes: f64,
+    /// Dirty pages in bytes.
+    pub mem_dirty_bytes: f64,
+    /// Pages paged in per second.
+    pub pgin_rate: f64,
+    /// Pages paged out per second.
+    pub pgout_rate: f64,
+    /// Page faults per second.
+    pub pgfault_rate: f64,
+    /// Swap activity (pages/second).
+    pub swap_rate: f64,
+    /// Network bytes received per second.
+    pub net_in_bytes: f64,
+    /// Network bytes sent per second.
+    pub net_out_bytes: f64,
+    /// Packets received per second.
+    pub net_in_pkts: f64,
+    /// Packets sent per second.
+    pub net_out_pkts: f64,
+    /// Network errors per second.
+    pub net_err_rate: f64,
+    /// Network utilization (fraction of link capacity).
+    pub net_util: f64,
+    /// Currently established TCP connections.
+    pub tcp_estab: f64,
+    /// TCP sockets in use.
+    pub tcp_inuse: f64,
+    /// TCP segments retransmitted per second.
+    pub tcp_retrans: f64,
+    /// Disk bytes read per second.
+    pub disk_read_bytes: f64,
+    /// Disk bytes written per second.
+    pub disk_write_bytes: f64,
+    /// Disk operations per second.
+    pub disk_iops: f64,
+    /// Average disk queue length (`disk.all.aveq` in PCP).
+    pub disk_aveq: f64,
+    /// Disk busy fraction.
+    pub disk_util: f64,
+    /// Free inodes.
+    pub inodes_free: f64,
+}
+
+/// Symbolic reference to one [`HostSignals`] field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum HostSignal {
+    CpuUtil,
+    CpuUser,
+    CpuSys,
+    CpuIowait,
+    CtxSwitchRate,
+    IntrRate,
+    SyscallRate,
+    NProcs,
+    Runnable,
+    Load1,
+    MemUtil,
+    MemUsedBytes,
+    MemCachedBytes,
+    MemDirtyBytes,
+    PgInRate,
+    PgOutRate,
+    PgFaultRate,
+    SwapRate,
+    NetInBytes,
+    NetOutBytes,
+    NetInPkts,
+    NetOutPkts,
+    NetErrRate,
+    NetUtil,
+    TcpEstab,
+    TcpInuse,
+    TcpRetrans,
+    DiskReadBytes,
+    DiskWriteBytes,
+    DiskIops,
+    DiskAveq,
+    DiskUtil,
+    InodesFree,
+}
+
+impl HostSignal {
+    /// Reads the referenced field.
+    pub fn value(self, s: &HostSignals) -> f64 {
+        match self {
+            HostSignal::CpuUtil => s.cpu_util,
+            HostSignal::CpuUser => s.cpu_user,
+            HostSignal::CpuSys => s.cpu_sys,
+            HostSignal::CpuIowait => s.cpu_iowait,
+            HostSignal::CtxSwitchRate => s.ctx_switch_rate,
+            HostSignal::IntrRate => s.intr_rate,
+            HostSignal::SyscallRate => s.syscall_rate,
+            HostSignal::NProcs => s.nprocs,
+            HostSignal::Runnable => s.runnable,
+            HostSignal::Load1 => s.load1,
+            HostSignal::MemUtil => s.mem_util,
+            HostSignal::MemUsedBytes => s.mem_used_bytes,
+            HostSignal::MemCachedBytes => s.mem_cached_bytes,
+            HostSignal::MemDirtyBytes => s.mem_dirty_bytes,
+            HostSignal::PgInRate => s.pgin_rate,
+            HostSignal::PgOutRate => s.pgout_rate,
+            HostSignal::PgFaultRate => s.pgfault_rate,
+            HostSignal::SwapRate => s.swap_rate,
+            HostSignal::NetInBytes => s.net_in_bytes,
+            HostSignal::NetOutBytes => s.net_out_bytes,
+            HostSignal::NetInPkts => s.net_in_pkts,
+            HostSignal::NetOutPkts => s.net_out_pkts,
+            HostSignal::NetErrRate => s.net_err_rate,
+            HostSignal::NetUtil => s.net_util,
+            HostSignal::TcpEstab => s.tcp_estab,
+            HostSignal::TcpInuse => s.tcp_inuse,
+            HostSignal::TcpRetrans => s.tcp_retrans,
+            HostSignal::DiskReadBytes => s.disk_read_bytes,
+            HostSignal::DiskWriteBytes => s.disk_write_bytes,
+            HostSignal::DiskIops => s.disk_iops,
+            HostSignal::DiskAveq => s.disk_aveq,
+            HostSignal::DiskUtil => s.disk_util,
+            HostSignal::InodesFree => s.inodes_free,
+        }
+    }
+}
+
+/// Container-level quantities for one service instance at one second.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ContainerSignals {
+    /// CPU utilization relative to the container's limit, in `[0, 1]`.
+    pub cpu_util: f64,
+    /// Absolute CPU usage in cores.
+    pub cpu_usage_cores: f64,
+    /// cgroup CFS throttle events per second.
+    pub throttled_rate: f64,
+    /// cgroup CFS enforcement periods per second.
+    pub periods_rate: f64,
+    /// Memory utilization relative to the limit, in `[0, 1]`.
+    pub mem_util: f64,
+    /// Memory usage in bytes.
+    pub mem_usage_bytes: f64,
+    /// Page-cache bytes charged to the container.
+    pub mem_cache_bytes: f64,
+    /// Memory-mapped bytes.
+    pub mem_mapped_bytes: f64,
+    /// Active file-backed pages (bytes).
+    pub mem_active_file: f64,
+    /// Inactive file-backed pages (bytes).
+    pub mem_inactive_file: f64,
+    /// Inactive anonymous pages (bytes).
+    pub mem_inactive_anon: f64,
+    /// Kernel-stack bytes.
+    pub kernel_stack: f64,
+    /// Page faults per second.
+    pub pgfault_rate: f64,
+    /// Bytes received per second.
+    pub net_in_bytes: f64,
+    /// Bytes sent per second.
+    pub net_out_bytes: f64,
+    /// Open TCP connections.
+    pub tcp_conns: f64,
+    /// Disk bytes read per second.
+    pub disk_read_bytes: f64,
+    /// Disk bytes written per second.
+    pub disk_write_bytes: f64,
+    /// Block-I/O queue depth.
+    pub disk_queue: f64,
+    /// Processes in the container.
+    pub nprocs: f64,
+    /// Threads in the container.
+    pub nthreads: f64,
+}
+
+/// Symbolic reference to one [`ContainerSignals`] field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum ContainerSignal {
+    CpuUtil,
+    CpuUsageCores,
+    ThrottledRate,
+    PeriodsRate,
+    MemUtil,
+    MemUsageBytes,
+    MemCacheBytes,
+    MemMappedBytes,
+    MemActiveFile,
+    MemInactiveFile,
+    MemInactiveAnon,
+    KernelStack,
+    PgFaultRate,
+    NetInBytes,
+    NetOutBytes,
+    TcpConns,
+    DiskReadBytes,
+    DiskWriteBytes,
+    DiskQueue,
+    NProcs,
+    NThreads,
+}
+
+impl ContainerSignal {
+    /// Reads the referenced field.
+    pub fn value(self, s: &ContainerSignals) -> f64 {
+        match self {
+            ContainerSignal::CpuUtil => s.cpu_util,
+            ContainerSignal::CpuUsageCores => s.cpu_usage_cores,
+            ContainerSignal::ThrottledRate => s.throttled_rate,
+            ContainerSignal::PeriodsRate => s.periods_rate,
+            ContainerSignal::MemUtil => s.mem_util,
+            ContainerSignal::MemUsageBytes => s.mem_usage_bytes,
+            ContainerSignal::MemCacheBytes => s.mem_cache_bytes,
+            ContainerSignal::MemMappedBytes => s.mem_mapped_bytes,
+            ContainerSignal::MemActiveFile => s.mem_active_file,
+            ContainerSignal::MemInactiveFile => s.mem_inactive_file,
+            ContainerSignal::MemInactiveAnon => s.mem_inactive_anon,
+            ContainerSignal::KernelStack => s.kernel_stack,
+            ContainerSignal::PgFaultRate => s.pgfault_rate,
+            ContainerSignal::NetInBytes => s.net_in_bytes,
+            ContainerSignal::NetOutBytes => s.net_out_bytes,
+            ContainerSignal::TcpConns => s.tcp_conns,
+            ContainerSignal::DiskReadBytes => s.disk_read_bytes,
+            ContainerSignal::DiskWriteBytes => s.disk_write_bytes,
+            ContainerSignal::DiskQueue => s.disk_queue,
+            ContainerSignal::NProcs => s.nprocs,
+            ContainerSignal::NThreads => s.nthreads,
+        }
+    }
+}
+
+/// Where a catalog metric gets its value from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SignalSource {
+    /// A host signal scaled by `weight`.
+    Host(HostSignal),
+    /// A container signal scaled by `weight`.
+    Container(ContainerSignal),
+    /// A fixed hardware-inventory constant.
+    Constant(f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_signal_reads_right_field() {
+        let s = HostSignals {
+            cpu_util: 0.7,
+            tcp_estab: 42.0,
+            ..HostSignals::default()
+        };
+        assert_eq!(HostSignal::CpuUtil.value(&s), 0.7);
+        assert_eq!(HostSignal::TcpEstab.value(&s), 42.0);
+        assert_eq!(HostSignal::DiskAveq.value(&s), 0.0);
+    }
+
+    #[test]
+    fn container_signal_reads_right_field() {
+        let s = ContainerSignals {
+            cpu_util: 0.95,
+            mem_mapped_bytes: 1024.0,
+            ..ContainerSignals::default()
+        };
+        assert_eq!(ContainerSignal::CpuUtil.value(&s), 0.95);
+        assert_eq!(ContainerSignal::MemMappedBytes.value(&s), 1024.0);
+    }
+
+    #[test]
+    fn signals_are_serializable() {
+        let s = HostSignals::default();
+        let back: HostSignals =
+            serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the metric model.
+
+use monitorless_metrics::catalog::{pseudo_noise, Catalog};
+use monitorless_metrics::kind::MetricKind;
+use monitorless_metrics::rates::{CounterAccumulator, RateConverter};
+use monitorless_metrics::signals::{ContainerSignals, HostSignals};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn accumulate_then_rate_recovers_inputs(
+        rates in proptest::collection::vec(0.0_f64..1e7, 2..30),
+    ) {
+        let kinds = vec![MetricKind::Counter];
+        let mut acc = CounterAccumulator::new(kinds.clone());
+        let mut conv = RateConverter::new(kinds);
+        let mut out = Vec::new();
+        for r in &rates {
+            let raw = acc.accumulate(&[*r]);
+            out.push(conv.convert(&raw, 1.0)[0]);
+        }
+        // First interval is dropped; the rest roundtrip.
+        for (i, r) in rates.iter().enumerate().skip(1) {
+            prop_assert!((out[i] - r).abs() < 1e-6 * (1.0 + r));
+        }
+    }
+
+    #[test]
+    fn counters_are_monotone_under_any_input(
+        values in proptest::collection::vec(-100.0_f64..1e6, 1..30),
+    ) {
+        let mut acc = CounterAccumulator::new(vec![MetricKind::Counter]);
+        let mut last = 0.0;
+        for v in values {
+            let raw = acc.accumulate(&[v])[0];
+            prop_assert!(raw >= last);
+            last = raw;
+        }
+    }
+
+    #[test]
+    fn pseudo_noise_is_bounded_and_deterministic(
+        idx in 0u64..10_000,
+        t in 0u64..10_000,
+        seed in 0u64..1000,
+    ) {
+        let n = pseudo_noise(idx, t, seed);
+        prop_assert!((-1.0..=1.0).contains(&n));
+        prop_assert_eq!(n, pseudo_noise(idx, t, seed));
+    }
+
+    #[test]
+    fn host_expansion_is_nonnegative_and_sized(
+        cpu in 0.0_f64..1.0,
+        net in 0.0_f64..1e9,
+        t in 0u64..500,
+    ) {
+        let catalog = Catalog::standard();
+        let hs = HostSignals {
+            cpu_util: cpu,
+            cpu_user: cpu * 0.7,
+            net_in_bytes: net,
+            ..HostSignals::default()
+        };
+        let v = catalog.expand_host(&hs, t, 1);
+        prop_assert_eq!(v.len(), 952);
+        prop_assert!(v.iter().all(|&x| x >= 0.0 && x.is_finite()));
+    }
+
+    #[test]
+    fn container_utilization_metric_tracks_signal(util in 0.0_f64..1.0) {
+        let catalog = Catalog::standard();
+        let cs = ContainerSignals {
+            cpu_util: util,
+            ..ContainerSignals::default()
+        };
+        let v = catalog.expand_container(&cs, 0, 0);
+        let idx = catalog.container_index("containers.cpu.util").unwrap();
+        prop_assert!((v[idx] - util * 100.0).abs() < 5.0 + util * 5.0);
+    }
+
+    #[test]
+    fn bytes_preprocessing_is_monotone(a in 0.0_f64..1e12, b in 0.0_f64..1e12) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(MetricKind::Bytes.preprocess(lo) <= MetricKind::Bytes.preprocess(hi));
+    }
+}

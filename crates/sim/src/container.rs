@@ -1,0 +1,473 @@
+//! Per-container resource and queueing model.
+
+use monitorless_metrics::signals::ContainerSignals;
+use monitorless_metrics::InstanceId;
+use serde::{Deserialize, Serialize};
+
+use crate::resources::{ContainerLimits, NodeSpec};
+use crate::service::ServiceProfile;
+
+/// The resource class limiting a container's throughput — the
+/// vocabulary of Table 1's *Bottleneck* column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Bottleneck {
+    /// Not saturated.
+    None,
+    /// cgroup CPU limit reached (CFS throttling).
+    ContainerCpu,
+    /// Host CPU exhausted by co-located load.
+    HostCpu,
+    /// Disk bandwidth exhausted.
+    IoBandwidth,
+    /// Disk queue built up by cache misses (memory-constrained).
+    IoQueue,
+    /// Blocked on synchronous writes (low-rate, write-heavy).
+    IoWait,
+    /// Network link saturated.
+    Network,
+    /// Memory bandwidth / working-set churn.
+    MemBandwidth,
+}
+
+impl std::fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Bottleneck::None => "-",
+            Bottleneck::ContainerCpu => "Container-CPU",
+            Bottleneck::HostCpu => "Host-CPU",
+            Bottleneck::IoBandwidth => "IO-Bandwidth",
+            Bottleneck::IoQueue => "IO-Queue",
+            Bottleneck::IoWait => "IO-Wait",
+            Bottleneck::Network => "Network-Util.",
+            Bottleneck::MemBandwidth => "Mem-Bandwidth",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Raw resource demands of one container at one tick, before contention.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Demands {
+    /// CPU cores needed to serve the offered load.
+    pub cpu_cores: f64,
+    /// Disk read bytes/s (including cache-miss spill).
+    pub disk_read_bps: f64,
+    /// Disk write bytes/s.
+    pub disk_write_bps: f64,
+    /// Network in bytes/s.
+    pub net_in_bps: f64,
+    /// Network out bytes/s.
+    pub net_out_bps: f64,
+}
+
+/// Result of evaluating one container for one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainerTick {
+    /// Requests/second actually served.
+    pub achieved_rps: f64,
+    /// Requests/second dropped (queue overflow / 3 s timeout).
+    pub dropped_rps: f64,
+    /// Average response time of served requests, milliseconds.
+    pub response_ms: f64,
+    /// Limiting resource this tick.
+    pub bottleneck: Bottleneck,
+    /// Utilization of the binding resource (0..1).
+    pub utilization: f64,
+    /// Signals for the monitoring agent.
+    pub signals: ContainerSignals,
+}
+
+/// Mutable per-container state that persists across ticks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContainerState {
+    /// Backlog of queued requests.
+    pub queue: f64,
+    /// Current resident working set in GiB (approaches the target).
+    pub mem_usage_gb: f64,
+}
+
+/// A running container: a service profile plus limits plus state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Container {
+    id: InstanceId,
+    profile: ServiceProfile,
+    limits: ContainerLimits,
+    state: ContainerState,
+}
+
+/// Requests time out after three seconds (the paper's load generators
+/// drop requests that take longer).
+pub const TIMEOUT_MS: f64 = 3000.0;
+
+impl Container {
+    /// Creates a container for `profile` with the given limits.
+    pub fn new(id: InstanceId, profile: ServiceProfile, limits: ContainerLimits) -> Self {
+        let mem0 = profile.mem_base_gb * 0.5;
+        Container {
+            id,
+            profile,
+            limits,
+            state: ContainerState {
+                queue: 0.0,
+                mem_usage_gb: mem0,
+            },
+        }
+    }
+
+    /// The container's instance id.
+    pub fn id(&self) -> InstanceId {
+        self.id
+    }
+
+    /// The service profile.
+    pub fn profile(&self) -> &ServiceProfile {
+        &self.profile
+    }
+
+    /// The resource limits.
+    pub fn limits(&self) -> &ContainerLimits {
+        &self.limits
+    }
+
+    /// Current persistent state.
+    pub fn state(&self) -> &ContainerState {
+        &self.state
+    }
+
+    /// Cache-miss ratio implied by the current memory pressure.
+    fn miss_ratio(&self, node: &NodeSpec, rps: f64) -> f64 {
+        let target = self.profile.mem_target_gb(rps);
+        let avail = self.limits.effective_memory(node);
+        if target <= avail || target <= 0.0 {
+            0.0
+        } else {
+            ((target - avail) / target).clamp(0.0, 0.95)
+        }
+    }
+
+    /// Pass 1: resource demands for the offered load (including queued
+    /// backlog), before any contention is applied.
+    pub fn demands(&self, node: &NodeSpec, offered_rps: f64) -> Demands {
+        let work = offered_rps + self.state.queue;
+        let miss = self.miss_ratio(node, offered_rps);
+        let cpu_limit = self.limits.effective_cpu(node);
+        Demands {
+            cpu_cores: work * self.profile.effective_cpu_ms(cpu_limit) / 1000.0,
+            disk_read_bps: work
+                * (self.profile.disk_read_per_req + miss * self.profile.disk_spill_per_req),
+            disk_write_bps: work * self.profile.disk_write_per_req,
+            net_in_bps: work * self.profile.net_in_per_req,
+            net_out_bps: work * self.profile.net_out_per_req,
+        }
+    }
+
+    /// Pass 2: evaluates the tick given the contention factors computed
+    /// by the node (`1.0` = uncontended, `<1` = scaled back).
+    ///
+    /// `host_cpu_share` is the fraction of this container's CPU demand the
+    /// host can actually supply after co-location contention; `disk_share`
+    /// and `net_share` likewise for disk bandwidth and the network link.
+    pub fn evaluate(
+        &mut self,
+        node: &NodeSpec,
+        offered_rps: f64,
+        host_cpu_share: f64,
+        disk_share: f64,
+        net_share: f64,
+    ) -> ContainerTick {
+        let profile = &self.profile;
+        let work = offered_rps + self.state.queue;
+        let miss = self.miss_ratio(node, offered_rps);
+
+        // --- capacities per resource ---
+        let cpu_limit = self.limits.effective_cpu(node);
+        let eff_cpu_ms = profile.effective_cpu_ms(cpu_limit);
+        let cpu_needed = work * eff_cpu_ms / 1000.0;
+        let cpu_granted = cpu_needed.min(cpu_limit) * host_cpu_share;
+        let cap_cpu = if profile.cpu_ms_per_req > 0.0 {
+            cpu_limit * host_cpu_share * 1000.0 / eff_cpu_ms
+        } else {
+            f64::INFINITY
+        };
+
+        let disk_per_req = profile.disk_read_per_req
+            + profile.disk_write_per_req
+            + miss * profile.disk_spill_per_req;
+        let cap_disk = if disk_per_req > 0.0 {
+            node.disk_bytes_per_sec() * disk_share / disk_per_req
+        } else {
+            f64::INFINITY
+        };
+
+        let net_per_req = profile.net_in_per_req + profile.net_out_per_req;
+        let cap_net = if net_per_req > 0.0 {
+            node.net_bytes_per_sec() * net_share / net_per_req
+        } else {
+            f64::INFINITY
+        };
+
+        // Memory-bandwidth ceiling: when the working set churns (high
+        // miss ratio on a memory-bound service), effective capacity drops
+        // even before disk saturates.
+        let cap_mem = if miss > 0.0 && profile.disk_spill_per_req > 0.0 {
+            cap_disk * (1.0 - 0.3 * miss)
+        } else {
+            f64::INFINITY
+        };
+
+        let capacity = cap_cpu.min(cap_disk).min(cap_net).min(cap_mem).max(1e-9);
+
+        // --- serve work, update queue, drop timeouts ---
+        let achieved = work.min(capacity);
+        let leftover = (work - achieved).max(0.0);
+        // Backlog beyond TIMEOUT_MS worth of capacity is dropped.
+        let queue_cap = capacity * (TIMEOUT_MS / 1000.0);
+        let queue = leftover.min(queue_cap);
+        let dropped = leftover - queue;
+        self.state.queue = queue;
+
+        // --- response time ---
+        let rho = (work / capacity).min(0.995);
+        let queue_wait_ms = if capacity > 0.0 {
+            1000.0 * queue / capacity
+        } else {
+            0.0
+        };
+        let base = profile.base_latency_ms * (1.0 + 2.0 * miss);
+        let response_ms = (base / (1.0 - rho) + queue_wait_ms).min(TIMEOUT_MS);
+
+        // --- memory state relaxes toward the target ---
+        let target = profile
+            .mem_target_gb(offered_rps)
+            .min(self.limits.effective_memory(node));
+        self.state.mem_usage_gb += 0.2 * (target - self.state.mem_usage_gb);
+
+        // --- bottleneck attribution ---
+        let utilization = rho;
+        let saturated = rho > 0.9 || dropped > 0.0;
+        let bottleneck = if !saturated {
+            Bottleneck::None
+        } else if capacity == cap_cpu {
+            if self.limits.cpu_cores.is_some() && host_cpu_share >= 0.999 {
+                Bottleneck::ContainerCpu
+            } else {
+                Bottleneck::HostCpu
+            }
+        } else if capacity == cap_net {
+            Bottleneck::Network
+        } else if capacity == cap_mem {
+            Bottleneck::MemBandwidth
+        } else if miss > 0.05 {
+            Bottleneck::IoQueue
+        } else if profile.disk_write_per_req > profile.disk_read_per_req && achieved < 500.0 {
+            Bottleneck::IoWait
+        } else {
+            Bottleneck::IoBandwidth
+        };
+
+        // --- signals for the agent ---
+        let cpu_used = cpu_granted.min(cpu_limit);
+        let throttled = if self.limits.cpu_cores.is_some() && cpu_needed > cpu_limit {
+            10.0 * ((cpu_needed - cpu_limit) / cpu_needed).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let mem_limit = self.limits.effective_memory(node);
+        let usage_bytes = self.state.mem_usage_gb * 1024.0 * 1024.0 * 1024.0;
+        let cache_frac = (profile.mem_base_gb / profile.mem_target_gb(offered_rps).max(1e-9))
+            .clamp(0.0, 1.0);
+        let signals = ContainerSignals {
+            cpu_util: (cpu_used / cpu_limit.max(1e-9)).clamp(0.0, 1.0),
+            cpu_usage_cores: cpu_used,
+            throttled_rate: throttled,
+            periods_rate: 10.0,
+            mem_util: (self.state.mem_usage_gb / mem_limit.max(1e-9)).clamp(0.0, 1.0),
+            mem_usage_bytes: usage_bytes,
+            mem_cache_bytes: usage_bytes * cache_frac * 0.6,
+            mem_mapped_bytes: usage_bytes * 0.15,
+            mem_active_file: usage_bytes * cache_frac * 0.35,
+            mem_inactive_file: usage_bytes * cache_frac * 0.25,
+            mem_inactive_anon: usage_bytes * (1.0 - cache_frac) * 0.3,
+            kernel_stack: (profile.procs_base + profile.threads_per_rps * achieved) * 16_384.0,
+            pgfault_rate: achieved * (5.0 + 200.0 * miss),
+            net_in_bytes: achieved * profile.net_in_per_req,
+            net_out_bytes: achieved * profile.net_out_per_req,
+            tcp_conns: profile.conns_per_rps * offered_rps + 2.0,
+            disk_read_bytes: achieved
+                * (profile.disk_read_per_req + miss * profile.disk_spill_per_req),
+            disk_write_bytes: achieved * profile.disk_write_per_req,
+            disk_queue: if cap_disk.is_finite() {
+                (work / cap_disk).powi(2).min(64.0)
+            } else {
+                0.0
+            },
+            nprocs: profile.procs_base,
+            nthreads: profile.procs_base * 4.0 + profile.threads_per_rps * work,
+        };
+
+        ContainerTick {
+            achieved_rps: achieved,
+            dropped_rps: dropped,
+            response_ms,
+            bottleneck,
+            utilization,
+            signals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> NodeSpec {
+        NodeSpec::training_server()
+    }
+
+    fn cpu_container(limit_cores: Option<f64>) -> Container {
+        let limits = match limit_cores {
+            Some(c) => ContainerLimits::cpu(c),
+            None => ContainerLimits::unlimited(),
+        };
+        // 10 ms/request: 100 rps per core.
+        Container::new(
+            InstanceId(0),
+            ServiceProfile::test_cpu_bound("svc", 10.0),
+            limits,
+        )
+    }
+
+    #[test]
+    fn low_load_is_unsaturated_and_fast() {
+        let mut c = cpu_container(Some(1.0));
+        let tick = c.evaluate(&node(), 10.0, 1.0, 1.0, 1.0);
+        assert_eq!(tick.bottleneck, Bottleneck::None);
+        assert!((tick.achieved_rps - 10.0).abs() < 1e-9);
+        assert_eq!(tick.dropped_rps, 0.0);
+        assert!(tick.response_ms < 10.0);
+    }
+
+    #[test]
+    fn cpu_limit_caps_throughput() {
+        let mut c = cpu_container(Some(1.0)); // capacity 100 rps
+        let tick = c.evaluate(&node(), 200.0, 1.0, 1.0, 1.0);
+        assert!((tick.achieved_rps - 100.0).abs() < 1.0);
+        assert_eq!(tick.bottleneck, Bottleneck::ContainerCpu);
+        assert!(tick.signals.cpu_util > 0.99);
+        assert!(tick.signals.throttled_rate > 0.0);
+    }
+
+    #[test]
+    fn response_time_grows_with_utilization() {
+        let mut c = cpu_container(Some(1.0));
+        let r_low = c.evaluate(&node(), 10.0, 1.0, 1.0, 1.0).response_ms;
+        let mut c = cpu_container(Some(1.0));
+        let r_high = c.evaluate(&node(), 95.0, 1.0, 1.0, 1.0).response_ms;
+        assert!(r_high > 3.0 * r_low, "{r_low} -> {r_high}");
+    }
+
+    #[test]
+    fn sustained_overload_fills_queue_then_drops() {
+        let mut c = cpu_container(Some(1.0));
+        let mut dropped = 0.0;
+        for _ in 0..10 {
+            dropped += c.evaluate(&node(), 200.0, 1.0, 1.0, 1.0).dropped_rps;
+        }
+        assert!(c.state().queue > 0.0);
+        assert!(dropped > 0.0, "overload must eventually drop requests");
+        let tick = c.evaluate(&node(), 200.0, 1.0, 1.0, 1.0);
+        assert_eq!(tick.response_ms, TIMEOUT_MS);
+    }
+
+    #[test]
+    fn queue_drains_after_load_drops() {
+        let mut c = cpu_container(Some(1.0));
+        for _ in 0..5 {
+            c.evaluate(&node(), 150.0, 1.0, 1.0, 1.0);
+        }
+        assert!(c.state().queue > 0.0);
+        for _ in 0..10 {
+            c.evaluate(&node(), 10.0, 1.0, 1.0, 1.0);
+        }
+        assert!(c.state().queue < 1.0);
+    }
+
+    #[test]
+    fn host_contention_shrinks_capacity() {
+        let mut c = cpu_container(Some(2.0)); // 200 rps uncontended
+        let tick = c.evaluate(&node(), 150.0, 0.5, 1.0, 1.0);
+        assert!((tick.achieved_rps - 100.0).abs() < 1.0);
+        assert_eq!(tick.bottleneck, Bottleneck::HostCpu);
+    }
+
+    #[test]
+    fn memory_pressure_spills_to_disk() {
+        let mut profile = ServiceProfile::test_cpu_bound("memc", 0.05);
+        profile.mem_base_gb = 10.0;
+        profile.disk_spill_per_req = 64.0 * 1024.0;
+        profile.disk_read_per_req = 0.0;
+        profile.disk_write_per_req = 0.0;
+        let mut limited = Container::new(
+            InstanceId(1),
+            profile.clone(),
+            ContainerLimits::memory(4.0),
+        );
+        let mut unlimited = Container::new(InstanceId(2), profile, ContainerLimits::unlimited());
+        let t_lim = limited.evaluate(&node(), 5000.0, 1.0, 1.0, 1.0);
+        let t_unl = unlimited.evaluate(&node(), 5000.0, 1.0, 1.0, 1.0);
+        assert!(t_lim.signals.disk_read_bytes > 1e6);
+        assert!(t_unl.signals.disk_read_bytes < 1.0);
+        assert!(t_lim.signals.pgfault_rate > t_unl.signals.pgfault_rate);
+        assert!(t_lim.response_ms > t_unl.response_ms);
+    }
+
+    #[test]
+    fn memory_saturation_reports_io_class_bottleneck() {
+        let mut profile = ServiceProfile::test_cpu_bound("memc", 0.05);
+        profile.mem_base_gb = 10.0;
+        profile.disk_spill_per_req = 512.0 * 1024.0;
+        profile.disk_read_per_req = 0.0;
+        profile.disk_write_per_req = 0.0;
+        let mut c = Container::new(InstanceId(1), profile, ContainerLimits::memory(4.0));
+        // Push hard enough that the spill path saturates the disk.
+        let mut last = None;
+        for _ in 0..5 {
+            last = Some(c.evaluate(&node(), 50_000.0, 1.0, 1.0, 1.0));
+        }
+        let tick = last.unwrap();
+        assert!(matches!(
+            tick.bottleneck,
+            Bottleneck::IoQueue | Bottleneck::MemBandwidth
+        ));
+    }
+
+    #[test]
+    fn network_bound_service_saturates_link() {
+        let mut profile = ServiceProfile::test_cpu_bound("net", 0.01);
+        profile.net_out_per_req = 200_000.0; // 200 KB responses
+        let mut c = Container::new(InstanceId(3), profile, ContainerLimits::unlimited());
+        // 10 Gb/s = 1.25 GB/s => ~6250 rps ceiling.
+        let tick = c.evaluate(&node(), 20_000.0, 1.0, 1.0, 1.0);
+        assert_eq!(tick.bottleneck, Bottleneck::Network);
+        assert!(tick.achieved_rps < 7000.0);
+    }
+
+    #[test]
+    fn mem_usage_relaxes_toward_target() {
+        let mut c = cpu_container(None);
+        let initial = c.state().mem_usage_gb;
+        for _ in 0..30 {
+            c.evaluate(&node(), 10.0, 1.0, 1.0, 1.0);
+        }
+        let settled = c.state().mem_usage_gb;
+        assert!((settled - 0.5).abs() < 0.05, "settled at {settled}");
+        assert!(initial < settled);
+    }
+
+    #[test]
+    fn bottleneck_display_matches_table1_vocabulary() {
+        assert_eq!(Bottleneck::ContainerCpu.to_string(), "Container-CPU");
+        assert_eq!(Bottleneck::IoBandwidth.to_string(), "IO-Bandwidth");
+        assert_eq!(Bottleneck::Network.to_string(), "Network-Util.");
+    }
+}

@@ -1,0 +1,629 @@
+//! The cluster simulation engine.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use monitorless_metrics::catalog::Catalog;
+use monitorless_metrics::signals::HostSignals;
+use monitorless_metrics::{InstanceId, MonitoringAgent, NodeId, Observation};
+use serde::{Deserialize, Serialize};
+
+use crate::container::{Container, ContainerTick};
+use crate::kpi::AppKpi;
+use crate::resources::{ContainerLimits, NodeSpec};
+use crate::service::ServiceProfile;
+
+/// Identifier of an application in a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AppId(pub u32);
+
+/// Definition of one service within an application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceRole {
+    /// Service name, unique within the application.
+    pub name: String,
+    /// Resource demand profile.
+    pub profile: ServiceProfile,
+    /// Average visits to this service per end-to-end request.
+    pub fanout: f64,
+    /// Resource limits applied to each instance of this service.
+    pub limits: ContainerLimits,
+}
+
+#[derive(Debug)]
+struct ServiceEntry {
+    role: ServiceRole,
+    instances: Vec<InstanceId>,
+}
+
+/// One application: a set of services, each with ≥1 instances.
+#[derive(Debug)]
+pub struct Application {
+    name: String,
+    services: Vec<ServiceEntry>,
+}
+
+impl Application {
+    /// The application's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Names of the application's services.
+    pub fn service_names(&self) -> Vec<&str> {
+        self.services.iter().map(|s| s.role.name.as_str()).collect()
+    }
+
+    /// All instance ids across all services.
+    pub fn instances(&self) -> Vec<InstanceId> {
+        self.services
+            .iter()
+            .flat_map(|s| s.instances.iter().copied())
+            .collect()
+    }
+
+    /// Instances of one service.
+    pub fn instances_of(&self, service: &str) -> Vec<InstanceId> {
+        self.services
+            .iter()
+            .filter(|s| s.role.name == service)
+            .flat_map(|s| s.instances.iter().copied())
+            .collect()
+    }
+}
+
+/// Per-tick output of [`Cluster::step`].
+#[derive(Debug)]
+pub struct TickReport {
+    /// Tick timestamp (seconds since start).
+    pub time: u64,
+    /// One processed observation per node (agent output).
+    pub observations: Vec<Observation>,
+    /// Application KPIs.
+    pub kpis: Vec<(AppId, AppKpi)>,
+    /// Per-container evaluation details (bottlenecks, drops, …).
+    pub containers: Vec<(InstanceId, ContainerTick)>,
+}
+
+impl TickReport {
+    /// KPI of one application.
+    pub fn kpi(&self, app: AppId) -> Option<&AppKpi> {
+        self.kpis.iter().find(|(a, _)| *a == app).map(|(_, k)| k)
+    }
+
+    /// Container tick details of one instance.
+    pub fn container(&self, id: InstanceId) -> Option<&ContainerTick> {
+        self.containers
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, t)| t)
+    }
+}
+
+/// A simulated cloud: nodes with monitoring agents, containers, and
+/// applications.
+#[derive(Debug)]
+pub struct Cluster {
+    nodes: Vec<(NodeId, NodeSpec, MonitoringAgent)>,
+    containers: HashMap<InstanceId, (NodeId, Container)>,
+    apps: Vec<Application>,
+    catalog: Arc<Catalog>,
+    next_instance: u32,
+    time: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster with the given nodes; `seed` drives all
+    /// measurement noise.
+    pub fn new(specs: Vec<NodeSpec>, seed: u64) -> Self {
+        let catalog = Arc::new(Catalog::standard());
+        let nodes = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let id = NodeId(i as u32);
+                (
+                    id,
+                    spec,
+                    MonitoringAgent::new(id, Arc::clone(&catalog), seed ^ (i as u64) << 32),
+                )
+            })
+            .collect();
+        Cluster {
+            nodes,
+            containers: HashMap::new(),
+            apps: Vec::new(),
+            catalog,
+            next_instance: 0,
+            time: 0,
+        }
+    }
+
+    /// The shared metric catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time(&self) -> u64 {
+        self.time
+    }
+
+    /// Node ids in the cluster.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(|(id, _, _)| *id).collect()
+    }
+
+    /// Registers a new application.
+    pub fn add_app(&mut self, name: &str) -> AppId {
+        self.apps.push(Application {
+            name: name.to_string(),
+            services: Vec::new(),
+        });
+        AppId(self.apps.len() as u32 - 1)
+    }
+
+    /// The application with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is stale.
+    pub fn app(&self, id: AppId) -> &Application {
+        &self.apps[id.0 as usize]
+    }
+
+    /// Adds a service to an application and starts its first instance on
+    /// `node`. Returns the instance id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `app` or `node` is unknown.
+    pub fn add_service(&mut self, app: AppId, role: ServiceRole, node: NodeId) -> InstanceId {
+        assert!(
+            self.nodes.iter().any(|(id, _, _)| *id == node),
+            "unknown node {node}"
+        );
+        let entry = ServiceEntry {
+            role,
+            instances: Vec::new(),
+        };
+        self.apps[app.0 as usize].services.push(entry);
+        let svc_idx = self.apps[app.0 as usize].services.len() - 1;
+        self.spawn_instance(app, svc_idx, node)
+    }
+
+    /// Starts an additional instance (scale-out) of `service` on `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application has no service with that name or the
+    /// node is unknown.
+    pub fn scale_out(&mut self, app: AppId, service: &str, node: NodeId) -> InstanceId {
+        assert!(
+            self.nodes.iter().any(|(id, _, _)| *id == node),
+            "unknown node {node}"
+        );
+        let svc_idx = self.apps[app.0 as usize]
+            .services
+            .iter()
+            .position(|s| s.role.name == service)
+            .unwrap_or_else(|| panic!("unknown service {service}"));
+        self.spawn_instance(app, svc_idx, node)
+    }
+
+    fn spawn_instance(&mut self, app: AppId, svc_idx: usize, node: NodeId) -> InstanceId {
+        let id = InstanceId(self.next_instance);
+        self.next_instance += 1;
+        let role = &self.apps[app.0 as usize].services[svc_idx].role;
+        let container = Container::new(id, role.profile.clone(), role.limits);
+        self.containers.insert(id, (node, container));
+        self.apps[app.0 as usize].services[svc_idx].instances.push(id);
+        id
+    }
+
+    /// Stops an instance (scale-in). Keeps at least one instance per
+    /// service: removing the last instance is rejected.
+    ///
+    /// Returns `true` if the instance was removed.
+    pub fn scale_in(&mut self, id: InstanceId) -> bool {
+        for app in &mut self.apps {
+            for svc in &mut app.services {
+                if let Some(pos) = svc.instances.iter().position(|&i| i == id) {
+                    if svc.instances.len() <= 1 {
+                        return false;
+                    }
+                    svc.instances.remove(pos);
+                    self.containers.remove(&id);
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Which node an instance runs on.
+    pub fn node_of(&self, id: InstanceId) -> Option<NodeId> {
+        self.containers.get(&id).map(|(n, _)| *n)
+    }
+
+    /// Which `(application, service-name)` an instance belongs to.
+    pub fn owner_of(&self, id: InstanceId) -> Option<(AppId, &str)> {
+        for (ai, app) in self.apps.iter().enumerate() {
+            for svc in &app.services {
+                if svc.instances.contains(&id) {
+                    return Some((AppId(ai as u32), svc.role.name.as_str()));
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of running containers.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Advances the simulation by one second with the given offered load
+    /// per application (applications not listed get zero load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a load entry references an unknown application.
+    pub fn step(&mut self, loads: &[(AppId, f64)]) -> TickReport {
+        let t = self.time;
+
+        // Offered load per instance.
+        let mut offered: HashMap<InstanceId, f64> = HashMap::new();
+        for &(app_id, load) in loads {
+            let app = &self.apps[app_id.0 as usize];
+            for svc in &app.services {
+                if svc.instances.is_empty() {
+                    continue;
+                }
+                let per_instance = load * svc.role.fanout / svc.instances.len() as f64;
+                for &inst in &svc.instances {
+                    *offered.entry(inst).or_insert(0.0) += per_instance;
+                }
+            }
+        }
+
+        // Pass 1: demands, aggregated per node.
+        #[derive(Default, Clone, Copy)]
+        struct NodeDemand {
+            cpu: f64,
+            disk: f64,
+            net: f64,
+        }
+        let mut node_demand: HashMap<NodeId, NodeDemand> = HashMap::new();
+        for (id, (node_id, container)) in &self.containers {
+            let spec = self.spec_of(*node_id);
+            let load = offered.get(id).copied().unwrap_or(0.0);
+            let d = container.demands(&spec, load);
+            let nd = node_demand.entry(*node_id).or_default();
+            // Demand the host actually sees is capped by the cgroup limit.
+            nd.cpu += d.cpu_cores.min(container.limits().effective_cpu(&spec));
+            nd.disk += d.disk_read_bps + d.disk_write_bps;
+            nd.net += d.net_in_bps + d.net_out_bps;
+        }
+
+        // Contention factors per node.
+        let mut factors: HashMap<NodeId, (f64, f64, f64)> = HashMap::new();
+        for (node_id, spec, _) in &self.nodes {
+            let d = node_demand.get(node_id).copied().unwrap_or_default();
+            let cpu_share = if d.cpu > spec.cores { spec.cores / d.cpu } else { 1.0 };
+            let disk_share = if d.disk > spec.disk_bytes_per_sec() {
+                spec.disk_bytes_per_sec() / d.disk
+            } else {
+                1.0
+            };
+            let net_share = if d.net > spec.net_bytes_per_sec() {
+                spec.net_bytes_per_sec() / d.net
+            } else {
+                1.0
+            };
+            factors.insert(*node_id, (cpu_share, disk_share, net_share));
+        }
+
+        // Pass 2: evaluate containers.
+        let mut ticks: Vec<(InstanceId, ContainerTick)> = Vec::new();
+        let mut ids: Vec<InstanceId> = self.containers.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let (node_id, container) = self.containers.get_mut(&id).expect("id from keys");
+            let spec = match self
+                .nodes
+                .iter()
+                .find(|(n, _, _)| n == node_id)
+            {
+                Some((_, s, _)) => *s,
+                None => continue,
+            };
+            let (cpu_s, disk_s, net_s) = factors[node_id];
+            let load = offered.get(&id).copied().unwrap_or(0.0);
+            let tick = container.evaluate(&spec, load, cpu_s, disk_s, net_s);
+            ticks.push((id, tick));
+        }
+
+        // KPIs per application.
+        let mut kpis = Vec::new();
+        for &(app_id, load) in loads {
+            let app = &self.apps[app_id.0 as usize];
+            let mut success = 1.0_f64;
+            let mut rt = 0.0;
+            for svc in &app.services {
+                if svc.instances.is_empty() {
+                    continue;
+                }
+                let mut svc_offered = 0.0;
+                let mut svc_achieved = 0.0;
+                let mut svc_rt = 0.0;
+                for &inst in &svc.instances {
+                    if let Some((_, tick)) = ticks.iter().find(|(i, _)| *i == inst) {
+                        svc_offered += offered.get(&inst).copied().unwrap_or(0.0);
+                        svc_achieved += tick.achieved_rps;
+                        svc_rt += tick.response_ms;
+                    }
+                }
+                let svc_rt_avg = svc_rt / svc.instances.len() as f64;
+                // Other applications may share these instances' offered
+                // load; attribute proportionally.
+                let frac = if svc_offered > 0.0 {
+                    (svc_achieved / svc_offered).min(1.0)
+                } else {
+                    1.0
+                };
+                success *= frac;
+                rt += svc.role.fanout * svc_rt_avg;
+            }
+            let throughput = load * success;
+            kpis.push((
+                app_id,
+                AppKpi {
+                    offered_rps: load,
+                    throughput_rps: throughput,
+                    response_ms: rt,
+                    dropped_rps: load - throughput,
+                },
+            ));
+        }
+
+        // Host signals and agent collection per node.
+        let mut observations = Vec::new();
+        for (node_id, spec, agent) in &self.nodes {
+            let mut cpu_used = 0.0;
+            let mut disk_read = 0.0;
+            let mut disk_write = 0.0;
+            let mut net_in = 0.0;
+            let mut net_out = 0.0;
+            let mut conns = 0.0;
+            let mut procs = 0.0;
+            let mut queue = 0.0;
+            let mut pgfault = 0.0;
+            let mut mem_used = 6.0; // GiB of host OS overhead
+            let mut ctr_signals = Vec::new();
+            for (id, tick) in &ticks {
+                if self.containers.get(id).map(|(n, _)| *n) != Some(*node_id) {
+                    continue;
+                }
+                let s = &tick.signals;
+                cpu_used += s.cpu_usage_cores;
+                disk_read += s.disk_read_bytes;
+                disk_write += s.disk_write_bytes;
+                net_in += s.net_in_bytes;
+                net_out += s.net_out_bytes;
+                conns += s.tcp_conns;
+                procs += s.nprocs;
+                queue += s.disk_queue;
+                pgfault += s.pgfault_rate;
+                mem_used += s.mem_usage_bytes / (1024.0 * 1024.0 * 1024.0);
+                ctr_signals.push((*id, *s));
+            }
+            let cpu_util = (cpu_used / spec.cores).clamp(0.0, 1.0);
+            let disk_bps = disk_read + disk_write;
+            let disk_util = (disk_bps / spec.disk_bytes_per_sec()).clamp(0.0, 1.0);
+            let net_util = ((net_in + net_out) / spec.net_bytes_per_sec()).clamp(0.0, 1.0);
+            let mem_util = (mem_used / spec.memory_gb).clamp(0.0, 1.0);
+            let iowait = 0.3 * disk_util * (1.0 - cpu_util);
+            let host = HostSignals {
+                cpu_util,
+                cpu_user: cpu_util * 0.72,
+                cpu_sys: cpu_util * 0.25,
+                cpu_iowait: iowait,
+                ctx_switch_rate: 2000.0 + 40.0 * conns + 8000.0 * cpu_util * spec.cores,
+                intr_rate: 1000.0 + (net_in + net_out) / 6000.0,
+                syscall_rate: 5000.0 + 100.0 * conns,
+                nprocs: 180.0 + procs,
+                runnable: cpu_util * spec.cores * 1.2,
+                load1: cpu_util * spec.cores + queue * 0.5,
+                mem_util,
+                mem_used_bytes: mem_used * 1024.0 * 1024.0 * 1024.0,
+                mem_cached_bytes: (spec.memory_gb - mem_used).max(0.0) * 0.4 * 1024.0
+                    * 1024.0
+                    * 1024.0,
+                mem_dirty_bytes: disk_write * 2.0,
+                pgin_rate: disk_read / 4096.0,
+                pgout_rate: disk_write / 4096.0,
+                pgfault_rate: pgfault + 500.0,
+                swap_rate: if mem_util > 0.95 { (mem_util - 0.95) * 1e5 } else { 0.0 },
+                net_in_bytes: net_in,
+                net_out_bytes: net_out,
+                net_in_pkts: net_in / 800.0,
+                net_out_pkts: net_out / 800.0,
+                net_err_rate: net_util * net_util * 20.0,
+                net_util,
+                tcp_estab: conns + 15.0,
+                tcp_inuse: conns * 1.2 + 30.0,
+                tcp_retrans: net_util.powi(3) * 200.0,
+                disk_read_bytes: disk_read,
+                disk_write_bytes: disk_write,
+                disk_iops: disk_bps / 16_384.0,
+                disk_aveq: queue,
+                disk_util,
+                inodes_free: 1_500_000.0 - 100.0 * procs,
+            };
+            observations.push(agent.collect(t, &host, &ctr_signals));
+        }
+
+        self.time += 1;
+        TickReport {
+            time: t,
+            observations,
+            kpis,
+            containers: ticks,
+        }
+    }
+
+    fn spec_of(&self, node: NodeId) -> NodeSpec {
+        self.nodes
+            .iter()
+            .find(|(id, _, _)| *id == node)
+            .map(|(_, s, _)| *s)
+            .expect("node exists")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_node_cluster() -> (Cluster, AppId, InstanceId) {
+        let mut cluster = Cluster::new(vec![NodeSpec::training_server()], 1);
+        let app = cluster.add_app("svc-app");
+        let inst = cluster.add_service(
+            app,
+            ServiceRole {
+                name: "web".into(),
+                profile: ServiceProfile::test_cpu_bound("web", 10.0),
+                fanout: 1.0,
+                limits: ContainerLimits::cpu(1.0),
+            },
+            NodeId(0),
+        );
+        (cluster, app, inst)
+    }
+
+    #[test]
+    fn step_produces_observations_and_kpis() {
+        let (mut cluster, app, inst) = one_node_cluster();
+        let report = cluster.step(&[(app, 50.0)]);
+        assert_eq!(report.observations.len(), 1);
+        assert_eq!(report.observations[0].host.len(), 952);
+        assert!(report.observations[0].instance_vector(inst).is_some());
+        let kpi = report.kpi(app).unwrap();
+        assert!((kpi.throughput_rps - 50.0).abs() < 1.0);
+        assert!(kpi.response_ms < 100.0);
+    }
+
+    #[test]
+    fn overload_degrades_kpi() {
+        let (mut cluster, app, _) = one_node_cluster();
+        // Capacity is ~100 rps; offered 300 rps must eventually drop.
+        let mut last = None;
+        for _ in 0..10 {
+            last = Some(cluster.step(&[(app, 300.0)]));
+        }
+        let report = last.unwrap();
+        let kpi = report.kpi(app).unwrap();
+        assert!(kpi.throughput_rps < 150.0);
+        assert!(kpi.dropped_rps > 0.0);
+        assert!(kpi.response_ms > 1000.0);
+    }
+
+    #[test]
+    fn scale_out_increases_capacity() {
+        let (mut cluster, app, _) = one_node_cluster();
+        for _ in 0..5 {
+            cluster.step(&[(app, 300.0)]);
+        }
+        let before = cluster.step(&[(app, 300.0)]).kpi(app).unwrap().throughput_rps;
+        let extra = cluster.scale_out(app, "web", NodeId(0));
+        // Let queues drain relative to the new capacity.
+        for _ in 0..10 {
+            cluster.step(&[(app, 300.0)]);
+        }
+        let after = cluster.step(&[(app, 300.0)]).kpi(app).unwrap().throughput_rps;
+        assert!(after > before * 1.5, "{before} -> {after}");
+        assert!(cluster.scale_in(extra));
+        assert_eq!(cluster.container_count(), 1);
+    }
+
+    #[test]
+    fn scale_in_keeps_last_instance() {
+        let (mut cluster, app, inst) = one_node_cluster();
+        assert!(!cluster.scale_in(inst));
+        let _ = app;
+        assert_eq!(cluster.container_count(), 1);
+    }
+
+    #[test]
+    fn colocated_containers_interfere() {
+        let mut cluster = Cluster::new(vec![NodeSpec::m3()], 2); // 8 cores
+        let a = cluster.add_app("a");
+        let b = cluster.add_app("b");
+        // Each wants 6 cores at full load: together they exceed the node.
+        for (app, name) in [(a, "sa"), (b, "sb")] {
+            cluster.add_service(
+                app,
+                ServiceRole {
+                    name: name.into(),
+                    profile: ServiceProfile::test_cpu_bound(name, 10.0),
+                    fanout: 1.0,
+                    limits: ContainerLimits::unlimited(),
+                },
+                NodeId(0),
+            );
+        }
+        // Alone, app A at 590 rps (5.9 cores) is fine.
+        let solo = cluster.step(&[(a, 590.0)]);
+        assert!(solo.kpi(a).unwrap().response_ms < 200.0);
+        // Together, 590 + 590 rps exceed 8 cores: both degrade.
+        let mut both = None;
+        for _ in 0..8 {
+            both = Some(cluster.step(&[(a, 590.0), (b, 590.0)]));
+        }
+        let both = both.unwrap();
+        assert!(both.kpi(a).unwrap().response_ms > solo.kpi(a).unwrap().response_ms * 2.0);
+        assert!(both.kpi(b).unwrap().dropped_rps > 0.0);
+    }
+
+    #[test]
+    fn owner_and_node_lookup() {
+        let (cluster, app, inst) = one_node_cluster();
+        assert_eq!(cluster.node_of(inst), Some(NodeId(0)));
+        let (owner, svc) = cluster.owner_of(inst).unwrap();
+        assert_eq!(owner, app);
+        assert_eq!(svc, "web");
+        assert_eq!(cluster.app(app).instances(), vec![inst]);
+    }
+
+    #[test]
+    fn multi_service_chain_sums_response_times() {
+        let mut cluster = Cluster::new(vec![NodeSpec::training_server()], 3);
+        let app = cluster.add_app("chain");
+        for name in ["front", "back"] {
+            cluster.add_service(
+                app,
+                ServiceRole {
+                    name: name.into(),
+                    profile: ServiceProfile::test_cpu_bound(name, 5.0),
+                    fanout: 1.0,
+                    limits: ContainerLimits::unlimited(),
+                },
+                NodeId(0),
+            );
+        }
+        let report = cluster.step(&[(app, 10.0)]);
+        let kpi = report.kpi(app).unwrap();
+        // Two services, each ~5 ms base latency.
+        assert!(kpi.response_ms > 9.0 && kpi.response_ms < 30.0);
+    }
+
+    #[test]
+    fn time_advances() {
+        let (mut cluster, app, _) = one_node_cluster();
+        assert_eq!(cluster.time(), 0);
+        cluster.step(&[(app, 1.0)]);
+        cluster.step(&[(app, 1.0)]);
+        assert_eq!(cluster.time(), 2);
+    }
+}

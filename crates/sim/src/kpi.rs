@@ -1,0 +1,76 @@
+//! Application-level key performance indicators.
+
+use serde::{Deserialize, Serialize};
+
+/// KPIs of one application for one second — the quantities the paper
+/// uses for labeling (never as model input).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AppKpi {
+    /// Offered load in requests/second.
+    pub offered_rps: f64,
+    /// Achieved end-to-end throughput in requests/second.
+    pub throughput_rps: f64,
+    /// Average end-to-end response time over the request fan-out,
+    /// milliseconds.
+    pub response_ms: f64,
+    /// Requests/second dropped (timeouts / queue overflow) anywhere in
+    /// the service chain.
+    pub dropped_rps: f64,
+}
+
+impl AppKpi {
+    /// Fraction of offered requests that failed; 0.0 at zero load.
+    pub fn failure_fraction(&self) -> f64 {
+        if self.offered_rps <= 0.0 {
+            return 0.0;
+        }
+        (self.dropped_rps / self.offered_rps).clamp(0.0, 1.0)
+    }
+
+    /// Whether this second violates the paper's TeaStore SLO
+    /// (Section 4.2.2): average response time above 750 ms, any dropped
+    /// request, or more than 10% failures.
+    pub fn violates_slo(&self, rt_limit_ms: f64) -> bool {
+        self.response_ms > rt_limit_ms
+            || self.dropped_rps > 0.0 && self.failure_fraction() > 0.10
+            || self.dropped_rps > 0.5 && self.offered_rps > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_fraction_bounds() {
+        let k = AppKpi {
+            offered_rps: 100.0,
+            throughput_rps: 80.0,
+            response_ms: 50.0,
+            dropped_rps: 20.0,
+        };
+        assert!((k.failure_fraction() - 0.2).abs() < 1e-12);
+        assert_eq!(AppKpi::default().failure_fraction(), 0.0);
+    }
+
+    #[test]
+    fn slo_violation_cases() {
+        let healthy = AppKpi {
+            offered_rps: 100.0,
+            throughput_rps: 100.0,
+            response_ms: 100.0,
+            dropped_rps: 0.0,
+        };
+        assert!(!healthy.violates_slo(750.0));
+        let slow = AppKpi {
+            response_ms: 900.0,
+            ..healthy
+        };
+        assert!(slow.violates_slo(750.0));
+        let dropping = AppKpi {
+            dropped_rps: 5.0,
+            ..healthy
+        };
+        assert!(dropping.violates_slo(750.0));
+    }
+}

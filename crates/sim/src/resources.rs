@@ -1,0 +1,162 @@
+//! Node hardware specifications and container resource limits.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware of one cloud node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Number of physical cores.
+    pub cores: f64,
+    /// Memory in GiB.
+    pub memory_gb: f64,
+    /// Network capacity in Gbit/s.
+    pub net_gbps: f64,
+    /// Aggregate disk bandwidth in MiB/s.
+    pub disk_mbps: f64,
+    /// Maximum disk IOPS.
+    pub disk_iops: f64,
+}
+
+impl NodeSpec {
+    /// The paper's training machine: HP ProLiant DL380 Gen9, 48-core
+    /// Xeon E5-2680 v3, 125 GiB RAM, 10 Gb network (Section 3.2.2).
+    pub fn training_server() -> Self {
+        NodeSpec {
+            cores: 48.0,
+            memory_gb: 125.0,
+            net_gbps: 10.0,
+            disk_mbps: 400.0,
+            disk_iops: 20_000.0,
+        }
+    }
+
+    /// Evaluation machine M1: 10-core E5-2650 v3, 32 GiB, 1 Gb LAN
+    /// (Section 4.2.1).
+    pub fn m1() -> Self {
+        NodeSpec {
+            cores: 10.0,
+            memory_gb: 32.0,
+            net_gbps: 1.0,
+            disk_mbps: 250.0,
+            disk_iops: 12_000.0,
+        }
+    }
+
+    /// Evaluation machine M2: 12-core E5-2650 v4, 32 GiB, 1 Gb LAN.
+    pub fn m2() -> Self {
+        NodeSpec {
+            cores: 12.0,
+            memory_gb: 32.0,
+            net_gbps: 1.0,
+            disk_mbps: 250.0,
+            disk_iops: 12_000.0,
+        }
+    }
+
+    /// Evaluation machine M3: 8-core E5-2640 v3, 32 GiB, 1 Gb LAN.
+    pub fn m3() -> Self {
+        NodeSpec {
+            cores: 8.0,
+            memory_gb: 32.0,
+            net_gbps: 1.0,
+            disk_mbps: 250.0,
+            disk_iops: 12_000.0,
+        }
+    }
+
+    /// Network capacity in bytes per second.
+    pub fn net_bytes_per_sec(&self) -> f64 {
+        self.net_gbps * 1e9 / 8.0
+    }
+
+    /// Disk bandwidth in bytes per second.
+    pub fn disk_bytes_per_sec(&self) -> f64 {
+        self.disk_mbps * 1024.0 * 1024.0
+    }
+}
+
+/// cgroup-style resource limits of one container
+/// (a dash "–" in the paper's Table 1 means no limit).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ContainerLimits {
+    /// CPU limit in cores (`None` = host-limited).
+    pub cpu_cores: Option<f64>,
+    /// Memory limit in GiB (`None` = host-limited).
+    pub memory_gb: Option<f64>,
+}
+
+impl ContainerLimits {
+    /// No limits (the "–/–" rows of Table 1).
+    pub fn unlimited() -> Self {
+        ContainerLimits::default()
+    }
+
+    /// CPU-only limit.
+    pub fn cpu(cores: f64) -> Self {
+        ContainerLimits {
+            cpu_cores: Some(cores),
+            memory_gb: None,
+        }
+    }
+
+    /// Memory-only limit.
+    pub fn memory(gb: f64) -> Self {
+        ContainerLimits {
+            cpu_cores: None,
+            memory_gb: Some(gb),
+        }
+    }
+
+    /// Both limits.
+    pub fn cpu_and_memory(cores: f64, gb: f64) -> Self {
+        ContainerLimits {
+            cpu_cores: Some(cores),
+            memory_gb: Some(gb),
+        }
+    }
+
+    /// Effective CPU ceiling given the host's core count.
+    pub fn effective_cpu(&self, node: &NodeSpec) -> f64 {
+        self.cpu_cores.unwrap_or(node.cores).min(node.cores)
+    }
+
+    /// Effective memory ceiling (GiB) given the host.
+    pub fn effective_memory(&self, node: &NodeSpec) -> f64 {
+        self.memory_gb.unwrap_or(node.memory_gb).min(node.memory_gb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machines_match_section_4() {
+        assert_eq!(NodeSpec::training_server().cores, 48.0);
+        assert_eq!(NodeSpec::m1().cores, 10.0);
+        assert_eq!(NodeSpec::m2().cores, 12.0);
+        assert_eq!(NodeSpec::m3().cores, 8.0);
+        assert_eq!(NodeSpec::m1().net_gbps, 1.0);
+        assert_eq!(NodeSpec::training_server().net_gbps, 10.0);
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let n = NodeSpec::training_server();
+        assert!((n.net_bytes_per_sec() - 1.25e9).abs() < 1.0);
+        assert!((n.disk_bytes_per_sec() - 400.0 * 1048576.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn effective_limits_respect_host() {
+        let node = NodeSpec::m3(); // 8 cores, 32 GiB
+        assert_eq!(ContainerLimits::unlimited().effective_cpu(&node), 8.0);
+        assert_eq!(ContainerLimits::cpu(3.0).effective_cpu(&node), 3.0);
+        assert_eq!(ContainerLimits::cpu(20.0).effective_cpu(&node), 8.0);
+        assert_eq!(ContainerLimits::memory(8.0).effective_memory(&node), 8.0);
+        assert_eq!(
+            ContainerLimits::unlimited().effective_memory(&node),
+            32.0
+        );
+    }
+}

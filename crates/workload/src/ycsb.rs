@@ -1,0 +1,109 @@
+//! YCSB core workload classes.
+//!
+//! The paper drives Cassandra with the Yahoo! Cloud Serving Benchmark
+//! classes A, B, D and F (Section 3.2.1). Each class fixes a read/write
+//! mix, which determines how a request stresses CPU versus disk in the
+//! service demand model.
+
+use serde::{Deserialize, Serialize};
+
+/// A YCSB core workload class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum YcsbClass {
+    /// Update heavy: 50% reads / 50% writes.
+    A,
+    /// Read heavy: 95% reads / 5% writes.
+    B,
+    /// Read latest: inserts records and reads the most recent ones.
+    D,
+    /// Read-modify-write: reads a record, modifies it, writes it back.
+    F,
+}
+
+impl YcsbClass {
+    /// Fraction of operations that are reads.
+    pub fn read_fraction(self) -> f64 {
+        match self {
+            YcsbClass::A => 0.5,
+            YcsbClass::B => 0.95,
+            YcsbClass::D => 0.95,
+            YcsbClass::F => 0.5,
+        }
+    }
+
+    /// Fraction of operations that are writes (inserts/updates).
+    pub fn write_fraction(self) -> f64 {
+        1.0 - self.read_fraction()
+    }
+
+    /// Relative disk pressure per operation compared to class B reads.
+    ///
+    /// Writes touch the commit log and memtables; read-modify-write (F)
+    /// pays for both sides. Read-latest (D) is cache friendly.
+    pub fn disk_weight(self) -> f64 {
+        match self {
+            YcsbClass::A => 1.4,
+            YcsbClass::B => 1.0,
+            YcsbClass::D => 0.7,
+            YcsbClass::F => 1.8,
+        }
+    }
+
+    /// Relative CPU demand per operation compared to class B.
+    pub fn cpu_weight(self) -> f64 {
+        match self {
+            YcsbClass::A => 1.1,
+            YcsbClass::B => 1.0,
+            YcsbClass::D => 0.9,
+            YcsbClass::F => 1.5,
+        }
+    }
+
+    /// All classes used by the paper's training runs.
+    pub fn all() -> [YcsbClass; 4] {
+        [YcsbClass::A, YcsbClass::B, YcsbClass::D, YcsbClass::F]
+    }
+}
+
+impl std::fmt::Display for YcsbClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = match self {
+            YcsbClass::A => 'A',
+            YcsbClass::B => 'B',
+            YcsbClass::D => 'D',
+            YcsbClass::F => 'F',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_sum_to_one() {
+        for c in YcsbClass::all() {
+            assert!((c.read_fraction() + c.write_fraction() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn class_a_is_update_heavy() {
+        assert_eq!(YcsbClass::A.read_fraction(), 0.5);
+        assert!(YcsbClass::B.read_fraction() > 0.9);
+    }
+
+    #[test]
+    fn f_is_most_expensive() {
+        for c in [YcsbClass::A, YcsbClass::B, YcsbClass::D] {
+            assert!(YcsbClass::F.disk_weight() > c.disk_weight());
+            assert!(YcsbClass::F.cpu_weight() > c.cpu_weight());
+        }
+    }
+
+    #[test]
+    fn display_matches_letter() {
+        assert_eq!(YcsbClass::D.to_string(), "D");
+    }
+}

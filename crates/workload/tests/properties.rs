@@ -1,0 +1,72 @@
+//! Property-based tests for load profiles.
+
+use monitorless_workload::{
+    ConstantProfile, DailyPatternProfile, LoadProfile, LocustProfile, NoisyProfile, RampProfile,
+    ShiftedProfile, SineProfile, SteppedProfile, SumProfile,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn all_profiles_are_nonnegative(
+        t in 0u64..5000,
+        seed in 0u64..100,
+        max in 1.0_f64..5000.0,
+    ) {
+        let profiles: Vec<Box<dyn LoadProfile>> = vec![
+            Box::new(SineProfile::new(1.0, max, 500, 1000)),
+            Box::new(NoisyProfile::new(SineProfile::new(1.0, max, 500, 1000), 0.5, 50.0, seed)),
+            Box::new(ConstantProfile::new(max, 1000)),
+            Box::new(RampProfile::new(0.0, max, 1000)),
+            Box::new(SteppedProfile::range(1.0, max, 5, 100)),
+            Box::new(LocustProfile::new(max, 700, 300)),
+            Box::new(DailyPatternProfile::new(10.0, max, 300, 1000, seed)),
+        ];
+        for p in &profiles {
+            prop_assert!(p.intensity(t) >= 0.0);
+            prop_assert!(p.intensity(t).is_finite());
+        }
+    }
+
+    #[test]
+    fn sine_stays_within_bounds(
+        min in 0.0_f64..100.0,
+        extra in 1.0_f64..1000.0,
+        period in 10u64..500,
+        t in 0u64..2000,
+    ) {
+        let p = SineProfile::new(min, min + extra, period, 1000);
+        let v = p.intensity(t);
+        prop_assert!(v >= min - 1e-9 && v <= min + extra + 1e-9);
+    }
+
+    #[test]
+    fn shifting_preserves_values(
+        offset in 0u64..500,
+        t in 0u64..1000,
+    ) {
+        let base = RampProfile::new(0.0, 100.0, 400);
+        let shifted = ShiftedProfile::new(RampProfile::new(0.0, 100.0, 400), offset);
+        if t >= offset {
+            prop_assert_eq!(shifted.intensity(t), base.intensity(t - offset));
+        } else {
+            prop_assert_eq!(shifted.intensity(t), 0.0);
+        }
+    }
+
+    #[test]
+    fn sum_profile_is_additive(t in 0u64..2000, rate in 0.1_f64..10.0) {
+        let sum = SumProfile::new(vec![
+            Box::new(ConstantProfile::new(rate, 1000)),
+            Box::new(ConstantProfile::new(2.0 * rate, 1000)),
+        ]);
+        prop_assert!((sum.intensity(t) - 3.0 * rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noisy_profile_is_deterministic_per_seed(seed in 0u64..1000, t in 0u64..1000) {
+        let a = NoisyProfile::new(SineProfile::sin1000(1000), 0.35, 60.0, seed);
+        let b = NoisyProfile::new(SineProfile::sin1000(1000), 0.35, 60.0, seed);
+        prop_assert_eq!(a.intensity(t), b.intensity(t));
+    }
+}

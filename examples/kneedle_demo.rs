@@ -1,0 +1,51 @@
+//! Figure 2 demo: ramp a simulated Solr service, smooth the throughput
+//! curve with Savitzky-Golay, and find the knee with Kneedle.
+//!
+//! ```sh
+//! cargo run --example kneedle_demo --release [-- --csv]
+//! ```
+//!
+//! With `--csv` the three series (observed, smoothed, difference) are
+//! printed as CSV — the data behind the paper's Figure 2.
+
+use monitorless::experiments::fig2::{run, Fig2Options};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let csv = std::env::args().any(|a| a == "--csv");
+    let data = run(&Fig2Options::default())?;
+    if csv {
+        print!("{}", data.to_csv());
+        return Ok(());
+    }
+
+    println!("Figure 2 — Kneedle on a linearly increasing Solr load\n");
+    println!(
+        "knee detected at workload {:.0} req/s, KPI threshold Y = {:.1} req/s (strength {:.3})",
+        data.knee.x, data.knee.y, data.knee.strength
+    );
+    println!("candidate knees at indices: {:?}\n", data.knee.candidates);
+
+    // A small ASCII sketch of the observed and difference curves.
+    let n = data.workload.len();
+    let max_tp = data.observed.iter().cloned().fold(0.0, f64::max);
+    println!("observed throughput (#) and difference curve (*), 60 columns:");
+    for row in (0..12).rev() {
+        let mut line = String::new();
+        for col in 0..60 {
+            let i = col * n / 60;
+            let tp_level = (data.observed[i] / max_tp * 12.0) as usize;
+            let diff_level = (data.difference[i].max(0.0) * 12.0 / 0.5) as usize;
+            line.push(if tp_level == row {
+                '#'
+            } else if diff_level == row {
+                '*'
+            } else {
+                ' '
+            });
+        }
+        println!("{line}");
+    }
+    println!("{}", "-".repeat(60));
+    println!("workload 0 .. {:.0} req/s", data.workload[n - 1]);
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! TeaStore autoscaling scenario (Section 4.2.2 / Table 7): drive the
+//! seven-service TeaStore with a worst-case daily-pattern trace in a
+//! multi-tenant deployment and compare autoscaling policies.
+//!
+//! ```sh
+//! cargo run --example teastore_autoscaling --release
+//! ```
+
+use std::sync::Arc;
+
+use monitorless::autoscale::{run_teastore_autoscale, AutoscaleOptions, Policy};
+use monitorless::experiments::scenario::{eval_workload, EvalApp};
+use monitorless::model::{ModelOptions, MonitorlessModel};
+use monitorless::training::{generate_training_data, TrainingOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("training the monitorless model...");
+    let data = generate_training_data(&TrainingOptions::quick(3))?;
+    let model = Arc::new(MonitorlessModel::train(&data, &ModelOptions::quick())?);
+
+    let opts = AutoscaleOptions::quick(17);
+    let profile = eval_workload(EvalApp::TeaStore, opts.duration, 17);
+
+    println!("running autoscaling policies over a {}s trace...\n", opts.duration);
+    println!(
+        "{:<26} {:>18} {:>14} {:>14}",
+        "Policy", "Provisioning (Avg)", "SLO viol. (#)", "Scale events"
+    );
+    for mut policy in [
+        Policy::NoScaling,
+        Policy::Monitorless(Arc::clone(&model)),
+        Policy::RtBased {
+            rt_threshold_ms: 500.0,
+        },
+    ] {
+        let result = run_teastore_autoscale(&mut policy, profile.as_ref(), &opts)?;
+        println!(
+            "{:<26} {:>17.1}% {:>14} {:>14}",
+            result.policy, result.provisioning_pct, result.slo_violations, result.scale_out_events
+        );
+    }
+    println!(
+        "\nmonitorless scales {:?} together, replicas live 120 s, SLO = 750 ms avg RT",
+        monitorless::autoscale::SCALED_SERVICES
+    );
+    Ok(())
+}

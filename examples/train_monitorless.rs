@@ -1,0 +1,50 @@
+//! Full training walkthrough: generate the Table 1 dataset, train the
+//! model, inspect the top features (Table 4) and persist the model.
+//!
+//! ```sh
+//! cargo run --example train_monitorless --release [-- <output.json>]
+//! ```
+
+use monitorless::experiments::table4;
+use monitorless::model::{ModelOptions, MonitorlessModel};
+use monitorless::training::{generate_training_data, table1, TrainingOptions};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = std::env::args().nth(1);
+
+    println!("Table 1 — training configurations:");
+    for config in table1() {
+        println!(
+            "  #{:<2} {:<8} traffic {:<16} expected bottleneck {}",
+            config.id,
+            config.service.short_name(),
+            config.traffic.describe(),
+            config.expected_bottleneck
+        );
+    }
+
+    println!("\ngenerating training data...");
+    let data = generate_training_data(&TrainingOptions::quick(1))?;
+    println!(
+        "  {} samples across {} configurations; {:.0}% saturated; {} thresholds calibrated",
+        data.dataset.len(),
+        data.dataset.distinct_groups().len(),
+        100.0 * data.dataset.positive_fraction(),
+        data.thresholds.iter().filter(|(_, t)| t.is_some()).count(),
+    );
+
+    println!("\ntraining...");
+    let model = MonitorlessModel::train(&data, &ModelOptions::quick())?;
+    let pred = model.predict_batch(data.dataset.x(), data.dataset.groups())?;
+    let f1 = monitorless_learn::metrics::f1_score(data.dataset.y(), &pred);
+    println!("  training F1 = {f1:.3}");
+
+    println!("\nTable 4 — top 15 features by forest importance:");
+    print!("{}", table4::format(&table4::run(&model, 15)));
+
+    if let Some(path) = out {
+        model.save(std::path::Path::new(&path))?;
+        println!("\nmodel saved to {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Closed-loop autoscaling integration: detector → scale-out → replica
+//! lifespan → scale-in, with SLO accounting.
+
+use std::sync::Arc;
+
+use monitorless::autoscale::{run_teastore_autoscale, AutoscaleOptions, Policy};
+use monitorless::baselines::{BaselineKind, ThresholdBaseline};
+use monitorless::experiments::scenario::{eval_workload, EvalApp};
+use monitorless::model::{ModelOptions, MonitorlessModel};
+use monitorless::training::{generate_training_data, TrainingOptions};
+
+fn opts(seed: u64) -> AutoscaleOptions {
+    AutoscaleOptions {
+        duration: 400,
+        replica_lifespan: 120,
+        rt_slo_ms: 750.0,
+        background_rps: 60.0,
+        seed,
+    }
+}
+
+#[test]
+fn monitorless_scaling_beats_no_scaling() {
+    let data = generate_training_data(&TrainingOptions {
+        run_seconds: 50,
+        ramp_seconds: 120,
+        seed: 201,
+    })
+    .unwrap();
+    let model = Arc::new(MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap());
+    let profile = eval_workload(EvalApp::TeaStore, 400, 203);
+
+    let mut none = Policy::NoScaling;
+    let baseline = run_teastore_autoscale(&mut none, profile.as_ref(), &opts(203)).unwrap();
+    let mut ml = Policy::Monitorless(model);
+    let scaled = run_teastore_autoscale(&mut ml, profile.as_ref(), &opts(203)).unwrap();
+
+    assert!(baseline.slo_violations > 0, "trace must stress the store");
+    assert!(
+        scaled.slo_violations <= baseline.slo_violations,
+        "monitorless ({}) must not be worse than no scaling ({})",
+        scaled.slo_violations,
+        baseline.slo_violations
+    );
+    assert!(scaled.provisioning_pct > 0.0, "monitorless must scale out");
+    assert!(
+        scaled.provisioning_pct < 50.0,
+        "provisioning {}% is excessive",
+        scaled.provisioning_pct
+    );
+}
+
+#[test]
+fn aggressive_thresholds_provision_more_than_conservative_ones() {
+    let profile = eval_workload(EvalApp::TeaStore, 400, 207);
+    let run_with = |cpu: f64| {
+        let mut policy = Policy::Threshold(ThresholdBaseline {
+            kind: BaselineKind::Cpu,
+            cpu_threshold: cpu,
+            mem_threshold: 100.0,
+        });
+        run_teastore_autoscale(&mut policy, profile.as_ref(), &opts(207)).unwrap()
+    };
+    let aggressive = run_with(40.0);
+    let conservative = run_with(98.0);
+    assert!(
+        aggressive.provisioning_pct >= conservative.provisioning_pct,
+        "lower threshold must provision at least as much ({} vs {})",
+        aggressive.provisioning_pct,
+        conservative.provisioning_pct
+    );
+}
+
+#[test]
+fn replicas_expire_after_their_lifespan() {
+    let profile = eval_workload(EvalApp::TeaStore, 400, 211);
+    // A detector that fires exactly once (RT threshold crossed only at
+    // the biggest peak) must end the run with no extra capacity lingering
+    // beyond its lifespan — observable through a provisioning average
+    // far below the always-on bound.
+    let mut policy = Policy::RtBased {
+        rt_threshold_ms: 2500.0,
+    };
+    let result = run_teastore_autoscale(&mut policy, profile.as_ref(), &opts(211)).unwrap();
+    // Two replicas over 7 containers, always on, would be ~28.6%.
+    assert!(
+        result.provisioning_pct < 28.0,
+        "provisioning {}% suggests replicas never expire",
+        result.provisioning_pct
+    );
+}

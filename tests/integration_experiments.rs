@@ -1,0 +1,90 @@
+//! Smoke tests for every table/figure harness at reduced scale — the
+//! same code paths the bench binaries run at paper scale.
+
+use std::sync::Arc;
+
+use monitorless::experiments::scenario::EvalOptions;
+use monitorless::experiments::table2::{Algorithm, GridScale};
+use monitorless::experiments::{fig2, fig3, table1, table2, table4, table6};
+use monitorless::features::{FeaturePipeline, PipelineConfig};
+use monitorless::model::{ModelOptions, MonitorlessModel};
+use monitorless::training::{generate_training_data, TrainingOptions};
+
+fn quick_training(seed: u64) -> monitorless::training::TrainingData {
+    generate_training_data(&TrainingOptions {
+        run_seconds: 40,
+        ramp_seconds: 120,
+        seed,
+    })
+    .unwrap()
+}
+
+#[test]
+fn fig2_csv_and_knee() {
+    let data = fig2::run(&fig2::Fig2Options::default()).unwrap();
+    assert!(data.knee.x > 300.0 && data.knee.x < 1000.0);
+    assert!(data.to_csv().lines().count() > 50);
+}
+
+#[test]
+fn table1_catalog_regenerates() {
+    let rows = table1::run(&TrainingOptions {
+        run_seconds: 30,
+        ramp_seconds: 100,
+        seed: 301,
+    })
+    .unwrap();
+    assert_eq!(rows.len(), 25);
+    assert!(table1::format(&rows).contains("Bottleneck") || table1::format(&rows).contains("Observed"));
+}
+
+#[test]
+fn table2_grid_search_runs_on_real_features() {
+    let data = quick_training(303);
+    let (_, x) = FeaturePipeline::new(PipelineConfig::quick())
+        .fit_transform(
+            data.dataset.x(),
+            data.dataset.y(),
+            data.dataset.groups(),
+            data.layout.clone(),
+        )
+        .unwrap();
+    let rows = table2::run(
+        &x,
+        data.dataset.y(),
+        data.dataset.groups(),
+        &[Algorithm::RandomForest],
+        GridScale::Quick,
+    )
+    .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert!(rows[0].best_f1 > 0.5, "CV F1 = {}", rows[0].best_f1);
+}
+
+#[test]
+fn table4_table6_fig3_share_one_model() {
+    let data = quick_training(307);
+    let model = Arc::new(MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap());
+
+    let importances = table4::run(&model, 30);
+    assert!(!importances.is_empty());
+
+    let (rows, run) = table6::run(
+        &model,
+        &EvalOptions {
+            duration: 200,
+            ramp_seconds: 150,
+            seed: 309,
+            record_raw: false,
+        },
+    )
+    .unwrap();
+    assert_eq!(rows.len(), 5);
+
+    let fig = fig3::run(&run).unwrap();
+    assert_eq!(fig.services.len(), 7);
+    assert_eq!(fig.workload.len(), 200);
+    let csv = fig.to_csv();
+    assert!(csv.contains("webui"));
+    assert_eq!(csv.lines().count(), 201);
+}

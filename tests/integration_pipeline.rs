@@ -1,0 +1,107 @@
+//! End-to-end pipeline integration: simulator → metric catalog →
+//! labeling → feature pipeline → classifier, across crate boundaries.
+
+use monitorless::features::{FeaturePipeline, PipelineConfig};
+use monitorless::model::{ModelOptions, MonitorlessModel};
+use monitorless::training::{
+    calibrate_threshold, generate_training_data, table1, TrainingOptions,
+};
+use monitorless_learn::metrics::f1_score;
+use monitorless_learn::{Classifier, RandomForest, RandomForestParams};
+
+fn quick_opts(seed: u64) -> TrainingOptions {
+    TrainingOptions {
+        run_seconds: 40,
+        ramp_seconds: 120,
+        seed,
+    }
+}
+
+#[test]
+fn training_data_is_reproducible_given_a_seed() {
+    let a = generate_training_data(&quick_opts(42)).unwrap();
+    let b = generate_training_data(&quick_opts(42)).unwrap();
+    assert_eq!(a.dataset.x().as_slice(), b.dataset.x().as_slice());
+    assert_eq!(a.dataset.y(), b.dataset.y());
+    let c = generate_training_data(&quick_opts(43)).unwrap();
+    assert_ne!(a.dataset.x().as_slice(), c.dataset.x().as_slice());
+}
+
+#[test]
+fn thresholds_are_calibrated_within_traffic_ranges() {
+    let opts = quick_opts(11);
+    for config in table1().iter().take(8) {
+        if let Some(threshold) = calibrate_threshold(config, &opts).unwrap() {
+            // Υ must sit below the ramp peak (1.3 × traffic max).
+            assert!(
+                threshold.upsilon() <= config.traffic.max_rate() * 1.3,
+                "config {}: Υ = {} above ramp peak",
+                config.id,
+                threshold.upsilon()
+            );
+            assert!(threshold.upsilon() > 0.0);
+        }
+    }
+}
+
+#[test]
+fn pipeline_plus_forest_reaches_high_training_f1() {
+    let data = generate_training_data(&quick_opts(4)).unwrap();
+    let (_, x) = FeaturePipeline::new(PipelineConfig::quick())
+        .fit_transform(
+            data.dataset.x(),
+            data.dataset.y(),
+            data.dataset.groups(),
+            data.layout.clone(),
+        )
+        .unwrap();
+    let mut rf = RandomForest::new(RandomForestParams {
+        n_estimators: 30,
+        min_samples_leaf: 5,
+        n_jobs: 4,
+        ..RandomForestParams::default()
+    });
+    rf.fit(&x, data.dataset.y(), None).unwrap();
+    let f1 = f1_score(data.dataset.y(), &rf.predict(&x));
+    assert!(f1 > 0.9, "training F1 = {f1}");
+}
+
+#[test]
+fn model_roundtrips_through_json() {
+    let data = generate_training_data(&quick_opts(5)).unwrap();
+    let model = MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap();
+    let path = std::env::temp_dir().join("monitorless_integration_model.json");
+    model.save(&path).unwrap();
+    let restored = MonitorlessModel::load(&path).unwrap();
+    let a = model
+        .predict_proba_batch(data.dataset.x(), data.dataset.groups())
+        .unwrap();
+    let b = restored
+        .predict_proba_batch(data.dataset.x(), data.dataset.groups())
+        .unwrap();
+    assert_eq!(a, b);
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn pipeline_without_products_or_time_features_still_works() {
+    // The ablation configurations must remain trainable.
+    let data = generate_training_data(&quick_opts(6)).unwrap();
+    for (products, time_features) in [(false, true), (true, false), (false, false)] {
+        let config = PipelineConfig {
+            products,
+            time_features,
+            ..PipelineConfig::quick()
+        };
+        let (fitted, x) = FeaturePipeline::new(config)
+            .fit_transform(
+                data.dataset.x(),
+                data.dataset.y(),
+                data.dataset.groups(),
+                data.layout.clone(),
+            )
+            .unwrap();
+        assert!(fitted.output_width() > 0);
+        assert_eq!(x.rows(), data.dataset.len());
+    }
+}

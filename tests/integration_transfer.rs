@@ -1,0 +1,145 @@
+//! The paper's headline claim: one model trained on Solr/Memcache/
+//! Cassandra transfers to applications it has never seen.
+
+use std::sync::Arc;
+
+use monitorless::experiments::scenario::{
+    comparison_rows, run_eval_scenario, EvalApp, EvalOptions, EVAL_LAG,
+};
+use monitorless::model::{ModelOptions, MonitorlessModel};
+use monitorless::training::{generate_training_data, TrainingOptions};
+use monitorless_learn::metrics::lagged_confusion;
+
+fn trained_model(seed: u64) -> Arc<MonitorlessModel> {
+    let data = generate_training_data(&TrainingOptions {
+        run_seconds: 60,
+        ramp_seconds: 150,
+        seed,
+    })
+    .unwrap();
+    Arc::new(MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap())
+}
+
+#[test]
+fn transfers_to_the_unseen_three_tier_application() {
+    let model = trained_model(101);
+    let run = run_eval_scenario(
+        EvalApp::ThreeTier,
+        Some(&model),
+        &EvalOptions {
+            duration: 300,
+            ramp_seconds: 200,
+            seed: 103,
+            record_raw: false,
+        },
+    )
+    .unwrap();
+    let pred = run.monitorless.as_ref().unwrap();
+    let cm = lagged_confusion(&run.ground_truth, pred, EVAL_LAG);
+    // The paper reports F1₂ = 0.997 at testbed scale; at laptop scale we
+    // require the shape: clearly better than chance, with high recall
+    // (the 0.4 threshold is chosen to avoid false negatives).
+    assert!(cm.f1() > 0.6, "three-tier F1_2 = {} ({cm})", cm.f1());
+    assert!(cm.recall() > 0.6, "recall = {}", cm.recall());
+}
+
+#[test]
+fn monitorless_is_comparable_to_optimally_tuned_baselines() {
+    let model = trained_model(107);
+    let run = run_eval_scenario(
+        EvalApp::ThreeTier,
+        Some(&model),
+        &EvalOptions {
+            duration: 300,
+            ramp_seconds: 200,
+            seed: 109,
+            record_raw: false,
+        },
+    )
+    .unwrap();
+    let rows = comparison_rows(&run);
+    let f1 = |name: &str| {
+        rows.iter()
+            .find(|r| r.algorithm.starts_with(name))
+            .map(|r| r.confusion.f1())
+            .unwrap()
+    };
+    let table = rows
+        .iter()
+        .map(|r| r.format())
+        .collect::<Vec<_>>()
+        .join("\n");
+    // Shape of Table 5: CPU-style detectors do well on the CPU-bound
+    // front-end; monitorless is close despite never being tuned.
+    assert!(
+        f1("monitorless") > f1("CPU (") - 0.25,
+        "monitorless not competitive:\n{table}"
+    );
+    // MEM alone must be the weakest detector on a CPU-bound app, as in
+    // the paper's Table 5 where MEM trails CPU.
+    assert!(
+        f1("MEM (") <= f1("CPU (") + 1e-9,
+        "MEM beat CPU on a CPU-bound app:\n{table}"
+    );
+}
+
+#[test]
+fn teastore_accuracy_is_high_with_rare_saturation() {
+    let model = trained_model(113);
+    let run = run_eval_scenario(
+        EvalApp::TeaStore,
+        Some(&model),
+        &EvalOptions {
+            duration: 400,
+            ramp_seconds: 200,
+            seed: 115,
+            record_raw: false,
+        },
+    )
+    .unwrap();
+    let pred = run.monitorless.as_ref().unwrap();
+    let cm = lagged_confusion(&run.ground_truth, pred, EVAL_LAG);
+    // Table 6 shape: accuracy ~0.977 with saturation rare. We require
+    // accuracy well above the trivial all-positive baseline.
+    let pos_rate =
+        run.ground_truth.iter().map(|&v| v as usize).sum::<usize>() as f64 / pred.len() as f64;
+    assert!(pos_rate < 0.5, "saturation should be the minority class");
+    assert!(
+        cm.accuracy() > 0.7,
+        "TeaStore Acc_2 = {} ({cm})",
+        cm.accuracy()
+    );
+}
+
+#[test]
+fn per_service_predictions_identify_the_bottleneck_services() {
+    let model = trained_model(117);
+    let run = run_eval_scenario(
+        EvalApp::TeaStore,
+        Some(&model),
+        &EvalOptions {
+            duration: 400,
+            ramp_seconds: 200,
+            seed: 119,
+            record_raw: false,
+        },
+    )
+    .unwrap();
+    let per_service = run.per_service.as_ref().unwrap();
+    let positives = |name: &str| {
+        per_service
+            .iter()
+            .find(|(s, _)| s == name)
+            .map(|(_, p)| p.iter().map(|&v| v as usize).sum::<usize>())
+            .unwrap()
+    };
+    // The paper observes most TPs on Auth, Web-UI and Recommender; the
+    // registry (fanout 0.1) should be quiet.
+    let loud = positives("auth") + positives("webui") + positives("recommender");
+    let quiet = positives("registry");
+    assert!(
+        loud >= quiet,
+        "bottleneck services should fire at least as often as the registry \
+         (loud={loud}, quiet={quiet})"
+    );
+}
