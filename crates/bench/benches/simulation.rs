@@ -8,15 +8,8 @@ use monitorless_sim::{Cluster, ContainerLimits, NodeSpec};
 
 fn bench_single_service_tick(c: &mut Criterion) {
     let mut cluster = Cluster::new(vec![NodeSpec::training_server()], 1);
-    let (app, _) = build_single(
-        &mut cluster,
-        solr_profile(),
-        ContainerLimits::cpu(3.0),
-        NodeId(0),
-    );
-    c.bench_function("tick_single_service", |b| {
-        b.iter(|| cluster.step(&[(app, 100.0)]))
-    });
+    let (app, _) = build_single(&mut cluster, solr_profile(), ContainerLimits::cpu(3.0), NodeId(0));
+    c.bench_function("tick_single_service", |b| b.iter(|| cluster.step(&[(app, 100.0)])));
 }
 
 fn bench_multitenant_tick(c: &mut Criterion) {
@@ -31,14 +24,12 @@ fn bench_multitenant_tick(c: &mut Criterion) {
 fn bench_scaling_operations(c: &mut Criterion) {
     c.bench_function("scale_out_and_in", |b| {
         let mut cluster = Cluster::new(vec![NodeSpec::m2()], 3);
-        let (app, _) = build_single(
-            &mut cluster,
-            solr_profile(),
-            ContainerLimits::cpu(1.0),
-            NodeId(0),
-        );
+        let (app, _) =
+            build_single(&mut cluster, solr_profile(), ContainerLimits::cpu(1.0), NodeId(0));
         b.iter(|| {
-            let extra = cluster.scale_out(app, "solr", NodeId(0));
+            let extra = cluster
+                .scale_out(app, "solr", NodeId(0))
+                .expect("solr exists");
             cluster.step(&[(app, 50.0)]);
             cluster.scale_in(extra)
         })

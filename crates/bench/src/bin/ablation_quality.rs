@@ -15,7 +15,7 @@ use monitorless::experiments::scenario::{run_eval_scenario, EvalApp, EVAL_LAG};
 use monitorless::features::{PipelineConfig, Reduction};
 use monitorless::model::MonitorlessModel;
 use monitorless::orchestrator::Aggregation;
-use monitorless_bench::{training_data, Scale};
+use monitorless_bench::{telemetry_report, training_data, Scale};
 use monitorless_learn::metrics::lagged_confusion;
 
 fn main() {
@@ -116,13 +116,7 @@ fn main() {
             *p = rule.combine(&labels);
         }
         let cm = lagged_confusion(&run.ground_truth, &pred, EVAL_LAG);
-        println!(
-            "{:<10} {:>6} {:>6} {:>7.3} {:>7.3}",
-            name,
-            cm.fn_,
-            cm.fp,
-            cm.f1(),
-            cm.accuracy()
-        );
+        println!("{:<10} {:>6} {:>6} {:>7.3} {:>7.3}", name, cm.fn_, cm.fp, cm.f1(), cm.accuracy());
     }
+    telemetry_report("ablation_quality");
 }

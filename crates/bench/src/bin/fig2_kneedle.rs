@@ -6,7 +6,7 @@
 //! ```
 
 use monitorless::experiments::fig2::{run, Fig2Options};
-use monitorless_bench::Scale;
+use monitorless_bench::{telemetry_report, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -28,4 +28,5 @@ fn main() {
     );
     println!("candidates: {:?}", data.knee.candidates);
     println!("\nuse --csv to dump the three series (observed/smoothed/difference)");
+    telemetry_report("fig2_kneedle");
 }

@@ -6,9 +6,10 @@
 //! cargo run -p monitorless-bench --bin fig3_timeline --release [-- --full] > fig3.csv
 //! ```
 
-use monitorless::experiments::scenario::{run_eval_scenario, EvalApp};
 use monitorless::experiments::fig3;
-use monitorless_bench::{trained_model, Scale};
+use monitorless::experiments::scenario::{run_eval_scenario, EvalApp};
+use monitorless_bench::{telemetry_report, trained_model, Scale};
+use monitorless_obs as obs;
 
 fn main() {
     let scale = Scale::from_args();
@@ -19,6 +20,7 @@ fn main() {
     print!("{}", data.to_csv());
     for service in &data.services {
         let (tp, fp, fn_) = data.counts(service).expect("service exists");
-        eprintln!("{service:<14} TP2={tp:<5} FP2={fp:<5} FN2={fn_}");
+        obs::progress(&format!("{service:<14} TP2={tp:<5} FP2={fp:<5} FN2={fn_}"));
     }
+    telemetry_report("fig3_timeline");
 }

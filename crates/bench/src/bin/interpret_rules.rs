@@ -11,7 +11,7 @@ use monitorless::experiments::scenario::{run_eval_scenario, EvalApp};
 use monitorless::interpret::{distill, DistillOptions};
 use monitorless::model::MonitorlessModel;
 use monitorless::scalein::ScaleInModel;
-use monitorless_bench::{training_data, Scale};
+use monitorless_bench::{telemetry_report, training_data, Scale};
 use monitorless_learn::metrics::f1_score;
 
 fn main() {
@@ -63,4 +63,5 @@ fn main() {
             u.name, u.train_range.0, u.train_range.1, u.validation_range.0, u.validation_range.1
         );
     }
+    telemetry_report("interpret_rules");
 }

@@ -6,7 +6,7 @@
 //! ```
 
 use monitorless::experiments::table1;
-use monitorless_bench::Scale;
+use monitorless_bench::{telemetry_report, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -15,4 +15,5 @@ fn main() {
     print!("{}", table1::format(&rows));
     let matching = rows.iter().filter(|r| r.matches).count();
     println!("\n{matching}/25 observed bottlenecks match the paper's classification");
+    telemetry_report("table1_datasets");
 }

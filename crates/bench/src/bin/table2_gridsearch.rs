@@ -10,13 +10,18 @@
 
 use monitorless::experiments::table2::{run, Algorithm, GridScale};
 use monitorless::features::{FeaturePipeline, PipelineConfig};
-use monitorless_bench::{training_data, Scale};
+use monitorless_bench::{telemetry_report, training_data, Scale};
+use monitorless_obs as obs;
 
 fn main() {
     let scale = Scale::from_args();
-    let grid_scale = if scale.full { GridScale::Full } else { GridScale::Quick };
+    let grid_scale = if scale.full {
+        GridScale::Full
+    } else {
+        GridScale::Quick
+    };
     let data = training_data(&scale);
-    eprintln!("fitting the feature pipeline...");
+    obs::progress("fitting the feature pipeline...");
     let pipeline_cfg = if scale.full {
         PipelineConfig::paper_default()
     } else {
@@ -30,26 +35,14 @@ fn main() {
             data.layout.clone(),
         )
         .expect("pipeline fit");
-    eprintln!(
-        "searching grids over {} samples x {} features...",
-        x.rows(),
-        x.cols()
-    );
-    let rows = run(
-        &x,
-        data.dataset.y(),
-        data.dataset.groups(),
-        &Algorithm::all(),
-        grid_scale,
-    )
-    .expect("grid search");
+    obs::progress(&format!("searching grids over {} samples x {} features...", x.rows(), x.cols()));
+    let rows = run(&x, data.dataset.y(), data.dataset.groups(), &Algorithm::all(), grid_scale)
+        .expect("grid search");
 
     println!("Table 2 — grid search (best combination per algorithm)\n");
     println!("{:<22} {:>7} {:>8}  best parameters", "Algorithm", "F1(cv)", "combos");
     for r in rows {
-        println!(
-            "{:<22} {:>7.3} {:>8}  {}",
-            r.algorithm, r.best_f1, r.combinations, r.best_params
-        );
+        println!("{:<22} {:>7.3} {:>8}  {}", r.algorithm, r.best_f1, r.combinations, r.best_params);
     }
+    telemetry_report("table2_gridsearch");
 }

@@ -9,7 +9,7 @@
 use monitorless::experiments::table2::GridScale;
 use monitorless::experiments::table3;
 use monitorless::features::PipelineConfig;
-use monitorless_bench::{training_data, Scale};
+use monitorless_bench::{telemetry_report, training_data, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -23,10 +23,15 @@ fn main() {
         &data,
         pipeline_cfg,
         &scale.eval_options(0x33),
-        if scale.full { GridScale::Full } else { GridScale::Quick },
+        if scale.full {
+            GridScale::Full
+        } else {
+            GridScale::Quick
+        },
     )
     .expect("table 3 harness");
     println!("Table 3 — classifier comparison (validation: three-tier app)\n");
     print!("{}", table3::format(&rows));
     println!("\n(paper: Random Forest wins with F1_2 = 0.997; tree ensembles lead)");
+    telemetry_report("table3_algorithms");
 }

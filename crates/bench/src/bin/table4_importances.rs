@@ -5,7 +5,7 @@
 //! ```
 
 use monitorless::experiments::table4;
-use monitorless_bench::{trained_model, Scale};
+use monitorless_bench::{telemetry_report, trained_model, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -20,4 +20,5 @@ fn main() {
         .count();
     println!("\n{products}/{} are feature products, {time} use time variants", rows.len());
     println!("(paper: almost all top features are products, most gated by C-CPU levels)");
+    telemetry_report("table4_importances");
 }

@@ -6,7 +6,7 @@
 //! ```
 
 use monitorless::experiments::{comparison_header, table5};
-use monitorless_bench::{trained_model, Scale};
+use monitorless_bench::{telemetry_report, trained_model, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -19,4 +19,5 @@ fn main() {
     }
     println!("\n(paper shape: CPU-style detectors and monitorless all score near 1.0;");
     println!(" MEM trails on the CPU-bound front-end)");
+    telemetry_report("table5_threetier");
 }

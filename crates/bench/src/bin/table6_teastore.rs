@@ -6,7 +6,7 @@
 //! ```
 
 use monitorless::experiments::{comparison_header, table6};
-use monitorless_bench::{trained_model, Scale};
+use monitorless_bench::{telemetry_report, trained_model, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -24,4 +24,5 @@ fn main() {
     println!("\n(paper shape: accuracies high for CPU/AND/monitorless; MEM and OR");
     println!(" flood with false positives; monitorless has the fewest FN among");
     println!(" the accurate detectors)");
+    telemetry_report("table6_teastore");
 }

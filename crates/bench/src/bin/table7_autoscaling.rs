@@ -8,7 +8,8 @@
 use monitorless::autoscale::AutoscaleOptions;
 use monitorless::experiments::scenario::{eval_workload, EvalApp};
 use monitorless::experiments::table7::{self, Table7Options};
-use monitorless_bench::{trained_model, Scale};
+use monitorless_bench::{telemetry_report, trained_model, Scale};
+use monitorless_obs as obs;
 
 fn main() {
     let scale = Scale::from_args();
@@ -29,11 +30,12 @@ fn main() {
         },
     };
     let profile = eval_workload(EvalApp::TeaStore, duration, scale.seed ^ 0x77);
-    eprintln!("running 7 autoscaling policies over a {duration}s trace...");
+    obs::progress(&format!("running 7 autoscaling policies over a {duration}s trace..."));
     let rows = table7::run(&model, profile.as_ref(), &opts).expect("table 7 harness");
     println!("Table 7 — autoscaling on the TeaStore trace\n");
     print!("{}", table7::format(&rows));
     println!("\n(paper shape: No Scaling worst by far; RT-based optimal best;");
     println!(" monitorless close to optimal at similar provisioning; OR/MEM");
     println!(" overprovision heavily)");
+    telemetry_report("table7_autoscaling");
 }

@@ -7,7 +7,7 @@
 
 use monitorless::experiments::scenario::{run_eval_scenario, EvalApp};
 use monitorless::experiments::{comparison_header, scenario};
-use monitorless_bench::{trained_model, Scale};
+use monitorless_bench::{telemetry_report, trained_model, Scale};
 
 fn main() {
     let scale = Scale::from_args();
@@ -28,4 +28,5 @@ fn main() {
     }
     println!("\n(paper shape: everything degrades vs TeaStore; CPU-AND-MEM leads,");
     println!(" monitorless second among the accurate detectors, OR/MEM flood FPs)");
+    telemetry_report("table8_sockshop");
 }

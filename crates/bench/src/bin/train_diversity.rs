@@ -8,19 +8,16 @@
 //! ```
 
 use monitorless::experiments::training_ablation;
-use monitorless_bench::{training_data, Scale};
+use monitorless_bench::{telemetry_report, training_data, Scale};
 
 fn main() {
     let scale = Scale::from_args();
     let data = training_data(&scale);
-    let rows = training_ablation::run(
-        &data,
-        &scale.model_options(),
-        &scale.eval_options(0xD1),
-    )
-    .expect("diversity ablation");
+    let rows = training_ablation::run(&data, &scale.model_options(), &scale.eval_options(0xD1))
+        .expect("diversity ablation");
     println!("Training-diversity ablation (transfer to the unseen three-tier app)\n");
     print!("{}", training_ablation::format(&rows));
     println!("\n(the paper trains on all three services so one model covers");
     println!(" CPU-, memory- and disk/network-bound saturation modes)");
+    telemetry_report("train_diversity");
 }

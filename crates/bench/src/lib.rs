@@ -4,7 +4,12 @@
 //!
 //! * `--full` — run at paper scale (long runs, full grids, 250-tree
 //!   forests) instead of the laptop-scale defaults;
-//! * `--seed <n>` — override the base seed (default 7).
+//! * `--seed <n>` — override the base seed (default 7);
+//! * `--telemetry <off|jsonl|prom>` — enable self-telemetry (also via
+//!   the `MONITORLESS_OBS` env var; the flag wins). `jsonl` streams
+//!   span/progress events to stderr as the run proceeds; both formats
+//!   end with a counter/histogram snapshot on stderr and a copy under
+//!   `target/telemetry-<binary>.txt`.
 //!
 //! Binaries that need a trained model reuse a cached one from
 //! `target/monitorless-model-<scale>-<seed>.json` when present, so the
@@ -15,6 +20,7 @@ use std::sync::Arc;
 use monitorless::experiments::scenario::EvalOptions;
 use monitorless::model::{ModelOptions, MonitorlessModel};
 use monitorless::training::{generate_training_data, TrainingData, TrainingOptions};
+use monitorless_obs as obs;
 
 /// Parsed command-line scale options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,9 +32,12 @@ pub struct Scale {
 }
 
 impl Scale {
-    /// Parses `--full` and `--seed <n>` from `std::env::args`.
+    /// Parses `--full` and `--seed <n>` from `std::env::args`, and
+    /// installs the process-wide telemetry configuration from the
+    /// `MONITORLESS_OBS` env var and/or the `--telemetry <fmt>` flag.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        obs::init(&obs::TelemetryConfig::from_env_and_args(args.iter().map(String::as_str)));
         let full = args.iter().any(|a| a == "--full");
         let seed = args
             .iter()
@@ -69,19 +78,16 @@ impl Scale {
 
     fn cache_path(&self) -> std::path::PathBuf {
         let scale = if self.full { "full" } else { "quick" };
-        std::path::PathBuf::from(format!(
-            "target/monitorless-model-{scale}-{}.json",
-            self.seed
-        ))
+        std::path::PathBuf::from(format!("target/monitorless-model-{scale}-{}.json", self.seed))
     }
 }
 
 /// Generates training data at the selected scale, with progress output.
 pub fn training_data(scale: &Scale) -> TrainingData {
-    eprintln!(
+    obs::progress(&format!(
         "generating training data ({} s per configuration)...",
         scale.training_options().run_seconds
-    );
+    ));
     generate_training_data(&scale.training_options()).expect("training-data generation")
 }
 
@@ -89,19 +95,31 @@ pub fn training_data(scale: &Scale) -> TrainingData {
 pub fn trained_model(scale: &Scale) -> Arc<MonitorlessModel> {
     let path = scale.cache_path();
     if let Ok(model) = MonitorlessModel::load(&path) {
-        eprintln!("loaded cached model from {}", path.display());
+        obs::progress(&format!("loaded cached model from {}", path.display()));
         return Arc::new(model);
     }
     let data = training_data(scale);
-    eprintln!(
-        "training monitorless model on {} samples...",
-        data.dataset.len()
-    );
+    obs::progress(&format!("training monitorless model on {} samples...", data.dataset.len()));
     let model = MonitorlessModel::train(&data, &scale.model_options()).expect("model training");
     if model.save(&path).is_ok() {
-        eprintln!("cached model at {}", path.display());
+        obs::progress(&format!("cached model at {}", path.display()));
     }
     Arc::new(model)
+}
+
+/// Writes the experiment's telemetry summary: the final counter/histogram
+/// snapshot goes to stderr and to `target/telemetry-<name>.txt` next to
+/// the cached models. No-op when telemetry is disabled.
+pub fn telemetry_report(name: &str) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::report_to_stderr();
+    let path = std::path::PathBuf::from(format!("target/telemetry-{name}.txt"));
+    match obs::write_report(&path) {
+        Ok(()) => obs::progress(&format!("telemetry snapshot written to {}", path.display())),
+        Err(e) => obs::progress(&format!("telemetry snapshot not written: {e}")),
+    }
 }
 
 #[cfg(test)]
@@ -110,15 +128,30 @@ mod tests {
 
     #[test]
     fn default_scale_is_quick() {
-        let s = Scale { full: false, seed: 7 };
+        let s = Scale {
+            full: false,
+            seed: 7,
+        };
         assert_eq!(s.training_options().run_seconds, 150);
         assert_eq!(s.eval_options(0).duration, 500);
     }
 
     #[test]
     fn full_scale_is_paper_sized() {
-        let s = Scale { full: true, seed: 7 };
+        let s = Scale {
+            full: true,
+            seed: 7,
+        };
         assert!(s.training_options().run_seconds >= 2000);
         assert_eq!(s.model_options().forest.n_estimators, 250);
+    }
+
+    #[test]
+    fn telemetry_report_is_noop_when_disabled() {
+        // Must not create files or panic with telemetry off (default).
+        if !obs::enabled() {
+            telemetry_report("bench-test-noop");
+            assert!(!std::path::Path::new("target/telemetry-bench-test-noop.txt").exists());
+        }
     }
 }

@@ -144,10 +144,7 @@ mod tests {
         let adapted = adapter.adapt_matrix(&target);
         let s_mean = source.column_means()[0];
         let a_mean = adapted.column_means()[0];
-        assert!(
-            (s_mean - a_mean).abs() < 0.1 * s_mean,
-            "{s_mean} vs {a_mean}"
-        );
+        assert!((s_mean - a_mean).abs() < 0.1 * s_mean, "{s_mean} vs {a_mean}");
         let s_std = source.column_stds()[0];
         let a_std = adapted.column_stds()[0];
         assert!((s_std - a_std).abs() < 0.15 * s_std);

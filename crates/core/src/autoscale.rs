@@ -10,6 +10,7 @@
 use std::sync::Arc;
 
 use monitorless_metrics::{InstanceId, NodeId};
+use monitorless_obs as obs;
 use monitorless_workload::LoadProfile;
 use serde::{Deserialize, Serialize};
 
@@ -132,6 +133,7 @@ pub fn run_teastore_autoscale(
         let kpi = report.kpi(tea).expect("teastore exists");
         if kpi.violates_slo(opts.rt_slo_ms) {
             slo_violations += 1;
+            obs::counter_add("autoscale.slo_violations", 1);
         }
         let current = cluster.app(tea).instances().len() as f64;
         provisioning_acc += (current - baseline_containers) / baseline_containers;
@@ -147,10 +149,8 @@ pub fn run_teastore_autoscale(
                 for service in SCALED_SERVICES {
                     for inst in cluster.app(tea).instances_of(service) {
                         if let Some(tick) = report.container(inst) {
-                            let util = (
-                                tick.signals.cpu_util * 100.0,
-                                tick.signals.mem_util * 100.0,
-                            );
+                            let util =
+                                (tick.signals.cpu_util * 100.0, tick.signals.mem_util * 100.0);
                             flagged |= baseline.instance_saturated(util);
                         }
                     }
@@ -183,10 +183,22 @@ pub fn run_teastore_autoscale(
         if triggered {
             if replicas.is_empty() {
                 for service in SCALED_SERVICES {
-                    let inst = cluster.scale_out(tea, service, NodeId(1));
+                    let inst = cluster.scale_out(tea, service, NodeId(1))?;
                     replicas.push((inst, t + opts.replica_lifespan));
                 }
                 scale_out_events += 1;
+                obs::counter_add("autoscale.scale_out_events", 1);
+                if obs::enabled() {
+                    obs::event(
+                        "autoscale.scale_out",
+                        &[
+                            ("t", t as f64),
+                            ("load", load),
+                            ("response_ms", kpi.response_ms),
+                            ("containers", cluster.app(tea).instances().len() as f64),
+                        ],
+                    );
+                }
             } else {
                 // Still saturated: keep the replicas alive.
                 for (_, expiry) in &mut replicas {

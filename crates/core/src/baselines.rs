@@ -94,7 +94,14 @@ pub fn optimal_baseline(
         baseline: ThresholdBaseline,
         f1: f64,
     }
-    fn consider(best: &mut Best, utils: &[Vec<InstanceUtil>], y_true: &[u8], lag: usize, cpu: f64, mem: f64) {
+    fn consider(
+        best: &mut Best,
+        utils: &[Vec<InstanceUtil>],
+        y_true: &[u8],
+        lag: usize,
+        cpu: f64,
+        mem: f64,
+    ) {
         let candidate = ThresholdBaseline {
             cpu_threshold: cpu,
             mem_threshold: mem,
@@ -182,7 +189,9 @@ pub fn optimal_rt_baseline(response_ms: &[f64], y_true: &[u8], lag: usize) -> Rt
     };
     let mut best_f1 = -1.0;
     for &rt in &candidates {
-        let candidate = RtBaseline { rt_threshold_ms: rt };
+        let candidate = RtBaseline {
+            rt_threshold_ms: rt,
+        };
         let pred = candidate.predict_run(response_ms);
         let f1 = lagged_confusion(y_true, &pred, lag).f1();
         if f1 > best_f1 {

@@ -68,12 +68,8 @@ impl Fig2Data {
 /// Propagates simulation and knee-detection errors.
 pub fn run(opts: &Fig2Options) -> Result<Fig2Data, Error> {
     let mut cluster = Cluster::new(vec![NodeSpec::training_server()], opts.seed);
-    let (app, _) = build_single(
-        &mut cluster,
-        solr_profile(),
-        ContainerLimits::unlimited(),
-        NodeId(0),
-    );
+    let (app, _) =
+        build_single(&mut cluster, solr_profile(), ContainerLimits::unlimited(), NodeId(0));
     let ramp = RampProfile::new(1.0, opts.peak_rps, opts.ramp_seconds);
     let mut workload = Vec::new();
     let mut observed = Vec::new();
@@ -102,11 +98,7 @@ mod tests {
         let data = run(&Fig2Options::default()).unwrap();
         // Figure 2's knee sits around 700 req/s; the simulated Solr is
         // calibrated for the same shape (48 cores / 65 ms per request).
-        assert!(
-            data.knee.x > 550.0 && data.knee.x < 850.0,
-            "knee at {} rps",
-            data.knee.x
-        );
+        assert!(data.knee.x > 550.0 && data.knee.x < 850.0, "knee at {} rps", data.knee.x);
         assert_eq!(data.workload.len(), data.smoothed.len());
         let csv = data.to_csv();
         assert!(csv.lines().count() > 100);

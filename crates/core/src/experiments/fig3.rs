@@ -68,10 +68,7 @@ impl Fig3Data {
         }
         out.push('\n');
         for t in 0..self.workload.len() {
-            out.push_str(&format!(
-                "{t},{:.2},{:.2}",
-                self.workload[t], self.response_ms[t]
-            ));
+            out.push_str(&format!("{t},{:.2},{:.2}", self.workload[t], self.response_ms[t]));
             for s in 0..self.services.len() {
                 out.push(',');
                 out.push_str(self.markers[s][t].code());

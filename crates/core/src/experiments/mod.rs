@@ -20,7 +20,6 @@ pub mod fig2;
 pub mod fig3;
 pub mod scenario;
 pub mod table1;
-pub mod training_ablation;
 pub mod table2;
 pub mod table3;
 pub mod table4;
@@ -28,6 +27,7 @@ pub mod table5;
 pub mod table6;
 pub mod table7;
 pub mod table8;
+pub mod training_ablation;
 
 use monitorless_learn::metrics::ConfusionMatrix;
 

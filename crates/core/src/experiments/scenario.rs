@@ -119,13 +119,9 @@ pub fn eval_workload(app: EvalApp, duration: u64, seed: u64) -> Box<dyn LoadProf
             let base = SineProfile::new(0.1, 100.0, duration.max(1), duration);
             Box::new(NoisyProfile::new(base, 0.35, 6.0, seed))
         }
-        EvalApp::TeaStore => Box::new(DailyPatternProfile::new(
-            60.0,
-            420.0,
-            (duration / 3).max(1),
-            duration,
-            seed,
-        )),
+        EvalApp::TeaStore => {
+            Box::new(DailyPatternProfile::new(60.0, 420.0, (duration / 3).max(1), duration, seed))
+        }
         // 0.62 req/s per hatched client: the 700-client plateau of each
         // Locust run pushes the front-end past its knee for the last
         // stretch of hatching plus the hold phase (~10-15% of the trace,

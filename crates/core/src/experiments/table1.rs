@@ -33,7 +33,10 @@ pub struct Table1Row {
 fn io_family(b: Bottleneck) -> bool {
     matches!(
         b,
-        Bottleneck::IoBandwidth | Bottleneck::IoQueue | Bottleneck::IoWait | Bottleneck::MemBandwidth
+        Bottleneck::IoBandwidth
+            | Bottleneck::IoQueue
+            | Bottleneck::IoWait
+            | Bottleneck::MemBandwidth
     )
 }
 
@@ -107,11 +110,7 @@ mod tests {
         .unwrap();
         assert_eq!(rows.len(), 25);
         let matching = rows.iter().filter(|r| r.matches).count();
-        assert!(
-            matching >= 17,
-            "only {matching}/25 bottlenecks match:\n{}",
-            format(&rows)
-        );
+        assert!(matching >= 17, "only {matching}/25 bottlenecks match:\n{}", format(&rows));
         let table = format(&rows);
         assert!(table.contains("Solr"));
         assert!(table.contains("sinnoise1000"));

@@ -83,7 +83,11 @@ pub fn grid(algorithm: Algorithm, scale: GridScale) -> ParamGrid {
     let full = matches!(scale, GridScale::Full);
     match algorithm {
         Algorithm::LogisticRegression => {
-            let c = if full { vec![0.01, 0.1, 1.0] } else { vec![0.1, 1.0] };
+            let c = if full {
+                vec![0.01, 0.1, 1.0]
+            } else {
+                vec![0.1, 1.0]
+            };
             let tol = if full {
                 vec![0.1, 0.01, 0.001, 0.0001]
             } else {
@@ -95,13 +99,21 @@ pub fn grid(algorithm: Algorithm, scale: GridScale) -> ParamGrid {
                 .add("class_weight", s(&["balanced", "none"]))
         }
         Algorithm::Svc => {
-            let c = if full { vec![0.1, 1.0, 10.0] } else { vec![1.0, 10.0] };
+            let c = if full {
+                vec![0.1, 1.0, 10.0]
+            } else {
+                vec![1.0, 10.0]
+            };
             let tol = if full {
                 vec![0.01, 0.0001, 0.00001]
             } else {
                 vec![0.01]
             };
-            let cw = if full { vec!["balanced", "none"] } else { vec!["none"] };
+            let cw = if full {
+                vec!["balanced", "none"]
+            } else {
+                vec!["none"]
+            };
             ParamGrid::new()
                 .add("C", f(&c))
                 .add("tol", f(&tol))
@@ -111,7 +123,11 @@ pub fn grid(algorithm: Algorithm, scale: GridScale) -> ParamGrid {
         Algorithm::AdaBoost => {
             let n = if full { vec![50, 250, 500] } else { vec![20] };
             let mss = if full { vec![5, 10, 20] } else { vec![5] };
-            let split = if full { vec!["random", "best"] } else { vec!["best"] };
+            let split = if full {
+                vec!["random", "best"]
+            } else {
+                vec!["best"]
+            };
             ParamGrid::new()
                 .add("n_estimators", i(&n))
                 .add("algorithm", s(&["SAMME", "SAMME.R"]))
@@ -121,7 +137,11 @@ pub fn grid(algorithm: Algorithm, scale: GridScale) -> ParamGrid {
         }
         Algorithm::XgBoost => {
             let mcw = if full { vec![1, 4, 16, 64] } else { vec![1, 4] };
-            let depth = if full { vec![1, 4, 16, 64] } else { vec![4, 16] };
+            let depth = if full {
+                vec![1, 4, 16, 64]
+            } else {
+                vec![4, 16]
+            };
             let gamma = if full { vec![0, 1, 4, 16] } else { vec![0] };
             ParamGrid::new()
                 .add("min_child_weight", i(&mcw))
@@ -146,7 +166,11 @@ pub fn grid(algorithm: Algorithm, scale: GridScale) -> ParamGrid {
         }
         Algorithm::RandomForest => {
             let n = if full { vec![250, 500, 1000] } else { vec![30] };
-            let leaf = if full { vec![5, 10, 20, 30] } else { vec![5, 20] };
+            let leaf = if full {
+                vec![5, 10, 20, 30]
+            } else {
+                vec![5, 20]
+            };
             let split = if full { vec![5, 10, 20, 30] } else { vec![5] };
             let cw = if full {
                 vec!["balanced", "subsample", "none"]
@@ -173,15 +197,15 @@ fn criterion_of(p: &ParamSet, key: &str) -> SplitCriterion {
 /// Builds a classifier for an algorithm from a grid parameter set.
 pub fn build(algorithm: Algorithm, p: &ParamSet, quick: bool) -> Box<dyn Classifier> {
     match algorithm {
-        Algorithm::LogisticRegression => Box::new(LogisticRegression::new(
-            LogisticRegressionParams {
+        Algorithm::LogisticRegression => {
+            Box::new(LogisticRegression::new(LogisticRegressionParams {
                 c: p["C"].as_f64(),
                 tol: p["tol"].as_f64(),
                 balanced: p["class_weight"].as_str() == "balanced",
                 max_iter: if quick { 20 } else { 100 },
                 ..LogisticRegressionParams::default()
-            },
-        )),
+            }))
+        }
         Algorithm::Svc => Box::new(LinearSvc::new(LinearSvcParams {
             c: p["C"].as_f64(),
             tol: p["tol"].as_f64(),
@@ -190,7 +214,9 @@ pub fn build(algorithm: Algorithm, p: &ParamSet, quick: bool) -> Box<dyn Classif
             } else {
                 Penalty::L2
             },
-            balanced: p.get("class_weight").is_some_and(|v| v.as_str() == "balanced"),
+            balanced: p
+                .get("class_weight")
+                .is_some_and(|v| v.as_str() == "balanced"),
             max_iter: if quick { 30 } else { 200 },
             ..LinearSvcParams::default()
         })),
@@ -345,14 +371,9 @@ mod tests {
     #[test]
     fn quick_search_finds_good_forest_params() {
         let (x, y, groups) = toy();
-        let rows = run(
-            &x,
-            &y,
-            &groups,
-            &[Algorithm::RandomForest, Algorithm::XgBoost],
-            GridScale::Quick,
-        )
-        .unwrap();
+        let rows =
+            run(&x, &y, &groups, &[Algorithm::RandomForest, Algorithm::XgBoost], GridScale::Quick)
+                .unwrap();
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert!(row.best_f1 > 0.8, "{} scored {}", row.algorithm, row.best_f1);

@@ -205,7 +205,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(rows.len(), 6);
-        let rf = rows.iter().find(|r| r.algorithm == "Random Forest").unwrap();
+        let rf = rows
+            .iter()
+            .find(|r| r.algorithm == "Random Forest")
+            .unwrap();
         assert!(rf.f1_2 > 0.4, "forest F1_2 = {}\n{}", rf.f1_2, format(&rows));
         // The tree ensembles should be near the top, as in the paper.
         let best = rows

@@ -35,10 +35,7 @@ pub fn run(model: &MonitorlessModel, k: usize) -> Vec<Table4Row> {
 pub fn format(rows: &[Table4Row]) -> String {
     let mut out = format!("{:>4}  {:<60} {:>10}\n", "Rank", "Feature name", "Importance");
     for r in rows {
-        out.push_str(&format!(
-            "{:>4}  {:<60} {:>10.4}\n",
-            r.rank, r.feature, r.importance
-        ));
+        out.push_str(&format!("{:>4}  {:<60} {:>10.4}\n", r.rank, r.feature, r.importance));
     }
     out
 }

@@ -50,20 +50,13 @@ mod tests {
             .join("\n");
         assert_eq!(rows.len(), 5, "{table}");
         let ml = rows.iter().find(|r| r.algorithm == "monitorless").unwrap();
-        let cpu = rows.iter().find(|r| r.algorithm.starts_with("CPU (")).unwrap();
+        let cpu = rows
+            .iter()
+            .find(|r| r.algorithm.starts_with("CPU ("))
+            .unwrap();
         // Paper shape: the front-end is CPU-bound, so both the optimal CPU
         // detector and monitorless score high.
-        assert!(
-            cpu.confusion.f1() > 0.8,
-            "{}\n{}",
-            comparison_header(),
-            table
-        );
-        assert!(
-            ml.confusion.f1() > 0.6,
-            "monitorless F1_2 = {}\n{}",
-            ml.confusion.f1(),
-            table
-        );
+        assert!(cpu.confusion.f1() > 0.8, "{}\n{}", comparison_header(), table);
+        assert!(ml.confusion.f1() > 0.6, "monitorless F1_2 = {}\n{}", ml.confusion.f1(), table);
     }
 }

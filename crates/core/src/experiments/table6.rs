@@ -52,10 +52,6 @@ mod tests {
         // Accuracy stays high for monitorless (paper: 0.977) because
         // saturation is rare; F1 varies more at this scale.
         let ml = rows.iter().find(|r| r.algorithm == "monitorless").unwrap();
-        assert!(
-            ml.confusion.accuracy() > 0.6,
-            "accuracy = {}",
-            ml.confusion.accuracy()
-        );
+        assert!(ml.confusion.accuracy() > 0.6, "accuracy = {}", ml.confusion.accuracy());
     }
 }

@@ -43,10 +43,8 @@ impl Table7Options {
 
 /// Formats rows like the paper's Table 7.
 pub fn format(rows: &[AutoscaleResult]) -> String {
-    let mut out = format!(
-        "{:<26} {:>18} {:>14}\n",
-        "Algorithm", "Provisioning (Avg)", "SLO viol. (#)"
-    );
+    let mut out =
+        format!("{:<26} {:>18} {:>14}\n", "Algorithm", "Provisioning (Avg)", "SLO viol. (#)");
     for r in rows {
         out.push_str(&format!(
             "{:<26} {:>17.1}% {:>14}\n",
@@ -156,10 +154,7 @@ mod tests {
         assert_eq!(no_scaling.provisioning_pct, 0.0);
         // The RT-based (optimal) scaler must improve on no scaling.
         let rt = rows.iter().find(|r| r.policy.contains("RT-based")).unwrap();
-        assert!(
-            rt.slo_violations <= no_scaling.slo_violations,
-            "{table}"
-        );
+        assert!(rt.slo_violations <= no_scaling.slo_violations, "{table}");
         // Monitorless provisions a bounded amount.
         let ml = rows.iter().find(|r| r.policy == "monitorless").unwrap();
         assert!(ml.provisioning_pct >= 0.0 && ml.provisioning_pct < 60.0, "{table}");

@@ -86,14 +86,8 @@ pub fn run(
 ) -> Result<Vec<DiversityRow>, Error> {
     let subsets: Vec<(&str, Box<dyn Fn(ServiceKind) -> bool>)> = vec![
         ("Solr only", Box::new(|s| matches!(s, ServiceKind::Solr))),
-        (
-            "Memcache only",
-            Box::new(|s| matches!(s, ServiceKind::Memcache)),
-        ),
-        (
-            "Cassandra only",
-            Box::new(|s| matches!(s, ServiceKind::Cassandra(_))),
-        ),
+        ("Memcache only", Box::new(|s| matches!(s, ServiceKind::Memcache))),
+        ("Cassandra only", Box::new(|s| matches!(s, ServiceKind::Cassandra(_)))),
         ("All services", Box::new(|_| true)),
     ];
     let mut rows = Vec::new();
@@ -155,8 +149,7 @@ mod tests {
         .unwrap();
         let solr = subset_by_service(&data, &|s| matches!(s, ServiceKind::Solr)).unwrap();
         let memc = subset_by_service(&data, &|s| matches!(s, ServiceKind::Memcache)).unwrap();
-        let cass =
-            subset_by_service(&data, &|s| matches!(s, ServiceKind::Cassandra(_))).unwrap();
+        let cass = subset_by_service(&data, &|s| matches!(s, ServiceKind::Cassandra(_))).unwrap();
         assert_eq!(
             solr.dataset.len() + memc.dataset.len() + cass.dataset.len(),
             data.dataset.len()
@@ -197,9 +190,6 @@ mod tests {
             .filter(|r| r.services != "All services")
             .map(|r| r.f1_2)
             .fold(0.0, f64::max);
-        assert!(
-            full.f1_2 >= best_single - 0.3,
-            "diversity collapsed:\n{table}"
-        );
+        assert!(full.f1_2 >= best_single - 0.3, "diversity collapsed:\n{table}");
     }
 }

@@ -259,11 +259,7 @@ mod tests {
         assert_eq!(get("C-CPU-VERYHIGH"), 1.0);
         assert_eq!(get("C-CPU-LOW"), 0.0);
 
-        let idle = raw_vector(
-            &catalog,
-            &HostSignals::default(),
-            &ContainerSignals::default(),
-        );
+        let idle = raw_vector(&catalog, &HostSignals::default(), &ContainerSignals::default());
         let base = e.expand(&idle);
         let get = |name: &str| base[names.iter().position(|n| n == name).unwrap()];
         assert_eq!(get("C-CPU-LOW"), 1.0);

@@ -105,11 +105,11 @@ mod tests {
     #[test]
     fn pairs_cross_domains_only_except_levels() {
         let names: Vec<String> = vec![
-            "kernel.all.cpu.user".into(),  // Cpu
-            "kernel.all.cpu.sys".into(),   // Cpu
-            "mem.util.used".into(),        // Mem
-            "C-CPU-HIGH".into(),           // Level
-            "C-CPU-VERYHIGH".into(),       // Level
+            "kernel.all.cpu.user".into(), // Cpu
+            "kernel.all.cpu.sys".into(),  // Cpu
+            "mem.util.used".into(),       // Mem
+            "C-CPU-HIGH".into(),          // Level
+            "C-CPU-VERYHIGH".into(),      // Level
         ];
         let pairs = product_pairs(&names);
         // Cpu×Cpu (0,1) must be absent.

@@ -5,6 +5,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use monitorless_learn::{Matrix, StandardScaler, Transformer};
+use monitorless_obs as obs;
 use serde::{Deserialize, Serialize};
 
 use super::base::{BaseExpander, RawLayout};
@@ -103,17 +104,22 @@ impl FeaturePipeline {
             return Err(Error::Invalid("labels/groups do not match rows".into()));
         }
         let cfg = self.config;
+        let _fit_span = obs::Span::enter("pipeline.fit");
         let expander = BaseExpander::new(layout);
 
         // Step 1: base expansion.
+        let stage = obs::Span::enter("pipeline.fit.base_expand");
         let mut base_rows: Vec<f64> = Vec::with_capacity(x_raw.rows() * expander.len());
         for row in x_raw.iter_rows() {
             base_rows.extend(expander.expand(row));
         }
         let mut b = Matrix::from_vec(x_raw.rows(), expander.len(), base_rows);
         let names_b = expander.names();
+        drop(stage);
+        obs::gauge_set("pipeline.features.base", names_b.len() as f64);
 
         // Step 2: normalization.
+        let stage = obs::Span::enter("pipeline.fit.normalize");
         let scaler = if cfg.normalize {
             let mut s = StandardScaler::new();
             b = s.fit_transform(&b)?;
@@ -121,6 +127,7 @@ impl FeaturePipeline {
         } else {
             None
         };
+        drop(stage);
 
         // Step 3: first reduction. The binary level features and the
         // relative utilization metrics are always kept: they are the
@@ -128,6 +135,7 @@ impl FeaturePipeline {
         // hardware and load magnitudes (Sections 3.3.1-3.3.3) — absolute
         // metrics alone would overfit each training configuration's
         // traffic level.
+        let stage = obs::Span::enter("pipeline.fit.reduce1");
         let mut reduce1 = FittedReduction::fit(cfg.reduce1, &b, y, groups, cfg.seed)?;
         if let FittedReduction::Select(idx) = &mut reduce1 {
             idx.extend(forced_base_indices(&names_b));
@@ -136,8 +144,11 @@ impl FeaturePipeline {
         }
         let c = reduce1.apply(&b)?;
         let names_c = reduce1.names(&names_b);
+        drop(stage);
+        obs::gauge_set("pipeline.features.reduced", names_c.len() as f64);
 
         // Step 4: time features + products (per group, chronological).
+        let stage = obs::Span::enter("pipeline.fit.time_products");
         let time = cfg.time_features.then(|| TimeExpander::new(c.cols()));
         let pairs = if cfg.products {
             product_pairs(&names_c)
@@ -145,9 +156,12 @@ impl FeaturePipeline {
             Vec::new()
         };
         let (d, names_d) = expand_stage_d(&c, groups, time.as_ref(), &pairs, &names_c);
+        drop(stage);
+        obs::gauge_set("pipeline.features.expanded", names_d.len() as f64);
 
         // Step 5: second reduction, again keeping the scale-free
         // originals and their pairwise products.
+        let stage = obs::Span::enter("pipeline.fit.reduce2");
         let mut reduce2 = FittedReduction::fit(cfg.reduce2, &d, y, groups, cfg.seed ^ 0x5a5a)?;
         if let FittedReduction::Select(idx) = &mut reduce2 {
             let forced_names: Vec<&String> = forced_base_indices(&names_b)
@@ -157,9 +171,9 @@ impl FeaturePipeline {
             for (j, name) in names_d.iter().enumerate() {
                 let is_forced_original = forced_names.contains(&name);
                 let is_level_product = name.contains(" × ")
-                    && name.split(" × ").all(|part| {
-                        forced_names.iter().any(|f| part == *f)
-                    });
+                    && name
+                        .split(" × ")
+                        .all(|part| forced_names.iter().any(|f| part == *f));
                 if is_forced_original || is_level_product {
                     idx.push(j);
                 }
@@ -169,12 +183,16 @@ impl FeaturePipeline {
         }
         let e = reduce2.apply(&d)?;
         let names_e = reduce2.names(&names_d);
+        drop(stage);
 
         // Step 6: zero-variance removal.
+        let stage = obs::Span::enter("pipeline.fit.zero_variance");
         let stds = e.column_stds();
         let keep: Vec<usize> = (0..e.cols()).filter(|&i| stds[i] > 0.0).collect();
         let final_x = e.select_columns(&keep);
         let names: Vec<String> = keep.iter().map(|&i| names_e[i].clone()).collect();
+        drop(stage);
+        obs::gauge_set("pipeline.features.final", names.len() as f64);
 
         let fitted = FittedPipeline {
             config: cfg,
@@ -298,6 +316,7 @@ impl FittedPipeline {
     ///
     /// Propagates scaler/PCA errors.
     pub fn transform_batch(&self, x_raw: &Matrix, groups: &[u32]) -> Result<Matrix, Error> {
+        let _span = obs::Span::enter("pipeline.transform_batch");
         let mut base_rows: Vec<f64> = Vec::with_capacity(x_raw.rows() * self.expander.len());
         for row in x_raw.iter_rows() {
             base_rows.extend(self.expander.expand(row));
@@ -372,6 +391,7 @@ impl InstanceTransformer {
     ///
     /// Propagates pipeline errors.
     pub fn push(&mut self, raw: &[f64]) -> Result<Vec<f64>, Error> {
+        let _span = obs::Span::enter("pipeline.transform_online");
         let reduced = self.pipeline.reduce_raw(raw)?;
         if self.window.len() == WINDOW_LEN {
             self.window.pop_front();

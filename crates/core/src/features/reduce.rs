@@ -150,9 +150,7 @@ impl FittedReduction {
     pub fn names(&self, input_names: &[String]) -> Vec<String> {
         match self {
             FittedReduction::None => input_names.to_vec(),
-            FittedReduction::Select(idx) => {
-                idx.iter().map(|&i| input_names[i].clone()).collect()
-            }
+            FittedReduction::Select(idx) => idx.iter().map(|&i| input_names[i].clone()).collect(),
             FittedReduction::Pca(p) => (0..p.n_components()).map(|i| format!("PC{i}")).collect(),
         }
     }

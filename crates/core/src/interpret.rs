@@ -64,14 +64,10 @@ pub fn distill(
     let x = model
         .pipeline()
         .transform_batch(data.dataset.x(), data.dataset.groups())?;
-    let teacher = model
-        .forest()
-        .predict_with_threshold(&x, model.threshold());
+    let teacher = model.forest().predict_with_threshold(&x, model.threshold());
     let positives = teacher.iter().filter(|&&l| l == 1).count();
     if positives == 0 || positives == teacher.len() {
-        return Err(Error::Invalid(
-            "forest predicts a single class; nothing to distill".into(),
-        ));
+        return Err(Error::Invalid("forest predicts a single class; nothing to distill".into()));
     }
 
     let mut student = DecisionTree::new(DecisionTreeParams {
@@ -114,11 +110,7 @@ mod tests {
         .unwrap();
         let model = MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap();
         let distilled = distill(&model, &data, &DistillOptions::default()).unwrap();
-        assert!(
-            distilled.fidelity > 0.85,
-            "student fidelity {} too low",
-            distilled.fidelity
-        );
+        assert!(distilled.fidelity > 0.85, "student fidelity {} too low", distilled.fidelity);
         assert!(!distilled.rules.is_empty(), "no rules extracted");
         assert!(distilled.rules.len() <= 8, "depth 3 gives at most 8 rules");
         for rule in &distilled.rules {

@@ -78,6 +78,9 @@ pub enum Error {
     Serde(serde_json::Error),
     /// I/O failure while persisting a model.
     Io(std::io::Error),
+    /// A cluster-simulation operation failed (e.g. scaling an unknown
+    /// service).
+    Sim(monitorless_sim::ClusterError),
 }
 
 impl std::fmt::Display for Error {
@@ -89,6 +92,7 @@ impl std::fmt::Display for Error {
             Error::Invalid(msg) => write!(f, "invalid input: {msg}"),
             Error::Serde(e) => write!(f, "serialization error: {e}"),
             Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Sim(e) => write!(f, "simulation error: {e}"),
         }
     }
 }
@@ -100,6 +104,7 @@ impl std::error::Error for Error {
             Error::Label(e) => Some(e),
             Error::Serde(e) => Some(e),
             Error::Io(e) => Some(e),
+            Error::Sim(e) => Some(e),
             _ => None,
         }
     }
@@ -129,6 +134,12 @@ impl From<std::io::Error> for Error {
     }
 }
 
+impl From<monitorless_sim::ClusterError> for Error {
+    fn from(e: monitorless_sim::ClusterError) -> Self {
+        Error::Sim(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +150,9 @@ mod tests {
         assert!(e.to_string().contains("learning"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(Error::NotFitted.to_string().contains("fitted"));
+        let s: Error =
+            monitorless_sim::ClusterError::UnknownNode(monitorless_metrics::NodeId(3)).into();
+        assert!(s.to_string().contains("simulation error"));
+        assert!(std::error::Error::source(&s).is_some());
     }
 }

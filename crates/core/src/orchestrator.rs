@@ -9,6 +9,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use monitorless_metrics::{InstanceId, Observation};
+use monitorless_obs as obs;
 use serde::{Deserialize, Serialize};
 
 use crate::features::InstanceTransformer;
@@ -102,8 +103,14 @@ impl Orchestrator {
                     .transformers
                     .entry(instance)
                     .or_insert_with(|| self.model.transformer());
+                let predict_span = obs::Span::enter("orchestrator.predict");
                 let features = transformer.push(&raw)?;
                 let (probability, saturated) = self.model.predict_features(&features);
+                drop(predict_span);
+                obs::counter_add("orchestrator.predictions", 1);
+                if saturated == 1 {
+                    obs::counter_add("orchestrator.predicted_saturated", 1);
+                }
                 predictions.push(InstancePrediction {
                     instance,
                     probability,
@@ -126,7 +133,13 @@ impl Orchestrator {
             .filter(|p| app_instances.contains(&p.instance))
             .map(|p| p.saturated)
             .collect();
-        aggregation.combine(&labels)
+        let combined = aggregation.combine(&labels);
+        if combined == 1 {
+            obs::counter_add("orchestrator.agg.saturated", 1);
+        } else {
+            obs::counter_add("orchestrator.agg.healthy", 1);
+        }
+        combined
     }
 }
 
@@ -284,7 +297,7 @@ mod tests {
         assert_eq!(orch.tracked_instances(), 1);
         assert!((0.0..=1.0).contains(&preds[0].probability));
         // Scale out: second instance appears next tick.
-        cluster.scale_out(app, "svc", NodeId(0));
+        cluster.scale_out(app, "svc", NodeId(0)).unwrap();
         let report = cluster.step(&[(app, 10.0)]);
         let preds = orch.step(&report.observations).unwrap();
         assert_eq!(preds.len(), 2);

@@ -15,8 +15,7 @@ use monitorless_metrics::{InstanceId, NodeId};
 use monitorless_sim::apps::{build_single, cassandra_profile, memcache_profile, solr_profile};
 use monitorless_sim::{AppId, Bottleneck, Cluster, ContainerLimits, NodeSpec, ServiceProfile};
 use monitorless_workload::{
-    ConstantProfile, LoadProfile, NoisyProfile, RampProfile, SineProfile, SteppedProfile,
-    YcsbClass,
+    ConstantProfile, LoadProfile, NoisyProfile, RampProfile, SineProfile, SteppedProfile, YcsbClass,
 };
 use serde::{Deserialize, Serialize};
 
@@ -129,12 +128,7 @@ pub fn table1() -> Vec<TrainingConfig> {
     use Bottleneck as B;
     use ServiceKind as S;
     use TrafficSpec as T;
-    let row = |id,
-               service,
-               limits,
-               parallel_with,
-               traffic,
-               expected_bottleneck| TrainingConfig {
+    let row = |id, service, limits, parallel_with, traffic, expected_bottleneck| TrainingConfig {
         id,
         service,
         limits,
@@ -157,18 +151,103 @@ pub fn table1() -> Vec<TrainingConfig> {
         row(8, S::Memcache, cl(1.0), None, T::Range { lo: 20e3, hi: 85e3 }, B::ContainerCpu),
         row(9, S::Memcache, ml(8.0), None, T::Range { lo: 39e3, hi: 45e3 }, B::IoQueue),
         row(10, S::Memcache, ml(4.0), Some(23), T::Range { lo: 10e3, hi: 65e3 }, B::IoQueue),
-        row(11, S::Cassandra(YcsbClass::A), un, None, T::Range { lo: 30e3, hi: 100e3 }, B::Network),
+        row(
+            11,
+            S::Cassandra(YcsbClass::A),
+            un,
+            None,
+            T::Range {
+                lo: 30e3,
+                hi: 100e3,
+            },
+            B::Network,
+        ),
         row(12, S::Cassandra(YcsbClass::B), un, None, T::Range { lo: 20e3, hi: 70e3 }, B::HostCpu),
         row(13, S::Cassandra(YcsbClass::D), un, None, T::Range { lo: 40e3, hi: 90e3 }, B::Network),
-        row(14, S::Cassandra(YcsbClass::A), cm(20.0, 30.0), None, T::Range { lo: 300.0, hi: 1200.0 }, B::IoBandwidth),
-        row(15, S::Cassandra(YcsbClass::B), cm(20.0, 30.0), None, T::Range { lo: 100.0, hi: 900.0 }, B::IoBandwidth),
-        row(16, S::Cassandra(YcsbClass::B), cm(20.0, 30.0), None, T::Range { lo: 700.0, hi: 1000.0 }, B::IoBandwidth),
-        row(17, S::Cassandra(YcsbClass::B), cm(20.0, 30.0), None, T::Range { lo: 100.0, hi: 1000.0 }, B::IoBandwidth),
-        row(18, S::Cassandra(YcsbClass::A), cl(6.0), Some(3), T::Range { lo: 15e3, hi: 25e3 }, B::ContainerCpu),
-        row(19, S::Cassandra(YcsbClass::B), cl(6.0), Some(4), T::Range { lo: 10e3, hi: 15e3 }, B::ContainerCpu),
-        row(20, S::Cassandra(YcsbClass::D), cl(6.0), Some(5), T::Range { lo: 10e3, hi: 25e3 }, B::ContainerCpu),
-        row(21, S::Cassandra(YcsbClass::A), cl(6.0), None, T::Range { lo: 5e3, hi: 20e3 }, B::ContainerCpu),
-        row(22, S::Cassandra(YcsbClass::B), cl(6.0), Some(6), T::Range { lo: 5e3, hi: 20e3 }, B::ContainerCpu),
+        row(
+            14,
+            S::Cassandra(YcsbClass::A),
+            cm(20.0, 30.0),
+            None,
+            T::Range {
+                lo: 300.0,
+                hi: 1200.0,
+            },
+            B::IoBandwidth,
+        ),
+        row(
+            15,
+            S::Cassandra(YcsbClass::B),
+            cm(20.0, 30.0),
+            None,
+            T::Range {
+                lo: 100.0,
+                hi: 900.0,
+            },
+            B::IoBandwidth,
+        ),
+        row(
+            16,
+            S::Cassandra(YcsbClass::B),
+            cm(20.0, 30.0),
+            None,
+            T::Range {
+                lo: 700.0,
+                hi: 1000.0,
+            },
+            B::IoBandwidth,
+        ),
+        row(
+            17,
+            S::Cassandra(YcsbClass::B),
+            cm(20.0, 30.0),
+            None,
+            T::Range {
+                lo: 100.0,
+                hi: 1000.0,
+            },
+            B::IoBandwidth,
+        ),
+        row(
+            18,
+            S::Cassandra(YcsbClass::A),
+            cl(6.0),
+            Some(3),
+            T::Range { lo: 15e3, hi: 25e3 },
+            B::ContainerCpu,
+        ),
+        row(
+            19,
+            S::Cassandra(YcsbClass::B),
+            cl(6.0),
+            Some(4),
+            T::Range { lo: 10e3, hi: 15e3 },
+            B::ContainerCpu,
+        ),
+        row(
+            20,
+            S::Cassandra(YcsbClass::D),
+            cl(6.0),
+            Some(5),
+            T::Range { lo: 10e3, hi: 25e3 },
+            B::ContainerCpu,
+        ),
+        row(
+            21,
+            S::Cassandra(YcsbClass::A),
+            cl(6.0),
+            None,
+            T::Range { lo: 5e3, hi: 20e3 },
+            B::ContainerCpu,
+        ),
+        row(
+            22,
+            S::Cassandra(YcsbClass::B),
+            cl(6.0),
+            Some(6),
+            T::Range { lo: 5e3, hi: 20e3 },
+            B::ContainerCpu,
+        ),
         row(23, S::Cassandra(YcsbClass::B), cl(6.0), Some(10), T::Constant(10e3), B::ContainerCpu),
         row(24, S::Cassandra(YcsbClass::F), cl(1.0), None, T::Constant(200.0), B::IoWait),
         row(25, S::Cassandra(YcsbClass::F), cl(1.0), None, T::Constant(20.0), B::IoWait),
@@ -234,12 +313,7 @@ pub fn calibrate_threshold(
     opts: &TrainingOptions,
 ) -> Result<Option<SaturationThreshold>, Error> {
     let mut cluster = Cluster::new(vec![NodeSpec::training_server()], opts.seed ^ 0xCA11);
-    let (app, _) = build_single(
-        &mut cluster,
-        config.service.profile(),
-        config.limits,
-        NodeId(0),
-    );
+    let (app, _) = build_single(&mut cluster, config.service.profile(), config.limits, NodeId(0));
     let ramp = RampProfile::new(1.0, config.traffic.max_rate() * 1.3, opts.ramp_seconds);
     let mut offered = Vec::new();
     let mut throughput = Vec::new();
@@ -288,9 +362,9 @@ pub fn overprovision_label(
     threshold: Option<&monitorless_label::SaturationThreshold>,
 ) -> u8 {
     match threshold {
-        Some(t) => u8::from(
-            kpi.throughput_rps < 0.25 * t.upsilon() && kpi.failure_fraction() < 1e-9,
-        ),
+        Some(t) => {
+            u8::from(kpi.throughput_rps < 0.25 * t.upsilon() && kpi.failure_fraction() < 1e-9)
+        }
         None => 0,
     }
 }
@@ -312,16 +386,14 @@ fn run_configs(
     let mut cluster = Cluster::new(vec![NodeSpec::training_server()], opts.seed);
     let mut apps: Vec<(AppId, InstanceId)> = Vec::new();
     for config in configs {
-        apps.push(build_single(
-            &mut cluster,
-            config.service.profile(),
-            config.limits,
-            NodeId(0),
-        ));
+        apps.push(build_single(&mut cluster, config.service.profile(), config.limits, NodeId(0)));
     }
     let profiles: Vec<Box<dyn LoadProfile>> = configs
         .iter()
-        .map(|c| c.traffic.profile(opts.run_seconds, opts.seed ^ u64::from(c.id)))
+        .map(|c| {
+            c.traffic
+                .profile(opts.run_seconds, opts.seed ^ u64::from(c.id))
+        })
         .collect();
 
     let mut outputs: Vec<RunOutput> = configs
@@ -356,9 +428,11 @@ fn run_configs(
             outputs[k]
                 .scalein_labels
                 .push(overprovision_label(kpi, threshold.as_ref()));
-            outputs[k]
-                .bottlenecks
-                .push(report.container(*inst).map_or(Bottleneck::None, |c| c.bottleneck));
+            outputs[k].bottlenecks.push(
+                report
+                    .container(*inst)
+                    .map_or(Bottleneck::None, |c| c.bottleneck),
+            );
         }
     }
     Ok(outputs)
@@ -518,7 +592,10 @@ mod tests {
         for spec in [
             TrafficSpec::Sin1000,
             TrafficSpec::SinNoise1000,
-            TrafficSpec::Range { lo: 10.0, hi: 100.0 },
+            TrafficSpec::Range {
+                lo: 10.0,
+                hi: 100.0,
+            },
             TrafficSpec::Constant(42.0),
         ] {
             let p = spec.profile(60, 1);

@@ -95,10 +95,7 @@ pub fn detect_knee(x: &[f64], y: &[f64], params: &KneedleParams) -> Result<Knee,
     } else {
         let xmax = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let ymax = smoothed.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        (
-            x.iter().map(|&v| xmax - v).collect(),
-            smoothed.iter().map(|&v| ymax - v).collect(),
-        )
+        (x.iter().map(|&v| xmax - v).collect(), smoothed.iter().map(|&v| ymax - v).collect())
     };
 
     let xn = normalize_unit(&xs);
@@ -192,7 +189,13 @@ mod tests {
         let x: Vec<f64> = (0..120).map(|i| i as f64).collect();
         let y: Vec<f64> = x
             .iter()
-            .map(|&v| if v < 80.0 { 10.0 } else { 10.0 + (v - 80.0).powi(2) })
+            .map(|&v| {
+                if v < 80.0 {
+                    10.0
+                } else {
+                    10.0 + (v - 80.0).powi(2)
+                }
+            })
             .collect();
         let params = KneedleParams {
             concave_down: false,

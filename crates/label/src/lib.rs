@@ -73,6 +73,8 @@ mod tests {
     #[test]
     fn errors_display() {
         assert!(Error::NoKnee.to_string().contains("knee"));
-        assert!(Error::TooShort { needed: 5, got: 2 }.to_string().contains('5'));
+        assert!(Error::TooShort { needed: 5, got: 2 }
+            .to_string()
+            .contains('5'));
     }
 }

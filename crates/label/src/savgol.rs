@@ -41,14 +41,10 @@ impl SavitzkyGolay {
     /// than 3, or not larger than the degree.
     pub fn new(window: usize, degree: usize) -> Result<Self, Error> {
         if window < 3 || window.is_multiple_of(2) {
-            return Err(Error::InvalidParameter(
-                "window must be odd and at least 3".into(),
-            ));
+            return Err(Error::InvalidParameter("window must be odd and at least 3".into()));
         }
         if degree + 1 >= window {
-            return Err(Error::InvalidParameter(
-                "degree must be smaller than window - 1".into(),
-            ));
+            return Err(Error::InvalidParameter("degree must be smaller than window - 1".into()));
         }
         Ok(SavitzkyGolay { window, degree })
     }
@@ -199,10 +195,7 @@ mod tests {
     #[test]
     fn too_short_series_rejected() {
         let sg = SavitzkyGolay::new(7, 2).unwrap();
-        assert!(matches!(
-            sg.smooth(&[1.0, 2.0]),
-            Err(Error::TooShort { needed: 7, got: 2 })
-        ));
+        assert!(matches!(sg.smooth(&[1.0, 2.0]), Err(Error::TooShort { needed: 7, got: 2 })));
     }
 
     #[test]
@@ -241,9 +234,7 @@ mod tests {
             })
             .collect();
         let s = sg.smooth(&y).unwrap();
-        let rough = |v: &[f64]| -> f64 {
-            v.windows(2).map(|w| (w[1] - w[0]).powi(2)).sum::<f64>()
-        };
+        let rough = |v: &[f64]| -> f64 { v.windows(2).map(|w| (w[1] - w[0]).powi(2)).sum::<f64>() };
         assert!(rough(&s) < rough(&y) * 0.5);
     }
 

@@ -182,9 +182,7 @@ impl AdaBoost {
             }
             let sum: f64 = w.iter().sum();
             if !(sum.is_finite() && sum > 0.0) {
-                return Err(Error::NoConvergence(
-                    "adaboost sample weights degenerated".into(),
-                ));
+                return Err(Error::NoConvergence("adaboost sample weights degenerated".into()));
             }
             for wi in w.iter_mut() {
                 *wi /= sum;
@@ -225,14 +223,10 @@ impl Classifier for AdaBoost {
     fn fit(&mut self, x: &Matrix, y: &[u8], sample_weight: Option<&[f64]>) -> Result<(), Error> {
         validate_fit_input(x, y, sample_weight)?;
         if self.params.n_estimators == 0 {
-            return Err(Error::InvalidParameter(
-                "n_estimators must be at least 1".into(),
-            ));
+            return Err(Error::InvalidParameter("n_estimators must be at least 1".into()));
         }
         if self.params.learning_rate <= 0.0 {
-            return Err(Error::InvalidParameter(
-                "learning_rate must be positive".into(),
-            ));
+            return Err(Error::InvalidParameter("learning_rate must be positive".into()));
         }
         self.stages.clear();
         self.n_features = x.cols();
@@ -319,7 +313,14 @@ mod tests {
     #[test]
     fn stops_early_on_perfect_fit() {
         let x = Matrix::from_rows(&[
-            &[0.0], &[1.0], &[2.0], &[3.0], &[10.0], &[11.0], &[12.0], &[13.0],
+            &[0.0],
+            &[1.0],
+            &[2.0],
+            &[3.0],
+            &[10.0],
+            &[11.0],
+            &[12.0],
+            &[13.0],
         ]);
         let y = vec![0, 0, 0, 0, 1, 1, 1, 1];
         let mut ab = AdaBoost::new(AdaBoostParams {
@@ -356,10 +357,7 @@ mod tests {
             ..AdaBoostParams::default()
         });
         let x = Matrix::from_rows(&[&[0.0], &[1.0]]);
-        assert!(matches!(
-            ab.fit(&x, &[0, 1], None),
-            Err(Error::InvalidParameter(_))
-        ));
+        assert!(matches!(ab.fit(&x, &[0, 1], None), Err(Error::InvalidParameter(_))));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! information-gain splitting and no class weighting, with the decision
 //! threshold later lowered to 0.4 to favour recall (Section 4).
 
+use monitorless_obs as obs;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -196,6 +197,7 @@ impl RandomForest {
         global_cw: (f64, f64),
         tree_idx: usize,
     ) -> DecisionTree {
+        let _tree_span = obs::Span::enter("forest.tree_fit");
         let mut rng = StdRng::seed_from_u64(
             self.params
                 .seed
@@ -251,9 +253,7 @@ impl Classifier for RandomForest {
     fn fit(&mut self, x: &Matrix, y: &[u8], sample_weight: Option<&[f64]>) -> Result<(), Error> {
         validate_fit_input(x, y, sample_weight)?;
         if self.params.n_estimators == 0 {
-            return Err(Error::InvalidParameter(
-                "n_estimators must be at least 1".into(),
-            ));
+            return Err(Error::InvalidParameter("n_estimators must be at least 1".into()));
         }
         self.n_features = x.cols();
         let base_weight: Vec<f64> = match sample_weight {
@@ -265,6 +265,8 @@ impl Classifier for RandomForest {
 
         let n_jobs = self.params.n_jobs.max(1);
         let n_trees = self.params.n_estimators;
+        let fit_span = obs::Span::enter("forest.fit");
+        obs::gauge_set("forest.workers", n_jobs as f64);
         if n_jobs == 1 {
             self.trees = (0..n_trees)
                 .map(|t| self.train_one(x, y, &base_weight, global_cw, t))
@@ -273,23 +275,45 @@ impl Classifier for RandomForest {
             let mut trees: Vec<Option<DecisionTree>> = vec![None; n_trees];
             let this = &*self;
             let bw = &base_weight;
+            // Summed busy time across workers; together with the wall
+            // clock of the whole scope this yields worker utilization.
+            let busy_us = std::sync::atomic::AtomicU64::new(0);
+            let busy = &busy_us;
             crossbeam::thread::scope(|scope| {
                 for (chunk_id, chunk) in trees.chunks_mut(n_trees.div_ceil(n_jobs)).enumerate() {
                     let chunk_size = n_trees.div_ceil(n_jobs);
                     scope.spawn(move |_| {
+                        let started = obs::enabled().then(std::time::Instant::now);
                         for (off, slot) in chunk.iter_mut().enumerate() {
                             let t = chunk_id * chunk_size + off;
                             *slot = Some(this.train_one(x, y, bw, global_cw, t));
+                        }
+                        if let Some(started) = started {
+                            let us = started.elapsed().as_micros() as u64;
+                            obs::observe("forest.worker_busy_us", us as f64);
+                            busy.fetch_add(us, std::sync::atomic::Ordering::Relaxed);
                         }
                     });
                 }
             })
             .expect("forest worker thread panicked");
+            if let Some(wall_us) = fit_span.elapsed_us() {
+                if wall_us > 0.0 {
+                    let total_busy = busy_us.load(std::sync::atomic::Ordering::Relaxed) as f64;
+                    obs::gauge_set(
+                        "forest.worker_utilization",
+                        total_busy / (n_jobs as f64 * wall_us),
+                    );
+                }
+            }
             self.trees = trees
                 .into_iter()
                 .map(|t| t.expect("all tree slots are filled by workers"))
                 .collect();
         }
+        drop(fit_span);
+        obs::counter_add("forest.fits", 1);
+        obs::counter_add("forest.trees_trained", n_trees as u64);
         Ok(())
     }
 
@@ -324,10 +348,7 @@ mod tests {
         for _ in 0..n_per_class {
             rows.push(vec![rng.gen::<f64>() * 0.4, rng.gen::<f64>() * 0.4]);
             y.push(0);
-            rows.push(vec![
-                0.6 + rng.gen::<f64>() * 0.4,
-                0.6 + rng.gen::<f64>() * 0.4,
-            ]);
+            rows.push(vec![0.6 + rng.gen::<f64>() * 0.4, 0.6 + rng.gen::<f64>() * 0.4]);
             y.push(1);
         }
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
@@ -443,8 +464,16 @@ mod tests {
             ..RandomForestParams::default()
         });
         rf.fit(&x, &y, None).unwrap();
-        let at_05: usize = rf.predict_with_threshold(&x, 0.5).iter().map(|&v| v as usize).sum();
-        let at_04: usize = rf.predict_with_threshold(&x, 0.4).iter().map(|&v| v as usize).sum();
+        let at_05: usize = rf
+            .predict_with_threshold(&x, 0.5)
+            .iter()
+            .map(|&v| v as usize)
+            .sum();
+        let at_04: usize = rf
+            .predict_with_threshold(&x, 0.4)
+            .iter()
+            .map(|&v| v as usize)
+            .sum();
         assert!(at_04 >= at_05);
     }
 
@@ -455,10 +484,7 @@ mod tests {
             ..RandomForestParams::default()
         });
         let x = Matrix::from_rows(&[&[0.0], &[1.0]]);
-        assert!(matches!(
-            rf.fit(&x, &[0, 1], None),
-            Err(Error::InvalidParameter(_))
-        ));
+        assert!(matches!(rf.fit(&x, &[0, 1], None), Err(Error::InvalidParameter(_))));
     }
 
     #[test]

@@ -84,7 +84,13 @@ impl RegTree {
                     threshold,
                     left,
                     right,
-                } => idx = if row[*feature] <= *threshold { *left } else { *right },
+                } => {
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    }
+                }
             }
         }
     }
@@ -179,7 +185,11 @@ impl GradientBoosting {
         let mut sorted: Vec<(f64, f64, f64)> = Vec::with_capacity(indices.len());
         for feature in 0..self.n_features {
             sorted.clear();
-            sorted.extend(indices.iter().map(|&i| (x.get(i, feature), grad[i], hess[i])));
+            sorted.extend(
+                indices
+                    .iter()
+                    .map(|&i| (x.get(i, feature), grad[i], hess[i])),
+            );
             sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             if sorted[0].0 == sorted[sorted.len() - 1].0 {
                 continue;
@@ -262,10 +272,12 @@ impl Classifier for GradientBoosting {
         let p0 = (pos_w / tot_w).clamp(1e-6, 1.0 - 1e-6);
         self.base_score = (p0 / (1.0 - p0)).ln();
 
+        let fit_span = monitorless_obs::Span::enter("gboost.fit");
         let mut score = vec![self.base_score; n];
         let mut grad = vec![0.0; n];
         let mut hess = vec![0.0; n];
         for _ in 0..self.params.n_rounds {
+            let _round_span = monitorless_obs::Span::enter("gboost.tree_fit");
             for i in 0..n {
                 let p = sigmoid(score[i]);
                 grad[i] = w[i] * (p - y[i] as f64);
@@ -280,6 +292,9 @@ impl Classifier for GradientBoosting {
             }
             self.trees.push(tree);
         }
+        drop(fit_span);
+        monitorless_obs::counter_add("gboost.fits", 1);
+        monitorless_obs::counter_add("gboost.trees_trained", self.params.n_rounds as u64);
         Ok(())
     }
 

@@ -57,7 +57,9 @@ pub use adaboost::{AdaBoost, AdaBoostParams, BoostAlgorithm};
 pub use dataset::Dataset;
 pub use forest::{ClassWeight, RandomForest, RandomForestParams};
 pub use gboost::{GradientBoosting, GradientBoostingParams};
-pub use linear::{LinearSvc, LinearSvcParams, LogisticRegression, LogisticRegressionParams, Penalty};
+pub use linear::{
+    LinearSvc, LinearSvcParams, LogisticRegression, LogisticRegressionParams, Penalty,
+};
 pub use matrix::Matrix;
 pub use metrics::{accuracy, f1_score, lagged_confusion, ConfusionMatrix};
 pub use model_selection::{cross_validate, GridSearch, GroupKFold, KFold, ParamGrid, ParamValue};
@@ -186,10 +188,7 @@ mod trait_tests {
     #[test]
     fn validate_rejects_empty() {
         let x = Matrix::zeros(0, 0);
-        assert!(matches!(
-            validate_fit_input(&x, &[], None),
-            Err(Error::EmptyInput)
-        ));
+        assert!(matches!(validate_fit_input(&x, &[], None), Err(Error::EmptyInput)));
     }
 
     #[test]
@@ -204,10 +203,7 @@ mod trait_tests {
     #[test]
     fn validate_rejects_single_class() {
         let x = Matrix::zeros(3, 2);
-        assert!(matches!(
-            validate_fit_input(&x, &[1, 1, 1], None),
-            Err(Error::InvalidLabels)
-        ));
+        assert!(matches!(validate_fit_input(&x, &[1, 1, 1], None), Err(Error::InvalidLabels)));
     }
 
     #[test]

@@ -384,10 +384,7 @@ mod tests {
         for _ in 0..n {
             rows.push(vec![rng.gen::<f64>() * 0.4, rng.gen::<f64>() * 0.4]);
             y.push(0);
-            rows.push(vec![
-                0.6 + rng.gen::<f64>() * 0.4,
-                0.6 + rng.gen::<f64>() * 0.4,
-            ]);
+            rows.push(vec![0.6 + rng.gen::<f64>() * 0.4, 0.6 + rng.gen::<f64>() * 0.4]);
             y.push(1);
         }
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();

@@ -167,10 +167,7 @@ impl Matrix {
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "inner dimensions must agree for matmul"
-        );
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree for matmul");
         let mut out = Matrix::zeros(self.rows, other.cols);
         for r in 0..self.rows {
             for k in 0..self.cols {

@@ -212,7 +212,11 @@ pub fn roc_auc(y_true: &[u8], scores: &[f64]) -> f64 {
     }
     // Rank the scores (average rank for ties).
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < order.len() {
@@ -295,10 +299,7 @@ mod tests {
     fn lag_zero_equals_plain() {
         let yt = [0, 1, 0, 1, 0, 0, 1];
         let yp = [1, 0, 0, 1, 1, 0, 0];
-        assert_eq!(
-            lagged_confusion(&yt, &yp, 0),
-            ConfusionMatrix::from_predictions(&yt, &yp)
-        );
+        assert_eq!(lagged_confusion(&yt, &yp, 0), ConfusionMatrix::from_predictions(&yt, &yp));
     }
 
     #[test]

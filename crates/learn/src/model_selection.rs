@@ -224,53 +224,82 @@ pub enum ParamValue {
 }
 
 impl ParamValue {
+    /// The value as `f64`, if the variant is `F` or `I`.
+    pub fn try_as_f64(&self) -> Option<f64> {
+        match self {
+            ParamValue::F(v) => Some(*v),
+            ParamValue::I(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `usize`, if the variant is a non-negative `I`.
+    pub fn try_as_usize(&self) -> Option<usize> {
+        match self {
+            ParamValue::I(v) if *v >= 0 => Some(*v as usize),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if the variant is `S`.
+    pub fn try_as_str(&self) -> Option<&str> {
+        match self {
+            ParamValue::S(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`, if the variant is `B`.
+    pub fn try_as_bool(&self) -> Option<bool> {
+        match self {
+            ParamValue::B(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as `f64`.
     ///
     /// # Panics
     ///
-    /// Panics if the variant is not `F` or `I`.
+    /// Panics if the variant is not `F` or `I`; grid definitions are
+    /// static, so a mismatch is a programming error. Use
+    /// [`ParamValue::try_as_f64`] for dynamic grids.
     pub fn as_f64(&self) -> f64 {
-        match self {
-            ParamValue::F(v) => *v,
-            ParamValue::I(v) => *v as f64,
-            other => panic!("parameter {other:?} is not numeric"),
-        }
+        self.try_as_f64()
+            .unwrap_or_else(|| panic!("parameter {self:?} is not numeric"))
     }
 
     /// The value as `usize`.
     ///
     /// # Panics
     ///
-    /// Panics if the variant is not `I` or the value is negative.
+    /// Panics if the variant is not `I` or the value is negative. Use
+    /// [`ParamValue::try_as_usize`] for dynamic grids.
     pub fn as_usize(&self) -> usize {
-        match self {
-            ParamValue::I(v) if *v >= 0 => *v as usize,
-            other => panic!("parameter {other:?} is not a non-negative integer"),
-        }
+        self.try_as_usize()
+            .unwrap_or_else(|| panic!("parameter {self:?} is not a non-negative integer"))
     }
 
     /// The value as `&str`.
     ///
     /// # Panics
     ///
-    /// Panics if the variant is not `S`.
+    /// Panics if the variant is not `S`. Use [`ParamValue::try_as_str`]
+    /// for dynamic grids.
     pub fn as_str(&self) -> &str {
-        match self {
-            ParamValue::S(s) => s,
-            other => panic!("parameter {other:?} is not a string"),
-        }
+        self.try_as_str()
+            .unwrap_or_else(|| panic!("parameter {self:?} is not a string"))
     }
 
     /// The value as `bool`.
     ///
     /// # Panics
     ///
-    /// Panics if the variant is not `B`.
+    /// Panics if the variant is not `B`. Use [`ParamValue::try_as_bool`]
+    /// for dynamic grids.
     pub fn as_bool(&self) -> bool {
-        match self {
-            ParamValue::B(b) => *b,
-            other => panic!("parameter {other:?} is not a bool"),
-        }
+        self.try_as_bool()
+            .unwrap_or_else(|| panic!("parameter {self:?} is not a bool"))
     }
 }
 
@@ -364,7 +393,13 @@ impl GridSearch {
     /// # Errors
     ///
     /// Propagates errors from [`cross_validate`].
-    pub fn run<F, S>(&self, mut factory: F, scorer: S, x: &Matrix, y: &[u8]) -> Result<GridSearchResult, Error>
+    pub fn run<F, S>(
+        &self,
+        mut factory: F,
+        scorer: S,
+        x: &Matrix,
+        y: &[u8],
+    ) -> Result<GridSearchResult, Error>
     where
         F: FnMut(&ParamSet) -> Box<dyn Classifier>,
         S: FnMut(&[u8], &[u8]) -> f64 + Copy,
@@ -464,7 +499,14 @@ mod tests {
     fn param_grid_cartesian_product() {
         let grid = ParamGrid::new()
             .add("a", vec![ParamValue::I(1), ParamValue::I(2)])
-            .add("b", vec![ParamValue::S("x".into()), ParamValue::S("y".into()), ParamValue::S("z".into())]);
+            .add(
+                "b",
+                vec![
+                    ParamValue::S("x".into()),
+                    ParamValue::S("y".into()),
+                    ParamValue::S("z".into()),
+                ],
+            );
         assert_eq!(grid.len(), 6);
         let combos = grid.iter_combinations();
         assert_eq!(combos.len(), 6);
@@ -521,13 +563,27 @@ mod tests {
     }
 
     #[test]
+    fn param_value_fallible_accessors() {
+        assert_eq!(ParamValue::F(1.5).try_as_f64(), Some(1.5));
+        assert_eq!(ParamValue::S("x".into()).try_as_f64(), None);
+        assert_eq!(ParamValue::I(-1).try_as_usize(), None);
+        assert_eq!(ParamValue::I(4).try_as_usize(), Some(4));
+        assert_eq!(ParamValue::S("gini".into()).try_as_str(), Some("gini"));
+        assert_eq!(ParamValue::F(0.0).try_as_str(), None);
+        assert_eq!(ParamValue::B(false).try_as_bool(), Some(false));
+        assert_eq!(ParamValue::I(1).try_as_bool(), None);
+    }
+
+    #[test]
     fn cv_result_stats() {
         let cv = CvResult {
             fold_scores: vec![0.8, 1.0],
         };
         assert!((cv.mean() - 0.9).abs() < 1e-12);
         assert!((cv.std() - 0.1).abs() < 1e-12);
-        let empty = CvResult { fold_scores: vec![] };
+        let empty = CvResult {
+            fold_scores: vec![],
+        };
         assert_eq!(empty.mean(), 0.0);
     }
 }

@@ -127,8 +127,7 @@ impl Layer {
         out.clear();
         for o in 0..self.n_out {
             let row = &self.weights[o * self.n_in..(o + 1) * self.n_in];
-            let z: f64 = self.bias[o]
-                + row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>();
+            let z: f64 = self.bias[o] + row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>();
             out.push(z);
         }
         self.activation.apply(out);
@@ -182,12 +181,7 @@ impl NeuralNet {
     }
 
     fn init_layers(&mut self, n_features: usize, rng: &mut StdRng) {
-        let sizes = [
-            n_features,
-            self.params.hidden[0],
-            self.params.hidden[1],
-            1,
-        ];
+        let sizes = [n_features, self.params.hidden[0], self.params.hidden[1], 1];
         self.layers = (0..3)
             .map(|l| {
                 let (n_in, n_out) = (sizes[l], sizes[l + 1]);
@@ -230,14 +224,10 @@ impl Classifier for NeuralNet {
     fn fit(&mut self, x: &Matrix, y: &[u8], sample_weight: Option<&[f64]>) -> Result<(), Error> {
         validate_fit_input(x, y, sample_weight)?;
         if self.params.hidden.contains(&0) {
-            return Err(Error::InvalidParameter(
-                "hidden layer widths must be positive".into(),
-            ));
+            return Err(Error::InvalidParameter("hidden layer widths must be positive".into()));
         }
         if self.params.batch_size == 0 || self.params.epochs == 0 {
-            return Err(Error::InvalidParameter(
-                "batch_size and epochs must be positive".into(),
-            ));
+            return Err(Error::InvalidParameter("batch_size and epochs must be positive".into()));
         }
         let mut rng = StdRng::seed_from_u64(self.params.seed);
         self.init_layers(x.cols(), &mut rng);
@@ -268,10 +258,16 @@ impl Classifier for NeuralNet {
             order.shuffle(&mut rng);
             for batch in order.chunks(self.params.batch_size) {
                 // Accumulate gradients over the batch.
-                let mut grad_w: Vec<Vec<f64>> =
-                    self.layers.iter().map(|l| vec![0.0; l.weights.len()]).collect();
-                let mut grad_b: Vec<Vec<f64>> =
-                    self.layers.iter().map(|l| vec![0.0; l.bias.len()]).collect();
+                let mut grad_w: Vec<Vec<f64>> = self
+                    .layers
+                    .iter()
+                    .map(|l| vec![0.0; l.weights.len()])
+                    .collect();
+                let mut grad_b: Vec<Vec<f64>> = self
+                    .layers
+                    .iter()
+                    .map(|l| vec![0.0; l.bias.len()])
+                    .collect();
 
                 for &i in batch {
                     let acts = self.forward(x.row(i));
@@ -280,14 +276,13 @@ impl Classifier for NeuralNet {
                     let target = y[i] as f64;
                     // dL/dz for BCE; exact when the output activation is
                     // sigmoid, otherwise chain through the derivative.
-                    let mut delta: Vec<f64> =
-                        match self.params.activations[2] {
-                            Activation::Sigmoid | Activation::Softmax => vec![wi * (out - target)],
-                            act => {
-                                let dl_da = wi * ((out - target) / (out * (1.0 - out)));
-                                vec![dl_da * act.derivative(acts[3][0])]
-                            }
-                        };
+                    let mut delta: Vec<f64> = match self.params.activations[2] {
+                        Activation::Sigmoid | Activation::Softmax => vec![wi * (out - target)],
+                        act => {
+                            let dl_da = wi * ((out - target) / (out * (1.0 - out)));
+                            vec![dl_da * act.derivative(acts[3][0])]
+                        }
+                    };
 
                     for l in (0..3).rev() {
                         let input = &acts[l];
@@ -364,10 +359,7 @@ mod tests {
         for _ in 0..40 {
             rows.push(vec![rng.gen::<f64>() * 0.3, rng.gen::<f64>() * 0.3]);
             y.push(0);
-            rows.push(vec![
-                0.7 + rng.gen::<f64>() * 0.3,
-                0.7 + rng.gen::<f64>() * 0.3,
-            ]);
+            rows.push(vec![0.7 + rng.gen::<f64>() * 0.3, 0.7 + rng.gen::<f64>() * 0.3]);
             y.push(1);
         }
         let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();

@@ -86,9 +86,7 @@ impl Pca {
         }
         if let ComponentSelection::VarianceFraction(f) = self.selection {
             if !(f > 0.0 && f <= 1.0) {
-                return Err(Error::InvalidParameter(
-                    "variance fraction must be in (0, 1]".into(),
-                ));
+                return Err(Error::InvalidParameter("variance fraction must be in (0, 1]".into()));
             }
         }
         let d = x.cols();
@@ -301,9 +299,7 @@ fn power_iteration_eigen(
         vectors.push(v.clone());
     }
     if values.is_empty() {
-        return Err(Error::NoConvergence(
-            "power iteration found no positive eigenvalues".into(),
-        ));
+        return Err(Error::NoConvergence("power iteration found no positive eigenvalues".into()));
     }
     Ok((values, vectors))
 }
@@ -372,9 +368,7 @@ fn jacobi_eigen(a: &mut [f64], d: usize) -> Result<(Vec<f64>, Vec<f64>), Error> 
             }
         }
     }
-    Err(Error::NoConvergence(
-        "jacobi eigensolver exceeded sweep limit".into(),
-    ))
+    Err(Error::NoConvergence("jacobi eigensolver exceeded sweep limit".into()))
 }
 
 #[cfg(test)]
@@ -432,10 +426,7 @@ mod tests {
     #[test]
     fn errors_on_misuse() {
         let pca = Pca::new(ComponentSelection::Count(1));
-        assert!(matches!(
-            pca.transform(&Matrix::zeros(1, 1)),
-            Err(Error::NotFitted)
-        ));
+        assert!(matches!(pca.transform(&Matrix::zeros(1, 1)), Err(Error::NotFitted)));
         let mut pca = Pca::new(ComponentSelection::VarianceFraction(2.0));
         assert!(pca.fit(&Matrix::zeros(2, 2)).is_err());
         let mut pca = Pca::new(ComponentSelection::Count(1));
@@ -535,9 +526,6 @@ mod tests {
         let mut pca = Pca::new(ComponentSelection::Count(2));
         pca.fit(&x).unwrap();
         let back: Pca = serde_json::from_str(&serde_json::to_string(&pca).unwrap()).unwrap();
-        assert_eq!(
-            back.transform(&x).unwrap().as_slice(),
-            pca.transform(&x).unwrap().as_slice()
-        );
+        assert_eq!(back.transform(&x).unwrap().as_slice(), pca.transform(&x).unwrap().as_slice());
     }
 }

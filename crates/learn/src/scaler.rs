@@ -125,7 +125,11 @@ impl Transformer for MinMaxScaler {
             let row = out.row_mut(r);
             for (c, v) in row.iter_mut().enumerate() {
                 let range = maxs[c] - mins[c];
-                *v = if range > 0.0 { (*v - mins[c]) / range } else { 0.0 };
+                *v = if range > 0.0 {
+                    (*v - mins[c]) / range
+                } else {
+                    0.0
+                };
             }
         }
         Ok(out)
@@ -219,16 +223,14 @@ mod tests {
     #[test]
     fn minmax_transform_before_fit_errors() {
         let s = MinMaxScaler::new();
-        assert!(matches!(
-            s.transform(&Matrix::zeros(1, 1)),
-            Err(Error::NotFitted)
-        ));
+        assert!(matches!(s.transform(&Matrix::zeros(1, 1)), Err(Error::NotFitted)));
     }
 
     #[test]
     fn uncovered_features_detects_out_of_range() {
         let mut s = MinMaxScaler::new();
-        s.fit(&Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]])).unwrap();
+        s.fit(&Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]))
+            .unwrap();
         let val = Matrix::from_rows(&[&[0.5, 2.0]]);
         assert_eq!(s.uncovered_features(&val).unwrap(), vec![1]);
     }
@@ -257,10 +259,7 @@ mod tests {
     fn dimension_mismatch_rejected() {
         let mut s = StandardScaler::new();
         s.fit(&Matrix::zeros(2, 2)).unwrap();
-        assert!(matches!(
-            s.transform(&Matrix::zeros(2, 3)),
-            Err(Error::DimensionMismatch { .. })
-        ));
+        assert!(matches!(s.transform(&Matrix::zeros(2, 3)), Err(Error::DimensionMismatch { .. })));
     }
 
     #[test]

@@ -215,10 +215,7 @@ impl DecisionTree {
     /// the training feature count.
     pub fn decision_rules(&self, feature_names: &[String], min_proba: f64) -> Vec<String> {
         assert!(self.is_fitted(), "tree must be fitted");
-        assert!(
-            feature_names.len() >= self.n_features,
-            "feature names must cover all features"
-        );
+        assert!(feature_names.len() >= self.n_features, "feature names must cover all features");
         let mut rules = Vec::new();
         let mut path: Vec<String> = Vec::new();
         self.walk_rules(0, feature_names, min_proba, &mut path, &mut rules);
@@ -278,7 +275,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -304,7 +305,11 @@ impl DecisionTree {
             }
         }
         let node_weight = w0 + w1;
-        let proba = if node_weight > 0.0 { w1 / node_weight } else { 0.5 };
+        let proba = if node_weight > 0.0 {
+            w1 / node_weight
+        } else {
+            0.5
+        };
         let impurity = self.params.criterion.impurity(w0, w1);
 
         let stop = indices.len() < self.params.min_samples_split
@@ -371,11 +376,7 @@ impl DecisionTree {
         let mut sorted: Vec<(f64, u8, f64)> = Vec::with_capacity(indices.len());
         for &feature in &features {
             sorted.clear();
-            sorted.extend(
-                indices
-                    .iter()
-                    .map(|&i| (x.get(i, feature), y[i], w[i])),
-            );
+            sorted.extend(indices.iter().map(|&i| (x.get(i, feature), y[i], w[i])));
             sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
             let lo = sorted[0].0;
             let hi = sorted[sorted.len() - 1].0;
@@ -491,8 +492,7 @@ impl DecisionTree {
             }
         }
         let right_count = sorted.len() - left_count;
-        if left_count < self.params.min_samples_leaf || right_count < self.params.min_samples_leaf
-        {
+        if left_count < self.params.min_samples_leaf || right_count < self.params.min_samples_leaf {
             return None;
         }
         let lw = lw0 + lw1;
@@ -523,14 +523,10 @@ impl Classifier for DecisionTree {
     fn fit(&mut self, x: &Matrix, y: &[u8], sample_weight: Option<&[f64]>) -> Result<(), Error> {
         validate_fit_input(x, y, sample_weight)?;
         if self.params.min_samples_split < 2 {
-            return Err(Error::InvalidParameter(
-                "min_samples_split must be at least 2".into(),
-            ));
+            return Err(Error::InvalidParameter("min_samples_split must be at least 2".into()));
         }
         if self.params.min_samples_leaf < 1 {
-            return Err(Error::InvalidParameter(
-                "min_samples_leaf must be at least 1".into(),
-            ));
+            return Err(Error::InvalidParameter("min_samples_leaf must be at least 1".into()));
         }
         self.nodes.clear();
         self.n_features = x.cols();
@@ -542,9 +538,7 @@ impl Classifier for DecisionTree {
         };
         let total_weight: f64 = weights.iter().sum();
         if total_weight <= 0.0 {
-            return Err(Error::InvalidParameter(
-                "sample weights must not all be zero".into(),
-            ));
+            return Err(Error::InvalidParameter("sample weights must not all be zero".into()));
         }
         let indices: Vec<usize> = (0..x.rows()).collect();
         let mut rng = StdRng::seed_from_u64(self.params.seed);
@@ -561,11 +555,7 @@ impl Classifier for DecisionTree {
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
         assert!(self.is_fitted(), "tree must be fitted before predicting");
-        assert_eq!(
-            x.cols(),
-            self.n_features,
-            "feature count must match training data"
-        );
+        assert_eq!(x.cols(), self.n_features, "feature count must match training data");
         x.iter_rows().map(|row| self.predict_row(row)).collect()
     }
 
@@ -698,10 +688,7 @@ mod tests {
             min_samples_split: 1,
             ..DecisionTreeParams::default()
         });
-        assert!(matches!(
-            t.fit(&x, &[0, 1], None),
-            Err(Error::InvalidParameter(_))
-        ));
+        assert!(matches!(t.fit(&x, &[0, 1], None), Err(Error::InvalidParameter(_))));
     }
 
     #[test]

@@ -73,6 +73,8 @@ impl MonitoringAgent {
         host: &HostSignals,
         containers: &[(InstanceId, ContainerSignals)],
     ) -> Observation {
+        let _span = monitorless_obs::Span::enter("agent.collect");
+        monitorless_obs::counter_add("agent.collections", 1);
         let mut state = self.state.lock();
 
         let host_inst = self.catalog.expand_host(host, time, self.seed);
@@ -96,15 +98,9 @@ impl MonitoringAgent {
                 time,
                 self.seed ^ (id.0 as u64).wrapping_mul(0xA24B_AED4_963E_E407),
             );
-            let (acc, conv) = state
-                .containers
-                .entry(*id)
-                .or_insert_with(|| {
-                    (
-                        CounterAccumulator::new(ctr_kinds.clone()),
-                        RateConverter::new(ctr_kinds.clone()),
-                    )
-                });
+            let (acc, conv) = state.containers.entry(*id).or_insert_with(|| {
+                (CounterAccumulator::new(ctr_kinds.clone()), RateConverter::new(ctr_kinds.clone()))
+            });
             let raw = acc.accumulate(&inst);
             out.push((*id, conv.convert(&raw, 1.0)));
         }
@@ -129,11 +125,8 @@ mod tests {
     #[test]
     fn collect_produces_full_vectors() {
         let a = agent();
-        let obs = a.collect(
-            0,
-            &HostSignals::default(),
-            &[(InstanceId(1), ContainerSignals::default())],
-        );
+        let obs =
+            a.collect(0, &HostSignals::default(), &[(InstanceId(1), ContainerSignals::default())]);
         assert_eq!(obs.host.len(), 952);
         assert_eq!(obs.containers[0].1.len(), 88);
         assert_eq!(obs.instance_vector(InstanceId(1)).unwrap().len(), 1040);
@@ -151,11 +144,7 @@ mod tests {
         let first = a.collect(0, &hs, &[]);
         assert_eq!(first.host[pswitch], 0.0, "first counter interval dropped");
         let second = a.collect(1, &hs, &[]);
-        assert!(
-            (second.host[pswitch] - 1000.0).abs() < 150.0,
-            "rate = {}",
-            second.host[pswitch]
-        );
+        assert!((second.host[pswitch] - 1000.0).abs() < 150.0, "rate = {}", second.host[pswitch]);
     }
 
     #[test]
@@ -189,10 +178,8 @@ mod tests {
             tcp_conns: 50.0,
             ..ContainerSignals::default()
         };
-        let obs = a.collect(0, &HostSignals::default(), &[
-            (InstanceId(1), cs),
-            (InstanceId(2), cs),
-        ]);
+        let obs =
+            a.collect(0, &HostSignals::default(), &[(InstanceId(1), cs), (InstanceId(2), cs)]);
         let cat = Catalog::standard();
         let conns = cat.container_index("containers.net.tcp.conns").unwrap();
         let v1 = obs.containers[0].1[conns];

@@ -319,7 +319,11 @@ impl Builder {
                 ("guest", H::CpuUtil, 0.0),
             ] {
                 let offset = if metric == "idle" { 100.0 } else { 0.0 };
-                let kind = if metric == "intr" { K::Counter } else { K::Utilization };
+                let kind = if metric == "intr" {
+                    K::Counter
+                } else {
+                    K::Utilization
+                };
                 self.host(
                     &format!("kernel.percpu.cpu.{metric}.cpu{cpu}"),
                     kind,
@@ -354,20 +358,104 @@ impl Builder {
         for (i, iface) in ["eth0", "eth1", "eth2", "eth3"].iter().enumerate() {
             // eth0 carries most traffic; others are progressively idle.
             let share = [0.7, 0.2, 0.07, 0.03][i];
-            self.host(&format!("network.interface.in.bytes.{iface}"), K::Counter, H::NetInBytes, share, 0.0, 0.05);
-            self.host(&format!("network.interface.out.bytes.{iface}"), K::Counter, H::NetOutBytes, share, 0.0, 0.05);
-            self.host(&format!("network.interface.in.packets.{iface}"), K::Counter, H::NetInPkts, share, 0.0, 0.05);
-            self.host(&format!("network.interface.out.packets.{iface}"), K::Counter, H::NetOutPkts, share, 0.0, 0.05);
-            self.host(&format!("network.interface.in.errors.{iface}"), K::Counter, H::NetErrRate, share, 0.0, 0.3);
-            self.host(&format!("network.interface.out.errors.{iface}"), K::Counter, H::NetErrRate, share * 0.5, 0.0, 0.3);
-            self.host(&format!("network.interface.in.drops.{iface}"), K::Counter, H::NetErrRate, share * 0.3, 0.0, 0.3);
-            self.host(&format!("network.interface.out.drops.{iface}"), K::Counter, H::NetErrRate, share * 0.2, 0.0, 0.3);
-            self.host(&format!("network.interface.collisions.{iface}"), K::Counter, H::NetErrRate, 0.01, 0.0, 0.5);
+            self.host(
+                &format!("network.interface.in.bytes.{iface}"),
+                K::Counter,
+                H::NetInBytes,
+                share,
+                0.0,
+                0.05,
+            );
+            self.host(
+                &format!("network.interface.out.bytes.{iface}"),
+                K::Counter,
+                H::NetOutBytes,
+                share,
+                0.0,
+                0.05,
+            );
+            self.host(
+                &format!("network.interface.in.packets.{iface}"),
+                K::Counter,
+                H::NetInPkts,
+                share,
+                0.0,
+                0.05,
+            );
+            self.host(
+                &format!("network.interface.out.packets.{iface}"),
+                K::Counter,
+                H::NetOutPkts,
+                share,
+                0.0,
+                0.05,
+            );
+            self.host(
+                &format!("network.interface.in.errors.{iface}"),
+                K::Counter,
+                H::NetErrRate,
+                share,
+                0.0,
+                0.3,
+            );
+            self.host(
+                &format!("network.interface.out.errors.{iface}"),
+                K::Counter,
+                H::NetErrRate,
+                share * 0.5,
+                0.0,
+                0.3,
+            );
+            self.host(
+                &format!("network.interface.in.drops.{iface}"),
+                K::Counter,
+                H::NetErrRate,
+                share * 0.3,
+                0.0,
+                0.3,
+            );
+            self.host(
+                &format!("network.interface.out.drops.{iface}"),
+                K::Counter,
+                H::NetErrRate,
+                share * 0.2,
+                0.0,
+                0.3,
+            );
+            self.host(
+                &format!("network.interface.collisions.{iface}"),
+                K::Counter,
+                H::NetErrRate,
+                0.01,
+                0.0,
+                0.5,
+            );
             self.host_const(&format!("network.interface.mtu.{iface}"), 1500.0);
             self.host_const(&format!("network.interface.baudrate.{iface}"), 1.25e9);
-            self.host(&format!("network.interface.in.mcasts.{iface}"), K::Counter, H::NetInPkts, 0.001 * share, 0.0, 0.3);
-            self.host(&format!("network.interface.out.mcasts.{iface}"), K::Counter, H::NetOutPkts, 0.001 * share, 0.0, 0.3);
-            self.host(&format!("network.interface.total.bytes.{iface}"), K::Counter, H::NetInBytes, 1.8 * share, 0.0, 0.05);
+            self.host(
+                &format!("network.interface.in.mcasts.{iface}"),
+                K::Counter,
+                H::NetInPkts,
+                0.001 * share,
+                0.0,
+                0.3,
+            );
+            self.host(
+                &format!("network.interface.out.mcasts.{iface}"),
+                K::Counter,
+                H::NetOutPkts,
+                0.001 * share,
+                0.0,
+                0.3,
+            );
+            self.host(
+                &format!("network.interface.total.bytes.{iface}"),
+                K::Counter,
+                H::NetInBytes,
+                1.8 * share,
+                0.0,
+                0.05,
+            );
         }
         self.host("network.interface.util", K::Utilization, H::NetUtil, 100.0, 0.0, 0.03);
 
@@ -460,18 +548,88 @@ impl Builder {
         // --- disk.dev.* : 4 disks x 12 metrics (48) ---
         for (i, dev) in ["sda", "sdb", "sdc", "sdd"].iter().enumerate() {
             let share = [0.55, 0.25, 0.15, 0.05][i];
-            self.host(&format!("disk.dev.read.{dev}"), K::Counter, H::DiskIops, 0.4 * share, 0.0, 0.1);
-            self.host(&format!("disk.dev.write.{dev}"), K::Counter, H::DiskIops, 0.6 * share, 0.0, 0.1);
+            self.host(
+                &format!("disk.dev.read.{dev}"),
+                K::Counter,
+                H::DiskIops,
+                0.4 * share,
+                0.0,
+                0.1,
+            );
+            self.host(
+                &format!("disk.dev.write.{dev}"),
+                K::Counter,
+                H::DiskIops,
+                0.6 * share,
+                0.0,
+                0.1,
+            );
             self.host(&format!("disk.dev.total.{dev}"), K::Counter, H::DiskIops, share, 0.0, 0.1);
-            self.host(&format!("disk.dev.read_bytes.{dev}"), K::Counter, H::DiskReadBytes, share, 0.0, 0.1);
-            self.host(&format!("disk.dev.write_bytes.{dev}"), K::Counter, H::DiskWriteBytes, share, 0.0, 0.1);
-            self.host(&format!("disk.dev.total_bytes.{dev}"), K::Counter, H::DiskReadBytes, 1.8 * share, 0.0, 0.1);
-            self.host(&format!("disk.dev.avactive.{dev}"), K::Gauge, H::DiskUtil, 1000.0 * share, 0.0, 0.1);
+            self.host(
+                &format!("disk.dev.read_bytes.{dev}"),
+                K::Counter,
+                H::DiskReadBytes,
+                share,
+                0.0,
+                0.1,
+            );
+            self.host(
+                &format!("disk.dev.write_bytes.{dev}"),
+                K::Counter,
+                H::DiskWriteBytes,
+                share,
+                0.0,
+                0.1,
+            );
+            self.host(
+                &format!("disk.dev.total_bytes.{dev}"),
+                K::Counter,
+                H::DiskReadBytes,
+                1.8 * share,
+                0.0,
+                0.1,
+            );
+            self.host(
+                &format!("disk.dev.avactive.{dev}"),
+                K::Gauge,
+                H::DiskUtil,
+                1000.0 * share,
+                0.0,
+                0.1,
+            );
             self.host(&format!("disk.dev.aveq.{dev}"), K::Gauge, H::DiskAveq, share, 0.0, 0.1);
-            self.host(&format!("disk.dev.read_merge.{dev}"), K::Counter, H::DiskIops, 0.05 * share, 0.0, 0.2);
-            self.host(&format!("disk.dev.write_merge.{dev}"), K::Counter, H::DiskIops, 0.1 * share, 0.0, 0.2);
-            self.host(&format!("disk.dev.read_rawactive.{dev}"), K::Gauge, H::DiskUtil, 500.0 * share, 0.0, 0.2);
-            self.host(&format!("disk.dev.write_rawactive.{dev}"), K::Gauge, H::DiskUtil, 700.0 * share, 0.0, 0.2);
+            self.host(
+                &format!("disk.dev.read_merge.{dev}"),
+                K::Counter,
+                H::DiskIops,
+                0.05 * share,
+                0.0,
+                0.2,
+            );
+            self.host(
+                &format!("disk.dev.write_merge.{dev}"),
+                K::Counter,
+                H::DiskIops,
+                0.1 * share,
+                0.0,
+                0.2,
+            );
+            self.host(
+                &format!("disk.dev.read_rawactive.{dev}"),
+                K::Gauge,
+                H::DiskUtil,
+                500.0 * share,
+                0.0,
+                0.2,
+            );
+            self.host(
+                &format!("disk.dev.write_rawactive.{dev}"),
+                K::Gauge,
+                H::DiskUtil,
+                700.0 * share,
+                0.0,
+                0.2,
+            );
         }
 
         // --- disk.all.* (12) ---
@@ -502,11 +660,46 @@ impl Builder {
         for (i, fs) in ["root", "var", "data", "docker"].iter().enumerate() {
             let share = [0.1, 0.2, 0.5, 0.2][i];
             self.host_const(&format!("filesys.capacity.{fs}"), 500.0 * 1024.0 * 1024.0);
-            self.host(&format!("filesys.used.{fs}"), K::Bytes, H::MemCachedBytes, 5.0 * share, 1e9, 0.02);
-            self.host(&format!("filesys.free.{fs}"), K::Bytes, H::MemCachedBytes, -5.0 * share, 5e11, 0.02);
-            self.host(&format!("filesys.avail.{fs}"), K::Bytes, H::MemCachedBytes, -5.0 * share, 4.8e11, 0.02);
-            self.host(&format!("filesys.usedfiles.{fs}"), K::Gauge, H::NProcs, 200.0 * share, 1000.0, 0.05);
-            self.host(&format!("filesys.freefiles.{fs}"), K::Gauge, H::InodesFree, share, 0.0, 0.02);
+            self.host(
+                &format!("filesys.used.{fs}"),
+                K::Bytes,
+                H::MemCachedBytes,
+                5.0 * share,
+                1e9,
+                0.02,
+            );
+            self.host(
+                &format!("filesys.free.{fs}"),
+                K::Bytes,
+                H::MemCachedBytes,
+                -5.0 * share,
+                5e11,
+                0.02,
+            );
+            self.host(
+                &format!("filesys.avail.{fs}"),
+                K::Bytes,
+                H::MemCachedBytes,
+                -5.0 * share,
+                4.8e11,
+                0.02,
+            );
+            self.host(
+                &format!("filesys.usedfiles.{fs}"),
+                K::Gauge,
+                H::NProcs,
+                200.0 * share,
+                1000.0,
+                0.05,
+            );
+            self.host(
+                &format!("filesys.freefiles.{fs}"),
+                K::Gauge,
+                H::InodesFree,
+                share,
+                0.0,
+                0.02,
+            );
         }
 
         // --- kernel.percpu.interrupts.* : one line per CPU (48) ---
@@ -543,9 +736,24 @@ impl Builder {
                 ("alloc.local_node", H::PgFaultRate, 95.0 * share),
                 ("alloc.other_node", H::PgFaultRate, 5.0 * share),
             ] {
-                let offset = if name == "util.free" { 7e10 * share } else { 0.0 };
-                let kind = if name.starts_with("alloc") { K::Counter } else { K::Bytes };
-                self.host(&format!("mem.numa.{name}.node{node}"), kind, signal, weight, offset, 0.05);
+                let offset = if name == "util.free" {
+                    7e10 * share
+                } else {
+                    0.0
+                };
+                let kind = if name.starts_with("alloc") {
+                    K::Counter
+                } else {
+                    K::Bytes
+                };
+                self.host(
+                    &format!("mem.numa.{name}.node{node}"),
+                    kind,
+                    signal,
+                    weight,
+                    offset,
+                    0.05,
+                );
             }
         }
 
@@ -743,7 +951,11 @@ impl Builder {
             ("slab", C::MemUsageBytes, 0.02),
             ("sock", C::TcpConns, 8192.0),
         ] {
-            let kind = if name.contains("pg") { K::Counter } else { K::Bytes };
+            let kind = if name.contains("pg") {
+                K::Counter
+            } else {
+                K::Bytes
+            };
             self.ctr(&format!("cgroup.memory.stat.{name}"), kind, sig, weight, 0.0, 0.05);
         }
 
@@ -763,14 +975,70 @@ impl Builder {
                 "sda" => 0.7,
                 _ => 0.3,
             };
-            self.ctr(&format!("cgroup.blkio.{dev}.io_service_bytes.read"), K::Counter, C::DiskReadBytes, share, 0.0, 0.05);
-            self.ctr(&format!("cgroup.blkio.{dev}.io_service_bytes.write"), K::Counter, C::DiskWriteBytes, share, 0.0, 0.05);
-            self.ctr(&format!("cgroup.blkio.{dev}.io_serviced.read"), K::Counter, C::DiskReadBytes, share / 4096.0, 0.0, 0.1);
-            self.ctr(&format!("cgroup.blkio.{dev}.io_serviced.write"), K::Counter, C::DiskWriteBytes, share / 4096.0, 0.0, 0.1);
-            self.ctr(&format!("cgroup.blkio.{dev}.io_queued"), K::Gauge, C::DiskQueue, share, 0.0, 0.1);
-            self.ctr(&format!("cgroup.blkio.{dev}.io_wait_time"), K::Counter, C::DiskQueue, share * 1e6, 0.0, 0.2);
-            self.ctr(&format!("cgroup.blkio.{dev}.io_service_time"), K::Counter, C::DiskReadBytes, share * 10.0, 0.0, 0.2);
-            self.ctr(&format!("cgroup.blkio.{dev}.io_merged"), K::Counter, C::DiskWriteBytes, share / 40_960.0, 0.0, 0.3);
+            self.ctr(
+                &format!("cgroup.blkio.{dev}.io_service_bytes.read"),
+                K::Counter,
+                C::DiskReadBytes,
+                share,
+                0.0,
+                0.05,
+            );
+            self.ctr(
+                &format!("cgroup.blkio.{dev}.io_service_bytes.write"),
+                K::Counter,
+                C::DiskWriteBytes,
+                share,
+                0.0,
+                0.05,
+            );
+            self.ctr(
+                &format!("cgroup.blkio.{dev}.io_serviced.read"),
+                K::Counter,
+                C::DiskReadBytes,
+                share / 4096.0,
+                0.0,
+                0.1,
+            );
+            self.ctr(
+                &format!("cgroup.blkio.{dev}.io_serviced.write"),
+                K::Counter,
+                C::DiskWriteBytes,
+                share / 4096.0,
+                0.0,
+                0.1,
+            );
+            self.ctr(
+                &format!("cgroup.blkio.{dev}.io_queued"),
+                K::Gauge,
+                C::DiskQueue,
+                share,
+                0.0,
+                0.1,
+            );
+            self.ctr(
+                &format!("cgroup.blkio.{dev}.io_wait_time"),
+                K::Counter,
+                C::DiskQueue,
+                share * 1e6,
+                0.0,
+                0.2,
+            );
+            self.ctr(
+                &format!("cgroup.blkio.{dev}.io_service_time"),
+                K::Counter,
+                C::DiskReadBytes,
+                share * 10.0,
+                0.0,
+                0.2,
+            );
+            self.ctr(
+                &format!("cgroup.blkio.{dev}.io_merged"),
+                K::Counter,
+                C::DiskWriteBytes,
+                share / 40_960.0,
+                0.0,
+                0.3,
+            );
         }
 
         // --- containers.proc.* (3) ---
@@ -841,10 +1109,7 @@ mod tests {
             "cgroup.memory.stat.active_file",
             "cgroup.memory.usage",
         ] {
-            assert!(
-                c.container_index(name).is_some(),
-                "missing container metric {name}"
-            );
+            assert!(c.container_index(name).is_some(), "missing container metric {name}");
         }
     }
 

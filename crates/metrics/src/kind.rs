@@ -29,7 +29,9 @@ impl MetricKind {
     pub fn preprocess(self, v: f64) -> f64 {
         match self {
             MetricKind::Bytes => (1.0 + v.max(0.0)).log10(),
-            MetricKind::Counter | MetricKind::Gauge | MetricKind::Utilization
+            MetricKind::Counter
+            | MetricKind::Gauge
+            | MetricKind::Utilization
             | MetricKind::Constant => v,
         }
     }

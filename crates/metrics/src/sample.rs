@@ -43,13 +43,14 @@ impl Observation {
     /// Multiple containers on the same node share the host part but have
     /// different container parts (paper Section 2.3).
     pub fn instance_vector(&self, instance: InstanceId) -> Option<Vec<f64>> {
-        self.containers.iter().find(|(id, _)| *id == instance).map(
-            |(_, ctr)| {
+        self.containers
+            .iter()
+            .find(|(id, _)| *id == instance)
+            .map(|(_, ctr)| {
                 let mut v = self.host.clone();
                 v.extend_from_slice(ctr);
                 v
-            },
-        )
+            })
     }
 
     /// All instances present in this observation.

@@ -307,8 +307,7 @@ mod tests {
     #[test]
     fn signals_are_serializable() {
         let s = HostSignals::default();
-        let back: HostSignals =
-            serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        let back: HostSignals = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
         assert_eq!(back, s);
     }
 }

@@ -26,6 +26,42 @@ proptest! {
     }
 
     #[test]
+    fn negative_rates_roundtrip_clamped_to_zero(
+        rates in proptest::collection::vec(-1e6_f64..1e6, 2..30),
+    ) {
+        // The kernel never reports a negative rate, so the accumulator
+        // clamps negative inputs to zero instead of letting the counter
+        // run backwards; the round trip therefore recovers max(r, 0)
+        // after the dropped first interval.
+        let kinds = vec![MetricKind::Counter];
+        let mut acc = CounterAccumulator::new(kinds.clone());
+        let mut conv = RateConverter::new(kinds);
+        let mut out = Vec::new();
+        for r in &rates {
+            let raw = acc.accumulate(&[*r]);
+            out.push(conv.convert(&raw, 1.0)[0]);
+        }
+        for (i, r) in rates.iter().enumerate().skip(1) {
+            let expected = r.max(0.0);
+            prop_assert!((out[i] - expected).abs() < 1e-6 * (1.0 + expected.abs()));
+        }
+    }
+
+    #[test]
+    fn decreasing_raw_counters_never_yield_negative_rates(
+        raws in proptest::collection::vec(0.0_f64..1e9, 2..30),
+    ) {
+        // Fed raw samples directly (bypassing the accumulator), any
+        // decrease looks like a counter reset and yields rate 0 rather
+        // than a negative spike.
+        let mut conv = RateConverter::new(vec![MetricKind::Counter]);
+        for raw in &raws {
+            let rate = conv.convert(&[*raw], 1.0)[0];
+            prop_assert!(rate >= 0.0);
+        }
+    }
+
+    #[test]
     fn counters_are_monotone_under_any_input(
         values in proptest::collection::vec(-100.0_f64..1e6, 1..30),
     ) {

@@ -1,0 +1,138 @@
+//! Telemetry configuration: environment variable and CLI-flag parsing.
+
+use std::str::FromStr;
+
+/// Name of the environment variable selecting the export format.
+pub const ENV_VAR: &str = "MONITORLESS_OBS";
+
+/// How telemetry is exported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExportFormat {
+    /// Telemetry disabled (the default): every instrumentation call is a
+    /// single relaxed atomic load.
+    #[default]
+    Off,
+    /// Machine-readable JSONL: span/progress events stream to stderr as
+    /// they happen, and snapshots render as one JSON object per metric.
+    Jsonl,
+    /// Prometheus-style text snapshot (no event stream).
+    Prom,
+}
+
+impl FromStr for ExportFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "0" | "off" | "none" | "false" => Ok(ExportFormat::Off),
+            "1" | "on" | "true" | "json" | "jsonl" => Ok(ExportFormat::Jsonl),
+            "prom" | "prometheus" | "text" => Ok(ExportFormat::Prom),
+            other => Err(format!("unknown telemetry format {other:?} (expected off|jsonl|prom)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ExportFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportFormat::Off => write!(f, "off"),
+            ExportFormat::Jsonl => write!(f, "jsonl"),
+            ExportFormat::Prom => write!(f, "prom"),
+        }
+    }
+}
+
+/// Telemetry configuration, normally built from the `MONITORLESS_OBS`
+/// environment variable and/or a `--telemetry <fmt>` CLI flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TelemetryConfig {
+    /// Selected export format.
+    pub format: ExportFormat,
+}
+
+impl TelemetryConfig {
+    /// Telemetry disabled.
+    pub fn off() -> Self {
+        TelemetryConfig {
+            format: ExportFormat::Off,
+        }
+    }
+
+    /// Telemetry with the given format.
+    pub fn with_format(format: ExportFormat) -> Self {
+        TelemetryConfig { format }
+    }
+
+    /// Reads `MONITORLESS_OBS` (`off`/`jsonl`/`prom`). Unset or
+    /// unparseable values disable telemetry.
+    pub fn from_env() -> Self {
+        let format = std::env::var(ENV_VAR)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_default();
+        TelemetryConfig { format }
+    }
+
+    /// Like [`TelemetryConfig::from_env`], but a `--telemetry <fmt>`
+    /// argument overrides the environment. Malformed flag values fall
+    /// back to the environment setting.
+    pub fn from_env_and_args<'a, I>(args: I) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut cfg = Self::from_env();
+        let args: Vec<&str> = args.into_iter().collect();
+        if let Some(i) = args.iter().position(|a| *a == "--telemetry") {
+            if let Some(fmt) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                cfg.format = fmt;
+            }
+        }
+        cfg
+    }
+
+    /// Whether any telemetry is recorded under this configuration.
+    pub fn enabled(&self) -> bool {
+        self.format != ExportFormat::Off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!("off".parse(), Ok(ExportFormat::Off));
+        assert_eq!("".parse(), Ok(ExportFormat::Off));
+        assert_eq!("jsonl".parse(), Ok(ExportFormat::Jsonl));
+        assert_eq!("JSON".parse(), Ok(ExportFormat::Jsonl));
+        assert_eq!("prom".parse(), Ok(ExportFormat::Prom));
+        assert_eq!("Prometheus".parse(), Ok(ExportFormat::Prom));
+        assert!("bogus".parse::<ExportFormat>().is_err());
+    }
+
+    #[test]
+    fn flag_overrides_nothing_when_absent() {
+        let cfg = TelemetryConfig::from_env_and_args(["--seed", "7"]);
+        // No flag: falls back to the environment (usually unset in tests).
+        let _ = cfg.enabled();
+    }
+
+    #[test]
+    fn flag_selects_format() {
+        let cfg = TelemetryConfig::from_env_and_args(["--telemetry", "prom"]);
+        assert_eq!(cfg.format, ExportFormat::Prom);
+        assert!(cfg.enabled());
+        let cfg = TelemetryConfig::from_env_and_args(["--telemetry", "jsonl"]);
+        assert_eq!(cfg.format, ExportFormat::Jsonl);
+        let cfg = TelemetryConfig::from_env_and_args(["--telemetry", "off"]);
+        assert!(!cfg.enabled());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for fmt in [ExportFormat::Off, ExportFormat::Jsonl, ExportFormat::Prom] {
+            assert_eq!(fmt.to_string().parse::<ExportFormat>(), Ok(fmt));
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Log-bucketed histograms with approximate quantiles.
+//!
+//! Values are assigned to geometrically growing buckets (ratio ≈ 1.15,
+//! i.e. ≤ 15 % relative quantile error), covering roughly twelve decades
+//! from `1e-6` upwards — enough for durations in microseconds, queue
+//! depths and feature counts alike. Exact `count`, `sum`, `min` and `max`
+//! are tracked alongside, and reported quantiles are always clamped into
+//! `[min, max]` so `p50`/`p90`/`p99` are bounded by the observed range.
+
+/// Number of geometric buckets (plus one underflow bucket at index 0).
+const BUCKETS: usize = 256;
+/// Lower bound of bucket 1; values at or below it land in bucket 0.
+const FIRST_BOUND: f64 = 1e-6;
+/// Geometric growth ratio between consecutive bucket bounds.
+const RATIO: f64 = 1.15;
+
+/// A fixed-size log-bucketed histogram.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_of(value: f64) -> usize {
+        if value <= FIRST_BOUND {
+            return 0;
+        }
+        let idx = ((value / FIRST_BOUND).ln() / RATIO.ln()).floor() as isize + 1;
+        idx.clamp(0, BUCKETS as isize - 1) as usize
+    }
+
+    /// Representative value for a bucket (geometric midpoint of its
+    /// bounds).
+    fn bucket_value(index: usize) -> f64 {
+        if index == 0 {
+            return FIRST_BOUND;
+        }
+        // Bucket i covers (FIRST_BOUND * r^(i-1), FIRST_BOUND * r^i].
+        FIRST_BOUND * RATIO.powi(index as i32 - 1) * RATIO.sqrt()
+    }
+
+    /// Records one observation. Non-finite values are ignored; negative
+    /// values are clamped into the underflow bucket but still update
+    /// `min`/`sum`.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        if value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest recorded observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of recorded observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`, clamped into `[min, max]`.
+    /// Returns `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation (1-based, ceil like Prometheus).
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(Self::bucket_value(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Summary used by the exporters.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+            mean: self.mean().unwrap_or(0.0),
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p90: self.quantile(0.90).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// A point-in-time summary of one histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Mean observation (0 when empty).
+    pub mean: f64,
+    /// Approximate median.
+    pub p50: f64,
+    /// Approximate 90th percentile.
+    pub p90: f64,
+    /// Approximate 99th percentile.
+    pub p99: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn single_value_quantiles_collapse() {
+        let mut h = LogHistogram::new();
+        h.record(42.0);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(42.0));
+        }
+        assert_eq!(h.min(), Some(42.0));
+        assert_eq!(h.max(), Some(42.0));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let s = h.summary();
+        assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+        // 15 % relative-error bound of the bucketing.
+        assert!((s.p50 - 500.0).abs() / 500.0 < 0.16, "p50 = {}", s.p50);
+        assert!((s.p99 - 990.0).abs() / 990.0 < 0.16, "p99 = {}", s.p99);
+    }
+
+    #[test]
+    fn negative_and_tiny_values_go_to_underflow_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(-5.0);
+        h.record(0.0);
+        h.record(1e-9);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(-5.0));
+        // Quantiles stay clamped into the observed range.
+        assert!(h.quantile(0.5).unwrap() >= -5.0);
+        assert!(h.quantile(0.5).unwrap() <= 1e-9 + 1e-12);
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored() {
+        let mut h = LogHistogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn huge_values_clamp_into_last_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(1e30);
+        h.record(1e30);
+        assert_eq!(h.quantile(0.5), Some(1e30)); // clamped to max
+    }
+
+    #[test]
+    fn mean_and_sum_are_exact() {
+        let mut h = LogHistogram::new();
+        h.record(1.0);
+        h.record(2.0);
+        h.record(3.0);
+        assert_eq!(h.sum(), 6.0);
+        assert_eq!(h.mean(), Some(2.0));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the telemetry primitives.
+//!
+//! All histogram properties run on standalone `LogHistogram` values, so
+//! they are immune to the global registry's process-wide state. The
+//! span-nesting property goes through the real registry (spans have no
+//! standalone mode) using per-case unique metric names.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use monitorless_obs as obs;
+use obs::LogHistogram;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// p50/p90/p99 are bounded by the observed min/max and monotone in
+    /// the quantile, for arbitrary finite samples.
+    #[test]
+    fn quantiles_bounded_and_monotone(
+        values in proptest::collection::vec(-1e3_f64..1e9, 1..200),
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let s = h.summary();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+        prop_assert!(s.min <= s.p50, "p50 {} below min {}", s.p50, s.min);
+        prop_assert!(s.p50 <= s.p90, "p50 {} > p90 {}", s.p50, s.p90);
+        prop_assert!(s.p90 <= s.p99, "p90 {} > p99 {}", s.p90, s.p99);
+        prop_assert!(s.p99 <= s.max, "p99 {} above max {}", s.p99, s.max);
+    }
+
+    /// quantile(q) is monotone non-decreasing over the whole q range,
+    /// not just at the three reported points.
+    #[test]
+    fn quantile_function_is_monotone(
+        values in proptest::collection::vec(1e-3_f64..1e6, 1..100),
+        qs in proptest::collection::vec(0.0_f64..=1.0, 2..10),
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut qs = qs;
+        qs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = h.quantile(q).unwrap();
+            prop_assert!(v >= prev, "quantile({q}) = {v} < previous {prev}");
+            prev = v;
+        }
+    }
+
+    /// Bucketing keeps quantiles within the ~15 % relative error bound
+    /// for positive samples (checked against the exact order statistic).
+    #[test]
+    fn quantile_relative_error_is_bounded(
+        values in proptest::collection::vec(1.0_f64..1e6, 10..300),
+        q in 0.05_f64..0.95,
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+        let exact = sorted[rank];
+        let approx = h.quantile(q).unwrap();
+        prop_assert!(
+            (approx - exact).abs() / exact < 0.16,
+            "quantile({q}): approx {approx} vs exact {exact}"
+        );
+    }
+
+    /// A nested child span never records more time than its parent.
+    #[test]
+    fn span_nesting_child_time_le_parent_time(spin in 1u32..2000) {
+        obs::init(&obs::TelemetryConfig::with_format(obs::ExportFormat::Prom));
+        // Unique names per case: the registry is global and proptest
+        // reuses the process across cases.
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let parent_name: &'static str =
+            Box::leak(format!("prop.span.parent.{case}").into_boxed_str());
+        let child_name: &'static str =
+            Box::leak(format!("prop.span.child.{case}").into_boxed_str());
+        {
+            let parent = obs::Span::enter(parent_name);
+            {
+                let child = obs::Span::enter(child_name);
+                let mut acc = 0u64;
+                for i in 0..spin {
+                    acc = acc.wrapping_add(u64::from(i));
+                }
+                std::hint::black_box(acc);
+                drop(child);
+            }
+            drop(parent);
+        }
+        let p = obs::histogram_summary(parent_name).unwrap();
+        let c = obs::histogram_summary(child_name).unwrap();
+        prop_assert_eq!(p.count, 1);
+        prop_assert_eq!(c.count, 1);
+        prop_assert!(
+            c.max <= p.max,
+            "child {} µs exceeds parent {} µs",
+            c.max,
+            p.max
+        );
+    }
+}

@@ -219,28 +219,10 @@ pub fn build_teastore(cluster: &mut Cluster, m1: NodeId, m2: NodeId, m3: NodeId)
     let app = cluster.add_app("teastore");
     let services: [(&str, ServiceProfile, f64, f64, NodeId); 7] = [
         ("webui", micro("teastore-webui", 1.45, 1.0, 35.0, 0.5), 1.0, 1.0, m3),
-        (
-            "imageprovider",
-            micro("teastore-image", 1.2, 1.5, 60.0, 2.0),
-            0.8,
-            1.0,
-            m3,
-        ),
+        ("imageprovider", micro("teastore-image", 1.2, 1.5, 60.0, 2.0), 0.8, 1.0, m3),
         ("auth", micro("teastore-auth", 6.0, 0.6, 2.0, 0.1), 0.6, 2.0, m1),
-        (
-            "recommender",
-            micro("teastore-recommender", 6.5, 1.2, 3.0, 0.2),
-            0.3,
-            1.0,
-            m1,
-        ),
-        (
-            "persistence",
-            micro("teastore-persistence", 1.2, 1.0, 5.0, 8.0),
-            0.7,
-            1.0,
-            m2,
-        ),
+        ("recommender", micro("teastore-recommender", 6.5, 1.2, 3.0, 0.2), 0.3, 1.0, m1),
+        ("persistence", micro("teastore-persistence", 1.2, 1.0, 5.0, 8.0), 0.7, 1.0, m2),
         ("registry", micro("teastore-registry", 0.5, 0.3, 1.0, 0.0), 0.1, 1.0, m1),
         ("db", micro("teastore-db", 1.0, 2.0, 6.0, 20.0), 0.7, 2.0, m2),
     ];
@@ -366,10 +348,7 @@ mod tests {
             last = Some(cluster.step(&[(app, 200.0)]));
         }
         let tick = last.unwrap();
-        assert_eq!(
-            tick.container(inst).unwrap().bottleneck,
-            Bottleneck::ContainerCpu
-        );
+        assert_eq!(tick.container(inst).unwrap().bottleneck, Bottleneck::ContainerCpu);
         assert!(tick.kpi(app).unwrap().throughput_rps < 60.0);
     }
 
@@ -385,10 +364,7 @@ mod tests {
             sat = Some(cluster.step(&[(app, 85_000.0)]));
         }
         let sat = sat.unwrap();
-        assert_eq!(
-            sat.container(inst).unwrap().bottleneck,
-            Bottleneck::ContainerCpu
-        );
+        assert_eq!(sat.container(inst).unwrap().bottleneck, Bottleneck::ContainerCpu);
         let tp = sat.kpi(app).unwrap().throughput_rps;
         assert!(tp > 35_000.0 && tp < 60_000.0, "tp = {tp}");
     }
@@ -396,22 +372,15 @@ mod tests {
     #[test]
     fn memory_limited_memcache_is_io_bound() {
         let mut cluster = training_cluster();
-        let (app, inst) = build_single(
-            &mut cluster,
-            memcache_profile(),
-            ContainerLimits::memory(4.0),
-            NodeId(0),
-        );
+        let (app, inst) =
+            build_single(&mut cluster, memcache_profile(), ContainerLimits::memory(4.0), NodeId(0));
         let mut last = None;
         for _ in 0..8 {
             last = Some(cluster.step(&[(app, 45_000.0)]));
         }
         let tick = last.unwrap();
         let b = tick.container(inst).unwrap().bottleneck;
-        assert!(
-            matches!(b, Bottleneck::IoQueue | Bottleneck::MemBandwidth),
-            "bottleneck = {b}"
-        );
+        assert!(matches!(b, Bottleneck::IoQueue | Bottleneck::MemBandwidth), "bottleneck = {b}");
     }
 
     #[test]
@@ -428,10 +397,7 @@ mod tests {
         for _ in 0..5 {
             last = Some(cluster.step(&[(app, 100_000.0)]));
         }
-        assert_eq!(
-            last.unwrap().container(inst).unwrap().bottleneck,
-            Bottleneck::Network
-        );
+        assert_eq!(last.unwrap().container(inst).unwrap().bottleneck, Bottleneck::Network);
 
         // Class B unlimited: host-CPU bound (row 12).
         let mut cluster = training_cluster();
@@ -445,10 +411,7 @@ mod tests {
         for _ in 0..5 {
             last = Some(cluster.step(&[(app, 70_000.0)]));
         }
-        assert_eq!(
-            last.unwrap().container(inst).unwrap().bottleneck,
-            Bottleneck::HostCpu
-        );
+        assert_eq!(last.unwrap().container(inst).unwrap().bottleneck, Bottleneck::HostCpu);
 
         // 20 cores / 30 GiB: disk-bound (rows 14-17).
         let mut cluster = training_cluster();
@@ -480,10 +443,7 @@ mod tests {
         for _ in 0..5 {
             last = Some(cluster.step(&[(app, 15_000.0)]));
         }
-        assert_eq!(
-            last.unwrap().container(inst).unwrap().bottleneck,
-            Bottleneck::ContainerCpu
-        );
+        assert_eq!(last.unwrap().container(inst).unwrap().bottleneck, Bottleneck::ContainerCpu);
     }
 
     #[test]
@@ -506,8 +466,7 @@ mod tests {
 
     #[test]
     fn teastore_handles_moderate_load_and_saturates_at_peaks() {
-        let mut cluster =
-            Cluster::new(vec![NodeSpec::m1(), NodeSpec::m2(), NodeSpec::m3()], 6);
+        let mut cluster = Cluster::new(vec![NodeSpec::m1(), NodeSpec::m2(), NodeSpec::m3()], 6);
         let app = build_teastore(&mut cluster, NodeId(0), NodeId(1), NodeId(2));
         assert_eq!(cluster.app(app).service_names().len(), 7);
         let ok = cluster.step(&[(app, 250.0)]);
@@ -523,8 +482,7 @@ mod tests {
 
     #[test]
     fn sockshop_builds_fourteen_services() {
-        let mut cluster =
-            Cluster::new(vec![NodeSpec::m1(), NodeSpec::m2(), NodeSpec::m3()], 8);
+        let mut cluster = Cluster::new(vec![NodeSpec::m1(), NodeSpec::m2(), NodeSpec::m3()], 8);
         let app = build_sockshop(&mut cluster, NodeId(0), NodeId(1), NodeId(2));
         assert_eq!(cluster.app(app).service_names().len(), 14);
         assert_eq!(cluster.container_count(), 14);
@@ -534,8 +492,7 @@ mod tests {
 
     #[test]
     fn teastore_and_sockshop_colocate_without_instant_collapse() {
-        let mut cluster =
-            Cluster::new(vec![NodeSpec::m1(), NodeSpec::m2(), NodeSpec::m3()], 9);
+        let mut cluster = Cluster::new(vec![NodeSpec::m1(), NodeSpec::m2(), NodeSpec::m3()], 9);
         let tea = build_teastore(&mut cluster, NodeId(0), NodeId(1), NodeId(2));
         let sock = build_sockshop(&mut cluster, NodeId(0), NodeId(1), NodeId(2));
         let report = cluster.step(&[(tea, 150.0), (sock, 100.0)]);

@@ -274,8 +274,8 @@ impl Container {
         };
         let mem_limit = self.limits.effective_memory(node);
         let usage_bytes = self.state.mem_usage_gb * 1024.0 * 1024.0 * 1024.0;
-        let cache_frac = (profile.mem_base_gb / profile.mem_target_gb(offered_rps).max(1e-9))
-            .clamp(0.0, 1.0);
+        let cache_frac =
+            (profile.mem_base_gb / profile.mem_target_gb(offered_rps).max(1e-9)).clamp(0.0, 1.0);
         let signals = ContainerSignals {
             cpu_util: (cpu_used / cpu_limit.max(1e-9)).clamp(0.0, 1.0),
             cpu_usage_cores: cpu_used,
@@ -330,11 +330,7 @@ mod tests {
             None => ContainerLimits::unlimited(),
         };
         // 10 ms/request: 100 rps per core.
-        Container::new(
-            InstanceId(0),
-            ServiceProfile::test_cpu_bound("svc", 10.0),
-            limits,
-        )
+        Container::new(InstanceId(0), ServiceProfile::test_cpu_bound("svc", 10.0), limits)
     }
 
     #[test]
@@ -407,11 +403,8 @@ mod tests {
         profile.disk_spill_per_req = 64.0 * 1024.0;
         profile.disk_read_per_req = 0.0;
         profile.disk_write_per_req = 0.0;
-        let mut limited = Container::new(
-            InstanceId(1),
-            profile.clone(),
-            ContainerLimits::memory(4.0),
-        );
+        let mut limited =
+            Container::new(InstanceId(1), profile.clone(), ContainerLimits::memory(4.0));
         let mut unlimited = Container::new(InstanceId(2), profile, ContainerLimits::unlimited());
         let t_lim = limited.evaluate(&node(), 5000.0, 1.0, 1.0, 1.0);
         let t_unl = unlimited.evaluate(&node(), 5000.0, 1.0, 1.0, 1.0);
@@ -435,10 +428,7 @@ mod tests {
             last = Some(c.evaluate(&node(), 50_000.0, 1.0, 1.0, 1.0));
         }
         let tick = last.unwrap();
-        assert!(matches!(
-            tick.bottleneck,
-            Bottleneck::IoQueue | Bottleneck::MemBandwidth
-        ));
+        assert!(matches!(tick.bottleneck, Bottleneck::IoQueue | Bottleneck::MemBandwidth));
     }
 
     #[test]

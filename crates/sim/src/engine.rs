@@ -6,9 +6,11 @@ use std::sync::Arc;
 use monitorless_metrics::catalog::Catalog;
 use monitorless_metrics::signals::HostSignals;
 use monitorless_metrics::{InstanceId, MonitoringAgent, NodeId, Observation};
+use monitorless_obs as obs;
 use serde::{Deserialize, Serialize};
 
 use crate::container::{Container, ContainerTick};
+use crate::error::ClusterError;
 use crate::kpi::AppKpi;
 use crate::resources::{ContainerLimits, NodeSpec};
 use crate::service::ServiceProfile;
@@ -122,11 +124,7 @@ impl Cluster {
             .enumerate()
             .map(|(i, spec)| {
                 let id = NodeId(i as u32);
-                (
-                    id,
-                    spec,
-                    MonitoringAgent::new(id, Arc::clone(&catalog), seed ^ (i as u64) << 32),
-                )
+                (id, spec, MonitoringAgent::new(id, Arc::clone(&catalog), seed ^ (i as u64) << 32))
             })
             .collect();
         Cluster {
@@ -179,10 +177,7 @@ impl Cluster {
     ///
     /// Panics if `app` or `node` is unknown.
     pub fn add_service(&mut self, app: AppId, role: ServiceRole, node: NodeId) -> InstanceId {
-        assert!(
-            self.nodes.iter().any(|(id, _, _)| *id == node),
-            "unknown node {node}"
-        );
+        assert!(self.nodes.iter().any(|(id, _, _)| *id == node), "unknown node {node}");
         let entry = ServiceEntry {
             role,
             instances: Vec::new(),
@@ -194,21 +189,35 @@ impl Cluster {
 
     /// Starts an additional instance (scale-out) of `service` on `node`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the application has no service with that name or the
-    /// node is unknown.
-    pub fn scale_out(&mut self, app: AppId, service: &str, node: NodeId) -> InstanceId {
-        assert!(
-            self.nodes.iter().any(|(id, _, _)| *id == node),
-            "unknown node {node}"
-        );
-        let svc_idx = self.apps[app.0 as usize]
-            .services
+    /// Returns [`ClusterError::UnknownNode`], [`ClusterError::UnknownApp`]
+    /// or [`ClusterError::UnknownService`] when the target does not exist;
+    /// the cluster is left unchanged.
+    pub fn scale_out(
+        &mut self,
+        app: AppId,
+        service: &str,
+        node: NodeId,
+    ) -> Result<InstanceId, ClusterError> {
+        if !self.nodes.iter().any(|(id, _, _)| *id == node) {
+            return Err(ClusterError::UnknownNode(node));
+        }
+        let services = &self
+            .apps
+            .get(app.0 as usize)
+            .ok_or(ClusterError::UnknownApp(app))?
+            .services;
+        let svc_idx = services
             .iter()
             .position(|s| s.role.name == service)
-            .unwrap_or_else(|| panic!("unknown service {service}"));
-        self.spawn_instance(app, svc_idx, node)
+            .ok_or_else(|| ClusterError::UnknownService {
+                app,
+                service: service.to_string(),
+                known: services.iter().map(|s| s.role.name.clone()).collect(),
+            })?;
+        obs::counter_add("sim.scale_out", 1);
+        Ok(self.spawn_instance(app, svc_idx, node))
     }
 
     fn spawn_instance(&mut self, app: AppId, svc_idx: usize, node: NodeId) -> InstanceId {
@@ -217,7 +226,9 @@ impl Cluster {
         let role = &self.apps[app.0 as usize].services[svc_idx].role;
         let container = Container::new(id, role.profile.clone(), role.limits);
         self.containers.insert(id, (node, container));
-        self.apps[app.0 as usize].services[svc_idx].instances.push(id);
+        self.apps[app.0 as usize].services[svc_idx]
+            .instances
+            .push(id);
         id
     }
 
@@ -234,6 +245,7 @@ impl Cluster {
                     }
                     svc.instances.remove(pos);
                     self.containers.remove(&id);
+                    obs::counter_add("sim.scale_in", 1);
                     return true;
                 }
             }
@@ -270,6 +282,9 @@ impl Cluster {
     ///
     /// Panics if a load entry references an unknown application.
     pub fn step(&mut self, loads: &[(AppId, f64)]) -> TickReport {
+        let _tick_span = obs::Span::enter("sim.tick");
+        obs::counter_add("sim.ticks", 1);
+        obs::gauge_set("sim.containers", self.containers.len() as f64);
         let t = self.time;
 
         // Offered load per instance.
@@ -310,7 +325,11 @@ impl Cluster {
         let mut factors: HashMap<NodeId, (f64, f64, f64)> = HashMap::new();
         for (node_id, spec, _) in &self.nodes {
             let d = node_demand.get(node_id).copied().unwrap_or_default();
-            let cpu_share = if d.cpu > spec.cores { spec.cores / d.cpu } else { 1.0 };
+            let cpu_share = if d.cpu > spec.cores {
+                spec.cores / d.cpu
+            } else {
+                1.0
+            };
             let disk_share = if d.disk > spec.disk_bytes_per_sec() {
                 spec.disk_bytes_per_sec() / d.disk
             } else {
@@ -330,11 +349,7 @@ impl Cluster {
         ids.sort_unstable();
         for id in ids {
             let (node_id, container) = self.containers.get_mut(&id).expect("id from keys");
-            let spec = match self
-                .nodes
-                .iter()
-                .find(|(n, _, _)| n == node_id)
-            {
+            let spec = match self.nodes.iter().find(|(n, _, _)| n == node_id) {
                 Some((_, s, _)) => *s,
                 None => continue,
             };
@@ -437,14 +452,20 @@ impl Cluster {
                 load1: cpu_util * spec.cores + queue * 0.5,
                 mem_util,
                 mem_used_bytes: mem_used * 1024.0 * 1024.0 * 1024.0,
-                mem_cached_bytes: (spec.memory_gb - mem_used).max(0.0) * 0.4 * 1024.0
+                mem_cached_bytes: (spec.memory_gb - mem_used).max(0.0)
+                    * 0.4
+                    * 1024.0
                     * 1024.0
                     * 1024.0,
                 mem_dirty_bytes: disk_write * 2.0,
                 pgin_rate: disk_read / 4096.0,
                 pgout_rate: disk_write / 4096.0,
                 pgfault_rate: pgfault + 500.0,
-                swap_rate: if mem_util > 0.95 { (mem_util - 0.95) * 1e5 } else { 0.0 },
+                swap_rate: if mem_util > 0.95 {
+                    (mem_util - 0.95) * 1e5
+                } else {
+                    0.0
+                },
                 net_in_bytes: net_in,
                 net_out_bytes: net_out,
                 net_in_pkts: net_in / 800.0,
@@ -461,6 +482,7 @@ impl Cluster {
                 disk_util,
                 inodes_free: 1_500_000.0 - 100.0 * procs,
             };
+            obs::observe("sim.node_queue_depth", queue);
             observations.push(agent.collect(t, &host, &ctr_signals));
         }
 
@@ -535,15 +557,45 @@ mod tests {
         for _ in 0..5 {
             cluster.step(&[(app, 300.0)]);
         }
-        let before = cluster.step(&[(app, 300.0)]).kpi(app).unwrap().throughput_rps;
-        let extra = cluster.scale_out(app, "web", NodeId(0));
+        let before = cluster
+            .step(&[(app, 300.0)])
+            .kpi(app)
+            .unwrap()
+            .throughput_rps;
+        let extra = cluster.scale_out(app, "web", NodeId(0)).unwrap();
         // Let queues drain relative to the new capacity.
         for _ in 0..10 {
             cluster.step(&[(app, 300.0)]);
         }
-        let after = cluster.step(&[(app, 300.0)]).kpi(app).unwrap().throughput_rps;
+        let after = cluster
+            .step(&[(app, 300.0)])
+            .kpi(app)
+            .unwrap()
+            .throughput_rps;
         assert!(after > before * 1.5, "{before} -> {after}");
         assert!(cluster.scale_in(extra));
+        assert_eq!(cluster.container_count(), 1);
+    }
+
+    #[test]
+    fn scale_out_unknown_targets_are_errors() {
+        let (mut cluster, app, _) = one_node_cluster();
+        match cluster.scale_out(app, "nope", NodeId(0)) {
+            Err(ClusterError::UnknownService { service, known, .. }) => {
+                assert_eq!(service, "nope");
+                assert_eq!(known, vec!["web".to_string()]);
+            }
+            other => panic!("expected UnknownService, got {other:?}"),
+        }
+        assert_eq!(
+            cluster.scale_out(app, "web", NodeId(9)),
+            Err(ClusterError::UnknownNode(NodeId(9)))
+        );
+        assert_eq!(
+            cluster.scale_out(AppId(7), "web", NodeId(0)),
+            Err(ClusterError::UnknownApp(AppId(7)))
+        );
+        // Failed scale-outs leave the cluster untouched.
         assert_eq!(cluster.container_count(), 1);
     }
 

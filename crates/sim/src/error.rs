@@ -1,0 +1,47 @@
+//! Simulator error types.
+
+use monitorless_metrics::NodeId;
+
+use crate::engine::AppId;
+
+/// Errors produced by cluster topology operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// The application id does not refer to a registered application.
+    UnknownApp(AppId),
+    /// The application has no service with the given name.
+    UnknownService {
+        /// Application whose services were searched.
+        app: AppId,
+        /// The requested service name.
+        service: String,
+        /// Names of the services that do exist, for diagnostics.
+        known: Vec<String>,
+    },
+    /// The node id does not refer to a node in the cluster.
+    UnknownNode(NodeId),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::UnknownApp(app) => {
+                write!(f, "unknown application id {}", app.0)
+            }
+            ClusterError::UnknownService {
+                app,
+                service,
+                known,
+            } => write!(
+                f,
+                "application {} has no service {service:?} (known services: {})",
+                app.0,
+                known.join(", ")
+            ),
+            ClusterError::UnknownNode(node) => write!(f, "unknown node {node}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}

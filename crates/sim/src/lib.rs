@@ -38,12 +38,14 @@
 pub mod apps;
 pub mod container;
 pub mod engine;
+pub mod error;
 pub mod kpi;
 pub mod resources;
 pub mod service;
 
 pub use container::{Bottleneck, Container, ContainerState};
 pub use engine::{AppId, Application, Cluster, ServiceRole, TickReport};
+pub use error::ClusterError;
 pub use kpi::AppKpi;
 pub use resources::{ContainerLimits, NodeSpec};
 pub use service::ServiceProfile;

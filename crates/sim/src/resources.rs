@@ -154,9 +154,6 @@ mod tests {
         assert_eq!(ContainerLimits::cpu(3.0).effective_cpu(&node), 3.0);
         assert_eq!(ContainerLimits::cpu(20.0).effective_cpu(&node), 8.0);
         assert_eq!(ContainerLimits::memory(8.0).effective_memory(&node), 8.0);
-        assert_eq!(
-            ContainerLimits::unlimited().effective_memory(&node),
-            32.0
-        );
+        assert_eq!(ContainerLimits::unlimited().effective_memory(&node), 32.0);
     }
 }

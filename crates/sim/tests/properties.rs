@@ -70,7 +70,7 @@ proptest! {
         seed in 0u64..50,
     ) {
         let (mut cluster, app) = cluster_with(2.0, 10.0, seed);
-        cluster.scale_out(app, "svc", NodeId(0));
+        cluster.scale_out(app, "svc", NodeId(0)).unwrap();
         let report = cluster.step(&[(app, load)]);
         let instances = cluster.app(app).instances();
         prop_assert_eq!(instances.len(), 2);

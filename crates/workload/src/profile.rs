@@ -336,18 +336,9 @@ impl SumProfile {
     /// at 1000 s, 3000 s and 5000 s.
     pub fn sockshop(rate_per_client: f64) -> Self {
         SumProfile::new(vec![
-            Box::new(ShiftedProfile::new(
-                LocustProfile::sockshop_run(rate_per_client),
-                1000,
-            )),
-            Box::new(ShiftedProfile::new(
-                LocustProfile::sockshop_run(rate_per_client),
-                3000,
-            )),
-            Box::new(ShiftedProfile::new(
-                LocustProfile::sockshop_run(rate_per_client),
-                5000,
-            )),
+            Box::new(ShiftedProfile::new(LocustProfile::sockshop_run(rate_per_client), 1000)),
+            Box::new(ShiftedProfile::new(LocustProfile::sockshop_run(rate_per_client), 3000)),
+            Box::new(ShiftedProfile::new(LocustProfile::sockshop_run(rate_per_client), 5000)),
         ])
     }
 }
@@ -397,8 +388,8 @@ impl DailyPatternProfile {
 
 impl LoadProfile for DailyPatternProfile {
     fn intensity(&self, t: u64) -> f64 {
-        let day = 2.0 * std::f64::consts::PI * (t % self.day_length) as f64
-            / self.day_length as f64;
+        let day =
+            2.0 * std::f64::consts::PI * (t % self.day_length) as f64 / self.day_length as f64;
         // Fundamental + harmonics give a two-peaked "business day".
         let shape = 0.5 - 0.35 * day.cos() + 0.25 * (2.0 * day).sin() + 0.1 * (3.0 * day).cos();
         // Occasional bursts: a few percent of seconds see a surge.

@@ -35,7 +35,9 @@ fn table1_catalog_regenerates() {
     })
     .unwrap();
     assert_eq!(rows.len(), 25);
-    assert!(table1::format(&rows).contains("Bottleneck") || table1::format(&rows).contains("Observed"));
+    assert!(
+        table1::format(&rows).contains("Bottleneck") || table1::format(&rows).contains("Observed")
+    );
 }
 
 #[test]

@@ -3,9 +3,7 @@
 
 use monitorless::features::{FeaturePipeline, PipelineConfig};
 use monitorless::model::{ModelOptions, MonitorlessModel};
-use monitorless::training::{
-    calibrate_threshold, generate_training_data, table1, TrainingOptions,
-};
+use monitorless::training::{calibrate_threshold, generate_training_data, table1, TrainingOptions};
 use monitorless_learn::metrics::f1_score;
 use monitorless_learn::{Classifier, RandomForest, RandomForestParams};
 

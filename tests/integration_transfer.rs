@@ -71,16 +71,10 @@ fn monitorless_is_comparable_to_optimally_tuned_baselines() {
         .join("\n");
     // Shape of Table 5: CPU-style detectors do well on the CPU-bound
     // front-end; monitorless is close despite never being tuned.
-    assert!(
-        f1("monitorless") > f1("CPU (") - 0.25,
-        "monitorless not competitive:\n{table}"
-    );
+    assert!(f1("monitorless") > f1("CPU (") - 0.25, "monitorless not competitive:\n{table}");
     // MEM alone must be the weakest detector on a CPU-bound app, as in
     // the paper's Table 5 where MEM trails CPU.
-    assert!(
-        f1("MEM (") <= f1("CPU (") + 1e-9,
-        "MEM beat CPU on a CPU-bound app:\n{table}"
-    );
+    assert!(f1("MEM (") <= f1("CPU (") + 1e-9, "MEM beat CPU on a CPU-bound app:\n{table}");
 }
 
 #[test]
@@ -104,11 +98,7 @@ fn teastore_accuracy_is_high_with_rare_saturation() {
     let pos_rate =
         run.ground_truth.iter().map(|&v| v as usize).sum::<usize>() as f64 / pred.len() as f64;
     assert!(pos_rate < 0.5, "saturation should be the minority class");
-    assert!(
-        cm.accuracy() > 0.7,
-        "TeaStore Acc_2 = {} ({cm})",
-        cm.accuracy()
-    );
+    assert!(cm.accuracy() > 0.7, "TeaStore Acc_2 = {} ({cm})", cm.accuracy());
 }
 
 #[test]
