@@ -1,0 +1,285 @@
+//! A miniature benchmark harness with the `criterion` 0.5 API surface
+//! this workspace's bench suites use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`,
+//! `bench_function`, `bench_with_input`, `finish`), [`BenchmarkId`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Differences from the real crate, by design: no statistical analysis,
+//! HTML reports, or saved baselines. Each benchmark is calibrated so a
+//! sample takes a few milliseconds, then `sample_size` samples are
+//! timed and a `min / median / mean` summary line is printed. Honour
+//! `MONITORLESS_BENCH_SAMPLES` to shrink runs in CI smoke jobs.
+//!
+//! Deleting the `[patch.crates-io]` table in the workspace manifest
+//! swaps in the real crate with no changes to the bench files.
+
+use std::time::{Duration, Instant};
+
+/// Opaque barrier preventing the optimiser from deleting a value or
+/// the computation feeding it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` sizes its setup batches. The shim runs setup
+/// once per iteration regardless, so the variants only exist for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; batch many per allocation.
+    SmallInput,
+    /// Setup output is large; batch few per allocation.
+    LargeInput,
+    /// Setup output is huge; one per batch.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id `"{function_name}/{parameter}"`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; its `iter*` methods time the routine.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration durations of the timed samples, filled by `iter*`.
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, first calibrating how many iterations make up
+    /// one sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the iteration count until one batch takes
+        // at least ~2ms, so short routines get a stable per-iter time.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.recorded.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Times `routine` on fresh input from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        self.recorded.clear();
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+fn env_samples(default: usize) -> usize {
+    std::env::var("MONITORLESS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn run_benchmark(id: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        recorded: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut times = bencher.recorded;
+    if times.is_empty() {
+        println!("{id:<48} (no measurements)");
+        return;
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    println!(
+        "{id:<48} min {:>12} | median {:>12} | mean {:>12} ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        times.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` target functions.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: env_samples(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, self.samples, |b| f(b));
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.samples,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = env_samples(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.samples, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (The real crate finalises reports here; the
+    /// shim prints as it goes, so this only marks the boundary.)
+    pub fn finish(self) {}
+}
+
+/// Bundles target functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, mirroring
+/// `criterion::criterion_main!`. Harness CLI arguments from
+/// `cargo bench` are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets(c: &mut Criterion) {
+        c.bench_function("square", |b| b.iter(|| black_box(17u64).pow(2)));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(5);
+        group.bench_function("push", |b| {
+            b.iter_batched(Vec::new, |mut v: Vec<u8>| v.push(1), BatchSize::SmallInput)
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("n=4"), &4u32, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, targets);
+
+    #[test]
+    fn harness_runs_all_benchmark_shapes() {
+        std::env::set_var("MONITORLESS_BENCH_SAMPLES", "3");
+        benches();
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("fit", 42).to_string(), "fit/42");
+        assert_eq!(BenchmarkId::from_parameter("base").to_string(), "base");
+    }
+}

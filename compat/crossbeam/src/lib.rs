@@ -1,0 +1,203 @@
+//! A stand-in for the subset of `crossbeam` 0.8 this workspace can
+//! touch through the `ext` feature of `monitorless-std`:
+//! `crossbeam::channel` (bounded/unbounded MPSC) and
+//! `crossbeam::thread::scope`.
+//!
+//! Built on std channels and scoped threads. Deleting the
+//! `[patch.crates-io]` table in the workspace manifest swaps in the
+//! real crate with no code changes.
+
+/// MPSC channels (mirrors `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Creates a channel with a bounded buffer.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (Sender(Flavor::Bounded(tx)), Receiver(rx))
+    }
+
+    /// Creates a channel with an unbounded buffer.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Flavor::Unbounded(tx)), Receiver(rx))
+    }
+
+    #[derive(Debug)]
+    enum Flavor<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    /// The sending half; cloneable.
+    #[derive(Debug)]
+    pub struct Sender<T>(Flavor<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Flavor::Bounded(tx) => Flavor::Bounded(tx.clone()),
+                Flavor::Unbounded(tx) => Flavor::Unbounded(tx.clone()),
+            })
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a value, blocking while a bounded buffer is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value if the receiver disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Flavor::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+                Flavor::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`RecvError`] once senders are gone and the buffer
+        /// is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns a buffered value without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] or [`TryRecvError::Disconnected`].
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocks until a value arrives or `timeout` elapses.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] or
+        /// [`RecvTimeoutError::Disconnected`].
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+    }
+
+    /// The receiver disconnected; the unsent value is returned.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> SendError<T> {
+        /// The value that could not be sent.
+        pub fn into_inner(self) -> T {
+            self.0
+        }
+    }
+
+    /// All senders disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a non-blocking receive.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No value buffered right now.
+        Empty,
+        /// All senders disconnected.
+        Disconnected,
+    }
+
+    /// Outcome of a bounded-wait receive.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed first.
+        Timeout,
+        /// All senders disconnected.
+        Disconnected,
+    }
+}
+
+/// Scoped threads (mirrors `crossbeam::thread`).
+pub mod thread {
+    use std::panic::AssertUnwindSafe;
+
+    /// Runs `f` with a scope handle; threads spawned on it are joined
+    /// before `scope` returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns the panic payload if any spawned thread (or `f`)
+    /// panicked.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: FnOnce(Scope<'_, 'env>) -> R,
+    {
+        std::panic::catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(Scope { inner: s }))))
+    }
+
+    /// Handle for spawning scoped threads (mirrors
+    /// `crossbeam::thread::Scope`, passed by value so `|_|` closures
+    /// work the same).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope
+        /// handle so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(handle))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_delivers_and_scope_joins() {
+        let (tx, rx) = super::channel::bounded(2);
+        let total = super::thread::scope(|scope| {
+            scope.spawn(move |_| {
+                for i in 0..10 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let mut sum = 0;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            sum
+        })
+        .unwrap();
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn scope_reports_child_panics() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("child dies"));
+        });
+        assert!(result.is_err());
+    }
+}

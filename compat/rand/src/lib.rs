@@ -1,0 +1,228 @@
+//! A stand-in for the subset of the `rand` 0.8 API this workspace can
+//! touch through the `ext` feature of `monitorless-std`.
+//!
+//! The workspace's own code generates randomness through
+//! `monitorless_std::rng`; this package exists so that `rand` as a
+//! *declared dependency* resolves offline via `[patch.crates-io]`. It
+//! deliberately reimplements xoshiro256++ rather than depending on
+//! `monitorless-std`, keeping every `compat/` package standalone.
+//! Deleting the patch table in the workspace manifest swaps in the real
+//! crate with no code changes.
+
+/// Uniform value generation (mirrors `rand::Rng`).
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// A uniform value in `range`.
+    fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Seeding from integers (mirrors `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types `Rng::gen` can produce (mirrors `rand::distributions::Standard`
+/// coverage for the types the workspace draws).
+pub trait Standard {
+    /// Draws one uniform value.
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+fn sample_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    if n == 1 {
+        return 0;
+    }
+    let mask = u64::MAX >> (n - 1).leading_zeros();
+    loop {
+        let v = rng.next_u64() & mask;
+        if v < n {
+            return v;
+        }
+    }
+}
+
+/// Ranges `Rng::gen_range` accepts.
+pub trait UniformRange {
+    /// The element type.
+    type Output;
+    /// Draws one uniform value.
+    fn sample<R: Rng>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($($ty:ty),+) => {$(
+        impl UniformRange for std::ops::Range<$ty> {
+            type Output = $ty;
+            fn sample<R: Rng>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(sample_below(rng, span) as $ty)
+            }
+        }
+    )+};
+}
+
+int_range!(u32, u64, usize, i32, i64);
+
+macro_rules! float_range {
+    ($($ty:ty),+) => {$(
+        impl UniformRange for std::ops::Range<$ty> {
+            type Output = $ty;
+            fn sample<R: Rng>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                let u = ((rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) as $ty;
+                self.start + u * (self.end - self.start)
+            }
+        }
+    )+};
+}
+
+float_range!(f32, f64);
+
+/// Generator types (mirrors `rand::rngs`).
+pub mod rngs {
+    /// Stand-in for `rand::rngs::StdRng` (xoshiro256++ here, not
+    /// ChaCha12 — sequences differ from the real crate).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice helpers (mirrors `rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffle and choose on slices (mirrors `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+        /// A uniformly chosen element, `None` when empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = super::sample_below(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[super::sample_below(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_uniform_enough() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mean: f64 = (0..4000).map(|_| a.gen::<f64>()).sum::<f64>() / 4000.0;
+        assert!((mean - 0.5).abs() < 0.05);
+        assert!((0..10).contains(&a.gen_range(0..10)));
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut a);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut a).is_some());
+    }
+}

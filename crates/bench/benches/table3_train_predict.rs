@@ -3,8 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use monitorless_learn::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use monitorless_std::rng::{Rng, StdRng};
 
 fn dataset(n: usize, d: usize) -> (Matrix, Vec<u8>) {
     let mut rng = StdRng::seed_from_u64(3);

@@ -17,13 +17,12 @@
 //! differ materially.
 
 use monitorless_learn::Matrix;
-use serde::{Deserialize, Serialize};
 
 use crate::Error;
 
 /// Per-feature affine alignment from a target domain to the training
 /// domain.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DomainAdapter {
     scale: Vec<f64>,
     offset: Vec<f64>,
@@ -120,8 +119,7 @@ fn relative_gap(a: f64, b: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use monitorless_std::rng::{Rng, StdRng};
 
     fn domain(n: usize, scale: f64, shift: f64, seed: u64) -> Matrix {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -12,7 +12,6 @@ use std::sync::Arc;
 use monitorless_metrics::{InstanceId, NodeId};
 use monitorless_obs as obs;
 use monitorless_workload::LoadProfile;
-use serde::{Deserialize, Serialize};
 
 use crate::baselines::ThresholdBaseline;
 use crate::model::MonitorlessModel;
@@ -51,7 +50,7 @@ impl Policy {
 }
 
 /// Options for [`run_teastore_autoscale`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AutoscaleOptions {
     /// Run length in seconds.
     pub duration: u64,
@@ -79,7 +78,7 @@ impl AutoscaleOptions {
 }
 
 /// Outcome of one autoscaling run (a Table 7 row).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AutoscaleResult {
     /// Policy name.
     pub policy: String,

@@ -7,14 +7,13 @@
 //! that observes the application KPI directly (the upper bound).
 
 use monitorless_learn::metrics::lagged_confusion;
-use serde::{Deserialize, Serialize};
 
 /// Per-instance utilization snapshot: `(cpu %, mem %)` relative to the
 /// container's limits — the inputs of all threshold baselines.
 pub type InstanceUtil = (f64, f64);
 
 /// Threshold-detector family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BaselineKind {
     /// Relative container CPU usage only.
     Cpu,
@@ -39,7 +38,7 @@ impl std::fmt::Display for BaselineKind {
 }
 
 /// A configured threshold baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThresholdBaseline {
     /// Detector family.
     pub kind: BaselineKind,
@@ -158,7 +157,7 @@ pub fn optimal_baseline(
 /// Response-time-based detector: flags saturation when the measured
 /// end-to-end response time exceeds a threshold. This observes the KPI
 /// directly and acts as the paper's optimal reference.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RtBaseline {
     /// Response-time threshold in milliseconds.
     pub rt_threshold_ms: f64,

@@ -9,13 +9,12 @@
 //! (steps 3-4: design additional training cases and repeat).
 
 use monitorless_learn::{Matrix, MinMaxScaler, Transformer};
-use serde::{Deserialize, Serialize};
 
 use crate::training::TrainingData;
 use crate::Error;
 
 /// One insufficiently-trained feature.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UncoveredFeature {
     /// Raw metric name.
     pub name: String,
@@ -26,7 +25,7 @@ pub struct UncoveredFeature {
 }
 
 /// Report of a coverage check.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoverageReport {
     /// Features whose validation range escapes the training range.
     pub uncovered: Vec<UncoveredFeature>,
@@ -45,7 +44,7 @@ impl CoverageReport {
 }
 
 /// A fitted coverage checker (the "normalizing instance" of step 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoverageChecker {
     scaler: MinMaxScaler,
     names: Vec<String>,

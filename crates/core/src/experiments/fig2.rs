@@ -6,12 +6,11 @@ use monitorless_metrics::NodeId;
 use monitorless_sim::apps::{build_single, solr_profile};
 use monitorless_sim::{Cluster, ContainerLimits, NodeSpec};
 use monitorless_workload::{LoadProfile, RampProfile};
-use serde::{Deserialize, Serialize};
 
 use crate::Error;
 
 /// Options for [`run`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fig2Options {
     /// Ramp length in seconds.
     pub ramp_seconds: u64,

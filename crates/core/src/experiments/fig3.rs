@@ -7,13 +7,12 @@
 //! curves are included as CSV columns.
 
 use monitorless_learn::metrics::{lagged_classification, SampleOutcome};
-use serde::{Deserialize, Serialize};
 
 use super::scenario::{EvalRun, EVAL_LAG};
 use crate::Error;
 
 /// Marker kind for one (service, second) cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Marker {
     /// Not shown in the paper's figure.
     TrueNegative,

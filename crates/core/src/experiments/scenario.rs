@@ -19,7 +19,6 @@ use monitorless_sim::{AppId, Cluster, NodeSpec};
 use monitorless_workload::{
     DailyPatternProfile, LoadProfile, NoisyProfile, RampProfile, SineProfile, SumProfile,
 };
-use serde::{Deserialize, Serialize};
 
 use crate::baselines::InstanceUtil;
 use crate::model::MonitorlessModel;
@@ -27,7 +26,7 @@ use crate::orchestrator::{Aggregation, Orchestrator};
 use crate::Error;
 
 /// Which evaluation application a scenario exercises.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EvalApp {
     /// The Elgg three-tier stack (Table 5), alone on one training-class
     /// server.
@@ -41,7 +40,7 @@ pub enum EvalApp {
 }
 
 /// Options for [`run_eval_scenario`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EvalOptions {
     /// Length of the measured run in seconds.
     pub duration: u64,

@@ -2,13 +2,12 @@
 //! configuration actually exhibits in the simulator.
 
 use monitorless_sim::Bottleneck;
-use serde::{Deserialize, Serialize};
 
 use crate::training::{generate_training_data, table1, TrainingOptions};
 use crate::Error;
 
 /// One printable Table 1 row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// Row id (1-25).
     pub id: u32,

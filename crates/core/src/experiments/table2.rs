@@ -15,12 +15,11 @@ use monitorless_learn::model_selection::{GridSearch, GroupKFold, ParamGrid, Para
 use monitorless_learn::nn::{Activation, NeuralNet, NeuralNetParams};
 use monitorless_learn::tree::{SplitCriterion, Splitter};
 use monitorless_learn::{Classifier, Matrix};
-use serde::{Deserialize, Serialize};
 
 use crate::Error;
 
 /// Grid size selection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GridScale {
     /// Shrunken grids for tests and quick runs.
     Quick,
@@ -29,7 +28,7 @@ pub enum GridScale {
 }
 
 /// Algorithms examined by Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Algorithm {
     LogisticRegression,

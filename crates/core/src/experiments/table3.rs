@@ -12,7 +12,6 @@ use std::time::Instant;
 
 use monitorless_learn::metrics::lagged_confusion;
 use monitorless_learn::{Classifier, Matrix};
-use serde::{Deserialize, Serialize};
 
 use super::scenario::{run_eval_scenario, EvalApp, EvalOptions, EVAL_LAG};
 use super::table2::{build, Algorithm, GridScale};
@@ -21,7 +20,7 @@ use crate::training::TrainingData;
 use crate::Error;
 
 /// One Table 3 row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3Row {
     /// Algorithm name.
     pub algorithm: String,

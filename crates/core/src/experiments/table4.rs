@@ -1,11 +1,9 @@
 //! Table 4: the top-30 features by random-forest importance.
 
-use serde::{Deserialize, Serialize};
-
 use crate::model::MonitorlessModel;
 
 /// One importance-ranking row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table4Row {
     /// Rank (1 = most important).
     pub rank: usize,

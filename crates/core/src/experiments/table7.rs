@@ -9,7 +9,6 @@
 use std::sync::Arc;
 
 use monitorless_workload::LoadProfile;
-use serde::{Deserialize, Serialize};
 
 use super::scenario::{run_eval_scenario, EvalApp, EvalOptions, EVAL_LAG};
 use crate::autoscale::{run_teastore_autoscale, AutoscaleOptions, AutoscaleResult, Policy};
@@ -18,7 +17,7 @@ use crate::model::MonitorlessModel;
 use crate::Error;
 
 /// Options for the Table 7 harness.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table7Options {
     /// Autoscaling run options.
     pub autoscale: AutoscaleOptions,

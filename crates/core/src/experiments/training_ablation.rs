@@ -11,7 +11,6 @@
 use std::sync::Arc;
 
 use monitorless_learn::metrics::lagged_confusion;
-use serde::{Deserialize, Serialize};
 
 use super::scenario::{run_eval_scenario, EvalApp, EvalOptions, EVAL_LAG};
 use crate::model::{ModelOptions, MonitorlessModel};
@@ -19,7 +18,7 @@ use crate::training::{table1, ServiceKind, TrainingData};
 use crate::Error;
 
 /// One ablation row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiversityRow {
     /// Which training services were included.
     pub services: String,
@@ -84,7 +83,8 @@ pub fn run(
     model_opts: &ModelOptions,
     eval_opts: &EvalOptions,
 ) -> Result<Vec<DiversityRow>, Error> {
-    let subsets: Vec<(&str, Box<dyn Fn(ServiceKind) -> bool>)> = vec![
+    type ServiceFilter = Box<dyn Fn(ServiceKind) -> bool>;
+    let subsets: Vec<(&str, ServiceFilter)> = vec![
         ("Solr only", Box::new(|s| matches!(s, ServiceKind::Solr))),
         ("Memcache only", Box::new(|s| matches!(s, ServiceKind::Memcache))),
         ("Cassandra only", Box::new(|s| matches!(s, ServiceKind::Cassandra(_)))),

@@ -2,14 +2,13 @@
 
 use monitorless_metrics::catalog::Catalog;
 use monitorless_metrics::kind::MetricKind;
-use serde::{Deserialize, Serialize};
 
 use crate::Error;
 
 /// Layout of the raw concatenated metric vector: names, kinds and the
 /// indices of the four utilization metrics that drive the binary
 /// features.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RawLayout {
     names: Vec<String>,
     kinds: Vec<MetricKind>,
@@ -101,7 +100,7 @@ pub const BINARY_FEATURES: [(&str, BinarySource, BinaryLevel); 16] = [
 ];
 
 /// Which utilization a binary feature observes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum BinarySource {
     HostCpu,
@@ -111,7 +110,7 @@ pub enum BinarySource {
 }
 
 /// Utilization band of a binary feature.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinaryLevel {
     /// Below 50%.
     Low,
@@ -141,7 +140,7 @@ impl BinaryLevel {
 
 /// Expands a raw metric vector into the base feature vector: kind-scaled
 /// raw metrics followed by the 16 binary features.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BaseExpander {
     layout: RawLayout,
 }
@@ -202,6 +201,16 @@ impl BaseExpander {
         (self.layout.raw_len()..self.len()).collect()
     }
 }
+
+monitorless_std::json_struct!(RawLayout {
+    names,
+    kinds,
+    host_cpu_idle,
+    host_mem_util,
+    ctr_cpu_util,
+    ctr_mem_util,
+});
+monitorless_std::json_struct!(BaseExpander { layout });
 
 #[cfg(test)]
 mod tests {

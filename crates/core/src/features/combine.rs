@@ -7,10 +7,8 @@
 //! `C-CPU-HIGH × C-CPU-VERYHIGH` (level × level). Time-dependent
 //! features are excluded from combination to bound the feature count.
 
-use serde::{Deserialize, Serialize};
-
 /// Resource domain of a feature, derived from its name.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Domain {
     /// CPU time / scheduling metrics.
     Cpu,

@@ -6,7 +6,6 @@ use std::sync::Arc;
 
 use monitorless_learn::{Matrix, StandardScaler, Transformer};
 use monitorless_obs as obs;
-use serde::{Deserialize, Serialize};
 
 use super::base::{BaseExpander, RawLayout};
 use super::combine::{apply_products, product_names, product_pairs};
@@ -15,7 +14,7 @@ use super::timefeat::TimeExpander;
 use crate::Error;
 
 /// Configuration of the feature pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineConfig {
     /// Step 2: standardize features.
     pub normalize: bool,
@@ -274,7 +273,7 @@ fn expand_stage_d(
 
 /// A fitted feature pipeline: transforms raw metric windows into model
 /// inputs, both in batch (training) and online (per instance) form.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FittedPipeline {
     config: PipelineConfig,
     expander: BaseExpander,
@@ -401,6 +400,27 @@ impl InstanceTransformer {
         self.pipeline.transform_window(&rows)
     }
 }
+
+monitorless_std::json_struct!(PipelineConfig {
+    normalize,
+    reduce1,
+    time_features,
+    products,
+    reduce2,
+    seed,
+});
+monitorless_std::json_struct!(FittedPipeline {
+    config,
+    expander,
+    scaler,
+    reduce1,
+    time,
+    pairs,
+    names_c,
+    reduce2,
+    keep,
+    names,
+});
 
 #[cfg(test)]
 mod tests {

@@ -3,12 +3,11 @@
 
 use monitorless_learn::pca::ComponentSelection;
 use monitorless_learn::{Classifier, Matrix, Pca, RandomForest, RandomForestParams};
-use serde::{Deserialize, Serialize};
 
 use crate::Error;
 
 /// Reduction strategy for a pipeline stage.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Reduction {
     /// Keep everything.
     None,
@@ -52,7 +51,7 @@ impl Reduction {
 }
 
 /// A fitted reduction stage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FittedReduction {
     /// Identity.
     None,
@@ -181,6 +180,86 @@ impl FittedReduction {
                 let m = Matrix::from_rows(&[row]);
                 Ok(p.transform(&m)?.row(0).to_vec())
             }
+        }
+    }
+}
+
+impl monitorless_std::json::ToJson for Reduction {
+    fn to_json(&self) -> monitorless_std::json::Json {
+        use monitorless_std::json::Json;
+        match self {
+            Reduction::None => Json::Str("None".into()),
+            Reduction::ForestFilter {
+                top_k,
+                n_estimators,
+            } => Json::Obj(vec![(
+                "ForestFilter".into(),
+                Json::Obj(vec![
+                    ("top_k".into(), top_k.to_json()),
+                    ("n_estimators".into(), n_estimators.to_json()),
+                ]),
+            )]),
+            Reduction::Pca {
+                variance,
+                max_components,
+            } => Json::Obj(vec![(
+                "Pca".into(),
+                Json::Obj(vec![
+                    ("variance".into(), variance.to_json()),
+                    ("max_components".into(), max_components.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl monitorless_std::json::FromJson for Reduction {
+    fn from_json(
+        json: &monitorless_std::json::Json,
+    ) -> Result<Self, monitorless_std::json::JsonError> {
+        use monitorless_std::json::{field, Json, JsonError};
+        match json {
+            Json::Str(s) if s == "None" => Ok(Reduction::None),
+            Json::Obj(members) => match members.first().map(|(k, v)| (k.as_str(), v)) {
+                Some(("ForestFilter", body)) => Ok(Reduction::ForestFilter {
+                    top_k: field(body, "top_k")?,
+                    n_estimators: field(body, "n_estimators")?,
+                }),
+                Some(("Pca", body)) => Ok(Reduction::Pca {
+                    variance: field(body, "variance")?,
+                    max_components: field(body, "max_components")?,
+                }),
+                _ => Err(JsonError("unknown Reduction variant".into())),
+            },
+            _ => Err(JsonError("expected Reduction".into())),
+        }
+    }
+}
+
+impl monitorless_std::json::ToJson for FittedReduction {
+    fn to_json(&self) -> monitorless_std::json::Json {
+        use monitorless_std::json::Json;
+        match self {
+            FittedReduction::None => Json::Str("None".into()),
+            FittedReduction::Select(idx) => Json::Obj(vec![("Select".into(), idx.to_json())]),
+            FittedReduction::Pca(p) => Json::Obj(vec![("Pca".into(), p.to_json())]),
+        }
+    }
+}
+
+impl monitorless_std::json::FromJson for FittedReduction {
+    fn from_json(
+        json: &monitorless_std::json::Json,
+    ) -> Result<Self, monitorless_std::json::JsonError> {
+        use monitorless_std::json::{field, Json, JsonError};
+        match json {
+            Json::Str(s) if s == "None" => Ok(FittedReduction::None),
+            Json::Obj(members) => match members.first().map(|(k, _)| k.as_str()) {
+                Some("Select") => Ok(FittedReduction::Select(field(json, "Select")?)),
+                Some("Pca") => Ok(FittedReduction::Pca(field(json, "Pca")?)),
+                _ => Err(JsonError("unknown FittedReduction variant".into())),
+            },
+            _ => Err(JsonError("expected FittedReduction".into())),
         }
     }
 }
@@ -322,3 +401,6 @@ mod tests {
         }
     }
 }
+
+// Both reduction enums carry data, so they keep the externally tagged
+// encoding by hand.

@@ -4,14 +4,12 @@
 //! `X-LAG` is the value `X` samples ago. The paper uses `X = 1, 5, 15`
 //! (a 15-second window proved sufficient).
 
-use serde::{Deserialize, Serialize};
-
 /// The lag distances used by the paper.
 pub const TIME_LAGS: [usize; 3] = [1, 5, 15];
 
 /// Expands a chronologically ordered block of feature vectors with AVG
 /// and LAG variants.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimeExpander {
     width: usize,
 }
@@ -81,6 +79,8 @@ impl TimeExpander {
         (0..rows.len()).map(|i| self.expand_at(rows, i)).collect()
     }
 }
+
+monitorless_std::json_struct!(TimeExpander { width });
 
 #[cfg(test)]
 mod tests {

@@ -8,14 +8,13 @@
 
 use monitorless_learn::tree::{DecisionTree, DecisionTreeParams};
 use monitorless_learn::Classifier;
-use serde::{Deserialize, Serialize};
 
 use crate::model::MonitorlessModel;
 use crate::training::TrainingData;
 use crate::Error;
 
 /// Options for [`distill`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DistillOptions {
     /// Depth limit of the student tree (the paper suggests
     /// "depth-restricted decision trees"; 3 gives at most 8 rules).

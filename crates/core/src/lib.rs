@@ -75,7 +75,7 @@ pub enum Error {
     /// Inconsistent configuration or input.
     Invalid(String),
     /// Serialization failure.
-    Serde(serde_json::Error),
+    Serde(monitorless_std::json::JsonError),
     /// I/O failure while persisting a model.
     Io(std::io::Error),
     /// A cluster-simulation operation failed (e.g. scaling an unknown
@@ -122,8 +122,8 @@ impl From<monitorless_label::Error> for Error {
     }
 }
 
-impl From<serde_json::Error> for Error {
-    fn from(e: serde_json::Error) -> Self {
+impl From<monitorless_std::json::JsonError> for Error {
+    fn from(e: monitorless_std::json::JsonError) -> Self {
         Error::Serde(e)
     }
 }

@@ -4,14 +4,13 @@ use std::path::Path;
 use std::sync::Arc;
 
 use monitorless_learn::{Classifier, Matrix, RandomForest, RandomForestParams};
-use serde::{Deserialize, Serialize};
 
 use crate::features::{FeaturePipeline, FittedPipeline, InstanceTransformer, PipelineConfig};
 use crate::training::TrainingData;
 use crate::Error;
 
 /// Training options for [`MonitorlessModel`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelOptions {
     /// Feature-pipeline configuration.
     pub pipeline: PipelineConfig,
@@ -57,7 +56,7 @@ impl ModelOptions {
 /// Consumes raw 1040-metric vectors (per instance, per second) and
 /// predicts whether the instance is saturated — no application KPIs are
 /// used at inference time.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MonitorlessModel {
     pipeline: FittedPipeline,
     forest: RandomForest,
@@ -179,7 +178,7 @@ impl MonitorlessModel {
     ///
     /// Returns I/O or serialization errors.
     pub fn save(&self, path: &Path) -> Result<(), Error> {
-        let json = serde_json::to_string(self)?;
+        let json = monitorless_std::json::to_string(self);
         std::fs::write(path, json)?;
         Ok(())
     }
@@ -191,9 +190,15 @@ impl MonitorlessModel {
     /// Returns I/O or deserialization errors.
     pub fn load(path: &Path) -> Result<Self, Error> {
         let json = std::fs::read_to_string(path)?;
-        Ok(serde_json::from_str(&json)?)
+        Ok(monitorless_std::json::from_str(&json)?)
     }
 }
+
+monitorless_std::json_struct!(MonitorlessModel {
+    pipeline,
+    forest,
+    threshold,
+});
 
 #[cfg(test)]
 mod tests {

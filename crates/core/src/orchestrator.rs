@@ -10,7 +10,6 @@ use std::sync::Arc;
 
 use monitorless_metrics::{InstanceId, Observation};
 use monitorless_obs as obs;
-use serde::{Deserialize, Serialize};
 
 use crate::features::InstanceTransformer;
 use crate::model::MonitorlessModel;
@@ -18,7 +17,7 @@ use crate::Error;
 
 /// How instance predictions are combined into an application
 /// prediction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Aggregation {
     /// Any saturated instance saturates the application (the paper's
     /// choice — right for scaling decisions).
@@ -150,8 +149,8 @@ impl Orchestrator {
 /// node feed one central orchestrator.
 #[derive(Debug)]
 pub struct StreamingOrchestrator {
-    observation_tx: crossbeam::channel::Sender<Observation>,
-    prediction_rx: crossbeam::channel::Receiver<TickPredictions>,
+    observation_tx: monitorless_std::channel::Sender<Observation>,
+    prediction_rx: monitorless_std::channel::Receiver<TickPredictions>,
     worker: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -176,8 +175,8 @@ impl StreamingOrchestrator {
     pub fn spawn(model: Arc<MonitorlessModel>, nodes: usize) -> Self {
         assert!(nodes > 0, "at least one node must report");
         let (observation_tx, observation_rx) =
-            crossbeam::channel::bounded::<Observation>(nodes * 4);
-        let (prediction_tx, prediction_rx) = crossbeam::channel::unbounded();
+            monitorless_std::channel::bounded::<Observation>(nodes * 4);
+        let (prediction_tx, prediction_rx) = monitorless_std::channel::unbounded();
         let worker = std::thread::spawn(move || {
             let mut orchestrator = Orchestrator::new(model);
             let mut pending: HashMap<u64, Vec<Observation>> = HashMap::new();
@@ -212,12 +211,12 @@ impl StreamingOrchestrator {
     }
 
     /// Channel on which node agents submit observations.
-    pub fn observations(&self) -> &crossbeam::channel::Sender<Observation> {
+    pub fn observations(&self) -> &monitorless_std::channel::Sender<Observation> {
         &self.observation_tx
     }
 
     /// Channel delivering completed prediction ticks.
-    pub fn predictions(&self) -> &crossbeam::channel::Receiver<TickPredictions> {
+    pub fn predictions(&self) -> &monitorless_std::channel::Receiver<TickPredictions> {
         &self.prediction_rx
     }
 
@@ -226,7 +225,7 @@ impl StreamingOrchestrator {
     pub fn shutdown(mut self) -> Vec<TickPredictions> {
         // Replace (and thereby drop) our sender so the worker drains and
         // exits, then join it before collecting the queued ticks.
-        let (dead_tx, _) = crossbeam::channel::bounded(1);
+        let (dead_tx, _) = monitorless_std::channel::bounded(1);
         let _ = std::mem::replace(&mut self.observation_tx, dead_tx);
         if let Some(worker) = self.worker.take() {
             let _ = worker.join();
@@ -244,7 +243,7 @@ impl Drop for StreamingOrchestrator {
         // Close our sender so the worker exits once all clones are gone;
         // the handle is detached rather than joined (C-DTOR-BLOCK) — use
         // [`StreamingOrchestrator::shutdown`] for a clean teardown.
-        let (dead_tx, _) = crossbeam::channel::bounded(1);
+        let (dead_tx, _) = monitorless_std::channel::bounded(1);
         let _ = std::mem::replace(&mut self.observation_tx, dead_tx);
         drop(self.worker.take());
     }

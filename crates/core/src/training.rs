@@ -17,13 +17,12 @@ use monitorless_sim::{AppId, Bottleneck, Cluster, ContainerLimits, NodeSpec, Ser
 use monitorless_workload::{
     ConstantProfile, LoadProfile, NoisyProfile, RampProfile, SineProfile, SteppedProfile, YcsbClass,
 };
-use serde::{Deserialize, Serialize};
 
 use crate::features::RawLayout;
 use crate::Error;
 
 /// Which training service a configuration runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServiceKind {
     /// Apache Solr enterprise search.
     Solr,
@@ -54,7 +53,7 @@ impl ServiceKind {
 }
 
 /// Traffic pattern of a configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TrafficSpec {
     /// LIMBO `sin1000`.
     Sin1000,
@@ -107,7 +106,7 @@ impl TrafficSpec {
 }
 
 /// One row of Table 1.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainingConfig {
     /// Row number (1-25).
     pub id: u32,
@@ -255,7 +254,7 @@ pub fn table1() -> Vec<TrainingConfig> {
 }
 
 /// Options controlling training-data generation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrainingOptions {
     /// Length of each measured run in seconds.
     pub run_seconds: u64,

@@ -1,13 +1,11 @@
 //! The Kneedle knee/elbow detector (Satopää et al. 2011), as specialized
 //! by the paper (Section 2.2).
 
-use serde::{Deserialize, Serialize};
-
 use crate::savgol::SavitzkyGolay;
 use crate::Error;
 
 /// Parameters for [`detect_knee`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KneedleParams {
     /// Savitzky-Golay window (odd, ≥ 3).
     pub smooth_window: usize,
@@ -35,7 +33,7 @@ impl Default for KneedleParams {
 }
 
 /// A detected knee.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Knee {
     /// Index of the knee in the input series.
     pub index: usize,

@@ -5,8 +5,6 @@
 //! Coefficients are computed exactly by solving the small normal-equation
 //! system with Gaussian elimination — no external linear algebra.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Error;
 
 /// A configured Savitzky-Golay filter.
@@ -25,7 +23,7 @@ use crate::Error;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SavitzkyGolay {
     window: usize,
     degree: usize,

@@ -1,12 +1,10 @@
 //! Saturation-threshold labeling (`P̃_A` in the paper).
 
-use serde::{Deserialize, Serialize};
-
 use crate::kneedle::{detect_knee, KneedleParams};
 use crate::Error;
 
 /// Which side of the threshold means "saturated".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SaturationDirection {
     /// KPI values *above* the threshold are saturated (throughput-like:
     /// past the knee the service is at capacity).
@@ -25,7 +23,7 @@ pub enum SaturationDirection {
 /// assert_eq!(t.label(650.0), 0);
 /// assert_eq!(t.label(710.0), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SaturationThreshold {
     upsilon: f64,
     direction: SaturationDirection,
@@ -84,6 +82,9 @@ pub fn label_series(kpi: &[f64], threshold: &SaturationThreshold) -> Vec<u8> {
     kpi.iter().map(|&v| threshold.label(v)).collect()
 }
 
+monitorless_std::json_enum!(SaturationDirection { Above, Below });
+monitorless_std::json_struct!(SaturationThreshold { upsilon, direction });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,7 +139,7 @@ mod tests {
     fn threshold_serializes() {
         let t = SaturationThreshold::new(42.0, SaturationDirection::Above);
         let back: SaturationThreshold =
-            serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+            monitorless_std::json::from_str(&monitorless_std::json::to_string(&t)).unwrap();
         assert_eq!(back, t);
     }
 }

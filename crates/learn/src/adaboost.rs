@@ -5,13 +5,11 @@
 //! real-valued `SAMME.R`. The base estimator exposes the grid's
 //! `DT_criterion`, `DT_splitter` and `DT_min_samples_split` knobs.
 
-use serde::{Deserialize, Serialize};
-
 use crate::tree::{DecisionTree, DecisionTreeParams, MaxFeatures, SplitCriterion, Splitter};
 use crate::{validate_fit_input, Classifier, Error, Matrix};
 
 /// The boosting variant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum BoostAlgorithm {
     /// Discrete AdaBoost (stagewise additive, hard votes).
     Samme,
@@ -21,7 +19,7 @@ pub enum BoostAlgorithm {
 }
 
 /// Hyper-parameters for [`AdaBoost`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaBoostParams {
     /// Number of boosting rounds.
     pub n_estimators: usize,
@@ -56,7 +54,7 @@ impl Default for AdaBoostParams {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Stage {
     tree: DecisionTree,
     alpha: f64,
@@ -78,7 +76,7 @@ struct Stage {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaBoost {
     params: AdaBoostParams,
     stages: Vec<Stage>,
@@ -265,6 +263,24 @@ impl Classifier for AdaBoost {
     }
 }
 
+monitorless_std::json_enum!(BoostAlgorithm { Samme, SammeR });
+monitorless_std::json_struct!(AdaBoostParams {
+    n_estimators,
+    algorithm,
+    criterion,
+    splitter,
+    min_samples_split,
+    max_depth,
+    learning_rate,
+    seed,
+});
+monitorless_std::json_struct!(Stage { tree, alpha });
+monitorless_std::json_struct!(AdaBoost {
+    params,
+    stages,
+    n_features,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,8 +399,8 @@ mod tests {
             ..AdaBoostParams::default()
         });
         ab.fit(&x, &y, None).unwrap();
-        let json = serde_json::to_string(&ab).unwrap();
-        let back: AdaBoost = serde_json::from_str(&json).unwrap();
+        let json = monitorless_std::json::to_string(&ab);
+        let back: AdaBoost = monitorless_std::json::from_str(&json).unwrap();
         assert_eq!(back.predict_proba(&x), ab.predict_proba(&x));
     }
 }

@@ -1,7 +1,5 @@
 //! Labeled dataset container used throughout the pipeline.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Matrix};
 
 /// A labeled dataset: feature matrix, binary labels, feature names and
@@ -24,7 +22,7 @@ use crate::{Error, Matrix};
 /// assert_eq!(ds.len(), 2);
 /// assert_eq!(ds.positive_fraction(), 0.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     x: Matrix,
     y: Vec<u8>,

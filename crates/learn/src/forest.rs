@@ -6,15 +6,13 @@
 //! threshold later lowered to 0.4 to favour recall (Section 4).
 
 use monitorless_obs as obs;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use monitorless_std::rng::{Rng, StdRng};
 
 use crate::tree::{DecisionTree, DecisionTreeParams, MaxFeatures, SplitCriterion, Splitter};
 use crate::{validate_fit_input, Classifier, Error, Matrix};
 
 /// Class weighting schemes from the Table 2 grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ClassWeight {
     /// No reweighting (the value the grid search selected).
     #[default]
@@ -27,7 +25,7 @@ pub enum ClassWeight {
 }
 
 /// Hyper-parameters for [`RandomForest`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForestParams {
     /// Number of trees.
     pub n_estimators: usize,
@@ -102,7 +100,7 @@ impl RandomForestParams {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForest {
     params: RandomForestParams,
     trees: Vec<DecisionTree>,
@@ -279,24 +277,19 @@ impl Classifier for RandomForest {
             // clock of the whole scope this yields worker utilization.
             let busy_us = std::sync::atomic::AtomicU64::new(0);
             let busy = &busy_us;
-            crossbeam::thread::scope(|scope| {
-                for (chunk_id, chunk) in trees.chunks_mut(n_trees.div_ceil(n_jobs)).enumerate() {
-                    let chunk_size = n_trees.div_ceil(n_jobs);
-                    scope.spawn(move |_| {
-                        let started = obs::enabled().then(std::time::Instant::now);
-                        for (off, slot) in chunk.iter_mut().enumerate() {
-                            let t = chunk_id * chunk_size + off;
-                            *slot = Some(this.train_one(x, y, bw, global_cw, t));
-                        }
-                        if let Some(started) = started {
-                            let us = started.elapsed().as_micros() as u64;
-                            obs::observe("forest.worker_busy_us", us as f64);
-                            busy.fetch_add(us, std::sync::atomic::Ordering::Relaxed);
-                        }
-                    });
+            let chunk_size = n_trees.div_ceil(n_jobs);
+            monitorless_std::pool::for_each_chunk_mut(&mut trees, n_jobs, |chunk_id, chunk| {
+                let started = obs::enabled().then(std::time::Instant::now);
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let t = chunk_id * chunk_size + off;
+                    *slot = Some(this.train_one(x, y, bw, global_cw, t));
                 }
-            })
-            .expect("forest worker thread panicked");
+                if let Some(started) = started {
+                    let us = started.elapsed().as_micros() as u64;
+                    obs::observe("forest.worker_busy_us", us as f64);
+                    busy.fetch_add(us, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
             if let Some(wall_us) = fit_span.elapsed_us() {
                 if wall_us > 0.0 {
                     let total_busy = busy_us.load(std::sync::atomic::Ordering::Relaxed) as f64;
@@ -336,6 +329,29 @@ impl Classifier for RandomForest {
         "RandomForest"
     }
 }
+
+monitorless_std::json_enum!(ClassWeight {
+    None,
+    Balanced,
+    BalancedSubsample,
+});
+monitorless_std::json_struct!(RandomForestParams {
+    n_estimators,
+    criterion,
+    max_depth,
+    min_samples_split,
+    min_samples_leaf,
+    max_features,
+    bootstrap,
+    class_weight,
+    n_jobs,
+    seed,
+});
+monitorless_std::json_struct!(RandomForest {
+    params,
+    trees,
+    n_features,
+});
 
 #[cfg(test)]
 mod tests {
@@ -495,8 +511,8 @@ mod tests {
             ..RandomForestParams::default()
         });
         rf.fit(&x, &y, None).unwrap();
-        let json = serde_json::to_string(&rf).unwrap();
-        let back: RandomForest = serde_json::from_str(&json).unwrap();
+        let json = monitorless_std::json::to_string(&rf);
+        let back: RandomForest = monitorless_std::json::from_str(&json).unwrap();
         assert_eq!(back.predict_proba(&x), rf.predict_proba(&x));
     }
 }

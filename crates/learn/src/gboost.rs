@@ -5,12 +5,10 @@
 //! grid's `min_child_weight`, `max_depth` and `gamma` regularizers plus an
 //! L2 leaf penalty `lambda` and shrinkage.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{validate_fit_input, Classifier, Error, Matrix};
 
 /// Hyper-parameters for [`GradientBoosting`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GradientBoostingParams {
     /// Number of boosting rounds (trees).
     pub n_rounds: usize,
@@ -55,7 +53,7 @@ impl GradientBoostingParams {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum RegNode {
     Leaf {
         value: f64,
@@ -68,7 +66,7 @@ enum RegNode {
     },
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct RegTree {
     nodes: Vec<RegNode>,
 }
@@ -116,7 +114,7 @@ fn sigmoid(z: f64) -> f64 {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GradientBoosting {
     params: GradientBoostingParams,
     trees: Vec<RegTree>,
@@ -308,6 +306,72 @@ impl Classifier for GradientBoosting {
     }
 }
 
+monitorless_std::json_struct!(GradientBoostingParams {
+    n_rounds,
+    max_depth,
+    min_child_weight,
+    gamma,
+    lambda,
+    learning_rate,
+});
+monitorless_std::json_struct!(RegTree { nodes });
+monitorless_std::json_struct!(GradientBoosting {
+    params,
+    trees,
+    base_score,
+    n_features,
+});
+
+// `RegNode` variants carry data, so they keep the externally tagged
+// encoding by hand.
+impl monitorless_std::json::ToJson for RegNode {
+    fn to_json(&self) -> monitorless_std::json::Json {
+        use monitorless_std::json::Json;
+        match self {
+            RegNode::Leaf { value } => {
+                Json::Obj(vec![("Leaf".into(), Json::Obj(vec![("value".into(), value.to_json())]))])
+            }
+            RegNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => Json::Obj(vec![(
+                "Split".into(),
+                Json::Obj(vec![
+                    ("feature".into(), feature.to_json()),
+                    ("threshold".into(), threshold.to_json()),
+                    ("left".into(), left.to_json()),
+                    ("right".into(), right.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl monitorless_std::json::FromJson for RegNode {
+    fn from_json(
+        json: &monitorless_std::json::Json,
+    ) -> Result<Self, monitorless_std::json::JsonError> {
+        use monitorless_std::json::{field, Json, JsonError};
+        match json {
+            Json::Obj(members) => match members.first().map(|(k, v)| (k.as_str(), v)) {
+                Some(("Leaf", body)) => Ok(RegNode::Leaf {
+                    value: field(body, "value")?,
+                }),
+                Some(("Split", body)) => Ok(RegNode::Split {
+                    feature: field(body, "feature")?,
+                    threshold: field(body, "threshold")?,
+                    left: field(body, "left")?,
+                    right: field(body, "right")?,
+                }),
+                _ => Err(JsonError("unknown RegNode variant".into())),
+            },
+            _ => Err(JsonError("expected RegNode object".into())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -435,8 +499,8 @@ mod tests {
         let (x, y) = xor_data();
         let mut gb = GradientBoosting::new(GradientBoostingParams::default());
         gb.fit(&x, &y, None).unwrap();
-        let json = serde_json::to_string(&gb).unwrap();
-        let back: GradientBoosting = serde_json::from_str(&json).unwrap();
+        let json = monitorless_std::json::to_string(&gb);
+        let back: GradientBoosting = monitorless_std::json::from_str(&json).unwrap();
         assert_eq!(back.predict_proba(&x), gb.predict_proba(&x));
     }
 }

@@ -7,9 +7,7 @@
 //! LIBLINEAR-based SVC, which we train with a Pegasos-style projected
 //! subgradient method plus an L1 proximal step when requested.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use monitorless_std::rng::{Rng, StdRng};
 
 use crate::{validate_fit_input, Classifier, Error, Matrix};
 
@@ -18,7 +16,7 @@ fn sigmoid(z: f64) -> f64 {
 }
 
 /// Regularization penalty for [`LinearSvc`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Penalty {
     /// Lasso penalty (sparse weights) — the value the grid search chose.
     L1,
@@ -39,7 +37,7 @@ fn class_weights(y: &[u8], balanced: bool) -> (f64, f64) {
 }
 
 /// Hyper-parameters for [`LogisticRegression`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogisticRegressionParams {
     /// Inverse regularization strength (larger = less regularization).
     pub c: f64,
@@ -79,7 +77,7 @@ impl Default for LogisticRegressionParams {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogisticRegression {
     params: LogisticRegressionParams,
     weights: Vec<f64>,
@@ -213,7 +211,7 @@ impl Classifier for LogisticRegression {
 }
 
 /// Hyper-parameters for [`LinearSvc`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearSvcParams {
     /// Inverse regularization strength.
     pub c: f64,
@@ -247,7 +245,7 @@ impl Default for LinearSvcParams {
 /// `predict_proba` maps the signed margin through a logistic link, which
 /// is enough for thresholded decisions (the paper does not use calibrated
 /// SVC probabilities).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearSvc {
     params: LinearSvcParams,
     weights: Vec<f64>,
@@ -372,6 +370,35 @@ impl Classifier for LinearSvc {
         "LinearSVC"
     }
 }
+
+monitorless_std::json_enum!(Penalty { L1, L2 });
+monitorless_std::json_struct!(LogisticRegressionParams {
+    c,
+    tol,
+    max_iter,
+    balanced,
+    seed,
+});
+monitorless_std::json_struct!(LogisticRegression {
+    params,
+    weights,
+    bias,
+    fitted,
+});
+monitorless_std::json_struct!(LinearSvcParams {
+    c,
+    tol,
+    penalty,
+    max_iter,
+    balanced,
+    seed,
+});
+monitorless_std::json_struct!(LinearSvc {
+    params,
+    weights,
+    bias,
+    fitted,
+});
 
 #[cfg(test)]
 mod tests {
@@ -528,7 +555,7 @@ mod tests {
         let mut lr = LogisticRegression::new(LogisticRegressionParams::default());
         lr.fit(&x, &y, None).unwrap();
         let back: LogisticRegression =
-            serde_json::from_str(&serde_json::to_string(&lr).unwrap()).unwrap();
+            monitorless_std::json::from_str(&monitorless_std::json::to_string(&lr)).unwrap();
         assert_eq!(back.predict_proba(&x), lr.predict_proba(&x));
     }
 }

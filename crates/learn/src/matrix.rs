@@ -4,8 +4,6 @@
 //! handful of operations the learners need (row/column access, transpose,
 //! matrix multiplication, column statistics) live here.
 
-use serde::{Deserialize, Serialize};
-
 /// Dense row-major matrix of `f64` values.
 ///
 /// ```
@@ -15,7 +13,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.get(1, 0), 3.0);
 /// assert_eq!(m.row(0), &[1.0, 2.0]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -297,6 +295,8 @@ impl Matrix {
     }
 }
 
+monitorless_std::json_struct!(Matrix { rows, cols, data });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,8 +378,8 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let m = Matrix::from_rows(&[&[1.0, 2.0]]);
-        let s = serde_json::to_string(&m).unwrap();
-        let back: Matrix = serde_json::from_str(&s).unwrap();
+        let s = monitorless_std::json::to_string(&m);
+        let back: Matrix = monitorless_std::json::from_str(&s).unwrap();
         assert_eq!(back, m);
     }
 }

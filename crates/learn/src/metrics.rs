@@ -13,10 +13,8 @@
 //! Late predictions (after saturation was already observed) stay wrong.
 //! The paper evaluates with `k = 2`.
 
-use serde::{Deserialize, Serialize};
-
 /// A 2×2 confusion matrix for binary classification.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ConfusionMatrix {
     /// Correctly predicted negatives.
     pub tn: usize,
@@ -125,7 +123,7 @@ pub fn f1_score(y_true: &[u8], y_pred: &[u8]) -> f64 {
 }
 
 /// Per-sample outcome under the lagged scoring rules.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SampleOutcome {
     /// Correct negative (`TN_k`).
     TrueNegative,

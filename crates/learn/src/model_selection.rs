@@ -8,10 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use monitorless_std::rng::{Rng, StdRng};
 
 use crate::{Classifier, Error, Matrix};
 
@@ -57,7 +54,7 @@ impl KFold {
         }
         let mut indices: Vec<usize> = (0..n).collect();
         if self.shuffle {
-            indices.shuffle(&mut StdRng::seed_from_u64(self.seed));
+            StdRng::seed_from_u64(self.seed).shuffle(&mut indices);
         }
         let fold_sizes = fold_sizes(n, self.n_splits);
         let mut splits = Vec::with_capacity(self.n_splits);
@@ -138,7 +135,7 @@ fn fold_sizes(n: usize, k: usize) -> Vec<usize> {
 }
 
 /// Per-fold score plus aggregate statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CvResult {
     /// Score of each fold.
     pub fold_scores: Vec<f64>,
@@ -211,7 +208,7 @@ where
 }
 
 /// A hyper-parameter value in a grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ParamValue {
     /// Floating-point parameter (e.g. `C`, `tol`, `gamma`).
     F(f64),
@@ -307,7 +304,7 @@ impl ParamValue {
 pub type ParamSet = BTreeMap<String, ParamValue>;
 
 /// A named Cartesian hyper-parameter grid.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ParamGrid {
     axes: Vec<(String, Vec<ParamValue>)>,
 }

@@ -6,15 +6,12 @@
 //! `softmax`, `relu`, `sigmoid` and `linear` per layer. Training uses
 //! mini-batch Adam on binary cross-entropy with a sigmoid output link.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use monitorless_std::rng::{Rng, StdRng};
 
 use crate::{validate_fit_input, Classifier, Error, Matrix};
 
 /// Activation functions from the Table 2 grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Activation {
     /// Rectified linear unit.
     #[default]
@@ -83,7 +80,7 @@ impl Activation {
 }
 
 /// Hyper-parameters for [`NeuralNet`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NeuralNetParams {
     /// Widths of the two hidden layers.
     pub hidden: [usize; 2],
@@ -112,7 +109,7 @@ impl Default for NeuralNetParams {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct Layer {
     // weights[out][in], row-major.
     weights: Vec<f64>,
@@ -134,7 +131,7 @@ impl Layer {
     }
 }
 
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 struct AdamState {
     m: Vec<f64>,
     v: Vec<f64>,
@@ -155,7 +152,7 @@ struct AdamState {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NeuralNet {
     params: NeuralNetParams,
     layers: Vec<Layer>,
@@ -255,7 +252,7 @@ impl Classifier for NeuralNet {
         let mut order: Vec<usize> = (0..n).collect();
 
         for _epoch in 0..self.params.epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             for batch in order.chunks(self.params.batch_size) {
                 // Accumulate gradients over the batch.
                 let mut grad_w: Vec<Vec<f64>> = self

@@ -5,12 +5,10 @@
 //! account for 99.99% of variance. Components here are eigenvectors of
 //! the sample covariance matrix, sorted by descending eigenvalue.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Matrix};
 
 /// How many components to keep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ComponentSelection {
     /// A fixed number of components (clamped to the feature count).
     Count(usize),
@@ -34,7 +32,7 @@ pub enum ComponentSelection {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pca {
     selection: ComponentSelection,
     mean: Vec<f64>,
@@ -371,6 +369,46 @@ fn jacobi_eigen(a: &mut [f64], d: usize) -> Result<(Vec<f64>, Vec<f64>), Error> 
     Err(Error::NoConvergence("jacobi eigensolver exceeded sweep limit".into()))
 }
 
+monitorless_std::json_struct!(Pca {
+    selection,
+    mean,
+    components,
+    explained_variance,
+    total_variance,
+});
+
+// `ComponentSelection` variants carry data, so they keep the externally
+// tagged encoding by hand.
+impl monitorless_std::json::ToJson for ComponentSelection {
+    fn to_json(&self) -> monitorless_std::json::Json {
+        use monitorless_std::json::Json;
+        match self {
+            ComponentSelection::Count(n) => Json::Obj(vec![("Count".into(), n.to_json())]),
+            ComponentSelection::VarianceFraction(f) => {
+                Json::Obj(vec![("VarianceFraction".into(), f.to_json())])
+            }
+        }
+    }
+}
+
+impl monitorless_std::json::FromJson for ComponentSelection {
+    fn from_json(
+        json: &monitorless_std::json::Json,
+    ) -> Result<Self, monitorless_std::json::JsonError> {
+        use monitorless_std::json::{field, Json, JsonError};
+        match json {
+            Json::Obj(members) => match members.first().map(|(k, _)| k.as_str()) {
+                Some("Count") => Ok(ComponentSelection::Count(field(json, "Count")?)),
+                Some("VarianceFraction") => {
+                    Ok(ComponentSelection::VarianceFraction(field(json, "VarianceFraction")?))
+                }
+                _ => Err(JsonError("unknown ComponentSelection variant".into())),
+            },
+            _ => Err(JsonError("expected ComponentSelection".into())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -525,7 +563,8 @@ mod tests {
         let x = Matrix::from_rows(&[&[0.0, 1.0], &[2.0, 0.5], &[1.0, 3.0]]);
         let mut pca = Pca::new(ComponentSelection::Count(2));
         pca.fit(&x).unwrap();
-        let back: Pca = serde_json::from_str(&serde_json::to_string(&pca).unwrap()).unwrap();
+        let back: Pca =
+            monitorless_std::json::from_str(&monitorless_std::json::to_string(&pca)).unwrap();
         assert_eq!(back.transform(&x).unwrap().as_slice(), pca.transform(&x).unwrap().as_slice());
     }
 }

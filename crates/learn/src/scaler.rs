@@ -5,8 +5,6 @@
 //! feature normalization (Section 3.3.3). Both are reproduced here behind
 //! the [`Transformer`] trait.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Matrix};
 
 /// A fit/transform preprocessing step.
@@ -49,7 +47,7 @@ pub trait Transformer: std::fmt::Debug {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MinMaxScaler {
     mins: Option<Vec<f64>>,
     maxs: Option<Vec<f64>>,
@@ -140,7 +138,7 @@ impl Transformer for MinMaxScaler {
 ///
 /// Features with zero variance are left centered at zero (division is
 /// skipped), matching scikit-learn behaviour.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StandardScaler {
     means: Option<Vec<f64>>,
     stds: Option<Vec<f64>>,
@@ -197,6 +195,9 @@ impl Transformer for StandardScaler {
         Ok(out)
     }
 }
+
+monitorless_std::json_struct!(MinMaxScaler { mins, maxs });
+monitorless_std::json_struct!(StandardScaler { means, stds });
 
 #[cfg(test)]
 mod tests {
@@ -266,8 +267,8 @@ mod tests {
     fn scalers_serialize() {
         let mut s = StandardScaler::new();
         s.fit(&Matrix::from_rows(&[&[1.0], &[2.0]])).unwrap();
-        let json = serde_json::to_string(&s).unwrap();
-        let back: StandardScaler = serde_json::from_str(&json).unwrap();
+        let json = monitorless_std::json::to_string(&s);
+        let back: StandardScaler = monitorless_std::json::from_str(&json).unwrap();
         assert_eq!(back, s);
     }
 }

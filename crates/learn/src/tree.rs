@@ -7,15 +7,12 @@
 //! Sample weights are supported so AdaBoost and class weighting can reuse
 //! the same builder.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use monitorless_std::rng::{Rng, StdRng};
 
 use crate::{validate_fit_input, Classifier, Error, Matrix};
 
 /// Impurity criterion for choosing splits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SplitCriterion {
     /// Gini impurity `2 p (1 - p)`.
     #[default]
@@ -48,7 +45,7 @@ impl SplitCriterion {
 }
 
 /// Split-point search strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Splitter {
     /// Exhaustive scan over candidate thresholds (CART default).
     #[default]
@@ -59,7 +56,7 @@ pub enum Splitter {
 }
 
 /// How many features to consider at each split.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum MaxFeatures {
     /// All features (plain CART).
     #[default]
@@ -87,7 +84,7 @@ impl MaxFeatures {
 }
 
 /// Hyper-parameters for [`DecisionTree`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTreeParams {
     /// Impurity criterion.
     pub criterion: SplitCriterion,
@@ -119,7 +116,7 @@ impl Default for DecisionTreeParams {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Leaf {
         proba: f64,
@@ -146,7 +143,7 @@ enum Node {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTree {
     params: DecisionTreeParams,
     nodes: Vec<Node>,
@@ -368,7 +365,7 @@ impl DecisionTree {
         let k = self.params.max_features.resolve(self.n_features);
         let mut features: Vec<usize> = (0..self.n_features).collect();
         if k < self.n_features {
-            features.shuffle(rng);
+            rng.shuffle(&mut features);
             features.truncate(k);
         }
 
@@ -564,6 +561,104 @@ impl Classifier for DecisionTree {
     }
 }
 
+monitorless_std::json_enum!(SplitCriterion { Gini, Entropy });
+monitorless_std::json_enum!(Splitter { Best, Random });
+monitorless_std::json_struct!(DecisionTreeParams {
+    criterion,
+    splitter,
+    max_depth,
+    min_samples_split,
+    min_samples_leaf,
+    max_features,
+    seed,
+});
+monitorless_std::json_struct!(DecisionTree {
+    params,
+    nodes,
+    n_features,
+    importances,
+});
+
+// `MaxFeatures::Fraction` and `Node` carry data, so they keep the
+// externally tagged encoding by hand.
+impl monitorless_std::json::ToJson for MaxFeatures {
+    fn to_json(&self) -> monitorless_std::json::Json {
+        use monitorless_std::json::Json;
+        match self {
+            MaxFeatures::All => Json::Str("All".into()),
+            MaxFeatures::Sqrt => Json::Str("Sqrt".into()),
+            MaxFeatures::Log2 => Json::Str("Log2".into()),
+            MaxFeatures::Fraction(f) => Json::Obj(vec![("Fraction".into(), f.to_json())]),
+        }
+    }
+}
+
+impl monitorless_std::json::FromJson for MaxFeatures {
+    fn from_json(
+        json: &monitorless_std::json::Json,
+    ) -> Result<Self, monitorless_std::json::JsonError> {
+        use monitorless_std::json::{field, Json, JsonError};
+        match json {
+            Json::Str(s) => match s.as_str() {
+                "All" => Ok(MaxFeatures::All),
+                "Sqrt" => Ok(MaxFeatures::Sqrt),
+                "Log2" => Ok(MaxFeatures::Log2),
+                other => Err(JsonError(format!("unknown MaxFeatures variant {other:?}"))),
+            },
+            Json::Obj(_) => Ok(MaxFeatures::Fraction(field(json, "Fraction")?)),
+            _ => Err(JsonError("expected MaxFeatures".into())),
+        }
+    }
+}
+
+impl monitorless_std::json::ToJson for Node {
+    fn to_json(&self) -> monitorless_std::json::Json {
+        use monitorless_std::json::Json;
+        match self {
+            Node::Leaf { proba } => {
+                Json::Obj(vec![("Leaf".into(), Json::Obj(vec![("proba".into(), proba.to_json())]))])
+            }
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => Json::Obj(vec![(
+                "Split".into(),
+                Json::Obj(vec![
+                    ("feature".into(), feature.to_json()),
+                    ("threshold".into(), threshold.to_json()),
+                    ("left".into(), left.to_json()),
+                    ("right".into(), right.to_json()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl monitorless_std::json::FromJson for Node {
+    fn from_json(
+        json: &monitorless_std::json::Json,
+    ) -> Result<Self, monitorless_std::json::JsonError> {
+        use monitorless_std::json::{field, Json, JsonError};
+        match json {
+            Json::Obj(members) => match members.first().map(|(k, v)| (k.as_str(), v)) {
+                Some(("Leaf", body)) => Ok(Node::Leaf {
+                    proba: field(body, "proba")?,
+                }),
+                Some(("Split", body)) => Ok(Node::Split {
+                    feature: field(body, "feature")?,
+                    threshold: field(body, "threshold")?,
+                    left: field(body, "left")?,
+                    right: field(body, "right")?,
+                }),
+                _ => Err(JsonError("unknown Node variant".into())),
+            },
+            _ => Err(JsonError("expected Node object".into())),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -696,8 +791,8 @@ mod tests {
         let (x, y) = xor_data();
         let mut t = DecisionTree::new(DecisionTreeParams::default());
         t.fit(&x, &y, None).unwrap();
-        let json = serde_json::to_string(&t).unwrap();
-        let back: DecisionTree = serde_json::from_str(&json).unwrap();
+        let json = monitorless_std::json::to_string(&t);
+        let back: DecisionTree = monitorless_std::json::from_str(&json).unwrap();
         assert_eq!(back.predict_proba(&x), t.predict_proba(&x));
     }
 

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use monitorless_std::sync::Mutex;
 
 use crate::catalog::Catalog;
 use crate::rates::{CounterAccumulator, RateConverter};

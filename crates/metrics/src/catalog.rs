@@ -8,13 +8,11 @@
 //! mirrors how most real PCP metrics are per-device or per-protocol
 //! refinements of a handful of physical quantities.
 
-use serde::{Deserialize, Serialize};
-
 use crate::kind::{MetricKind, Scope};
 use crate::signals::{ContainerSignal, ContainerSignals, HostSignal, HostSignals, SignalSource};
 
 /// One metric definition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricDef {
     /// PCP-style dotted name.
     pub name: String,
@@ -68,7 +66,7 @@ pub fn pseudo_noise(idx: u64, t: u64, seed: u64) -> f64 {
 }
 
 /// The full metric catalog.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Catalog {
     host: Vec<MetricDef>,
     container: Vec<MetricDef>,

@@ -1,10 +1,8 @@
 //! Metric kinds and scopes.
 
-use serde::{Deserialize, Serialize};
-
 /// What a metric measures and therefore how it must be preprocessed
 /// before reaching the model (paper Sections 3.1 and 3.3.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MetricKind {
     /// Monotonically increasing counter; must be converted to a
     /// per-second rate.
@@ -38,7 +36,7 @@ impl MetricKind {
 }
 
 /// Whether a metric describes the host or one container.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scope {
     /// Host-level metric (952 in the standard catalog); shared by every
     /// container on the node at a given time.
@@ -47,6 +45,14 @@ pub enum Scope {
     /// one service instance.
     Container,
 }
+
+monitorless_std::json_enum!(MetricKind {
+    Counter,
+    Gauge,
+    Utilization,
+    Bytes,
+    Constant,
+});
 
 #[cfg(test)]
 mod tests {

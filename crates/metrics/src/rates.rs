@@ -7,13 +7,11 @@
 //! [`RateConverter`] plays the agent's role (differentiating successive
 //! raw samples back into rates).
 
-use serde::{Deserialize, Serialize};
-
 use crate::kind::MetricKind;
 
 /// Integrates per-second rates into cumulative counter values for the
 /// counter-kind entries of a metric vector; other kinds pass through.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CounterAccumulator {
     kinds: Vec<MetricKind>,
     totals: Vec<f64>,
@@ -54,7 +52,7 @@ impl CounterAccumulator {
 ///
 /// The first sample yields rate 0 for counters (no predecessor), matching
 /// how monitoring agents discard the first interval.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RateConverter {
     kinds: Vec<MetricKind>,
     previous: Option<Vec<f64>>,

@@ -1,9 +1,7 @@
 //! Sample types exchanged between agents and the orchestrator.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a cloud node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub u32);
 
 impl std::fmt::Display for NodeId {
@@ -13,7 +11,7 @@ impl std::fmt::Display for NodeId {
 }
 
 /// Identifier of one service instance (container).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstanceId(pub u32);
 
 impl std::fmt::Display for InstanceId {
@@ -24,7 +22,7 @@ impl std::fmt::Display for InstanceId {
 
 /// One second of processed monitoring data from one node: the host
 /// metric vector plus one container vector per running instance.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Observation {
     /// Node the observation came from.
     pub node: NodeId,

@@ -7,13 +7,11 @@
 //! The catalog references these signals symbolically via [`HostSignal`]
 //! and [`ContainerSignal`].
 
-use serde::{Deserialize, Serialize};
-
 /// Host-level quantities for one node at one second.
 ///
 /// Utilizations are fractions in `[0, 1]`; rates are per second; byte
 /// quantities are bytes (totals) or bytes/second (rates).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct HostSignals {
     /// Overall CPU utilization.
     pub cpu_util: f64,
@@ -84,7 +82,7 @@ pub struct HostSignals {
 }
 
 /// Symbolic reference to one [`HostSignals`] field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum HostSignal {
     CpuUtil,
@@ -164,7 +162,7 @@ impl HostSignal {
 }
 
 /// Container-level quantities for one service instance at one second.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ContainerSignals {
     /// CPU utilization relative to the container's limit, in `[0, 1]`.
     pub cpu_util: f64,
@@ -211,7 +209,7 @@ pub struct ContainerSignals {
 }
 
 /// Symbolic reference to one [`ContainerSignals`] field.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum ContainerSignal {
     CpuUtil,
@@ -267,7 +265,7 @@ impl ContainerSignal {
 }
 
 /// Where a catalog metric gets its value from.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SignalSource {
     /// A host signal scaled by `weight`.
     Host(HostSignal),
@@ -276,6 +274,42 @@ pub enum SignalSource {
     /// A fixed hardware-inventory constant.
     Constant(f64),
 }
+
+monitorless_std::json_struct!(HostSignals {
+    cpu_util,
+    cpu_user,
+    cpu_sys,
+    cpu_iowait,
+    ctx_switch_rate,
+    intr_rate,
+    syscall_rate,
+    nprocs,
+    runnable,
+    load1,
+    mem_util,
+    mem_used_bytes,
+    mem_cached_bytes,
+    mem_dirty_bytes,
+    pgin_rate,
+    pgout_rate,
+    pgfault_rate,
+    swap_rate,
+    net_in_bytes,
+    net_out_bytes,
+    net_in_pkts,
+    net_out_pkts,
+    net_err_rate,
+    net_util,
+    tcp_estab,
+    tcp_inuse,
+    tcp_retrans,
+    disk_read_bytes,
+    disk_write_bytes,
+    disk_iops,
+    disk_aveq,
+    disk_util,
+    inodes_free,
+});
 
 #[cfg(test)]
 mod tests {
@@ -307,7 +341,8 @@ mod tests {
     #[test]
     fn signals_are_serializable() {
         let s = HostSignals::default();
-        let back: HostSignals = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        let back: HostSignals =
+            monitorless_std::json::from_str(&monitorless_std::json::to_string(&s)).unwrap();
         assert_eq!(back, s);
     }
 }

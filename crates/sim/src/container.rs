@@ -2,14 +2,13 @@
 
 use monitorless_metrics::signals::ContainerSignals;
 use monitorless_metrics::InstanceId;
-use serde::{Deserialize, Serialize};
 
 use crate::resources::{ContainerLimits, NodeSpec};
 use crate::service::ServiceProfile;
 
 /// The resource class limiting a container's throughput — the
 /// vocabulary of Table 1's *Bottleneck* column.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Bottleneck {
     /// Not saturated.
     None,
@@ -78,7 +77,7 @@ pub struct ContainerTick {
 }
 
 /// Mutable per-container state that persists across ticks.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ContainerState {
     /// Backlog of queued requests.
     pub queue: f64,
@@ -87,7 +86,7 @@ pub struct ContainerState {
 }
 
 /// A running container: a service profile plus limits plus state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Container {
     id: InstanceId,
     profile: ServiceProfile,

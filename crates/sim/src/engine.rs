@@ -7,7 +7,6 @@ use monitorless_metrics::catalog::Catalog;
 use monitorless_metrics::signals::HostSignals;
 use monitorless_metrics::{InstanceId, MonitoringAgent, NodeId, Observation};
 use monitorless_obs as obs;
-use serde::{Deserialize, Serialize};
 
 use crate::container::{Container, ContainerTick};
 use crate::error::ClusterError;
@@ -16,7 +15,7 @@ use crate::resources::{ContainerLimits, NodeSpec};
 use crate::service::ServiceProfile;
 
 /// Identifier of an application in a cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AppId(pub u32);
 
 /// Definition of one service within an application.

@@ -1,10 +1,8 @@
 //! Application-level key performance indicators.
 
-use serde::{Deserialize, Serialize};
-
 /// KPIs of one application for one second — the quantities the paper
 /// uses for labeling (never as model input).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct AppKpi {
     /// Offered load in requests/second.
     pub offered_rps: f64,

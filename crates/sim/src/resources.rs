@@ -1,9 +1,7 @@
 //! Node hardware specifications and container resource limits.
 
-use serde::{Deserialize, Serialize};
-
 /// Hardware of one cloud node.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeSpec {
     /// Number of physical cores.
     pub cores: f64,
@@ -77,7 +75,7 @@ impl NodeSpec {
 
 /// cgroup-style resource limits of one container
 /// (a dash "–" in the paper's Table 1 means no limit).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ContainerLimits {
     /// CPU limit in cores (`None` = host-limited).
     pub cpu_cores: Option<f64>,

@@ -1,14 +1,12 @@
 //! Per-request service demand profiles.
 
-use serde::{Deserialize, Serialize};
-
 /// Resource demands of one service type, per request and at baseline.
 ///
 /// The profile is the simulator's contract with reality: a service's
 /// capacity on given resources is `limit / demand` per resource, and the
 /// smallest one is the bottleneck. Profiles for the paper's services are
 /// constructed in [`crate::apps`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceProfile {
     /// Service type name (e.g. `"solr"`, `"teastore-auth"`).
     pub name: String,

@@ -1,0 +1,895 @@
+//! A minimal JSON value, parser and serializer replacing
+//! `serde`/`serde_json` for the types this workspace persists.
+//!
+//! Numbers are kept in two variants — [`Json::Int`] for integer
+//! literals and [`Json::Num`] for everything else — so `u64` seeds and
+//! `f64` model weights both round-trip exactly. Floats are written with
+//! Rust's shortest-round-trip `Display` formatting, which guarantees
+//! `parse(write(x)) == x` bit-for-bit for every finite `f64`; the
+//! non-finite values JSON cannot express are written as the strings
+//! `"NaN"`, `"Infinity"` and `"-Infinity"` and mapped back on read.
+//!
+//! Types opt in by implementing [`ToJson`]/[`FromJson`], usually via
+//! the [`json_struct!`](crate::json_struct) and
+//! [`json_enum!`](crate::json_enum) macros.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number written without `.`, `e` or `E`, within `i64` range.
+    Int(i64),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved on write.
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse or decode failure (message only — inputs are always
+/// machine-written documents a few kilobytes to megabytes long, so
+/// offsets matter more for debugging than for users).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError(msg.into()))
+}
+
+impl Json {
+    /// Member lookup on an object; `None` for other variants or missing
+    /// keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (accepts both number variants and the
+    /// non-finite marker strings).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Num(n) => Some(*n),
+            Json::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "Infinity" => Some(f64::INFINITY),
+                "-Infinity" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` (large values fall back to decimal
+    /// strings on write, accepted here).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            Json::Str(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => {
+                out.push_str(&i.to_string());
+            }
+            Json::Num(n) => write_f64(*n, out),
+            Json::Str(s) => write_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] on malformed input, trailing garbage or
+    /// nesting deeper than 128 levels.
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(value)
+    }
+}
+
+fn write_f64(n: f64, out: &mut String) {
+    if n.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if n == f64::INFINITY {
+        out.push_str("\"Infinity\"");
+    } else if n == f64::NEG_INFINITY {
+        out.push_str("\"-Infinity\"");
+    } else {
+        // `Display` for f64 prints the shortest decimal string that
+        // parses back to the same bits.
+        let s = n.to_string();
+        out.push_str(&s);
+        // Keep floats syntactically distinct from integers so whole
+        // values like 2.0 re-parse as Num, not Int.
+        if !s.contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return err("nesting deeper than 128 levels");
+        }
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Json::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => err(format!("unexpected {:?} at byte {}", other.map(|c| c as char), self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        self.depth += 1;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        self.depth += 1;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue;
+                        }
+                        other => {
+                            return err(format!("invalid escape {:?}", other.map(|c| c as char)))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a valid &str,
+                    // so scanning to the next char boundary is safe).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] & 0xC0 == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        // self.pos is on the 'u'.
+        let hex4 = |p: &mut Self| -> Result<u32, JsonError> {
+            p.pos += 1; // consume 'u'
+            let end = p.pos + 4;
+            if end > p.bytes.len() {
+                return err("truncated \\u escape");
+            }
+            let s = std::str::from_utf8(&p.bytes[p.pos..end])
+                .map_err(|_| JsonError("non-ascii \\u escape".into()))?;
+            let v = u32::from_str_radix(s, 16).map_err(|_| JsonError("bad \\u escape".into()))?;
+            p.pos = end;
+            Ok(v)
+        };
+        let hi = hex4(self)?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // Surrogate pair: expect a following \uXXXX low surrogate.
+            if self.peek() != Some(b'\\') {
+                return err("unpaired surrogate");
+            }
+            self.pos += 1;
+            if self.peek() != Some(b'u') {
+                return err("unpaired surrogate");
+            }
+            let lo = hex4(self)?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return err("invalid low surrogate");
+            }
+            let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            char::from_u32(cp).ok_or_else(|| JsonError("invalid surrogate pair".into()))
+        } else {
+            char::from_u32(hi).ok_or_else(|| JsonError("invalid \\u escape".into()))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(n) => Ok(Json::Num(n)),
+            Err(_) => err(format!("invalid number {text:?} at byte {start}")),
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    /// Serializes compactly (no insignificant whitespace).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Serialization into a [`Json`] value.
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Deserialization from a [`Json`] value.
+pub trait FromJson: Sized {
+    /// Reconstructs `Self`, rejecting missing fields and type
+    /// mismatches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JsonError`] when the value does not encode `Self`.
+    fn from_json(json: &Json) -> Result<Self, JsonError>;
+}
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string()
+}
+
+/// Parses a value from a JSON string.
+///
+/// # Errors
+///
+/// Returns [`JsonError`] on malformed JSON or schema mismatch.
+pub fn from_str<T: FromJson>(input: &str) -> Result<T, JsonError> {
+    T::from_json(&Json::parse(input)?)
+}
+
+/// Looks up and decodes a struct field; a missing member decodes like
+/// an explicit `null` (so `Option` fields tolerate absence).
+///
+/// # Errors
+///
+/// Returns [`JsonError`] naming the field on mismatch.
+pub fn field<T: FromJson>(json: &Json, name: &str) -> Result<T, JsonError> {
+    let value = json.get(name).unwrap_or(&Json::Null);
+    T::from_json(value).map_err(|e| JsonError(format!("field {name:?}: {}", e.0)))
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(json.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_bool()
+            .ok_or_else(|| JsonError("expected bool".into()))
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| JsonError("expected string".into()))
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Num(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_f64()
+            .ok_or_else(|| JsonError("expected number".into()))
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Num(f64::from(*self))
+    }
+}
+
+impl FromJson for f32 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(f64::from_json(json)? as f32)
+    }
+}
+
+macro_rules! json_signed {
+    ($($ty:ty),+) => {$(
+        impl ToJson for $ty {
+            fn to_json(&self) -> Json {
+                Json::Int(i64::from(*self))
+            }
+        }
+        impl FromJson for $ty {
+            fn from_json(json: &Json) -> Result<Self, JsonError> {
+                json.as_i64()
+                    .and_then(|i| <$ty>::try_from(i).ok())
+                    .ok_or_else(|| JsonError(concat!("expected ", stringify!($ty)).into()))
+            }
+        }
+    )+};
+}
+
+json_signed!(i8, i16, i32, i64, u8, u16, u32);
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Json {
+        match i64::try_from(*self) {
+            Ok(i) => Json::Int(i),
+            // Seeds beyond i64::MAX survive as decimal strings.
+            Err(_) => Json::Str(self.to_string()),
+        }
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_u64()
+            .ok_or_else(|| JsonError("expected u64".into()))
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        (*self as u64).to_json()
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        u64::from_json(json)?
+            .try_into()
+            .map_err(|_| JsonError("usize out of range".into()))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        json.as_arr()
+            .ok_or_else(|| JsonError("expected array".into()))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json.as_arr() {
+            Some([a, b]) => Ok((A::from_json(a)?, B::from_json(b)?)),
+            _ => err("expected two-element array"),
+        }
+    }
+}
+
+impl<V: ToJson> ToJson for BTreeMap<String, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+}
+
+impl<V: FromJson> FromJson for BTreeMap<String, V> {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        match json {
+            Json::Obj(members) => members
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+                .collect(),
+            _ => err("expected object"),
+        }
+    }
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a struct with the listed
+/// fields (all of which must themselves implement the traits). Must be
+/// invoked where the struct's fields are visible.
+#[macro_export]
+macro_rules! json_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                $crate::json::Json::Obj(vec![$(
+                    (
+                        stringify!($field).to_string(),
+                        $crate::json::ToJson::to_json(&self.$field),
+                    ),
+                )+])
+            }
+        }
+
+        impl $crate::json::FromJson for $ty {
+            fn from_json(
+                json: &$crate::json::Json,
+            ) -> Result<Self, $crate::json::JsonError> {
+                Ok($ty {
+                    $($field: $crate::json::field(json, stringify!($field))?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implements [`ToJson`]/[`FromJson`] for a field-less enum, encoding
+/// each variant as its name string.
+#[macro_export]
+macro_rules! json_enum {
+    ($ty:ident { $($variant:ident),+ $(,)? }) => {
+        impl $crate::json::ToJson for $ty {
+            fn to_json(&self) -> $crate::json::Json {
+                let name = match self {
+                    $(Self::$variant => stringify!($variant),)+
+                };
+                $crate::json::Json::Str(name.to_string())
+            }
+        }
+
+        impl $crate::json::FromJson for $ty {
+            fn from_json(
+                json: &$crate::json::Json,
+            ) -> Result<Self, $crate::json::JsonError> {
+                match json.as_str() {
+                    $(Some(stringify!($variant)) => Ok(Self::$variant),)+
+                    Some(other) => Err($crate::json::JsonError(format!(
+                        concat!("unknown ", stringify!($ty), " variant {:?}"),
+                        other
+                    ))),
+                    None => Err($crate::json::JsonError(
+                        concat!("expected ", stringify!($ty), " variant string").into(),
+                    )),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("2.5e3").unwrap(), Json::Num(2500.0));
+        assert_eq!(Json::parse(r#""a\nbA""#).unwrap(), Json::Str("a\nbA".into()));
+        assert_eq!(
+            Json::parse("[1, [2], {}]").unwrap(),
+            Json::Arr(vec![
+                Json::Int(1),
+                Json::Arr(vec![Json::Int(2)]),
+                Json::Obj(vec![]),
+            ])
+        );
+        let obj = Json::parse(r#"{"a": 1, "b": [true, null]}"#).unwrap();
+        assert_eq!(obj.get("a"), Some(&Json::Int(1)));
+        assert_eq!(obj.get("b"), Some(&Json::Arr(vec![Json::Bool(true), Json::Null])));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "tru",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "01x",
+            "\"unterminated",
+            "[] []",
+            "nan",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_excessive_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Json::parse(&deep).is_err());
+    }
+
+    #[test]
+    fn f64_round_trips_bit_for_bit() {
+        for &x in &[
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -1.234_567_890_123_456_7e-300,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            let s = to_string(&x);
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {s}");
+        }
+    }
+
+    #[test]
+    fn whole_floats_stay_floats() {
+        let s = to_string(&2.0_f64);
+        assert_eq!(s, "2.0");
+        assert_eq!(Json::parse(&s).unwrap(), Json::Num(2.0));
+    }
+
+    #[test]
+    fn u64_seeds_beyond_i64_survive() {
+        let seed = u64::MAX - 5;
+        let s = to_string(&seed);
+        assert_eq!(from_str::<u64>(&s).unwrap(), seed);
+    }
+
+    #[test]
+    fn unicode_strings_round_trip() {
+        for s in [
+            "héllo ∀x",
+            "emoji \u{1F600}",
+            "quote\"back\\slash",
+            "\u{1}ctl",
+        ] {
+            let json = to_string(&s.to_string());
+            assert_eq!(from_str::<String>(&json).unwrap(), s);
+        }
+        // Surrogate-pair escapes decode too.
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("\u{1F600}".into()));
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        name: String,
+        count: usize,
+        ratio: f64,
+        cap: Option<u32>,
+    }
+
+    json_struct!(Demo {
+        name,
+        count,
+        ratio,
+        cap
+    });
+
+    #[derive(Debug, PartialEq)]
+    enum Mode {
+        Fast,
+        Exact,
+    }
+
+    json_enum!(Mode { Fast, Exact });
+
+    #[test]
+    fn struct_and_enum_macros_round_trip() {
+        let demo = Demo {
+            name: "svc".into(),
+            count: 3,
+            ratio: 0.4,
+            cap: None,
+        };
+        let s = to_string(&demo);
+        assert_eq!(from_str::<Demo>(&s).unwrap(), demo);
+        assert_eq!(to_string(&Mode::Exact), "\"Exact\"");
+        assert_eq!(from_str::<Mode>("\"Fast\"").unwrap(), Mode::Fast);
+        assert!(from_str::<Mode>("\"Slow\"").is_err());
+        // Missing non-Option field is an error that names the field.
+        let e = from_str::<Demo>("{}").unwrap_err();
+        assert!(e.0.contains("name"), "{e}");
+    }
+
+    #[test]
+    fn option_fields_tolerate_absent_members() {
+        let parsed: Demo = from_str(r#"{"name":"x","count":1,"ratio":1.5}"#).unwrap();
+        assert_eq!(parsed.cap, None);
+    }
+}

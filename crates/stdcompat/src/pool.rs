@@ -1,0 +1,126 @@
+//! Scoped worker pools replacing `crossbeam::thread::scope`.
+//!
+//! Training fans work out over borrowed data (the feature matrix, the
+//! label vector); scoped threads let workers borrow instead of clone.
+//! The std backend uses [`std::thread::scope`]; the `ext` feature swaps
+//! in `crossbeam::thread::scope`, which predates it.
+
+/// Splits `items` into `n_workers` contiguous chunks and runs
+/// `work(chunk_index, chunk)` on each chunk in its own scoped thread.
+///
+/// Chunks have size `ceil(len / n_workers)`, so chunk `i` starts at
+/// item `i * ceil(len / n_workers)` — workers can recover global item
+/// indices from the chunk index. With `n_workers <= 1` (or one item)
+/// the work runs on the calling thread.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn for_each_chunk_mut<T, F>(items: &mut [T], n_workers: usize, work: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if items.is_empty() {
+        return;
+    }
+    let chunk_size = items.len().div_ceil(n_workers.max(1));
+    if n_workers <= 1 || chunk_size >= items.len() {
+        work(0, items);
+        return;
+    }
+    imp::scope_chunks(items, chunk_size, &work);
+}
+
+/// Computes `f(i)` for every `i < n` across `n_workers` scoped threads
+/// and returns the results in index order.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn parallel_map<R, F>(n: usize, n_workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for_each_chunk_mut(&mut slots, n_workers, |chunk_idx, chunk| {
+        let chunk_size = n.div_ceil(n_workers.max(1));
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            *slot = Some(f(chunk_idx * chunk_size + off));
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("all slots are filled by workers"))
+        .collect()
+}
+
+#[cfg(not(feature = "ext"))]
+mod imp {
+    pub(super) fn scope_chunks<T, F>(items: &mut [T], chunk_size: usize, work: &F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        std::thread::scope(|scope| {
+            for (chunk_idx, chunk) in items.chunks_mut(chunk_size).enumerate() {
+                scope.spawn(move || work(chunk_idx, chunk));
+            }
+        });
+    }
+}
+
+#[cfg(feature = "ext")]
+mod imp {
+    pub(super) fn scope_chunks<T, F>(items: &mut [T], chunk_size: usize, work: &F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        crossbeam::thread::scope(|scope| {
+            for (chunk_idx, chunk) in items.chunks_mut(chunk_size).enumerate() {
+                scope.spawn(move |_| work(chunk_idx, chunk));
+            }
+        })
+        .expect("scoped worker thread panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunked_work_covers_every_item_exactly_once() {
+        let mut items = vec![0u32; 103];
+        for_each_chunk_mut(&mut items, 7, |chunk_idx, chunk| {
+            let chunk_size = 103usize.div_ceil(7);
+            for (off, item) in chunk.iter_mut().enumerate() {
+                *item += (chunk_idx * chunk_size + off) as u32;
+            }
+        });
+        let expect: Vec<u32> = (0..103).collect();
+        assert_eq!(items, expect);
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let mut items = vec![1, 2, 3];
+        for_each_chunk_mut(&mut items, 1, |chunk_idx, chunk| {
+            assert_eq!(chunk_idx, 0);
+            assert_eq!(chunk.len(), 3);
+            for item in chunk {
+                *item *= 10;
+            }
+        });
+        assert_eq!(items, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        let squares = parallel_map(20, 4, |i| i * i);
+        assert_eq!(squares, (0..20).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+    }
+}

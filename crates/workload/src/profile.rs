@@ -2,8 +2,7 @@
 
 use std::sync::Arc;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use monitorless_std::rng::{Rng, StdRng};
 
 /// A per-second load-intensity function (requests per second).
 ///

@@ -5,10 +5,8 @@
 //! mix, which determines how a request stresses CPU versus disk in the
 //! service demand model.
 
-use serde::{Deserialize, Serialize};
-
 /// A YCSB core workload class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum YcsbClass {
     /// Update heavy: 50% reads / 50% writes.
     A,

@@ -1,0 +1,58 @@
+//! End-to-end determinism: the whole sim → dataset → feature pipeline →
+//! forest chain must be bit-for-bit reproducible for a fixed seed.
+//!
+//! This is the property the offline-first refactor leans on: with the
+//! in-tree RNG (no external `rand`), two identical runs must produce
+//! identical training data and byte-identical serialized models.
+
+use monitorless::model::{ModelOptions, MonitorlessModel};
+use monitorless::training::{generate_training_data, TrainingOptions};
+
+fn options() -> TrainingOptions {
+    TrainingOptions {
+        run_seconds: 30,
+        ramp_seconds: 100,
+        seed: 2026,
+    }
+}
+
+#[test]
+fn same_seed_is_bit_for_bit_reproducible() {
+    let a = generate_training_data(&options()).unwrap();
+    let b = generate_training_data(&options()).unwrap();
+
+    // The simulated datasets match exactly — not approximately.
+    assert_eq!(a.dataset.x(), b.dataset.x(), "raw metric matrices differ");
+    assert_eq!(a.dataset.y(), b.dataset.y(), "labels differ");
+    assert_eq!(a.dataset.groups(), b.dataset.groups(), "groups differ");
+    assert_eq!(a.thresholds, b.thresholds, "calibrated thresholds differ");
+
+    // Training is deterministic too: the serialized models (pipeline
+    // state + every tree) are byte-identical.
+    let opts = ModelOptions::quick();
+    let model_a = MonitorlessModel::train(&a, &opts).unwrap();
+    let model_b = MonitorlessModel::train(&b, &opts).unwrap();
+    let json_a = monitorless_std::json::to_string(&model_a);
+    let json_b = monitorless_std::json::to_string(&model_b);
+    assert!(json_a == json_b, "serialized models differ");
+
+    // And so are the predictions they emit.
+    let pa = model_a
+        .predict_proba_batch(a.dataset.x(), a.dataset.groups())
+        .unwrap();
+    let pb = model_b
+        .predict_proba_batch(b.dataset.x(), b.dataset.groups())
+        .unwrap();
+    assert_eq!(pa, pb, "predicted probabilities differ");
+}
+
+#[test]
+fn different_seeds_produce_different_data() {
+    let a = generate_training_data(&options()).unwrap();
+    let b = generate_training_data(&TrainingOptions {
+        seed: 2027,
+        ..options()
+    })
+    .unwrap();
+    assert_ne!(a.dataset.x(), b.dataset.x(), "seed must matter");
+}
