@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use monitorless_learn::prelude::*;
+use monitorless_learn::tree::{DecisionTree, DecisionTreeParams};
 use monitorless_std::rng::{Rng, StdRng};
 
 fn dataset(n: usize, d: usize) -> (Matrix, Vec<u8>) {
@@ -108,5 +109,37 @@ fn bench_prediction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_training, bench_prediction);
+/// Single-tree fit cost across dataset sizes: the presorted
+/// column-oriented builder (the default behind every `fit`) against the
+/// legacy per-node re-sorting builder it replaced. Both produce
+/// bit-identical trees; `results/BENCH_table3.json` holds the committed
+/// forest-scale snapshot of the same comparison.
+fn bench_tree_fit_sizes(c: &mut Criterion) {
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let (x, y) = dataset(n, 30);
+        let params = DecisionTreeParams {
+            min_samples_split: 5,
+            min_samples_leaf: 20,
+            ..DecisionTreeParams::default()
+        };
+        let mut group = c.benchmark_group(format!("tree_fit_{n}x30"));
+        group.sample_size(10);
+        group.bench_function("presorted", |b| {
+            b.iter(|| {
+                let mut t = DecisionTree::new(params.clone());
+                t.fit(&x, &y, None).unwrap();
+                t
+            })
+        });
+        group.bench_function("legacy_resort", |b| {
+            b.iter(|| {
+                let mut t = DecisionTree::new(params.clone());
+                t.fit_resorting(&x, &y, None).unwrap();
+                t
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_training, bench_prediction, bench_tree_fit_sizes);
 criterion_main!(benches);

@@ -181,7 +181,7 @@ impl RtBaseline {
 pub fn optimal_rt_baseline(response_ms: &[f64], y_true: &[u8], lag: usize) -> RtBaseline {
     assert_eq!(response_ms.len(), y_true.len(), "length mismatch");
     let mut candidates: Vec<f64> = response_ms.to_vec();
-    candidates.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    candidates.sort_by(|a, b| a.total_cmp(b));
     candidates.dedup();
     let mut best = RtBaseline {
         rt_threshold_ms: f64::MAX,

@@ -270,7 +270,10 @@ pub fn build(algorithm: Algorithm, p: &ParamSet, quick: bool) -> Box<dyn Classif
                 "subsample" => ClassWeight::BalancedSubsample,
                 _ => ClassWeight::None,
             },
-            n_jobs: 4,
+            // The grid search itself runs candidates × folds on worker
+            // threads (see `run`); keeping each forest sequential avoids
+            // oversubscribing the machine.
+            n_jobs: 1,
             ..RandomForestParams::default()
         })),
     }
@@ -314,7 +317,9 @@ pub fn run(
     for &algorithm in algorithms {
         let g = grid(algorithm, scale);
         let combinations = g.len();
-        let search = GridSearch::new(g, folds.clone());
+        // Candidates × folds fan out across workers; every candidate on
+        // a fold shares that fold's presorted training cache.
+        let search = GridSearch::new(g, folds.clone()).with_n_jobs(4);
         let result = search.run(
             |p| build(algorithm, p, quick),
             monitorless_learn::metrics::f1_score,

@@ -168,7 +168,7 @@ impl MonitorlessModel {
             .cloned()
             .zip(imp)
             .collect();
-        pairs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1));
         pairs
     }
 

@@ -5,6 +5,7 @@
 //! real-valued `SAMME.R`. The base estimator exposes the grid's
 //! `DT_criterion`, `DT_splitter` and `DT_min_samples_split` knobs.
 
+use crate::presort::{FitCache, PresortedDataset};
 use crate::tree::{DecisionTree, DecisionTreeParams, MaxFeatures, SplitCriterion, Splitter};
 use crate::{validate_fit_input, Classifier, Error, Matrix};
 
@@ -121,10 +122,16 @@ impl AdaBoost {
         })
     }
 
-    fn fit_samme(&mut self, x: &Matrix, y: &[u8], w: &mut [f64]) -> Result<(), Error> {
+    fn fit_samme(
+        &mut self,
+        x: &Matrix,
+        ps: &PresortedDataset,
+        y: &[u8],
+        w: &mut [f64],
+    ) -> Result<(), Error> {
         for m in 0..self.params.n_estimators {
             let mut tree = self.base_tree(m);
-            tree.fit(x, y, Some(w))?;
+            tree.fit_presorted(ps, y, Some(w))?;
             let pred = tree.predict(x);
             let total: f64 = w.iter().sum();
             let err: f64 = w
@@ -160,11 +167,17 @@ impl AdaBoost {
         Ok(())
     }
 
-    fn fit_samme_r(&mut self, x: &Matrix, y: &[u8], w: &mut [f64]) -> Result<(), Error> {
+    fn fit_samme_r(
+        &mut self,
+        x: &Matrix,
+        ps: &PresortedDataset,
+        y: &[u8],
+        w: &mut [f64],
+    ) -> Result<(), Error> {
         const CLIP: f64 = 1e-5;
         for m in 0..self.params.n_estimators {
             let mut tree = self.base_tree(m);
-            tree.fit(x, y, Some(w))?;
+            tree.fit_presorted(ps, y, Some(w))?;
             let proba = tree.predict_proba(x);
             // h(x) = 0.5 * lr * log(p1 / p0); weight update uses the signed
             // margin y± * h(x).
@@ -219,6 +232,17 @@ impl AdaBoost {
 
 impl Classifier for AdaBoost {
     fn fit(&mut self, x: &Matrix, y: &[u8], sample_weight: Option<&[f64]>) -> Result<(), Error> {
+        let cache = FitCache::new();
+        self.fit_cached(x, &cache, y, sample_weight)
+    }
+
+    fn fit_cached(
+        &mut self,
+        x: &Matrix,
+        cache: &FitCache,
+        y: &[u8],
+        sample_weight: Option<&[f64]>,
+    ) -> Result<(), Error> {
         validate_fit_input(x, y, sample_weight)?;
         if self.params.n_estimators == 0 {
             return Err(Error::InvalidParameter("n_estimators must be at least 1".into()));
@@ -236,9 +260,12 @@ impl Classifier for AdaBoost {
             }
             None => vec![1.0 / n as f64; n],
         };
+        // One presort serves every boosting round: reweighting changes
+        // the samples' importance, never their sort order.
+        let ps = cache.presorted(x);
         match self.params.algorithm {
-            BoostAlgorithm::Samme => self.fit_samme(x, y, &mut w),
-            BoostAlgorithm::SammeR => self.fit_samme_r(x, y, &mut w),
+            BoostAlgorithm::Samme => self.fit_samme(x, ps, y, &mut w),
+            BoostAlgorithm::SammeR => self.fit_samme_r(x, ps, y, &mut w),
         }
     }
 

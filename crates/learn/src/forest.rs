@@ -8,6 +8,7 @@
 use monitorless_obs as obs;
 use monitorless_std::rng::{Rng, StdRng};
 
+use crate::presort::{FitCache, PresortTraversal, PresortedDataset};
 use crate::tree::{DecisionTree, DecisionTreeParams, MaxFeatures, SplitCriterion, Splitter};
 use crate::{validate_fit_input, Classifier, Error, Matrix};
 
@@ -167,12 +168,7 @@ impl RandomForest {
     pub fn top_features(&self, k: usize) -> Vec<usize> {
         let imp = self.feature_importances();
         let mut idx: Vec<usize> = (0..imp.len()).collect();
-        idx.sort_by(|&a, &b| {
-            imp[b]
-                .partial_cmp(&imp[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
+        idx.sort_by(|&a, &b| imp[b].total_cmp(&imp[a]).then(a.cmp(&b)));
         idx.truncate(k);
         idx
     }
@@ -189,7 +185,7 @@ impl RandomForest {
 
     fn train_one(
         &self,
-        x: &Matrix,
+        ps: &PresortedDataset,
         y: &[u8],
         base_weight: &[f64],
         global_cw: (f64, f64),
@@ -202,7 +198,7 @@ impl RandomForest {
                 .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 .wrapping_add(tree_idx as u64),
         );
-        let n = x.rows();
+        let n = ps.n_rows();
         let indices: Vec<usize> = if self.params.bootstrap {
             (0..n).map(|_| rng.gen_range(0..n)).collect()
         } else {
@@ -215,7 +211,6 @@ impl RandomForest {
             ClassWeight::BalancedSubsample => Self::class_weights_for(y, &indices),
         };
 
-        let xb = x.select_rows(&indices);
         let yb: Vec<u8> = indices.iter().map(|&i| y[i]).collect();
         let wb: Vec<f64> = indices
             .iter()
@@ -231,34 +226,46 @@ impl RandomForest {
             max_features: self.params.max_features,
             seed: rng.gen(),
         });
+        // Instead of materializing the bootstrap matrix, derive its
+        // sorted order from the shared presorted cache.
+        let mut trav = if self.params.bootstrap {
+            PresortTraversal::with_map(ps, indices.iter().map(|&i| i as u32).collect())
+        } else {
+            PresortTraversal::identity(ps)
+        };
         // A bootstrap sample may contain a single class; fall back to a
         // stump trained on the full data in that unlikely case.
-        if tree.fit(&xb, &yb, Some(&wb)).is_err() {
+        if tree.fit_traversal(&mut trav, &yb, Some(&wb)).is_err() {
             let mut fallback = DecisionTree::new(DecisionTreeParams {
                 max_depth: Some(1),
                 ..DecisionTreeParams::default()
             });
             fallback
-                .fit(x, y, Some(base_weight))
+                .fit_presorted(ps, y, Some(base_weight))
                 .expect("full training data was validated in fit");
             return fallback;
         }
         tree
     }
-}
 
-impl Classifier for RandomForest {
-    fn fit(&mut self, x: &Matrix, y: &[u8], sample_weight: Option<&[f64]>) -> Result<(), Error> {
-        validate_fit_input(x, y, sample_weight)?;
+    /// Fits on an already presorted view of the training matrix — the
+    /// entry point shared classifiers use via [`Classifier::fit_cached`].
+    pub fn fit_presorted(
+        &mut self,
+        ps: &PresortedDataset,
+        y: &[u8],
+        sample_weight: Option<&[f64]>,
+    ) -> Result<(), Error> {
+        crate::validate_fit_parts(ps.n_rows(), ps.n_features(), y, sample_weight)?;
         if self.params.n_estimators == 0 {
             return Err(Error::InvalidParameter("n_estimators must be at least 1".into()));
         }
-        self.n_features = x.cols();
+        self.n_features = ps.n_features();
         let base_weight: Vec<f64> = match sample_weight {
             Some(w) => w.to_vec(),
-            None => vec![1.0; x.rows()],
+            None => vec![1.0; ps.n_rows()],
         };
-        let all: Vec<usize> = (0..x.rows()).collect();
+        let all: Vec<usize> = (0..ps.n_rows()).collect();
         let global_cw = Self::class_weights_for(y, &all);
 
         let n_jobs = self.params.n_jobs.max(1);
@@ -267,7 +274,7 @@ impl Classifier for RandomForest {
         obs::gauge_set("forest.workers", n_jobs as f64);
         if n_jobs == 1 {
             self.trees = (0..n_trees)
-                .map(|t| self.train_one(x, y, &base_weight, global_cw, t))
+                .map(|t| self.train_one(ps, y, &base_weight, global_cw, t))
                 .collect();
         } else {
             let mut trees: Vec<Option<DecisionTree>> = vec![None; n_trees];
@@ -282,7 +289,7 @@ impl Classifier for RandomForest {
                 let started = obs::enabled().then(std::time::Instant::now);
                 for (off, slot) in chunk.iter_mut().enumerate() {
                     let t = chunk_id * chunk_size + off;
-                    *slot = Some(this.train_one(x, y, bw, global_cw, t));
+                    *slot = Some(this.train_one(ps, y, bw, global_cw, t));
                 }
                 if let Some(started) = started {
                     let us = started.elapsed().as_micros() as u64;
@@ -309,14 +316,44 @@ impl Classifier for RandomForest {
         obs::counter_add("forest.trees_trained", n_trees as u64);
         Ok(())
     }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[u8], sample_weight: Option<&[f64]>) -> Result<(), Error> {
+        validate_fit_input(x, y, sample_weight)?;
+        let ps = PresortedDataset::build(x);
+        self.fit_presorted(&ps, y, sample_weight)
+    }
+
+    fn fit_cached(
+        &mut self,
+        x: &Matrix,
+        cache: &FitCache,
+        y: &[u8],
+        sample_weight: Option<&[f64]>,
+    ) -> Result<(), Error> {
+        validate_fit_input(x, y, sample_weight)?;
+        self.fit_presorted(cache.presorted(x), y, sample_weight)
+    }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
         assert!(self.is_fitted(), "forest must be fitted before predicting");
+        assert_eq!(x.cols(), self.n_features, "feature count must match training data");
+        // Walk the trees block-by-block so every tree's nodes stay hot
+        // in cache while a block of rows streams through. Per row, trees
+        // still accumulate in tree order — results are bit-identical to
+        // the per-tree sweep.
+        const BLOCK: usize = 256;
         let mut acc = vec![0.0; x.rows()];
-        for tree in &self.trees {
-            for (a, p) in acc.iter_mut().zip(tree.predict_proba(x)) {
-                *a += p;
+        let mut start = 0;
+        while start < x.rows() {
+            let end = (start + BLOCK).min(x.rows());
+            for tree in &self.trees {
+                for (off, a) in acc[start..end].iter_mut().enumerate() {
+                    *a += tree.predict_row(x.row(start + off));
+                }
             }
+            start = end;
         }
         let n = self.trees.len() as f64;
         for a in &mut acc {

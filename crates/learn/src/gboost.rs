@@ -5,6 +5,7 @@
 //! grid's `min_child_weight`, `max_depth` and `gamma` regularizers plus an
 //! L2 leaf penalty `lambda` and shrinkage.
 
+use crate::presort::{FitCache, PresortTraversal};
 use crate::{validate_fit_input, Classifier, Error, Matrix};
 
 /// Hyper-parameters for [`GradientBoosting`].
@@ -159,36 +160,57 @@ impl GradientBoosting {
         score
     }
 
+    // `!(next > cur)` is deliberate: unlike `next <= cur` it also
+    // rejects NaN boundaries (see the comment at the comparison site).
+    #[allow(clippy::too_many_arguments, clippy::neg_cmp_op_on_partial_ord)]
     fn build_tree(
         &self,
-        x: &Matrix,
+        trav: &mut PresortTraversal<'_>,
         grad: &[f64],
         hess: &[f64],
-        indices: &[usize],
+        lo: usize,
+        hi: usize,
         depth: usize,
         nodes: &mut Vec<RegNode>,
+        sorted: &mut Vec<(f64, f64, f64)>,
     ) -> usize {
-        let g: f64 = indices.iter().map(|&i| grad[i]).sum();
-        let h: f64 = indices.iter().map(|&i| hess[i]).sum();
+        let g: f64 = trav
+            .rows_segment(lo, hi)
+            .iter()
+            .map(|&i| grad[i as usize])
+            .sum();
+        let h: f64 = trav
+            .rows_segment(lo, hi)
+            .iter()
+            .map(|&i| hess[i as usize])
+            .sum();
         let leaf_value = -g / (h + self.params.lambda);
 
-        if depth >= self.params.max_depth || indices.len() < 2 {
+        if depth >= self.params.max_depth || hi - lo < 2 {
             nodes.push(RegNode::Leaf { value: leaf_value });
             return nodes.len() - 1;
         }
 
-        // Exact greedy split search over all features.
+        // Exact greedy split search over all features, sweeping the
+        // presorted per-feature segments (no per-node sort).
         let parent_score = g * g / (h + self.params.lambda);
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
-        let mut sorted: Vec<(f64, f64, f64)> = Vec::with_capacity(indices.len());
         for feature in 0..self.n_features {
-            sorted.clear();
-            sorted.extend(
-                indices
-                    .iter()
-                    .map(|&i| (x.get(i, feature), grad[i], hess[i])),
-            );
-            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            if trav.dataset().is_constant(feature) {
+                continue;
+            }
+            // gboost never resamples rows, so virtual row == matrix row.
+            sorted.resize(hi - lo, (0.0, 0.0, 0.0));
+            let emitted = trav.gather_node(feature, lo, hi, |slot, v, value| {
+                let vi = v as usize;
+                sorted[slot] = (value, grad[vi], hess[vi]);
+            });
+            if !emitted {
+                // Node-constant non-NaN feature: no boundary satisfies
+                // `next > cur`, so the sweep below could never yield a
+                // candidate anyway.
+                continue;
+            }
             if sorted[0].0 == sorted[sorted.len() - 1].0 {
                 continue;
             }
@@ -198,7 +220,10 @@ impl GradientBoosting {
                 hl += sorted[i].2;
                 let next = sorted[i + 1].0;
                 let cur = sorted[i].0;
-                if next <= cur {
+                // `!(next > cur)` also rejects a NaN boundary (sorted
+                // last under `total_cmp`): a NaN midpoint threshold
+                // would send every row right and never make progress.
+                if !(next > cur) {
                     continue;
                 }
                 let gr = g - gl;
@@ -222,9 +247,7 @@ impl GradientBoosting {
             nodes.push(RegNode::Leaf { value: leaf_value });
             return nodes.len() - 1;
         };
-        let (li, ri): (Vec<usize>, Vec<usize>) = indices
-            .iter()
-            .partition(|&&i| x.get(i, feature) <= threshold);
+        let n_left = trav.partition(lo, hi, feature, threshold);
         let pos = nodes.len();
         nodes.push(RegNode::Split {
             feature,
@@ -232,8 +255,8 @@ impl GradientBoosting {
             left: 0,
             right: 0,
         });
-        let l = self.build_tree(x, grad, hess, &li, depth + 1, nodes);
-        let r = self.build_tree(x, grad, hess, &ri, depth + 1, nodes);
+        let l = self.build_tree(trav, grad, hess, lo, lo + n_left, depth + 1, nodes, sorted);
+        let r = self.build_tree(trav, grad, hess, lo + n_left, hi, depth + 1, nodes, sorted);
         if let RegNode::Split { left, right, .. } = &mut nodes[pos] {
             *left = l;
             *right = r;
@@ -244,6 +267,17 @@ impl GradientBoosting {
 
 impl Classifier for GradientBoosting {
     fn fit(&mut self, x: &Matrix, y: &[u8], sample_weight: Option<&[f64]>) -> Result<(), Error> {
+        let cache = FitCache::new();
+        self.fit_cached(x, &cache, y, sample_weight)
+    }
+
+    fn fit_cached(
+        &mut self,
+        x: &Matrix,
+        cache: &FitCache,
+        y: &[u8],
+        sample_weight: Option<&[f64]>,
+    ) -> Result<(), Error> {
         validate_fit_input(x, y, sample_weight)?;
         if self.params.n_rounds == 0 {
             return Err(Error::InvalidParameter("n_rounds must be at least 1".into()));
@@ -271,10 +305,15 @@ impl Classifier for GradientBoosting {
         self.base_score = (p0 / (1.0 - p0)).ln();
 
         let fit_span = monitorless_obs::Span::enter("gboost.fit");
+        // One presort serves every boosting round: gradients change, the
+        // per-feature sort order does not.
+        let ps = cache.presorted(x);
+        let mut trav = PresortTraversal::identity(ps);
+        let mut sorted: Vec<(f64, f64, f64)> = Vec::with_capacity(n);
         let mut score = vec![self.base_score; n];
         let mut grad = vec![0.0; n];
         let mut hess = vec![0.0; n];
-        for _ in 0..self.params.n_rounds {
+        for round in 0..self.params.n_rounds {
             let _round_span = monitorless_obs::Span::enter("gboost.tree_fit");
             for i in 0..n {
                 let p = sigmoid(score[i]);
@@ -282,8 +321,10 @@ impl Classifier for GradientBoosting {
                 hess[i] = w[i] * (p * (1.0 - p)).max(1e-12);
             }
             let mut nodes = Vec::new();
-            let indices: Vec<usize> = (0..n).collect();
-            self.build_tree(x, &grad, &hess, &indices, 0, &mut nodes);
+            if round > 0 {
+                trav.reset_identity();
+            }
+            self.build_tree(&mut trav, &grad, &hess, 0, n, 0, &mut nodes, &mut sorted);
             let tree = RegTree { nodes };
             for (s, row) in score.iter_mut().zip(x.iter_rows()) {
                 *s += self.params.learning_rate * tree.predict_row(row);

@@ -46,6 +46,7 @@ pub mod metrics;
 pub mod model_selection;
 pub mod nn;
 pub mod pca;
+pub mod presort;
 pub mod scaler;
 pub mod tree;
 
@@ -60,11 +61,14 @@ pub use gboost::{GradientBoosting, GradientBoostingParams};
 pub use linear::{
     LinearSvc, LinearSvcParams, LogisticRegression, LogisticRegressionParams, Penalty,
 };
-pub use matrix::Matrix;
+pub use matrix::{ColumnsView, Matrix};
 pub use metrics::{accuracy, f1_score, lagged_confusion, ConfusionMatrix};
-pub use model_selection::{cross_validate, GridSearch, GroupKFold, KFold, ParamGrid, ParamValue};
+pub use model_selection::{
+    cross_validate, cross_validate_parallel, GridSearch, GroupKFold, KFold, ParamGrid, ParamValue,
+};
 pub use nn::{Activation, NeuralNet, NeuralNetParams};
 pub use pca::Pca;
+pub use presort::{FitCache, PresortedDataset};
 pub use scaler::{MinMaxScaler, StandardScaler, Transformer};
 pub use tree::{DecisionTree, DecisionTreeParams, SplitCriterion, Splitter};
 
@@ -80,10 +84,12 @@ pub mod prelude {
     pub use crate::matrix::Matrix;
     pub use crate::metrics::{accuracy, f1_score, lagged_confusion, ConfusionMatrix};
     pub use crate::model_selection::{
-        cross_validate, GridSearch, GroupKFold, KFold, ParamGrid, ParamValue,
+        cross_validate, cross_validate_parallel, GridSearch, GroupKFold, KFold, ParamGrid,
+        ParamValue,
     };
     pub use crate::nn::{Activation, NeuralNet, NeuralNetParams};
     pub use crate::pca::Pca;
+    pub use crate::presort::{FitCache, PresortedDataset};
     pub use crate::scaler::{MinMaxScaler, StandardScaler, Transformer};
     pub use crate::tree::{DecisionTree, DecisionTreeParams, SplitCriterion, Splitter};
     pub use crate::Classifier;
@@ -109,6 +115,29 @@ pub trait Classifier: std::fmt::Debug + Send {
     /// number of rows in `x`, and [`Error::InvalidLabels`] if `y` contains a
     /// label other than `0`/`1` or only a single class.
     fn fit(&mut self, x: &Matrix, y: &[u8], sample_weight: Option<&[f64]>) -> Result<(), Error>;
+
+    /// Fit using a shared per-dataset [`FitCache`].
+    ///
+    /// Tree-family classifiers override this to reuse the cache's
+    /// presorted view of `x`, so repeated fits on the same matrix
+    /// (grid-search candidates on a fold, the Table 3 comparison) pay
+    /// the per-feature sort once. The cache is lazy: classifiers that
+    /// do not need it never trigger the build. Results are identical to
+    /// [`Classifier::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Classifier::fit`].
+    fn fit_cached(
+        &mut self,
+        x: &Matrix,
+        cache: &FitCache,
+        y: &[u8],
+        sample_weight: Option<&[f64]>,
+    ) -> Result<(), Error> {
+        let _ = cache;
+        self.fit(x, y, sample_weight)
+    }
 
     /// Probability of the positive class for each row of `x`.
     ///
@@ -144,19 +173,32 @@ pub(crate) fn validate_fit_input(
     y: &[u8],
     sample_weight: Option<&[f64]>,
 ) -> Result<(), Error> {
-    if x.rows() == 0 || x.cols() == 0 {
+    validate_fit_parts(x.rows(), x.cols(), y, sample_weight)
+}
+
+/// Shape-based variant of [`validate_fit_input`] for fit paths that see
+/// a presorted view (or a bootstrap sample of one) instead of a
+/// [`Matrix`]. Checks run in the same order so both paths return the
+/// same error for the same bad input.
+pub(crate) fn validate_fit_parts(
+    rows: usize,
+    cols: usize,
+    y: &[u8],
+    sample_weight: Option<&[f64]>,
+) -> Result<(), Error> {
+    if rows == 0 || cols == 0 {
         return Err(Error::EmptyInput);
     }
-    if y.len() != x.rows() {
+    if y.len() != rows {
         return Err(Error::DimensionMismatch {
-            expected: x.rows(),
+            expected: rows,
             got: y.len(),
         });
     }
     if let Some(w) = sample_weight {
-        if w.len() != x.rows() {
+        if w.len() != rows {
             return Err(Error::DimensionMismatch {
-                expected: x.rows(),
+                expected: rows,
                 got: w.len(),
             });
         }

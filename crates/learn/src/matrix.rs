@@ -125,12 +125,21 @@ impl Matrix {
 
     /// Copy of column `c`.
     ///
+    /// For repeated column access, build a [`ColumnsView`] once with
+    /// [`Matrix::columns`] and borrow slices from it instead of paying
+    /// one strided gather and `Vec` allocation per call.
+    ///
     /// # Panics
     ///
     /// Panics if `c` is out of bounds.
     pub fn column(&self, c: usize) -> Vec<f64> {
         assert!(c < self.cols, "column index out of bounds");
         (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Builds a column-major snapshot for borrowed column access.
+    pub fn columns(&self) -> ColumnsView {
+        ColumnsView::from_matrix(self)
     }
 
     /// Flat row-major view of the underlying data.
@@ -297,6 +306,72 @@ impl Matrix {
 
 monitorless_std::json_struct!(Matrix { rows, cols, data });
 
+/// A column-major snapshot of a [`Matrix`].
+///
+/// Column access on the row-major [`Matrix`] is a strided gather plus a
+/// fresh `Vec` per call; a `ColumnsView` pays one cache-blocked
+/// transpose up front and then hands out contiguous borrowed slices.
+/// It backs the presorted training cache
+/// ([`crate::presort::PresortedDataset`]) and any statistics path that
+/// walks whole columns repeatedly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnsView {
+    rows: usize,
+    cols: usize,
+    /// Column-major buffer: column `c` owns `data[c*rows .. (c+1)*rows]`.
+    data: Vec<f64>,
+}
+
+impl ColumnsView {
+    /// Gathers the matrix into column-major order (tiled transpose).
+    pub fn from_matrix(m: &Matrix) -> Self {
+        const TILE: usize = 32;
+        let (rows, cols) = (m.rows, m.cols);
+        let mut data = vec![0.0; rows * cols];
+        for r0 in (0..rows).step_by(TILE) {
+            let r1 = (r0 + TILE).min(rows);
+            for c0 in (0..cols).step_by(TILE) {
+                let c1 = (c0 + TILE).min(cols);
+                for r in r0..r1 {
+                    let row = &m.data[r * cols..(r + 1) * cols];
+                    for c in c0..c1 {
+                        data[c * rows + r] = row[c];
+                    }
+                }
+            }
+        }
+        ColumnsView { rows, cols, data }
+    }
+
+    /// Number of rows per column.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrowed contiguous values of column `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    #[inline]
+    pub fn column_slice(&self, c: usize) -> &[f64] {
+        assert!(c < self.cols, "column index out of bounds");
+        &self.data[c * self.rows..(c + 1) * self.rows]
+    }
+
+    /// Flat column-major view of the underlying buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,5 +456,27 @@ mod tests {
         let s = monitorless_std::json::to_string(&m);
         let back: Matrix = monitorless_std::json::from_str(&s).unwrap();
         assert_eq!(back, m);
+    }
+
+    #[test]
+    fn columns_view_matches_column_copies() {
+        // Shape larger than one transpose tile in both dimensions.
+        let mut m = Matrix::zeros(70, 37);
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                m.set(r, c, (r * 37 + c) as f64);
+            }
+        }
+        let view = m.columns();
+        assert_eq!((view.rows(), view.cols()), (70, 37));
+        for c in 0..m.cols() {
+            assert_eq!(view.column_slice(c), m.column(c).as_slice());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "column index out of bounds")]
+    fn columns_view_rejects_bad_index() {
+        let _ = Matrix::zeros(2, 2).columns().column_slice(2);
     }
 }

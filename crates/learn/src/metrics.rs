@@ -209,12 +209,9 @@ pub fn roc_auc(y_true: &[u8], scores: &[f64]) -> f64 {
         return 0.5;
     }
     // Rank the scores (average rank for ties).
+    // `total_cmp` keeps the ranking well-defined even if a score is NaN.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[a]
-            .partial_cmp(&scores[b])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0; scores.len()];
     let mut i = 0;
     while i < order.len() {

@@ -8,8 +8,10 @@
 
 use std::collections::BTreeMap;
 
+use monitorless_obs as obs;
 use monitorless_std::rng::{Rng, StdRng};
 
+use crate::presort::FitCache;
 use crate::{Classifier, Error, Matrix};
 
 /// A `(train_indices, validation_indices)` pair.
@@ -207,6 +209,94 @@ where
     Ok(CvResult { fold_scores })
 }
 
+/// One fold's materialized train/validation data plus the lazily built
+/// presort cache every candidate fitting on this fold shares.
+#[derive(Debug)]
+struct FoldData {
+    x_train: Matrix,
+    y_train: Vec<u8>,
+    x_val: Matrix,
+    y_val: Vec<u8>,
+    cache: FitCache,
+}
+
+fn prepare_folds(x: &Matrix, y: &[u8], splits: &[Split]) -> Vec<FoldData> {
+    splits
+        .iter()
+        .map(|(train, val)| FoldData {
+            x_train: x.select_rows(train),
+            y_train: train.iter().map(|&i| y[i]).collect(),
+            x_val: x.select_rows(val),
+            y_val: val.iter().map(|&i| y[i]).collect(),
+            cache: FitCache::new(),
+        })
+        .collect()
+}
+
+/// Evaluates one fold: fit (through the fold's shared presort cache),
+/// predict, score. `Ok(None)` marks a degenerate (skipped) fold.
+fn evaluate_fold<S>(
+    fold: &FoldData,
+    mut clf: Box<dyn Classifier>,
+    scorer: &S,
+) -> Result<Option<f64>, Error>
+where
+    S: Fn(&[u8], &[u8]) -> f64,
+{
+    match clf.fit_cached(&fold.x_train, &fold.cache, &fold.y_train, None) {
+        Ok(()) => {}
+        Err(Error::InvalidLabels) => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let pred = clf.predict(&fold.x_val);
+    Ok(Some(scorer(&fold.y_val, &pred)))
+}
+
+/// Parallel variant of [`cross_validate`]: folds are evaluated
+/// concurrently on `n_jobs` worker threads.
+///
+/// Scores are identical to the sequential version — every fold trains
+/// the same classifier on the same data; only the scheduling differs —
+/// and degenerate folds are skipped the same way. When several folds
+/// fail with a non-degenerate error, the error of the earliest fold is
+/// returned, matching the sequential short-circuit.
+///
+/// # Errors
+///
+/// Propagates classifier fit errors other than [`Error::InvalidLabels`].
+pub fn cross_validate_parallel<F, S>(
+    x: &Matrix,
+    y: &[u8],
+    splits: &[Split],
+    factory: F,
+    scorer: S,
+    n_jobs: usize,
+) -> Result<CvResult, Error>
+where
+    F: Fn() -> Box<dyn Classifier> + Sync,
+    S: Fn(&[u8], &[u8]) -> f64 + Sync,
+{
+    // `Ok(None)` marks a degenerate (skipped) fold; the outer `Option`
+    // distinguishes "not yet evaluated" while workers fill the slots.
+    type FoldOutcome = Option<Result<Option<f64>, Error>>;
+    let folds = prepare_folds(x, y, splits);
+    let mut outcomes: Vec<(&FoldData, FoldOutcome)> = folds.iter().map(|f| (f, None)).collect();
+    monitorless_std::pool::for_each_chunk_mut(&mut outcomes, n_jobs.max(1), |_, chunk| {
+        for (fold, outcome) in chunk.iter_mut() {
+            *outcome = Some(evaluate_fold(fold, factory(), &scorer));
+        }
+    });
+    let mut fold_scores = Vec::with_capacity(folds.len());
+    for (_, outcome) in outcomes {
+        match outcome.expect("every fold is evaluated") {
+            Ok(Some(score)) => fold_scores.push(score),
+            Ok(None) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(CvResult { fold_scores })
+}
+
 /// A hyper-parameter value in a grid.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParamValue {
@@ -366,22 +456,46 @@ impl GridSearchResult {
         self.evaluations
             .iter()
             .map(|(p, r)| (p, r.mean()))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("grid search evaluated at least one combination")
     }
 }
 
+/// One `(candidate, fold)` work item of a grid search.
+struct GridCell {
+    candidate: usize,
+    fold: usize,
+    outcome: Option<Result<Option<f64>, Error>>,
+}
+
 /// Exhaustive grid search with cross-validation.
+///
+/// The Cartesian `candidates × folds` task matrix is evaluated on
+/// `n_jobs` worker threads (1 = sequential); every candidate fitting on
+/// a given fold shares that fold's presorted training cache.
 #[derive(Debug)]
 pub struct GridSearch {
     grid: ParamGrid,
     splits: Vec<Split>,
+    n_jobs: usize,
 }
 
 impl GridSearch {
-    /// Creates a grid search over `grid` using precomputed CV `splits`.
+    /// Creates a sequential grid search over `grid` using precomputed CV
+    /// `splits`.
     pub fn new(grid: ParamGrid, splits: Vec<Split>) -> Self {
-        GridSearch { grid, splits }
+        GridSearch {
+            grid,
+            splits,
+            n_jobs: 1,
+        }
+    }
+
+    /// Sets the number of worker threads (clamped to at least 1).
+    /// Results are identical for every `n_jobs`.
+    pub fn with_n_jobs(mut self, n_jobs: usize) -> Self {
+        self.n_jobs = n_jobs.max(1);
+        self
     }
 
     /// Runs the search. `factory` builds a classifier from a parameter
@@ -389,22 +503,88 @@ impl GridSearch {
     ///
     /// # Errors
     ///
-    /// Propagates errors from [`cross_validate`].
+    /// Propagates classifier fit errors other than
+    /// [`Error::InvalidLabels`] (which marks a degenerate, skipped fold).
+    /// When several cells fail, the error of the earliest
+    /// `(candidate, fold)` cell is returned, matching what a sequential
+    /// scan would have hit first.
     pub fn run<F, S>(
         &self,
-        mut factory: F,
+        factory: F,
         scorer: S,
         x: &Matrix,
         y: &[u8],
     ) -> Result<GridSearchResult, Error>
     where
-        F: FnMut(&ParamSet) -> Box<dyn Classifier>,
-        S: FnMut(&[u8], &[u8]) -> f64 + Copy,
+        F: Fn(&ParamSet) -> Box<dyn Classifier> + Sync,
+        S: Fn(&[u8], &[u8]) -> f64 + Sync,
     {
-        let mut evaluations = Vec::new();
-        for params in self.grid.iter_combinations() {
-            let cv = cross_validate(x, y, &self.splits, || factory(&params), scorer)?;
-            evaluations.push((params, cv));
+        let combos = self.grid.iter_combinations();
+        let folds = prepare_folds(x, y, &self.splits);
+        let n_jobs = self.n_jobs.max(1);
+        let run_span = obs::Span::enter("gridsearch.run");
+        obs::gauge_set("gridsearch.workers", n_jobs as f64);
+
+        // Candidate-major, fold-minor — the order a sequential scan
+        // evaluates in, preserved when stitching results back together.
+        let mut cells: Vec<GridCell> = Vec::with_capacity(combos.len() * folds.len());
+        for candidate in 0..combos.len() {
+            for fold in 0..folds.len() {
+                cells.push(GridCell {
+                    candidate,
+                    fold,
+                    outcome: None,
+                });
+            }
+        }
+
+        {
+            let combos = &combos;
+            let folds = &folds;
+            let factory = &factory;
+            let scorer = &scorer;
+            let busy_us = std::sync::atomic::AtomicU64::new(0);
+            let busy = &busy_us;
+            // Dynamic scheduling: workers pull cells off a shared queue,
+            // so a candidate with expensive hyper-parameters cannot
+            // strand its whole chunk on one straggling worker.
+            monitorless_std::pool::for_each_item_mut(&mut cells, n_jobs, |_, cell| {
+                let started = obs::enabled().then(std::time::Instant::now);
+                let clf = factory(&combos[cell.candidate]);
+                cell.outcome = Some(evaluate_fold(&folds[cell.fold], clf, scorer));
+                if let Some(started) = started {
+                    let us = started.elapsed().as_micros() as u64;
+                    obs::observe("gridsearch.worker_busy_us", us as f64);
+                    busy.fetch_add(us, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+            if let Some(wall_us) = run_span.elapsed_us() {
+                if wall_us > 0.0 {
+                    let total_busy = busy_us.load(std::sync::atomic::Ordering::Relaxed) as f64;
+                    obs::gauge_set(
+                        "gridsearch.worker_utilization",
+                        total_busy / (n_jobs as f64 * wall_us),
+                    );
+                }
+            }
+        }
+        drop(run_span);
+        obs::counter_add("gridsearch.candidates_evaluated", combos.len() as u64);
+        obs::counter_add("gridsearch.cells_evaluated", cells.len() as u64);
+
+        let mut evaluations = Vec::with_capacity(combos.len());
+        let mut cell_iter = cells.into_iter();
+        for params in combos {
+            let mut fold_scores = Vec::with_capacity(folds.len());
+            for _ in 0..folds.len() {
+                let cell = cell_iter.next().expect("one cell per candidate × fold");
+                match cell.outcome.expect("every cell is evaluated") {
+                    Ok(Some(score)) => fold_scores.push(score),
+                    Ok(None) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            evaluations.push((params, CvResult { fold_scores }));
         }
         Ok(GridSearchResult { evaluations })
     }

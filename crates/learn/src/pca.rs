@@ -116,11 +116,7 @@ impl Pca {
         if d <= JACOBI_LIMIT {
             let (eigenvalues, eigenvectors) = jacobi_eigen(&mut cov, d)?;
             let mut order: Vec<usize> = (0..d).collect();
-            order.sort_by(|&a, &b| {
-                eigenvalues[b]
-                    .partial_cmp(&eigenvalues[a])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            order.sort_by(|&a, &b| eigenvalues[b].total_cmp(&eigenvalues[a]));
 
             self.total_variance = eigenvalues.iter().map(|v| v.max(0.0)).sum();
             let keep = match self.selection {

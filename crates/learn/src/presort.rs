@@ -1,0 +1,718 @@
+//! Presorted column-oriented training cache for tree learners.
+//!
+//! CART split search needs each candidate feature's values in sorted
+//! order at every node. The legacy path re-sorts per node: an
+//! `O(n log n)` comparison sort of `(f64, label, weight)` tuples per
+//! feature per node, gathered through the strided row-major
+//! [`Matrix`]. This module replaces the expensive part of that work
+//! with a once-per-dataset presort:
+//!
+//! * [`PresortedDataset::build`] sorts every feature **once** and keeps
+//!   each row's per-feature *value rank* (ties share a rank; ranks
+//!   increase in `f64::total_cmp` order), the distinct values per rank,
+//!   and a contiguous column-major copy of the values.
+//! * With unit sample weights — every non-boosted fit —
+//!   [`PresortTraversal::group_node`] turns a node into its per-rank
+//!   class histogram in two `O(len)` passes, and the split sweep runs
+//!   over *distinct values*, not rows. No sort, no gather, no per-row
+//!   scan survives on this path.
+//! * Weighted fits ([`PresortTraversal::gather_node`]) recover the
+//!   node's sorted order from the ranks — a packed-integer-key sort for
+//!   small nodes, an offset counting sort when the node spans a narrow
+//!   local rank range (quantized counter-style metrics anywhere, any
+//!   column deep in the tree), a stable byte-wise radix sort otherwise.
+//!   All are far cheaper than comparison-sorting float tuples, and only
+//!   the features a node actually evaluates pay anything.
+//! * Partitioning a node into its children touches the membership list
+//!   alone (`O(len)`), not any per-feature state.
+//!
+//! The cache is immutable and shared: all trees of a forest fit, all
+//! AdaBoost rounds, all gradient-boosting stages and all grid-search
+//! candidates evaluating the same fold reuse one build. Bootstrap
+//! resampling does not invalidate it either — a bootstrap sample only
+//! *duplicates and reorders* rows, so ranks keep working through the
+//! traversal's virtual-row map.
+//!
+//! Everything here is bit-identity-preserving with respect to the
+//! legacy per-node re-sort (see `DecisionTree::fit_resorting`): equal
+//! ranks mean bit-identical values, the `(rank, position)` key order is
+//! exactly `(total_cmp value, row-ascending)` — what the legacy stable
+//! sort produced for its always row-ascending node index lists — and
+//! key uniqueness makes the unstable sort deterministic.
+//! `tests/presort_equivalence.rs` pins the equivalence property-test
+//! style.
+
+use std::sync::OnceLock;
+
+use monitorless_obs as obs;
+
+use crate::matrix::{ColumnsView, Matrix};
+
+/// A column-major snapshot of a feature matrix with per-row value ranks.
+///
+/// Built once per `(Matrix, y)` pair and shared (by reference) across
+/// trees, boosting rounds and cross-validation candidates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PresortedDataset {
+    /// Column-major copy of the matrix values.
+    columns: ColumnsView,
+    /// Per-feature value rank of each row (indexed `f*n + row`): rows
+    /// with bit-identical values share a rank, and ranks increase with
+    /// the `total_cmp` value order.
+    ranks: Vec<u32>,
+    /// Number of distinct ranks per feature.
+    n_ranks: Vec<u32>,
+    /// Every feature's distinct values in rank order, concatenated
+    /// (feature `f` occupies `rank_offsets[f]..rank_offsets[f] +
+    /// n_ranks[f]`). `rank_values_of(f)[r]` is the bit-exact value all
+    /// rows of rank `r` share, so consumers can turn ranks back into
+    /// values without touching the columns.
+    rank_values: Vec<f64>,
+    /// Start of each feature's block in `rank_values`.
+    rank_offsets: Vec<usize>,
+}
+
+impl PresortedDataset {
+    /// Builds the cache: one column gather plus one `O(n log n)` sort
+    /// per feature — the only comparison sort any consumer ever pays.
+    pub fn build(x: &Matrix) -> Self {
+        let span = obs::Span::enter("presort.build");
+        let n = x.rows();
+        let d = x.cols();
+        let columns = x.columns();
+        let mut ranks = vec![0u32; n * d];
+        let mut n_ranks = vec![0u32; d];
+        let mut rank_values = Vec::with_capacity(d);
+        let mut rank_offsets = vec![0usize; d];
+        let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(n);
+        for f in 0..d {
+            rank_offsets[f] = rank_values.len();
+            let col = columns.column_slice(f);
+            // The order-preserving bit trick: this u64 key compares
+            // exactly like `f64::total_cmp`, and key equality is bit
+            // equality. Ranks only depend on the value blocks — not on
+            // tie order — so an unstable sort of `(key, row)` pairs
+            // suffices and beats the comparator-based index sort.
+            keyed.clear();
+            keyed.extend(col.iter().enumerate().map(|(row, v)| {
+                let b = v.to_bits();
+                let key = if b >> 63 == 1 { !b } else { b ^ (1u64 << 63) };
+                (key, row as u32)
+            }));
+            keyed.sort_unstable_by_key(|p| p.0);
+            let rk = &mut ranks[f * n..(f + 1) * n];
+            let mut id = 0u32;
+            let mut prev_key = 0u64;
+            for (pos, &(key, row)) in keyed.iter().enumerate() {
+                if pos == 0 || key != prev_key {
+                    if pos > 0 {
+                        id += 1;
+                    }
+                    rank_values.push(col[row as usize]);
+                }
+                prev_key = key;
+                rk[row as usize] = id;
+            }
+            n_ranks[f] = if n == 0 { 0 } else { id + 1 };
+        }
+        drop(span);
+        obs::counter_add("presort.builds", 1);
+        PresortedDataset {
+            columns,
+            ranks,
+            n_ranks,
+            rank_values,
+            rank_offsets,
+        }
+    }
+
+    /// Number of rows in the underlying matrix.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.columns.rows()
+    }
+
+    /// Number of features (columns) in the underlying matrix.
+    #[inline]
+    pub fn n_features(&self) -> usize {
+        self.columns.cols()
+    }
+
+    /// Borrowed contiguous values of feature `f`.
+    #[inline]
+    pub fn column(&self, f: usize) -> &[f64] {
+        self.columns.column_slice(f)
+    }
+
+    /// Whether feature `f` holds one bit-identical non-NaN value in
+    /// every row. Such a feature can never split — and, unlike the NaN
+    /// case, skipping it does not consume splitter randomness.
+    #[inline]
+    pub fn is_constant(&self, f: usize) -> bool {
+        self.n_ranks[f] == 1 && !self.column(f)[0].is_nan()
+    }
+
+    /// The value ranks of feature `f`, indexed by row.
+    #[inline]
+    fn ranks_of(&self, f: usize) -> &[u32] {
+        let n = self.n_rows();
+        &self.ranks[f * n..(f + 1) * n]
+    }
+
+    /// Feature `f`'s distinct values in rank order: entry `r` is the
+    /// bit-exact value every row of rank `r` holds.
+    #[inline]
+    pub fn rank_values_of(&self, f: usize) -> &[f64] {
+        let start = self.rank_offsets[f];
+        &self.rank_values[start..start + self.n_ranks[f] as usize]
+    }
+}
+
+/// Mutable per-fit traversal state over a shared [`PresortedDataset`]:
+/// the node-segmented row-membership list plus sorting scratch.
+///
+/// Rows are *virtual*: with a bootstrap `map` of length `m`, virtual
+/// row `j` refers to original row `map[j]` (duplicates allowed). The
+/// identity traversal (`map = None`) trains on the matrix as-is.
+#[derive(Debug)]
+pub struct PresortTraversal<'a> {
+    ps: &'a PresortedDataset,
+    /// Virtual-row → original-row map (`None` = identity).
+    map: Option<Vec<u32>>,
+    /// Virtual-row ids in ascending order, segmented per node — the
+    /// exact analogue of the legacy builder's `indices` lists.
+    rows: Vec<u32>,
+    /// Partition / counting-sort placement scratch.
+    scratch: Vec<u32>,
+    /// Goes-left flag per virtual row for the split being applied.
+    side: Vec<bool>,
+    /// `(rank, virtual row)` keys for the radix-sort path.
+    keys: Vec<u64>,
+    /// Ping-pong buffer for radix place passes.
+    keys_alt: Vec<u64>,
+    /// Per-rank counters for the counting-sort path.
+    counts: Vec<u32>,
+    /// Per-item rank cache for the counting-sort path.
+    rank_scratch: Vec<u32>,
+    /// Per-group label-one counters for the grouped split search.
+    ones: Vec<u32>,
+}
+
+/// Per-rank-group histogram of a node for one feature, produced by
+/// [`PresortTraversal::group_node`]. Group `g` covers local rank
+/// `min_rank + g`; absent ranks simply have `counts[g] == 0`.
+#[derive(Debug)]
+pub struct NodeGroups<'t> {
+    /// Smallest rank present in the node.
+    pub min_rank: usize,
+    /// Rows per group (node-local).
+    pub counts: &'t [u32],
+    /// Label-one rows per group (node-local).
+    pub ones: &'t [u32],
+}
+
+impl<'a> PresortTraversal<'a> {
+    fn with_rows(ps: &'a PresortedDataset, map: Option<Vec<u32>>, m: usize) -> Self {
+        PresortTraversal {
+            ps,
+            map,
+            rows: (0..m as u32).collect(),
+            scratch: vec![0u32; m],
+            side: vec![false; m],
+            keys: Vec::new(),
+            keys_alt: Vec::new(),
+            counts: Vec::new(),
+            rank_scratch: Vec::new(),
+            ones: Vec::new(),
+        }
+    }
+
+    /// Traversal over the matrix rows as-is (no resampling).
+    pub fn identity(ps: &'a PresortedDataset) -> Self {
+        Self::with_rows(ps, None, ps.n_rows())
+    }
+
+    /// Resets an identity traversal for reuse (e.g. the next boosting
+    /// round) without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the traversal was built with a bootstrap map.
+    pub fn reset_identity(&mut self) {
+        assert!(self.map.is_none(), "reset_identity on a mapped traversal");
+        for (j, r) in self.rows.iter_mut().enumerate() {
+            *r = j as u32;
+        }
+    }
+
+    /// Traversal over a (bootstrap) sample: virtual row `j` is original
+    /// row `map[j]`.
+    pub fn with_map(ps: &'a PresortedDataset, map: Vec<u32>) -> Self {
+        let m = map.len();
+        Self::with_rows(ps, Some(map), m)
+    }
+
+    /// The shared dataset this traversal walks.
+    #[inline]
+    pub fn dataset(&self) -> &'a PresortedDataset {
+        self.ps
+    }
+
+    /// Number of (virtual) rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the traversal covers no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Original row behind virtual row `v`.
+    #[inline]
+    fn original(&self, v: u32) -> u32 {
+        match &self.map {
+            Some(map) => map[v as usize],
+            None => v,
+        }
+    }
+
+    /// Value of feature `f` at virtual row `v`.
+    #[inline]
+    pub fn value(&self, f: usize, v: u32) -> f64 {
+        self.ps.column(f)[self.original(v) as usize]
+    }
+
+    /// Ascending virtual-row ids of the node spanning `[lo, hi)`.
+    #[inline]
+    pub fn rows_segment(&self, lo: usize, hi: usize) -> &[u32] {
+        &self.rows[lo..hi]
+    }
+
+    /// Calls `emit(slot, virtual_row, value)` exactly once for every
+    /// row of the node `[lo, hi)`, where `slot` is the row's position
+    /// in `(total_cmp value, row-ascending)` order — the exact order
+    /// the legacy builder's per-node stable sort produced. Calls may
+    /// arrive out of order; the caller writes `slot` of its own
+    /// pre-sized buffers, so the sorted gather is built in one pass
+    /// fused into the final placement.
+    ///
+    /// Returns `false` — without emitting anything — when the feature
+    /// is constant and non-NaN across the node, i.e. exactly when the
+    /// caller's `lo_v == hi_v` guard would discard the gather unread
+    /// (bit-identical non-NaN values always compare equal). The caller
+    /// must still keep that guard: a node mixing `-0.0` and `+0.0`
+    /// spans two ranks yet compares equal.
+    ///
+    /// Small nodes take a comparison sort of packed `(rank, row)` keys;
+    /// nodes spanning a narrow local rank range — quantized columns
+    /// anywhere, any column deep in the tree — take an offset counting
+    /// sort (`O(len + range)`, no comparisons); the rest take a stable
+    /// byte-wise LSD radix sort of the offset ranks with uniform bytes
+    /// skipped. All placement passes walk the segment in order, so ties
+    /// stay row-ascending.
+    pub fn gather_node(
+        &mut self,
+        feature: usize,
+        lo: usize,
+        hi: usize,
+        mut emit: impl FnMut(usize, u32, f64),
+    ) -> bool {
+        let col = self.ps.column(feature);
+        let rk = self.ps.ranks_of(feature);
+        let seg = &self.rows[lo..hi];
+        let len = seg.len();
+        let map = self.map.as_deref();
+        let row_of = |v: u32| -> usize {
+            match map {
+                Some(map) => map[v as usize] as usize,
+                None => v as usize,
+            }
+        };
+        // One gather of the segment's ranks feeds every strategy below
+        // and yields the node-local rank range: deep nodes span few
+        // distinct ranks even for continuous features, so the cheap
+        // offset counting sort applies far beyond globally quantized
+        // columns.
+        let cached = &mut self.rank_scratch;
+        cached.clear();
+        let (mut min_rank, mut max_rank) = (u32::MAX, 0u32);
+        cached.extend(seg.iter().map(|&v| {
+            let r = rk[row_of(v)];
+            min_rank = min_rank.min(r);
+            max_rank = max_rank.max(r);
+            r
+        }));
+        let range = (max_rank - min_rank) as usize + 1;
+        if range == 1 && !col[row_of(seg[0])].is_nan() {
+            return false;
+        }
+        if len < 64 {
+            // Small node: a comparison sort of the packed keys beats
+            // any histogram setup. Segments are always ascending in
+            // virtual row, so `(rank, virtual_row)` order is exactly
+            // `(rank, segment position)` — stable-equivalent — and key
+            // uniqueness makes the unstable sort deterministic.
+            let keys = &mut self.keys;
+            keys.clear();
+            keys.extend(
+                seg.iter()
+                    .zip(cached.iter())
+                    .map(|(&v, &r)| (u64::from(r) << 32) | u64::from(v)),
+            );
+            keys.sort_unstable();
+            for (slot, &key) in keys.iter().enumerate() {
+                let v = key as u32;
+                emit(slot, v, col[row_of(v)]);
+            }
+        } else if range <= 2 * len {
+            // Counting sort keyed by rank offset into the node-local
+            // range; the placement pass writes the finished tuples
+            // directly. Both passes walk the segment in order, so ties
+            // stay row-ascending.
+            let counts = &mut self.counts;
+            counts.clear();
+            counts.resize(range + 1, 0);
+            for &r in cached.iter() {
+                counts[(r - min_rank) as usize + 1] += 1;
+            }
+            for i in 1..=range {
+                counts[i] += counts[i - 1];
+            }
+            for (&v, &r) in seg.iter().zip(cached.iter()) {
+                let slot = &mut counts[(r - min_rank) as usize];
+                emit(*slot as usize, v, col[row_of(v)]);
+                *slot += 1;
+            }
+        } else {
+            // Wide-range node: stable LSD radix sort of
+            // `(rank << 32) | virtual_row` keys by the offset-rank
+            // bytes. Stability keeps equal ranks in segment
+            // (row-ascending) order, all byte histograms come from one
+            // pass, uniform bytes are skipped, and the last live pass
+            // places the finished tuples.
+            let keys = &mut self.keys;
+            keys.clear();
+            keys.extend(
+                seg.iter()
+                    .zip(cached.iter())
+                    .map(|(&v, &r)| (u64::from(r - min_rank) << 32) | u64::from(v)),
+            );
+            let rank_bytes =
+                (64 - u64::leading_zeros((range as u64 - 1).max(1)) as usize).div_ceil(8);
+            let mut hist = [[0u32; 256]; 4];
+            for &key in keys.iter() {
+                let r = key >> 32;
+                for (b, h) in hist.iter_mut().enumerate().take(rank_bytes) {
+                    h[(r >> (8 * b)) as usize & 0xFF] += 1;
+                }
+            }
+            let mut active = [false; 4];
+            for b in 0..rank_bytes {
+                let first = (keys[0] >> (32 + 8 * b)) as usize & 0xFF;
+                active[b] = hist[b][first] as usize != len;
+            }
+            let Some(last) = (0..rank_bytes).rev().find(|&b| active[b]) else {
+                // Every rank byte is uniform: all ranks equal, so the
+                // segment order is already the sorted order.
+                for (slot, &v) in seg.iter().enumerate() {
+                    emit(slot, v, col[row_of(v)]);
+                }
+                return true;
+            };
+            let alt = &mut self.keys_alt;
+            alt.resize(len, 0);
+            let (mut src, mut dst) = (keys, alt);
+            for b in 0..rank_bytes {
+                if !active[b] {
+                    continue;
+                }
+                let h = &mut hist[b];
+                let mut offset = 0u32;
+                for c in h.iter_mut() {
+                    let n = *c;
+                    *c = offset;
+                    offset += n;
+                }
+                if b == last {
+                    for &key in src.iter() {
+                        let slot = &mut h[(key >> (32 + 8 * b)) as usize & 0xFF];
+                        let v = key as u32;
+                        emit(*slot as usize, v, col[row_of(v)]);
+                        *slot += 1;
+                    }
+                    break;
+                }
+                for &key in src.iter() {
+                    let slot = &mut h[(key >> (32 + 8 * b)) as usize & 0xFF];
+                    dst[*slot as usize] = key;
+                    *slot += 1;
+                }
+                std::mem::swap(&mut src, &mut dst);
+            }
+        }
+        true
+    }
+
+    /// Builds the per-rank-group class histogram of the node `[lo, hi)`
+    /// for `feature`: two `O(len)` passes, no sort, no placement. `y`
+    /// holds the virtual-row labels (`1` = positive class).
+    ///
+    /// This is the unit-weight split search's whole input: with all
+    /// sample weights exactly `1.0`, class-weight sums are exact
+    /// integer counts, so a sweep over rank groups — `O(distinct
+    /// values)` — reproduces the legacy per-row sweep bit for bit
+    /// (integer addition is order-independent, and each group's value
+    /// comes back bit-exact via
+    /// [`PresortedDataset::rank_values_of`]).
+    ///
+    /// Returns `None` when the feature is constant and non-NaN across
+    /// the node — exactly when the caller's `lo_v == hi_v` guard would
+    /// discard the result (see [`Self::gather_node`]).
+    pub fn group_node(
+        &mut self,
+        feature: usize,
+        lo: usize,
+        hi: usize,
+        y: &[u8],
+    ) -> Option<NodeGroups<'_>> {
+        let rk = self.ps.ranks_of(feature);
+        let seg = &self.rows[lo..hi];
+        let map = self.map.as_deref();
+        let row_of = |v: u32| -> usize {
+            match map {
+                Some(map) => map[v as usize] as usize,
+                None => v as usize,
+            }
+        };
+        let cached = &mut self.rank_scratch;
+        cached.clear();
+        let (mut min_rank, mut max_rank) = (u32::MAX, 0u32);
+        cached.extend(seg.iter().map(|&v| {
+            let r = rk[row_of(v)];
+            min_rank = min_rank.min(r);
+            max_rank = max_rank.max(r);
+            r
+        }));
+        let range = (max_rank - min_rank) as usize + 1;
+        if range == 1 && !self.ps.rank_values_of(feature)[min_rank as usize].is_nan() {
+            return None;
+        }
+        let counts = &mut self.counts;
+        counts.clear();
+        counts.resize(range, 0);
+        let ones = &mut self.ones;
+        ones.clear();
+        ones.resize(range, 0);
+        for (&v, &r) in seg.iter().zip(cached.iter()) {
+            let g = (r - min_rank) as usize;
+            counts[g] += 1;
+            ones[g] += u32::from(y[v as usize] == 1);
+        }
+        Some(NodeGroups {
+            min_rank: min_rank as usize,
+            counts,
+            ones,
+        })
+    }
+
+    /// Stably partitions the node `[lo, hi)` by
+    /// `value(feature, v) <= threshold` and returns the left child's
+    /// size. Only the membership list moves — per-feature sorted orders
+    /// are re-derived from the ranks on demand, so unevaluated features
+    /// cost nothing.
+    pub fn partition(&mut self, lo: usize, hi: usize, feature: usize, threshold: f64) -> usize {
+        let mut n_left = 0usize;
+        for &v in &self.rows[lo..hi] {
+            let left = self.value(feature, v) <= threshold;
+            self.side[v as usize] = left;
+            n_left += usize::from(left);
+        }
+        let side = &self.side;
+        let scratch = &mut self.scratch[..hi - lo];
+        stable_split(&mut self.rows[lo..hi], scratch, side, n_left);
+        n_left
+    }
+}
+
+/// Stable two-way partition of `seg` by `side[v]`, via `scratch`.
+fn stable_split(seg: &mut [u32], scratch: &mut [u32], side: &[bool], n_left: usize) {
+    let mut l = 0usize;
+    let mut r = n_left;
+    for &v in seg.iter() {
+        if side[v as usize] {
+            scratch[l] = v;
+            l += 1;
+        } else {
+            scratch[r] = v;
+            r += 1;
+        }
+    }
+    seg.copy_from_slice(scratch);
+}
+
+/// A lazily built, thread-safe per-dataset cache that classifiers can
+/// share across fits on the same matrix (grid-search folds, the
+/// Table 3 comparison, repeated retraining).
+///
+/// Only tree-family classifiers request the presorted view, so the sort
+/// cost is paid on first use — linear models never trigger it.
+#[derive(Debug, Default)]
+pub struct FitCache {
+    presorted: OnceLock<PresortedDataset>,
+}
+
+impl FitCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        FitCache::default()
+    }
+
+    /// The presorted view of `x`, building it on first use.
+    ///
+    /// All calls must pass the same matrix the cache was first used
+    /// with; shapes are asserted.
+    pub fn presorted(&self, x: &Matrix) -> &PresortedDataset {
+        if self.presorted.get().is_some() {
+            obs::counter_add("presort.cache_hits", 1);
+        }
+        let ps = self.presorted.get_or_init(|| PresortedDataset::build(x));
+        assert_eq!(
+            (ps.n_rows(), ps.n_features()),
+            (x.rows(), x.cols()),
+            "FitCache reused with a differently shaped matrix"
+        );
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> Matrix {
+        Matrix::from_rows(&[
+            &[3.0, 1.0],
+            &[1.0, 1.0],
+            &[2.0, 1.0],
+            &[1.0, 0.0],
+            &[3.0, 2.0],
+        ])
+    }
+
+    fn sorted_rows(t: &mut PresortTraversal<'_>, f: usize, lo: usize, hi: usize) -> Vec<u32> {
+        let mut out = vec![u32::MAX; hi - lo];
+        let emitted = t.gather_node(f, lo, hi, |slot, v, _| out[slot] = v);
+        assert!(emitted, "gather skipped a non-constant node");
+        out
+    }
+
+    #[test]
+    fn ranks_follow_value_order_with_shared_ties() {
+        let ps = PresortedDataset::build(&sample_matrix());
+        assert_eq!(ps.ranks_of(0), &[2, 0, 1, 0, 2]);
+        assert_eq!(ps.ranks_of(1), &[1, 1, 1, 0, 2]);
+        assert_eq!(ps.n_ranks, vec![3, 3]);
+        assert!(!ps.is_constant(0));
+    }
+
+    #[test]
+    fn sorted_order_is_value_then_row_ascending() {
+        let ps = PresortedDataset::build(&sample_matrix());
+        let mut t = PresortTraversal::identity(&ps);
+        assert_eq!(sorted_rows(&mut t, 0, 0, 5), vec![1, 3, 2, 0, 4]);
+        assert_eq!(sorted_rows(&mut t, 1, 0, 5), vec![3, 0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn nan_sorts_last_with_total_order() {
+        let x = Matrix::from_rows(&[&[f64::NAN], &[1.0], &[f64::NAN], &[0.0]]);
+        let ps = PresortedDataset::build(&x);
+        let mut t = PresortTraversal::identity(&ps);
+        assert_eq!(sorted_rows(&mut t, 0, 0, 4), vec![3, 1, 0, 2]);
+        // Bit-identical NaNs share a rank, and an all-NaN-free constant
+        // check must not claim a NaN column.
+        assert_eq!(ps.n_ranks[0], 3);
+        assert!(!ps.is_constant(0));
+    }
+
+    #[test]
+    fn partition_keeps_children_row_ascending() {
+        let ps = PresortedDataset::build(&sample_matrix());
+        let mut t = PresortTraversal::identity(&ps);
+        // Split on feature 0 at 1.5: rows 1 and 3 go left.
+        let n_left = t.partition(0, 5, 0, 1.5);
+        assert_eq!(n_left, 2);
+        assert_eq!(t.rows_segment(0, 2), &[1, 3]);
+        assert_eq!(t.rows_segment(2, 5), &[0, 2, 4]);
+        // Sorted orders re-derived per child stay consistent.
+        assert_eq!(sorted_rows(&mut t, 1, 0, 2), vec![3, 1]);
+        assert_eq!(sorted_rows(&mut t, 1, 2, 5), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn mapped_order_matches_stable_sort_of_materialized_sample() {
+        let x = sample_matrix();
+        let ps = PresortedDataset::build(&x);
+        let map = vec![4u32, 0, 0, 2, 1, 3];
+        let mut t = PresortTraversal::with_map(&ps, map.clone());
+        for f in 0..x.cols() {
+            let mut expect: Vec<u32> = (0..map.len() as u32).collect();
+            expect.sort_by(|&a, &b| {
+                x.get(map[a as usize] as usize, f)
+                    .total_cmp(&x.get(map[b as usize] as usize, f))
+            });
+            assert_eq!(sorted_rows(&mut t, f, 0, map.len()), expect, "feature {f}");
+        }
+    }
+
+    #[test]
+    fn reset_identity_restores_row_order() {
+        let ps = PresortedDataset::build(&sample_matrix());
+        let mut t = PresortTraversal::identity(&ps);
+        t.partition(0, 5, 0, 1.5);
+        t.reset_identity();
+        assert_eq!(t.rows_segment(0, 5), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn constant_column_is_detected() {
+        let x = Matrix::from_rows(&[&[2.5, 1.0], &[2.5, 2.0], &[2.5, 3.0]]);
+        let ps = PresortedDataset::build(&x);
+        assert!(ps.is_constant(0));
+        assert!(!ps.is_constant(1));
+    }
+
+    #[test]
+    fn node_constant_gather_is_skipped_unless_nan() {
+        // Column 0: constant within the node [0, 3) only; column 1 is
+        // NaN-constant and must still emit (the caller's `lo_v == hi_v`
+        // guard is false for NaN, so legacy would proceed).
+        let x = Matrix::from_rows(&[
+            &[5.0, f64::NAN],
+            &[5.0, f64::NAN],
+            &[5.0, f64::NAN],
+            &[7.0, f64::NAN],
+        ]);
+        let ps = PresortedDataset::build(&x);
+        let mut t = PresortTraversal::identity(&ps);
+        let mut hits = 0usize;
+        assert!(!t.gather_node(0, 0, 3, |_, _, _| hits += 1));
+        assert_eq!(hits, 0);
+        assert!(t.gather_node(1, 0, 3, |_, _, _| hits += 1));
+        assert_eq!(hits, 3);
+        assert!(t.gather_node(0, 0, 4, |_, _, _| hits += 1));
+        assert_eq!(hits, 7);
+    }
+
+    #[test]
+    fn fit_cache_builds_once() {
+        let x = sample_matrix();
+        let cache = FitCache::new();
+        let a = cache.presorted(&x) as *const PresortedDataset;
+        let b = cache.presorted(&x) as *const PresortedDataset;
+        assert_eq!(a, b);
+    }
+}

@@ -7,9 +7,11 @@
 //! Sample weights are supported so AdaBoost and class weighting can reuse
 //! the same builder.
 
+use monitorless_obs as obs;
 use monitorless_std::rng::{Rng, StdRng};
 
-use crate::{validate_fit_input, Classifier, Error, Matrix};
+use crate::presort::{FitCache, PresortTraversal, PresortedDataset};
+use crate::{validate_fit_parts, Classifier, Error, Matrix};
 
 /// Impurity criterion for choosing splits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -371,10 +373,12 @@ impl DecisionTree {
 
         let mut best: Option<SplitCandidate> = None;
         let mut sorted: Vec<(f64, u8, f64)> = Vec::with_capacity(indices.len());
-        for &feature in &features {
+        for &feature in features.iter() {
             sorted.clear();
             sorted.extend(indices.iter().map(|&i| (x.get(i, feature), y[i], w[i])));
-            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            // `total_cmp` keeps the sort independent of NaN position
+            // (and matches the presorted builder's base order).
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
             let lo = sorted[0].0;
             let hi = sorted[sorted.len() - 1].0;
             if lo == hi {
@@ -406,6 +410,9 @@ impl DecisionTree {
     }
 
     /// Scans all midpoints between adjacent distinct values.
+    // `!(next > v)` is deliberate: unlike `next <= v` it also rejects
+    // NaN boundaries (see the comment at the comparison site).
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     fn scan_best_threshold(
         &self,
         sorted: &[(f64, u8, f64)],
@@ -433,7 +440,12 @@ impl DecisionTree {
                 rw0 -= weight;
             }
             let next = sorted[i + 1].0;
-            if next <= v {
+            // Requires a strictly increasing, *finite* boundary: with NaN
+            // cells sorted to the end (`total_cmp`), a midpoint against
+            // NaN would be NaN, sending every row right and making no
+            // progress. Skipping here keeps the sweep's left/right counts
+            // consistent with the actual partition (NaN rows go right).
+            if !(next > v) {
                 continue;
             }
             let left_count = i + 1;
@@ -507,18 +519,543 @@ impl DecisionTree {
             decrease,
         })
     }
-}
 
-#[derive(Debug, Clone, Copy)]
-struct SplitCandidate {
-    feature: usize,
-    threshold: f64,
-    decrease: f64,
-}
+    /// Fits on a shared [`PresortedDataset`] — the fast path behind
+    /// [`Classifier::fit`], forests, AdaBoost and grid search.
+    ///
+    /// Produces bit-identical trees to the legacy per-node re-sorting
+    /// builder (`fit_resorting`); `tests/presort_equivalence.rs` pins
+    /// the equivalence.
+    pub fn fit_presorted(
+        &mut self,
+        ps: &PresortedDataset,
+        y: &[u8],
+        sample_weight: Option<&[f64]>,
+    ) -> Result<(), Error> {
+        self.fit_traversal(&mut PresortTraversal::identity(ps), y, sample_weight)
+    }
 
-impl Classifier for DecisionTree {
-    fn fit(&mut self, x: &Matrix, y: &[u8], sample_weight: Option<&[f64]>) -> Result<(), Error> {
-        validate_fit_input(x, y, sample_weight)?;
+    /// Fits on a prepared traversal, which may carry a bootstrap row map
+    /// (`y`/`sample_weight` are then indexed by *virtual* row). The
+    /// traversal's segments are consumed (reordered by the partitions);
+    /// reset or rebuild it before reuse.
+    pub(crate) fn fit_traversal(
+        &mut self,
+        trav: &mut PresortTraversal<'_>,
+        y: &[u8],
+        sample_weight: Option<&[f64]>,
+    ) -> Result<(), Error> {
+        let m = trav.len();
+        let d = trav.dataset().n_features();
+        validate_fit_parts(m, d, y, sample_weight)?;
+        if self.params.min_samples_split < 2 {
+            return Err(Error::InvalidParameter("min_samples_split must be at least 2".into()));
+        }
+        if self.params.min_samples_leaf < 1 {
+            return Err(Error::InvalidParameter("min_samples_leaf must be at least 1".into()));
+        }
+        self.nodes.clear();
+        self.n_features = d;
+        self.importances = vec![0.0; d];
+
+        let weights: Vec<f64> = match sample_weight {
+            Some(w) => w.to_vec(),
+            None => vec![1.0; m],
+        };
+        let total_weight: f64 = weights.iter().sum();
+        if total_weight <= 0.0 {
+            return Err(Error::InvalidParameter("sample weights must not all be zero".into()));
+        }
+        let unit_w = weights.iter().all(|&x| x == 1.0);
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let span = obs::Span::enter("tree.fit");
+        let mut ctx = PresortCtx {
+            trav,
+            y,
+            w: &weights,
+            vals: Vec::with_capacity(m),
+            labs: Vec::with_capacity(m),
+            wts: Vec::with_capacity(m),
+            features: Vec::with_capacity(d),
+            unit_w,
+            rng: &mut rng,
+        };
+        self.build_presorted(&mut ctx, 0, m, 0, total_weight);
+        if let Some(us) = span.elapsed_us() {
+            if us > 0.0 {
+                obs::observe("tree.nodes_per_sec", self.nodes.len() as f64 / (us / 1e6));
+            }
+        }
+
+        let total: f64 = self.importances.iter().sum();
+        if total > 0.0 {
+            for imp in &mut self.importances {
+                *imp /= total;
+            }
+        }
+        Ok(())
+    }
+
+    /// Recursive presorted builder over the node segment `[lo, hi)`.
+    ///
+    /// Mirrors `build` exactly: same stop conditions, same importance
+    /// accounting, same accumulation order (the traversal's row segment
+    /// is the stable analogue of the legacy row-ascending index list).
+    fn build_presorted(
+        &mut self,
+        ctx: &mut PresortCtx<'_, '_>,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        total_weight: f64,
+    ) -> usize {
+        let (w0, w1) = if ctx.unit_w {
+            // Unit weights: the legacy sum of ones is an exact integer,
+            // so counting labels reproduces it bit-for-bit.
+            let mut c1 = 0usize;
+            for &v in ctx.trav.rows_segment(lo, hi) {
+                c1 += usize::from(ctx.y[v as usize] == 1);
+            }
+            (((hi - lo) - c1) as f64, c1 as f64)
+        } else {
+            let (mut w0, mut w1) = (0.0, 0.0);
+            for &v in ctx.trav.rows_segment(lo, hi) {
+                let vi = v as usize;
+                if ctx.y[vi] == 1 {
+                    w1 += ctx.w[vi];
+                } else {
+                    w0 += ctx.w[vi];
+                }
+            }
+            (w0, w1)
+        };
+        let node_weight = w0 + w1;
+        let proba = if node_weight > 0.0 {
+            w1 / node_weight
+        } else {
+            0.5
+        };
+        let impurity = self.params.criterion.impurity(w0, w1);
+
+        let len = hi - lo;
+        let stop = len < self.params.min_samples_split
+            || len < 2 * self.params.min_samples_leaf
+            || impurity <= 0.0
+            || self.params.max_depth.is_some_and(|d| depth >= d);
+        if stop {
+            self.nodes.push(Node::Leaf { proba });
+            return self.nodes.len() - 1;
+        }
+
+        let best = self.find_split_presorted(ctx, lo, hi, impurity, node_weight);
+        let Some(split) = best else {
+            self.nodes.push(Node::Leaf { proba });
+            return self.nodes.len() - 1;
+        };
+
+        self.importances[split.feature] += node_weight / total_weight * split.decrease;
+
+        let n_left = ctx.trav.partition(lo, hi, split.feature, split.threshold);
+
+        let node_pos = self.nodes.len();
+        // Placeholder; children indices are patched after recursion.
+        self.nodes.push(Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left: 0,
+            right: 0,
+        });
+        let left = self.build_presorted(ctx, lo, lo + n_left, depth + 1, total_weight);
+        let right = self.build_presorted(ctx, lo + n_left, hi, depth + 1, total_weight);
+        if let Node::Split {
+            left: l, right: r, ..
+        } = &mut self.nodes[node_pos]
+        {
+            *l = left;
+            *r = right;
+        }
+        node_pos
+    }
+
+    /// Split search over rank-sorted node segments: per evaluated
+    /// feature the sorted order is recovered from the precomputed value
+    /// ranks (counting sort or integer key sort — no float comparison
+    /// sort), then a single linear sweep scores the thresholds.
+    fn find_split_presorted(
+        &self,
+        ctx: &mut PresortCtx<'_, '_>,
+        lo: usize,
+        hi: usize,
+        parent_impurity: f64,
+        node_weight: f64,
+    ) -> Option<SplitCandidate> {
+        let PresortCtx {
+            trav,
+            y,
+            w,
+            vals,
+            labs,
+            wts,
+            features,
+            unit_w,
+            rng,
+        } = &mut *ctx;
+        let k = self.params.max_features.resolve(self.n_features);
+        features.clear();
+        features.extend(0..self.n_features);
+        if k < self.n_features {
+            rng.shuffle(features);
+            features.truncate(k);
+        }
+
+        let mut best: Option<SplitCandidate> = None;
+        for &feature in features.iter() {
+            if trav.dataset().is_constant(feature) {
+                // A globally constant non-NaN feature can never split;
+                // the legacy builder reaches the same `continue` through
+                // its `lo_v == hi_v` check without consuming randomness.
+                continue;
+            }
+            let len = hi - lo;
+            if *unit_w {
+                // Unit weights: no gather, no placement, no per-row
+                // sweep. The node's per-rank-group class histogram is
+                // everything the split search needs, and the sweep runs
+                // over distinct values instead of rows.
+                let ps = trav.dataset();
+                let Some(groups) = trav.group_node(feature, lo, hi, y) else {
+                    // Node-constant non-NaN feature; the legacy builder
+                    // reaches the same `continue` through `lo_v == hi_v`.
+                    continue;
+                };
+                let tbl = &ps.rank_values_of(feature)[groups.min_rank..];
+                let n_groups = groups.counts.len();
+                let lo_v = tbl[0];
+                let hi_v = tbl[n_groups - 1];
+                if lo_v == hi_v {
+                    continue;
+                }
+                let candidate = match self.params.splitter {
+                    Splitter::Best => self.scan_groups_unit(
+                        tbl,
+                        groups.counts,
+                        groups.ones,
+                        len,
+                        parent_impurity,
+                        node_weight,
+                    ),
+                    Splitter::Random => {
+                        let threshold = rng.gen_range(lo_v..hi_v);
+                        self.evaluate_groups_unit(
+                            tbl,
+                            groups.counts,
+                            groups.ones,
+                            len,
+                            threshold,
+                            parent_impurity,
+                            node_weight,
+                        )
+                    }
+                };
+                if let Some(c) = candidate {
+                    if best.as_ref().is_none_or(|b| c.decrease > b.decrease) {
+                        best = Some(SplitCandidate { feature, ..c });
+                    }
+                }
+                continue;
+            }
+            vals.resize(len, 0.0);
+            labs.resize(len, 0);
+            wts.resize(len, 0.0);
+            let emitted = trav.gather_node(feature, lo, hi, |slot, v, value| {
+                let vi = v as usize;
+                vals[slot] = value;
+                labs[slot] = y[vi];
+                wts[slot] = w[vi];
+            });
+            if !emitted {
+                // Node-constant non-NaN feature; the legacy builder
+                // reaches the same `continue` through `lo_v == hi_v`.
+                continue;
+            }
+            let lo_v = vals[0];
+            let hi_v = vals[len - 1];
+            if lo_v == hi_v {
+                continue;
+            }
+
+            match self.params.splitter {
+                Splitter::Best => {
+                    let candidate =
+                        self.scan_best_threshold_soa(vals, labs, wts, parent_impurity, node_weight);
+                    if let Some(c) = candidate {
+                        if best.as_ref().is_none_or(|b| c.decrease > b.decrease) {
+                            best = Some(SplitCandidate { feature, ..c });
+                        }
+                    }
+                }
+                Splitter::Random => {
+                    let threshold = rng.gen_range(lo_v..hi_v);
+                    if let Some(c) = self.evaluate_threshold_soa(
+                        vals,
+                        labs,
+                        wts,
+                        threshold,
+                        parent_impurity,
+                        node_weight,
+                    ) {
+                        if best.as_ref().is_none_or(|b| c.decrease > b.decrease) {
+                            best = Some(SplitCandidate { feature, ..c });
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The unit-weight split sweep over a node's rank groups (see
+    /// [`PresortTraversal::group_node`]). With all sample weights
+    /// exactly `1.0` the per-row sweep's accumulators are exact integer
+    /// label counts, so summing whole groups — integer addition is
+    /// order-independent — then converting at each boundary yields
+    /// bit-identical impurity inputs, and the boundaries themselves
+    /// (consecutive *present* groups whose values satisfy `next > v`)
+    /// are exactly the rows where the per-row sweep evaluated. `O(t)`
+    /// for `t` distinct node-local values instead of `O(len)`.
+    fn scan_groups_unit(
+        &self,
+        tbl: &[f64],
+        counts: &[u32],
+        ones: &[u32],
+        n: usize,
+        parent_impurity: f64,
+        node_weight: f64,
+    ) -> Option<SplitCandidate> {
+        let n1: u32 = ones.iter().sum();
+        let n0 = n as u32 - n1;
+        let (mut l0, mut l1) = (0u32, 0u32);
+        let mut left_count = 0usize;
+        // Value of the last non-empty group accumulated into the left
+        // side; boundaries are evaluated between it and the next
+        // non-empty group, matching the per-row sweep's `next > v` gate
+        // (which also rejects NaN and `-0.0`/`+0.0` boundaries).
+        let mut pending: Option<f64> = None;
+        let mut best: Option<SplitCandidate> = None;
+        for (g, (&c, &o)) in counts.iter().zip(ones).enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let v = tbl[g];
+            if let Some(pv) = pending {
+                if v > pv
+                    && left_count >= self.params.min_samples_leaf
+                    && n - left_count >= self.params.min_samples_leaf
+                {
+                    let (lw0, lw1) = (l0 as f64, l1 as f64);
+                    let (rw0, rw1) = ((n0 - l0) as f64, (n1 - l1) as f64);
+                    let lw = lw0 + lw1;
+                    let rw = rw0 + rw1;
+                    if lw > 0.0 && rw > 0.0 {
+                        let child = (lw * self.params.criterion.impurity(lw0, lw1)
+                            + rw * self.params.criterion.impurity(rw0, rw1))
+                            / node_weight;
+                        let decrease = (parent_impurity - child).max(0.0);
+                        if best.as_ref().is_none_or(|b| decrease > b.decrease) {
+                            best = Some(SplitCandidate {
+                                feature: 0,
+                                threshold: pv + (v - pv) / 2.0,
+                                decrease,
+                            });
+                        }
+                    }
+                }
+            }
+            l1 += o;
+            l0 += c - o;
+            left_count += c as usize;
+            pending = Some(v);
+        }
+        best
+    }
+
+    /// [`Self::evaluate_threshold`] over a node's rank groups for unit
+    /// sample weights; see [`Self::scan_groups_unit`] for why the
+    /// integer-count form is bit-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_groups_unit(
+        &self,
+        tbl: &[f64],
+        counts: &[u32],
+        ones: &[u32],
+        n: usize,
+        threshold: f64,
+        parent_impurity: f64,
+        node_weight: f64,
+    ) -> Option<SplitCandidate> {
+        let n1: u32 = ones.iter().sum();
+        let n0 = n as u32 - n1;
+        let (mut l0, mut l1) = (0u32, 0u32);
+        let mut left_count = 0usize;
+        for (g, (&c, &o)) in counts.iter().zip(ones).enumerate() {
+            // NaN groups compare false and stay on the right, exactly
+            // like the per-row `v <= threshold` test.
+            if c > 0 && tbl[g] <= threshold {
+                l1 += o;
+                l0 += c - o;
+                left_count += c as usize;
+            }
+        }
+        let right_count = n - left_count;
+        if left_count < self.params.min_samples_leaf || right_count < self.params.min_samples_leaf {
+            return None;
+        }
+        let (lw0, lw1) = (l0 as f64, l1 as f64);
+        let (rw0, rw1) = ((n0 - l0) as f64, (n1 - l1) as f64);
+        let lw = lw0 + lw1;
+        let rw = rw0 + rw1;
+        if lw <= 0.0 || rw <= 0.0 {
+            return None;
+        }
+        let child = (lw * self.params.criterion.impurity(lw0, lw1)
+            + rw * self.params.criterion.impurity(rw0, rw1))
+            / node_weight;
+        let decrease = (parent_impurity - child).max(0.0);
+        Some(SplitCandidate {
+            feature: 0,
+            threshold,
+            decrease,
+        })
+    }
+
+    /// [`Self::scan_best_threshold`] over the presorted builder's
+    /// structure-of-arrays gather. Operation-for-operation identical to
+    /// the tuple version (same accumulation order, same comparisons),
+    /// so the chosen split is bit-identical; only the memory layout
+    /// differs.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
+    fn scan_best_threshold_soa(
+        &self,
+        values: &[f64],
+        labels: &[u8],
+        weights: &[f64],
+        parent_impurity: f64,
+        node_weight: f64,
+    ) -> Option<SplitCandidate> {
+        let n = values.len();
+        let (mut lw0, mut lw1) = (0.0_f64, 0.0_f64);
+        let (mut rw0, mut rw1) = (0.0_f64, 0.0_f64);
+        for (&label, &weight) in labels.iter().zip(weights) {
+            if label == 1 {
+                rw1 += weight;
+            } else {
+                rw0 += weight;
+            }
+        }
+        let mut best: Option<SplitCandidate> = None;
+        for i in 0..n - 1 {
+            let (v, label, weight) = (values[i], labels[i], weights[i]);
+            if label == 1 {
+                lw1 += weight;
+                rw1 -= weight;
+            } else {
+                lw0 += weight;
+                rw0 -= weight;
+            }
+            let next = values[i + 1];
+            // See `scan_best_threshold`: reject non-increasing and NaN
+            // boundaries.
+            if !(next > v) {
+                continue;
+            }
+            let left_count = i + 1;
+            let right_count = n - left_count;
+            if left_count < self.params.min_samples_leaf
+                || right_count < self.params.min_samples_leaf
+            {
+                continue;
+            }
+            let lw = lw0 + lw1;
+            let rw = rw0 + rw1;
+            if lw <= 0.0 || rw <= 0.0 {
+                continue;
+            }
+            let child = (lw * self.params.criterion.impurity(lw0, lw1)
+                + rw * self.params.criterion.impurity(rw0, rw1))
+                / node_weight;
+            let decrease = (parent_impurity - child).max(0.0);
+            if best.as_ref().is_none_or(|b| decrease > b.decrease) {
+                best = Some(SplitCandidate {
+                    feature: 0,
+                    threshold: v + (next - v) / 2.0,
+                    decrease,
+                });
+            }
+        }
+        best
+    }
+
+    /// [`Self::evaluate_threshold`] over the structure-of-arrays
+    /// gather; operation-for-operation identical to the tuple version.
+    #[allow(clippy::too_many_arguments)]
+    fn evaluate_threshold_soa(
+        &self,
+        values: &[f64],
+        labels: &[u8],
+        weights: &[f64],
+        threshold: f64,
+        parent_impurity: f64,
+        node_weight: f64,
+    ) -> Option<SplitCandidate> {
+        let (mut lw0, mut lw1, mut rw0, mut rw1) = (0.0, 0.0, 0.0, 0.0);
+        let mut left_count = 0usize;
+        for ((&v, &label), &weight) in values.iter().zip(labels).zip(weights) {
+            let left = v <= threshold;
+            match (left, label) {
+                (true, 1) => lw1 += weight,
+                (true, _) => lw0 += weight,
+                (false, 1) => rw1 += weight,
+                (false, _) => rw0 += weight,
+            }
+            if left {
+                left_count += 1;
+            }
+        }
+        let right_count = values.len() - left_count;
+        if left_count < self.params.min_samples_leaf || right_count < self.params.min_samples_leaf {
+            return None;
+        }
+        let lw = lw0 + lw1;
+        let rw = rw0 + rw1;
+        if lw <= 0.0 || rw <= 0.0 {
+            return None;
+        }
+        let child = (lw * self.params.criterion.impurity(lw0, lw1)
+            + rw * self.params.criterion.impurity(rw0, rw1))
+            / node_weight;
+        let decrease = (parent_impurity - child).max(0.0);
+        Some(SplitCandidate {
+            feature: 0,
+            threshold,
+            decrease,
+        })
+    }
+
+    /// Trains with the legacy per-node re-sorting builder.
+    ///
+    /// [`Classifier::fit`] now presorts each feature once and stably
+    /// partitions (see [`PresortedDataset`]); this path is retained as
+    /// the reference implementation the presorted builder must match
+    /// bit-for-bit (`tests/presort_equivalence.rs`) and as the baseline
+    /// measured into `results/BENCH_table3.json`.
+    #[doc(hidden)]
+    pub fn fit_resorting(
+        &mut self,
+        x: &Matrix,
+        y: &[u8],
+        sample_weight: Option<&[f64]>,
+    ) -> Result<(), Error> {
+        validate_fit_parts(x.rows(), x.cols(), y, sample_weight)?;
         if self.params.min_samples_split < 2 {
             return Err(Error::InvalidParameter("min_samples_split must be at least 2".into()));
         }
@@ -548,6 +1085,56 @@ impl Classifier for DecisionTree {
             }
         }
         Ok(())
+    }
+}
+
+/// Per-fit state threaded through the presorted builder.
+struct PresortCtx<'a, 'b> {
+    trav: &'b mut PresortTraversal<'a>,
+    y: &'b [u8],
+    /// Per-(virtual-)row weights.
+    w: &'b [f64],
+    /// Node-local sorted-gather buffers (structure-of-arrays: values,
+    /// labels, weights), reused across nodes to avoid per-node
+    /// allocation. The split layout keeps the threshold sweep streaming
+    /// over dense `f64` lanes.
+    vals: Vec<f64>,
+    labs: Vec<u8>,
+    wts: Vec<f64>,
+    /// Candidate-feature scratch, reused across nodes.
+    features: Vec<usize>,
+    /// Every weight is exactly `1.0`, so class-weight sums are exact
+    /// integer counts and the sweep can use the unit-weight scans
+    /// (bit-identical results: `f64` sums of ones are exact).
+    unit_w: bool,
+    rng: &'b mut StdRng,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SplitCandidate {
+    feature: usize,
+    threshold: f64,
+    decrease: f64,
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &Matrix, y: &[u8], sample_weight: Option<&[f64]>) -> Result<(), Error> {
+        // Validate before paying for the presort; `fit_traversal`
+        // re-checks the same conditions in the same order.
+        validate_fit_parts(x.rows(), x.cols(), y, sample_weight)?;
+        let ps = PresortedDataset::build(x);
+        self.fit_presorted(&ps, y, sample_weight)
+    }
+
+    fn fit_cached(
+        &mut self,
+        x: &Matrix,
+        cache: &FitCache,
+        y: &[u8],
+        sample_weight: Option<&[f64]>,
+    ) -> Result<(), Error> {
+        validate_fit_parts(x.rows(), x.cols(), y, sample_weight)?;
+        self.fit_presorted(cache.presorted(x), y, sample_weight)
     }
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {

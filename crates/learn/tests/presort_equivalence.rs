@@ -1,0 +1,299 @@
+//! Property tests pinning the presorted tree builder to the legacy
+//! per-node resorting builder, and parallel model selection to its
+//! sequential counterpart.
+//!
+//! The presorted path is an *exact* reimplementation: for every input —
+//! duplicate values, constant columns, NaN cells, arbitrary sample
+//! weights, feature subsampling, the random splitter — the serialized
+//! trees must be bit-for-bit identical, and parallel CV / grid search
+//! must produce exactly the scores of the sequential scan.
+
+use monitorless_learn::prelude::*;
+use monitorless_learn::tree::MaxFeatures;
+use proptest::prelude::*;
+
+/// SplitMix64 — a tiny deterministic generator so each proptest case can
+/// expand one seed into a full messy dataset.
+struct Mix(u64);
+
+impl Mix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// A matrix deliberately full of the cases that break naive split code:
+/// heavy duplicate values (small palette), constant columns, and —
+/// when `allow_nan` — NaN cells.
+fn messy_matrix(seed: u64, rows: usize, cols: usize, allow_nan: bool) -> Matrix {
+    let mut rng = Mix(seed);
+    let palette = [-3.0, 0.0, 0.5, 1.0, 2.5];
+    let mut data = vec![0.0; rows * cols];
+    for c in 0..cols {
+        // Roughly one column in four is constant.
+        let constant = rng.below(4) == 0;
+        let fill = palette[rng.below(palette.len() as u64) as usize];
+        for r in 0..rows {
+            data[r * cols + c] = if constant {
+                fill
+            } else if allow_nan && rng.below(10) == 0 {
+                f64::NAN
+            } else if rng.below(2) == 0 {
+                palette[rng.below(palette.len() as u64) as usize]
+            } else {
+                rng.next_f64() * 20.0 - 10.0
+            };
+        }
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Random binary labels with both classes guaranteed present.
+fn messy_labels(seed: u64, rows: usize) -> Vec<u8> {
+    let mut rng = Mix(seed ^ 0xA5A5);
+    let mut y: Vec<u8> = (0..rows).map(|_| rng.below(2) as u8).collect();
+    y[0] = 0;
+    y[rows - 1] = 1;
+    y
+}
+
+/// Positive finite sample weights, including exact duplicates.
+fn messy_weights(seed: u64, rows: usize) -> Vec<f64> {
+    let mut rng = Mix(seed ^ 0x5A5A);
+    (0..rows)
+        .map(|_| {
+            if rng.below(3) == 0 {
+                1.0
+            } else {
+                0.25 + rng.next_f64() * 2.0
+            }
+        })
+        .collect()
+}
+
+fn tree_params(seed: u64) -> DecisionTreeParams {
+    let mut rng = Mix(seed ^ 0xC3C3);
+    DecisionTreeParams {
+        criterion: if rng.below(2) == 0 {
+            SplitCriterion::Gini
+        } else {
+            SplitCriterion::Entropy
+        },
+        splitter: Splitter::Best,
+        max_depth: if rng.below(2) == 0 {
+            None
+        } else {
+            Some(2 + rng.below(4) as usize)
+        },
+        min_samples_split: 2 + rng.below(4) as usize,
+        min_samples_leaf: 1 + rng.below(3) as usize,
+        max_features: match rng.below(3) {
+            0 => MaxFeatures::All,
+            1 => MaxFeatures::Sqrt,
+            _ => MaxFeatures::Log2,
+        },
+        seed,
+    }
+}
+
+/// Fits one tree through the presorted path and one through the legacy
+/// resorting path and asserts the serialized models are identical.
+fn assert_tree_paths_agree(
+    x: &Matrix,
+    y: &[u8],
+    w: Option<&[f64]>,
+    params: &DecisionTreeParams,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut presorted = DecisionTree::new(params.clone());
+    let mut legacy = DecisionTree::new(params.clone());
+    let a = presorted.fit(x, y, w);
+    let b = legacy.fit_resorting(x, y, w);
+    prop_assert_eq!(a.is_ok(), b.is_ok(), "fit outcomes diverge");
+    if a.is_ok() {
+        prop_assert_eq!(
+            monitorless_std::json::to_string(&presorted),
+            monitorless_std::json::to_string(&legacy),
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn presorted_tree_matches_resorting_builder(
+        seed in 0u64..1_000_000,
+        // Past 64 rows the root node leaves the packed-key sort path, so
+        // the grouped-histogram sweep and both histogram sort strategies
+        // get covered too.
+        rows in 8usize..200,
+        cols in 1usize..7,
+    ) {
+        let x = messy_matrix(seed, rows, cols, true);
+        let y = messy_labels(seed, rows);
+        assert_tree_paths_agree(&x, &y, None, &tree_params(seed))?;
+    }
+
+    #[test]
+    fn presorted_tree_matches_resorting_builder_weighted(
+        seed in 0u64..1_000_000,
+        rows in 8usize..200,
+        cols in 1usize..7,
+    ) {
+        let x = messy_matrix(seed, rows, cols, true);
+        let y = messy_labels(seed, rows);
+        let w = messy_weights(seed, rows);
+        assert_tree_paths_agree(&x, &y, Some(&w), &tree_params(seed))?;
+    }
+
+    #[test]
+    fn presorted_random_splitter_matches_resorting_builder(
+        seed in 0u64..1_000_000,
+        rows in 8usize..40,
+        cols in 1usize..6,
+    ) {
+        // The random splitter draws a threshold uniformly between the
+        // node's min and max feature value, which is undefined with NaN
+        // cells — keep this case NaN-free.
+        let x = messy_matrix(seed, rows, cols, false);
+        let y = messy_labels(seed, rows);
+        let params = DecisionTreeParams {
+            splitter: Splitter::Random,
+            ..tree_params(seed)
+        };
+        assert_tree_paths_agree(&x, &y, None, &params)?;
+    }
+
+    #[test]
+    fn shared_presort_cache_does_not_change_trees(
+        seed in 0u64..1_000_000,
+        rows in 8usize..40,
+        cols in 1usize..6,
+    ) {
+        let x = messy_matrix(seed, rows, cols, true);
+        let y = messy_labels(seed, rows);
+        let params = tree_params(seed);
+
+        let mut fresh = DecisionTree::new(params.clone());
+        fresh.fit(&x, &y, None).unwrap();
+
+        // Two classifiers fitting through one cache: the second hit
+        // reuses the first build and must still produce the same model.
+        let cache = FitCache::new();
+        let mut first = DecisionTree::new(params.clone());
+        first.fit_cached(&x, &cache, &y, None).unwrap();
+        let mut second = DecisionTree::new(params);
+        second.fit_cached(&x, &cache, &y, None).unwrap();
+
+        let want = monitorless_std::json::to_string(&fresh);
+        prop_assert_eq!(monitorless_std::json::to_string(&first), want.clone());
+        prop_assert_eq!(monitorless_std::json::to_string(&second), want);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn forest_training_is_independent_of_n_jobs(
+        seed in 0u64..10_000,
+        rows in 12usize..40,
+        bootstrap in 0u64..2,
+    ) {
+        let x = messy_matrix(seed, rows, 4, true);
+        let y = messy_labels(seed, rows);
+        let fit = |n_jobs: usize| {
+            let mut rf = RandomForest::new(RandomForestParams {
+                n_estimators: 7,
+                min_samples_leaf: 2,
+                bootstrap: bootstrap == 1,
+                n_jobs,
+                seed,
+                ..RandomForestParams::default()
+            });
+            rf.fit(&x, &y, None).unwrap();
+            // Compare the trained trees (and derived importances), not
+            // the whole forest: its params echo the n_jobs knob, which
+            // is exactly the field allowed to differ.
+            (
+                monitorless_std::json::to_string(&rf.trees().to_vec()),
+                rf.feature_importances(),
+            )
+        };
+        prop_assert_eq!(fit(1), fit(4));
+    }
+
+    #[test]
+    fn parallel_cross_validate_matches_sequential(
+        seed in 0u64..10_000,
+        rows in 16usize..48,
+    ) {
+        let x = messy_matrix(seed, rows, 4, true);
+        let y = messy_labels(seed, rows);
+        let splits = KFold::new(4).split(rows).unwrap();
+        let factory = || -> Box<dyn Classifier> {
+            Box::new(DecisionTree::new(DecisionTreeParams {
+                min_samples_leaf: 2,
+                seed: 7,
+                ..DecisionTreeParams::default()
+            }))
+        };
+        let sequential = cross_validate(&x, &y, &splits, factory, f1_score).unwrap();
+        for n_jobs in [1usize, 4] {
+            let parallel =
+                cross_validate_parallel(&x, &y, &splits, factory, f1_score, n_jobs).unwrap();
+            prop_assert_eq!(&parallel.fold_scores, &sequential.fold_scores, "n_jobs={}", n_jobs);
+        }
+    }
+
+    #[test]
+    fn grid_search_is_independent_of_n_jobs(
+        seed in 0u64..10_000,
+        rows in 16usize..40,
+    ) {
+        let x = messy_matrix(seed, rows, 3, true);
+        let y = messy_labels(seed, rows);
+        let splits = KFold::new(3).split(rows).unwrap();
+        let grid = ParamGrid::new()
+            .add("min_samples_leaf", vec![ParamValue::I(1), ParamValue::I(3)])
+            .add(
+                "criterion",
+                vec![ParamValue::S("gini".into()), ParamValue::S("entropy".into())],
+            );
+        let factory = |p: &monitorless_learn::model_selection::ParamSet| -> Box<dyn Classifier> {
+            Box::new(DecisionTree::new(DecisionTreeParams {
+                min_samples_leaf: p["min_samples_leaf"].as_usize(),
+                criterion: if p["criterion"].as_str() == "gini" {
+                    SplitCriterion::Gini
+                } else {
+                    SplitCriterion::Entropy
+                },
+                seed: 11,
+                ..DecisionTreeParams::default()
+            }))
+        };
+        let run = |n_jobs: usize| {
+            GridSearch::new(grid.clone(), splits.clone())
+                .with_n_jobs(n_jobs)
+                .run(factory, f1_score, &x, &y)
+                .unwrap()
+                .evaluations
+        };
+        let sequential = run(1);
+        prop_assert_eq!(sequential.len(), 4);
+        prop_assert_eq!(run(4), sequential);
+    }
+}

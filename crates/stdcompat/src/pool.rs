@@ -32,6 +32,43 @@ where
     imp::scope_chunks(items, chunk_size, &work);
 }
 
+/// Runs `work(index, item)` once per item, with `n_workers` scoped
+/// threads pulling items off a shared queue in index order.
+///
+/// Unlike [`for_each_chunk_mut`]'s static partitioning, the dynamic
+/// queue keeps every worker busy until the queue drains, so unevenly
+/// priced items (grid-search candidates with different
+/// hyper-parameters) cannot strand a straggler chunk on one worker.
+/// With `n_workers <= 1` the work runs on the calling thread.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn for_each_item_mut<T, F>(items: &mut [T], n_workers: usize, work: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n_workers = n_workers.max(1).min(items.len());
+    if n_workers <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            work(i, item);
+        }
+        return;
+    }
+    let queue = std::sync::Mutex::new(items.chunks_mut(1).enumerate());
+    imp::scope_workers(n_workers, &|| loop {
+        let next = queue
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .next();
+        match next {
+            Some((i, cell)) => work(i, &mut cell[0]),
+            None => break,
+        }
+    });
+}
+
 /// Computes `f(i)` for every `i < n` across `n_workers` scoped threads
 /// and returns the results in index order.
 ///
@@ -69,6 +106,17 @@ mod imp {
             }
         });
     }
+
+    pub(super) fn scope_workers<F>(n_workers: usize, worker: &F)
+    where
+        F: Fn() + Sync,
+    {
+        std::thread::scope(|scope| {
+            for _ in 0..n_workers {
+                scope.spawn(worker);
+            }
+        });
+    }
 }
 
 #[cfg(feature = "ext")]
@@ -81,6 +129,18 @@ mod imp {
         crossbeam::thread::scope(|scope| {
             for (chunk_idx, chunk) in items.chunks_mut(chunk_size).enumerate() {
                 scope.spawn(move |_| work(chunk_idx, chunk));
+            }
+        })
+        .expect("scoped worker thread panicked");
+    }
+
+    pub(super) fn scope_workers<F>(n_workers: usize, worker: &F)
+    where
+        F: Fn() + Sync,
+    {
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..n_workers {
+                scope.spawn(move |_| worker());
             }
         })
         .expect("scoped worker thread panicked");
@@ -115,6 +175,17 @@ mod tests {
             }
         });
         assert_eq!(items, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn dynamic_queue_covers_every_item_exactly_once() {
+        let mut items = vec![0u32; 103];
+        for_each_item_mut(&mut items, 7, |i, item| *item += i as u32 + 1);
+        let expect: Vec<u32> = (1..=103).collect();
+        assert_eq!(items, expect);
+
+        let mut empty: Vec<u32> = Vec::new();
+        for_each_item_mut(&mut empty, 4, |_, _| unreachable!());
     }
 
     #[test]
