@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::{Range, RangeInclusive};
 
-/// A length specification for [`vec`]: an exact `usize`, a `Range`,
+/// A length specification for [`vec()`]: an exact `usize`, a `Range`,
 /// or a `RangeInclusive`.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
@@ -50,7 +50,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -3,7 +3,7 @@
 use std::path::Path;
 use std::sync::Arc;
 
-use monitorless_learn::{Classifier, Matrix, RandomForest, RandomForestParams};
+use monitorless_learn::{Classifier, FlatEnsemble, Matrix, RandomForest, RandomForestParams};
 
 use crate::features::{FeaturePipeline, FittedPipeline, InstanceTransformer, PipelineConfig};
 use crate::training::TrainingData;
@@ -61,6 +61,9 @@ pub struct MonitorlessModel {
     pipeline: FittedPipeline,
     forest: RandomForest,
     threshold: f64,
+    /// The forest compiled for batched inference; rebuilt on load, not
+    /// serialized (it is derived state).
+    flat: FlatEnsemble,
 }
 
 impl MonitorlessModel {
@@ -97,10 +100,12 @@ impl MonitorlessModel {
         )?;
         let mut forest = RandomForest::new(opts.forest.clone());
         forest.fit(&x, labels, None)?;
+        let flat = forest.to_flat();
         Ok(MonitorlessModel {
             pipeline: fitted,
             forest,
             threshold: opts.threshold,
+            flat,
         })
     }
 
@@ -112,6 +117,12 @@ impl MonitorlessModel {
     /// The trained forest.
     pub fn forest(&self) -> &RandomForest {
         &self.forest
+    }
+
+    /// The forest compiled to its flat inference table (built once at
+    /// train/load time; all predict entry points run on it).
+    pub fn flat(&self) -> &FlatEnsemble {
+        &self.flat
     }
 
     /// The decision threshold.
@@ -130,18 +141,22 @@ impl MonitorlessModel {
     ///
     /// Propagates pipeline errors.
     pub fn predict_batch(&self, x_raw: &Matrix, groups: &[u32]) -> Result<Vec<u8>, Error> {
-        let x = self.pipeline.transform_batch(x_raw, groups)?;
-        Ok(self.forest.predict_with_threshold(&x, self.threshold))
+        let proba = self.predict_proba_batch(x_raw, groups)?;
+        Ok(proba
+            .into_iter()
+            .map(|p| u8::from(p >= self.threshold))
+            .collect())
     }
 
-    /// Batch probabilities on raw vectors.
+    /// Batch probabilities on raw vectors, evaluated on the flat table
+    /// (bit-identical to the forest's recursive reference walk).
     ///
     /// # Errors
     ///
     /// Propagates pipeline errors.
     pub fn predict_proba_batch(&self, x_raw: &Matrix, groups: &[u32]) -> Result<Vec<f64>, Error> {
         let x = self.pipeline.transform_batch(x_raw, groups)?;
-        Ok(self.forest.predict_proba(&x))
+        Ok(self.flat.predict_proba(&x, self.forest.params().n_jobs))
     }
 
     /// Creates a per-instance online transformer sharing this model's
@@ -151,9 +166,13 @@ impl MonitorlessModel {
     }
 
     /// Predicts from an already-transformed feature vector.
+    ///
+    /// This is the autoscaler's per-tick hot path: the flat single-row
+    /// walk performs no allocation (`table7_predict` asserts the
+    /// allocation count stays zero), where it previously built a 1-row
+    /// [`Matrix`] per call.
     pub fn predict_features(&self, features: &[f64]) -> (f64, u8) {
-        let m = Matrix::from_rows(&[features]);
-        let p = self.forest.predict_proba(&m)[0];
+        let p = self.flat.predict_row(features);
         (p, u8::from(p >= self.threshold))
     }
 
@@ -194,11 +213,36 @@ impl MonitorlessModel {
     }
 }
 
-monitorless_std::json_struct!(MonitorlessModel {
-    pipeline,
-    forest,
-    threshold,
-});
+// Hand-written (rather than `json_struct!`) because the flat table is
+// derived state: only pipeline/forest/threshold go on the wire — the
+// same format as before the flat field existed — and deserialization
+// recompiles the table from the forest.
+impl monitorless_std::json::ToJson for MonitorlessModel {
+    fn to_json(&self) -> monitorless_std::json::Json {
+        monitorless_std::json::Json::Obj(vec![
+            ("pipeline".to_string(), self.pipeline.to_json()),
+            ("forest".to_string(), self.forest.to_json()),
+            ("threshold".to_string(), self.threshold.to_json()),
+        ])
+    }
+}
+
+impl monitorless_std::json::FromJson for MonitorlessModel {
+    fn from_json(
+        json: &monitorless_std::json::Json,
+    ) -> Result<Self, monitorless_std::json::JsonError> {
+        let pipeline: FittedPipeline = monitorless_std::json::field(json, "pipeline")?;
+        let forest: RandomForest = monitorless_std::json::field(json, "forest")?;
+        let threshold: f64 = monitorless_std::json::field(json, "threshold")?;
+        let flat = forest.to_flat();
+        Ok(MonitorlessModel {
+            pipeline,
+            forest,
+            threshold,
+            flat,
+        })
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -206,21 +206,95 @@ impl AdaBoost {
         Ok(())
     }
 
+    /// Compiles the fitted ensemble into a
+    /// [`FlatEnsemble`](crate::flat::FlatEnsemble). Leaf values carry
+    /// the per-stage contribution already (SAMME: the alpha-weighted
+    /// vote; SAMME.R: the shrunk log-odds term), so the flat walk is
+    /// load-and-add and predictions are bit-identical to
+    /// [`AdaBoost::predict_proba_legacy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ensemble is unfitted.
+    pub fn to_flat(&self) -> crate::flat::FlatEnsemble {
+        assert!(self.is_fitted(), "adaboost must be fitted before flattening");
+        const CLIP: f64 = 1e-5;
+        match self.params.algorithm {
+            BoostAlgorithm::Samme => {
+                let norm = self.stages.iter().map(|s| s.alpha).sum::<f64>().max(1e-12);
+                let mut builder = crate::flat::FlatBuilder::new(
+                    self.n_features,
+                    0.0,
+                    crate::flat::Finalize::Logit(norm),
+                );
+                for stage in &self.stages {
+                    let alpha = stage.alpha;
+                    stage
+                        .tree
+                        .flatten_into(&mut builder, |p| alpha * if p >= 0.5 { 1.0 } else { -1.0 });
+                }
+                builder.build()
+            }
+            BoostAlgorithm::SammeR => {
+                let lr = self.params.learning_rate;
+                let mut builder = crate::flat::FlatBuilder::new(
+                    self.n_features,
+                    0.0,
+                    crate::flat::Finalize::Logit(1.0),
+                );
+                for stage in &self.stages {
+                    stage.tree.flatten_into(&mut builder, |p| {
+                        let p1 = p.clamp(CLIP, 1.0 - CLIP);
+                        0.5 * lr * (p1 / (1.0 - p1)).ln()
+                    });
+                }
+                builder.build()
+            }
+        }
+    }
+
+    /// Reference implementation of [`Classifier::predict_proba`]: the
+    /// legacy per-stage recursive walk, kept for the flat-equivalence
+    /// property suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ensemble is unfitted.
+    pub fn predict_proba_legacy(&self, x: &Matrix) -> Vec<f64> {
+        assert!(self.is_fitted(), "adaboost must be fitted before predicting");
+        let norm: f64 = match self.params.algorithm {
+            BoostAlgorithm::Samme => self.stages.iter().map(|s| s.alpha).sum::<f64>().max(1e-12),
+            BoostAlgorithm::SammeR => 1.0,
+        };
+        self.decision_function(x)
+            .into_iter()
+            .map(|s| {
+                let z = s / norm;
+                // Map the (normalized) margin through a logistic link.
+                1.0 / (1.0 + (-2.0 * z).exp())
+            })
+            .collect()
+    }
+
+    // Uses the trees' recursive `predict_row` walk directly so this
+    // stays an independent reference path for `predict_proba_legacy`
+    // (the trees' own `predict_proba` now routes through `flat`).
     fn decision_function(&self, x: &Matrix) -> Vec<f64> {
         const CLIP: f64 = 1e-5;
         let mut score = vec![0.0; x.rows()];
         match self.params.algorithm {
             BoostAlgorithm::Samme => {
                 for stage in &self.stages {
-                    for (s, p) in score.iter_mut().zip(stage.tree.predict(x)) {
+                    for (s, row) in score.iter_mut().zip(x.iter_rows()) {
+                        let p = u8::from(stage.tree.predict_row(row) >= 0.5);
                         *s += stage.alpha * if p == 1 { 1.0 } else { -1.0 };
                     }
                 }
             }
             BoostAlgorithm::SammeR => {
                 for stage in &self.stages {
-                    for (s, p) in score.iter_mut().zip(stage.tree.predict_proba(x)) {
-                        let p1 = p.clamp(CLIP, 1.0 - CLIP);
+                    for (s, row) in score.iter_mut().zip(x.iter_rows()) {
+                        let p1 = stage.tree.predict_row(row).clamp(CLIP, 1.0 - CLIP);
                         *s += 0.5 * self.params.learning_rate * (p1 / (1.0 - p1)).ln();
                     }
                 }
@@ -271,18 +345,8 @@ impl Classifier for AdaBoost {
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
         assert!(self.is_fitted(), "adaboost must be fitted before predicting");
-        let norm: f64 = match self.params.algorithm {
-            BoostAlgorithm::Samme => self.stages.iter().map(|s| s.alpha).sum::<f64>().max(1e-12),
-            BoostAlgorithm::SammeR => 1.0,
-        };
-        self.decision_function(x)
-            .into_iter()
-            .map(|s| {
-                let z = s / norm;
-                // Map the (normalized) margin through a logistic link.
-                1.0 / (1.0 + (-2.0 * z).exp())
-            })
-            .collect()
+        assert_eq!(x.cols(), self.n_features, "feature count must match training data");
+        self.to_flat().predict_proba(x, 1)
     }
 
     fn name(&self) -> &'static str {

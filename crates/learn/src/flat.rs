@@ -1,0 +1,597 @@
+//! Flattened, cache-friendly batched inference over fitted tree ensembles.
+//!
+//! The legacy predict path walks one row at a time through boxed `Node`
+//! enums (`DecisionTree::predict_row`): every level is a dependent load
+//! — the next node address is only known once the current 40-byte enum
+//! arrives — so a 250-tree forest costs thousands of serialized cache
+//! round-trips per row. This module compiles a fitted ensemble once
+//! into a contiguous struct-of-arrays node table and evaluates blocks
+//! of rows in lockstep:
+//!
+//! * [`FlatEnsemble`] holds all trees' nodes in four parallel arrays
+//!   (`feature: u32`, `threshold: f64`, `left`/`right: u32` — 20 bytes
+//!   per node, half the enum layout). Each tree is laid out
+//!   breadth-first, so siblings sit in adjacent slots
+//!   (`right == left + 1`) and levels form contiguous runs: the
+//!   evaluator's layout contract. Leaves are marked with the
+//!   [`LEAF`] sentinel in `feature` and store their value inline in
+//!   `threshold`. Leaf values are **pre-transformed** at compile time
+//!   (AdaBoost's per-stage vote or log-odds term, gradient boosting's
+//!   shrinkage) so the hot loop is load-and-add for every ensemble.
+//! * The blocked evaluator ([`FlatEnsemble::predict_into`]) walks
+//!   [`BLOCK`] rows at a time through each tree, advancing *all* rows
+//!   of the block one level per branchless pass. The rows' walks are
+//!   independent, so the out-of-order core overlaps their node fetches
+//!   instead of stalling on one row's pointer chase, and the BFS
+//!   layout means a descending block touches monotonically increasing
+//!   indices — prefetch-friendly, with the shared top levels staying
+//!   hot in L1. Rows that reach a leaf self-loop there cheaply until
+//!   the block's stragglers arrive.
+//! * [`FlatEnsemble::predict_proba`] shards row ranges over
+//!   `monitorless_std::pool` workers; rows are independent, so results
+//!   are bit-identical for every `n_jobs`.
+//! * [`FlatEnsemble::predict_row`] is the allocation-free single-row
+//!   entry used by the autoscaler tick path.
+//!
+//! Split semantics are exactly the legacy walk's: `row[feature] <=
+//! threshold` goes left, anything else — including NaN, for which the
+//! comparison is false — goes right, matching the training-time
+//! partition of NaN rows. Accumulation per row runs in tree order and
+//! the finalizer applies the same expressions as the legacy
+//! implementations, so predictions are bit-for-bit identical
+//! (`tests/flat_equivalence.rs` pins the property).
+
+use monitorless_obs as obs;
+
+use crate::matrix::Matrix;
+
+/// Sentinel in [`FlatEnsemble`]'s `feature` array marking a leaf node
+/// (its `threshold` slot holds the pre-transformed leaf value).
+pub const LEAF: u32 = u32::MAX;
+
+/// Rows walked in lockstep per tree. 64 rows keep the pass state (two
+/// index arrays and the output slice) inside a few cache lines while
+/// exposing enough independent walks to hide node-fetch latency; the
+/// bench sweep in `table7_predict` showed no gain past this size.
+pub const BLOCK: usize = 64;
+
+/// How a row's accumulated leaf sum becomes the final probability.
+///
+/// Each variant reproduces one legacy ensemble's post-processing
+/// expression verbatim so results stay bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Finalize {
+    /// Return the raw sum (single decision tree: the sum is one leaf
+    /// probability).
+    Sum,
+    /// Divide by the tree count (random forest).
+    Mean(f64),
+    /// Logistic link over the normalized margin,
+    /// `1 / (1 + exp(-2 (acc / norm)))` (AdaBoost; `norm` is the alpha
+    /// sum for SAMME, `1.0` for SAMME.R).
+    Logit(f64),
+    /// Plain sigmoid `1 / (1 + exp(-acc))` (gradient boosting; the
+    /// accumulator starts at `base_score`).
+    Sigmoid,
+}
+
+/// A fitted tree ensemble compiled to a contiguous SoA node table.
+///
+/// Build one with the `to_flat` method of [`crate::DecisionTree`],
+/// [`crate::RandomForest`], [`crate::AdaBoost`] or
+/// [`crate::GradientBoosting`], or assemble it tree by tree with
+/// [`FlatBuilder`]. The table is immutable; compiling costs one pass
+/// over the ensemble's nodes, so long-lived callers (the monitorless
+/// model, the autoscaler) compile once and reuse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatEnsemble {
+    /// Split feature per node; [`LEAF`] marks leaves.
+    feature: Vec<u32>,
+    /// Split threshold per node; at leaves, the pre-transformed value.
+    threshold: Vec<f64>,
+    /// Absolute index of the `<=` child.
+    left: Vec<u32>,
+    /// Absolute index of the `>` (and NaN) child.
+    right: Vec<u32>,
+    /// Absolute root index of each tree, in accumulation order.
+    roots: Vec<u32>,
+    n_features: usize,
+    /// Accumulator start value (gradient boosting's `base_score`).
+    init: f64,
+    finalize: Finalize,
+}
+
+impl FlatEnsemble {
+    /// Total nodes across all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.feature.len()
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Feature count the ensemble was trained on.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    #[inline]
+    fn finalize_value(&self, acc: f64) -> f64 {
+        match self.finalize {
+            Finalize::Sum => acc,
+            Finalize::Mean(n) => acc / n,
+            Finalize::Logit(norm) => {
+                let z = acc / norm;
+                1.0 / (1.0 + (-2.0 * z).exp())
+            }
+            Finalize::Sigmoid => 1.0 / (1.0 + (-acc).exp()),
+        }
+    }
+
+    /// Probability of the positive class for a single sample.
+    ///
+    /// Performs no allocation — this is the autoscaler tick path
+    /// (`table7_predict` asserts the allocation count stays zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ensemble is empty or `row` is shorter than the
+    /// training feature count.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        assert!(!self.roots.is_empty(), "flat ensemble has no trees");
+        assert!(
+            row.len() >= self.n_features,
+            "row has {} features, ensemble was trained on {}",
+            row.len(),
+            self.n_features
+        );
+        let mut acc = self.init;
+        for &root in &self.roots {
+            let mut n = root as usize;
+            loop {
+                let f = self.feature[n];
+                if f == LEAF {
+                    acc += self.threshold[n];
+                    break;
+                }
+                // `v <= thr` must stay the split test: NaN fails it
+                // and falls to the right child, matching the legacy
+                // recursive walk bit for bit.
+                n = if row[f as usize] <= self.threshold[n] {
+                    self.left[n] as usize
+                } else {
+                    self.right[n] as usize
+                };
+            }
+        }
+        self.finalize_value(acc)
+    }
+
+    /// Walks rows `row0 .. row0 + out.len()` of `data` (row-major,
+    /// `cols` wide) through every tree in lockstep and writes the
+    /// finalized probabilities into `out` (`out.len() <= BLOCK`).
+    ///
+    /// Each pass advances *every* row of the block one level with no
+    /// data-dependent branch: leaves self-loop (`left == right ==
+    /// self`), so a row that has arrived spins in place while the
+    /// stragglers descend, and the leaf test compiles to a conditional
+    /// move instead of an unpredictable branch. That keeps the ~64
+    /// independent node fetches of a pass in flight at once — the
+    /// whole point of blocking — where an early-exit branch would
+    /// flush them on every misprediction.
+    fn eval_block(&self, data: &[f64], cols: usize, row0: usize, out: &mut [f64]) {
+        let b = out.len();
+        debug_assert!(b <= BLOCK);
+        out.fill(self.init);
+        let feat = self.feature.as_slice();
+        let thr = self.threshold.as_slice();
+        let left = self.left.as_slice();
+        let mut bases = [0usize; BLOCK];
+        for (o, base) in bases[..b].iter_mut().enumerate() {
+            *base = (row0 + o) * cols;
+        }
+        let mut idx = [0u32; BLOCK];
+        for &root in &self.roots {
+            let r = root as usize;
+            if feat[r] == LEAF {
+                // Single-leaf tree (depth-0 stump): no walk needed.
+                let v = thr[r];
+                for a in out.iter_mut() {
+                    *a += v;
+                }
+                continue;
+            }
+            idx[..b].fill(root);
+            loop {
+                let mut moved = 0u32;
+                for (slot, &base) in idx[..b].iter_mut().zip(&bases[..b]) {
+                    let n = *slot as usize;
+                    let f = feat[n];
+                    // At a leaf, load any in-range column: the select
+                    // below pins the row in place regardless.
+                    let fi = if f == LEAF { 0 } else { f as usize };
+                    let v = data[base + fi];
+                    // Siblings are adjacent (`right == left + 1`, the
+                    // builder's BFS layout), so the left index plus
+                    // the comparison bit picks the child. `v <= thr`
+                    // must stay the split test (NaN fails it → right),
+                    // so the right-child bit is its boolean negation.
+                    let goes_left = v <= thr[n];
+                    let step = left[n] + u32::from(!goes_left);
+                    let next = if f == LEAF { *slot } else { step };
+                    moved |= next ^ *slot;
+                    *slot = next;
+                }
+                if moved == 0 {
+                    break;
+                }
+            }
+            for (o, a) in out.iter_mut().enumerate() {
+                *a += thr[idx[o] as usize];
+            }
+        }
+        for a in out.iter_mut() {
+            *a = self.finalize_value(*a);
+        }
+    }
+
+    /// Batched probability of the positive class for each row of `x`.
+    ///
+    /// Row-blocks are sharded over `n_jobs` pool workers; rows are
+    /// independent, so the result is bit-identical for every `n_jobs`
+    /// (and to [`FlatEnsemble::predict_row`] per row).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ensemble is empty or `x` has a different column
+    /// count than the training matrix.
+    pub fn predict_proba(&self, x: &Matrix, n_jobs: usize) -> Vec<f64> {
+        let mut out = vec![0.0; x.rows()];
+        self.predict_into(x, &mut out, n_jobs);
+        out
+    }
+
+    /// [`FlatEnsemble::predict_proba`] into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// As [`FlatEnsemble::predict_proba`], plus if `out.len()` differs
+    /// from `x.rows()`.
+    pub fn predict_into(&self, x: &Matrix, out: &mut [f64], n_jobs: usize) {
+        assert!(!self.roots.is_empty(), "flat ensemble has no trees");
+        assert_eq!(x.cols(), self.n_features, "feature count must match training data");
+        assert_eq!(out.len(), x.rows(), "output length must match row count");
+        let rows = x.rows();
+        if rows == 0 {
+            return;
+        }
+        let data = x.as_slice();
+        let cols = x.cols();
+        let n_blocks = rows.div_ceil(BLOCK);
+        let n_jobs = n_jobs.max(1).min(n_blocks);
+        let span = obs::Span::enter("predict.batch");
+        if n_jobs == 1 {
+            let mut start = 0;
+            while start < rows {
+                let end = (start + BLOCK).min(rows);
+                self.eval_block(data, cols, start, &mut out[start..end]);
+                start = end;
+            }
+        } else {
+            // Static row chunks; each worker walks its own blocks.
+            // Chunk `i` starts at row `i * chunk_size` (the pool's
+            // documented partitioning).
+            let chunk_size = rows.div_ceil(n_jobs);
+            let busy_us = std::sync::atomic::AtomicU64::new(0);
+            let busy = &busy_us;
+            monitorless_std::pool::for_each_chunk_mut(out, n_jobs, |chunk_id, chunk| {
+                let started = obs::enabled().then(std::time::Instant::now);
+                let row0 = chunk_id * chunk_size;
+                let mut start = 0;
+                while start < chunk.len() {
+                    let end = (start + BLOCK).min(chunk.len());
+                    self.eval_block(data, cols, row0 + start, &mut chunk[start..end]);
+                    start = end;
+                }
+                if let Some(started) = started {
+                    let us = started.elapsed().as_micros() as u64;
+                    obs::observe("predict.worker_busy_us", us as f64);
+                    busy.fetch_add(us, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+            if let Some(wall_us) = span.elapsed_us() {
+                if wall_us > 0.0 {
+                    let total_busy = busy_us.load(std::sync::atomic::Ordering::Relaxed) as f64;
+                    obs::gauge_set(
+                        "predict.worker_utilization",
+                        total_busy / (n_jobs as f64 * wall_us),
+                    );
+                }
+            }
+        }
+        drop(span);
+        obs::counter_add("predict.rows", rows as u64);
+        obs::counter_add("predict.blocks", n_blocks as u64);
+    }
+}
+
+/// Incremental builder for [`FlatEnsemble`], appending one tree at a
+/// time in accumulation order.
+///
+/// The ensemble `to_flat` implementations drive this; leaf values must
+/// arrive already transformed (vote weight, log-odds term, shrinkage
+/// applied) so the evaluator can treat every ensemble identically.
+#[derive(Debug)]
+pub struct FlatBuilder {
+    feature: Vec<u32>,
+    threshold: Vec<f64>,
+    left: Vec<u32>,
+    right: Vec<u32>,
+    roots: Vec<u32>,
+    n_features: usize,
+    init: f64,
+    finalize: Finalize,
+    /// Nodes of the tree currently being appended, in push order with
+    /// tree-local child indices; renumbered on flush.
+    pending_feature: Vec<u32>,
+    pending_threshold: Vec<f64>,
+    pending_left: Vec<u32>,
+    pending_right: Vec<u32>,
+    in_tree: bool,
+}
+
+impl FlatBuilder {
+    /// Creates a builder for an ensemble over `n_features` inputs whose
+    /// per-row accumulator starts at `init` and is post-processed by
+    /// `finalize`.
+    pub fn new(n_features: usize, init: f64, finalize: Finalize) -> Self {
+        FlatBuilder {
+            feature: Vec::new(),
+            threshold: Vec::new(),
+            left: Vec::new(),
+            right: Vec::new(),
+            roots: Vec::new(),
+            n_features,
+            init,
+            finalize,
+            pending_feature: Vec::new(),
+            pending_threshold: Vec::new(),
+            pending_left: Vec::new(),
+            pending_right: Vec::new(),
+            in_tree: false,
+        }
+    }
+
+    /// Starts the next tree. Its first pushed node is the root; child
+    /// indices passed to [`FlatBuilder::push_split`] are local to this
+    /// tree.
+    pub fn begin_tree(&mut self) {
+        self.flush_tree();
+        self.in_tree = true;
+    }
+
+    /// Appends a leaf holding the pre-transformed `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tree has been begun.
+    pub fn push_leaf(&mut self, value: f64) {
+        assert!(self.in_tree, "push_leaf before begin_tree");
+        self.pending_feature.push(LEAF);
+        self.pending_threshold.push(value);
+        self.pending_left.push(0);
+        self.pending_right.push(0);
+    }
+
+    /// Appends a split on `feature <= threshold` with tree-local child
+    /// indices `left` / `right` (rebased internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature` is out of range for the ensemble or no tree
+    /// has been begun.
+    pub fn push_split(&mut self, feature: u32, threshold: f64, left: u32, right: u32) {
+        assert!(self.in_tree, "push_split before begin_tree");
+        assert!(
+            (feature as usize) < self.n_features,
+            "split feature {feature} out of range for {} features",
+            self.n_features
+        );
+        self.pending_feature.push(feature);
+        self.pending_threshold.push(threshold);
+        self.pending_left.push(left);
+        self.pending_right.push(right);
+    }
+
+    /// Renumbers the pending tree breadth-first and appends it to the
+    /// global table. BFS order puts siblings in adjacent slots
+    /// (`right == left + 1` for every split, the evaluator's layout
+    /// contract) and levels in contiguous runs, so a descending block
+    /// of rows touches monotonically increasing node indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed tree: a child index outside the tree, a
+    /// node with two parents, or unreachable nodes. The evaluator
+    /// relies on every walk terminating at a leaf of the same tree.
+    fn flush_tree(&mut self) {
+        if !self.in_tree {
+            return;
+        }
+        self.in_tree = false;
+        let n = self.pending_feature.len();
+        assert!(n > 0, "begin_tree was not followed by any nodes");
+        let base = self.feature.len() as u32;
+        self.roots.push(base);
+        // `map[old] = new` tree-local index; `order[new] = old`.
+        let mut map = vec![u32::MAX; n];
+        let mut order = Vec::with_capacity(n);
+        map[0] = 0;
+        order.push(0u32);
+        let mut head = 0;
+        while head < order.len() {
+            let old = order[head] as usize;
+            head += 1;
+            if self.pending_feature[old] == LEAF {
+                continue;
+            }
+            let (l, r) = (self.pending_left[old] as usize, self.pending_right[old] as usize);
+            assert!(
+                l < n && r < n && map[l] == u32::MAX && map[r] == u32::MAX,
+                "split node {old} links outside its tree (0..{n})"
+            );
+            map[l] = order.len() as u32;
+            map[r] = order.len() as u32 + 1;
+            order.push(l as u32);
+            order.push(r as u32);
+        }
+        assert_eq!(order.len(), n, "tree has {} unreachable nodes", n - order.len());
+        for &old in &order {
+            let old = old as usize;
+            let f = self.pending_feature[old];
+            self.feature.push(f);
+            self.threshold.push(self.pending_threshold[old]);
+            if f == LEAF {
+                let here = self.feature.len() as u32 - 1;
+                self.left.push(here);
+                self.right.push(here);
+            } else {
+                self.left.push(base + map[self.pending_left[old] as usize]);
+                self.right
+                    .push(base + map[self.pending_right[old] as usize]);
+            }
+        }
+        self.pending_feature.clear();
+        self.pending_threshold.clear();
+        self.pending_left.clear();
+        self.pending_right.clear();
+    }
+
+    /// Finishes the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last tree is malformed (see
+    /// [`FlatBuilder::begin_tree`] / the flush contract): a child index
+    /// outside its own tree, shared children, or unreachable nodes.
+    pub fn build(mut self) -> FlatEnsemble {
+        self.flush_tree();
+        FlatEnsemble {
+            feature: self.feature,
+            threshold: self.threshold,
+            left: self.left,
+            right: self.right,
+            roots: self.roots,
+            n_features: self.n_features,
+            init: self.init,
+            finalize: self.finalize,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// x[0] <= 1.0 ? 0.2 : 0.8, built by hand.
+    fn stump() -> FlatEnsemble {
+        let mut b = FlatBuilder::new(2, 0.0, Finalize::Sum);
+        b.begin_tree();
+        b.push_split(0, 1.0, 1, 2);
+        b.push_leaf(0.2);
+        b.push_leaf(0.8);
+        b.build()
+    }
+
+    #[test]
+    fn stump_routes_rows() {
+        let f = stump();
+        assert_eq!(f.predict_row(&[0.5, 9.0]), 0.2);
+        assert_eq!(f.predict_row(&[1.0, 9.0]), 0.2); // boundary goes left
+        assert_eq!(f.predict_row(&[1.5, 9.0]), 0.8);
+    }
+
+    #[test]
+    fn nan_goes_right() {
+        let f = stump();
+        assert_eq!(f.predict_row(&[f64::NAN, 0.0]), 0.8);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let mut b = FlatBuilder::new(1, 0.0, Finalize::Sum);
+        b.begin_tree();
+        b.push_leaf(0.7);
+        let f = b.build();
+        assert_eq!(f.predict_row(&[123.0]), 0.7);
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]);
+        assert_eq!(f.predict_proba(&x, 1), vec![0.7; 3]);
+    }
+
+    #[test]
+    fn mean_finalize_averages_trees() {
+        let mut b = FlatBuilder::new(1, 0.0, Finalize::Mean(2.0));
+        b.begin_tree();
+        b.push_leaf(0.4);
+        b.begin_tree();
+        b.push_leaf(0.8);
+        let f = b.build();
+        assert_eq!(f.n_trees(), 2);
+        assert_eq!(f.predict_row(&[0.0]), (0.4 + 0.8) / 2.0);
+    }
+
+    #[test]
+    fn batch_matches_single_row_across_blocks() {
+        let f = stump();
+        // More rows than one block to cover the block loop.
+        let rows: Vec<Vec<f64>> = (0..BLOCK * 2 + 7)
+            .map(|i| vec![(i % 5) as f64, 0.0])
+            .collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let batch = f.predict_proba(&x, 1);
+        for (row, &got) in rows.iter().zip(&batch) {
+            assert_eq!(got, f.predict_row(row));
+        }
+    }
+
+    #[test]
+    fn n_jobs_does_not_change_bits() {
+        let f = stump();
+        let rows: Vec<Vec<f64>> = (0..500).map(|i| vec![(i % 7) as f64 * 0.3, 0.0]).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let one = f.predict_proba(&x, 1);
+        for jobs in [2, 3, 8] {
+            assert_eq!(f.predict_proba(&x, jobs), one, "n_jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "links outside its tree")]
+    fn cross_tree_link_rejected() {
+        let mut b = FlatBuilder::new(1, 0.0, Finalize::Sum);
+        b.begin_tree();
+        b.push_leaf(0.1);
+        b.begin_tree();
+        b.push_split(0, 0.5, 1, 2); // children past this tree's end
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_feature_rejected() {
+        let mut b = FlatBuilder::new(1, 0.0, Finalize::Sum);
+        b.begin_tree();
+        b.push_split(3, 0.5, 1, 2);
+    }
+
+    #[test]
+    fn empty_matrix_is_a_no_op() {
+        let f = stump();
+        let x = Matrix::zeros(0, 2);
+        assert!(f.predict_proba(&x, 4).is_empty());
+    }
+}

@@ -173,6 +173,64 @@ impl RandomForest {
         idx
     }
 
+    /// Compiles the fitted forest into a
+    /// [`FlatEnsemble`](crate::flat::FlatEnsemble): all trees' nodes in
+    /// one SoA table, finalized by the mean over trees. Predictions are
+    /// bit-identical to [`RandomForest::predict_proba_legacy`].
+    ///
+    /// Long-lived callers (the monitorless model) compile once and
+    /// reuse; [`Classifier::predict_proba`] compiles per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest is unfitted.
+    pub fn to_flat(&self) -> crate::flat::FlatEnsemble {
+        assert!(self.is_fitted(), "forest must be fitted before flattening");
+        let mut builder = crate::flat::FlatBuilder::new(
+            self.n_features,
+            0.0,
+            crate::flat::Finalize::Mean(self.trees.len() as f64),
+        );
+        for tree in &self.trees {
+            tree.flatten_into(&mut builder, |p| p);
+        }
+        builder.build()
+    }
+
+    /// Reference implementation of [`Classifier::predict_proba`]: the
+    /// legacy recursive per-row walk, kept for the flat-equivalence
+    /// property suite and the `table7_predict` bench baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the forest is unfitted or `x` has a different column
+    /// count than the training matrix.
+    pub fn predict_proba_legacy(&self, x: &Matrix) -> Vec<f64> {
+        assert!(self.is_fitted(), "forest must be fitted before predicting");
+        assert_eq!(x.cols(), self.n_features, "feature count must match training data");
+        // Walk the trees block-by-block so every tree's nodes stay hot
+        // in cache while a block of rows streams through. Per row, trees
+        // still accumulate in tree order — results are bit-identical to
+        // the per-tree sweep.
+        const BLOCK: usize = 256;
+        let mut acc = vec![0.0; x.rows()];
+        let mut start = 0;
+        while start < x.rows() {
+            let end = (start + BLOCK).min(x.rows());
+            for tree in &self.trees {
+                for (off, a) in acc[start..end].iter_mut().enumerate() {
+                    *a += tree.predict_row(x.row(start + off));
+                }
+            }
+            start = end;
+        }
+        let n = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
+
     fn class_weights_for(y: &[u8], indices: &[usize]) -> (f64, f64) {
         let n = indices.len() as f64;
         let n1 = indices.iter().filter(|&&i| y[i] == 1).count() as f64;
@@ -339,27 +397,10 @@ impl Classifier for RandomForest {
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
         assert!(self.is_fitted(), "forest must be fitted before predicting");
         assert_eq!(x.cols(), self.n_features, "feature count must match training data");
-        // Walk the trees block-by-block so every tree's nodes stay hot
-        // in cache while a block of rows streams through. Per row, trees
-        // still accumulate in tree order — results are bit-identical to
-        // the per-tree sweep.
-        const BLOCK: usize = 256;
-        let mut acc = vec![0.0; x.rows()];
-        let mut start = 0;
-        while start < x.rows() {
-            let end = (start + BLOCK).min(x.rows());
-            for tree in &self.trees {
-                for (off, a) in acc[start..end].iter_mut().enumerate() {
-                    *a += tree.predict_row(x.row(start + off));
-                }
-            }
-            start = end;
-        }
-        let n = self.trees.len() as f64;
-        for a in &mut acc {
-            *a /= n;
-        }
-        acc
+        // Compile to the flat SoA table and run the blocked lockstep
+        // evaluator, sharding rows over the training worker count.
+        // Bit-identical to `predict_proba_legacy` for every `n_jobs`.
+        self.to_flat().predict_proba(x, self.params.n_jobs)
     }
 
     fn name(&self) -> &'static str {

@@ -160,6 +160,54 @@ impl GradientBoosting {
         score
     }
 
+    /// Compiles the fitted booster into a
+    /// [`FlatEnsemble`](crate::flat::FlatEnsemble). Leaf values arrive
+    /// pre-shrunk (`learning_rate * value`) and the accumulator starts
+    /// at `base_score`, so predictions are bit-identical to
+    /// [`GradientBoosting::predict_proba_legacy`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the booster is unfitted.
+    pub fn to_flat(&self) -> crate::flat::FlatEnsemble {
+        assert!(self.is_fitted(), "booster must be fitted before flattening");
+        let lr = self.params.learning_rate;
+        let mut builder = crate::flat::FlatBuilder::new(
+            self.n_features,
+            self.base_score,
+            crate::flat::Finalize::Sigmoid,
+        );
+        for tree in &self.trees {
+            builder.begin_tree();
+            for node in &tree.nodes {
+                match node {
+                    RegNode::Leaf { value } => builder.push_leaf(lr * value),
+                    RegNode::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        builder.push_split(*feature as u32, *threshold, *left as u32, *right as u32)
+                    }
+                }
+            }
+        }
+        builder.build()
+    }
+
+    /// Reference implementation of [`Classifier::predict_proba`]: the
+    /// legacy per-tree recursive walk, kept for the flat-equivalence
+    /// property suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the booster is unfitted.
+    pub fn predict_proba_legacy(&self, x: &Matrix) -> Vec<f64> {
+        assert!(self.is_fitted(), "booster must be fitted before predicting");
+        self.decision_function(x).into_iter().map(sigmoid).collect()
+    }
+
     // `!(next > cur)` is deliberate: unlike `next <= cur` it also
     // rejects NaN boundaries (see the comment at the comparison site).
     #[allow(clippy::too_many_arguments, clippy::neg_cmp_op_on_partial_ord)]
@@ -339,7 +387,8 @@ impl Classifier for GradientBoosting {
 
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
         assert!(self.is_fitted(), "booster must be fitted before predicting");
-        self.decision_function(x).into_iter().map(sigmoid).collect()
+        assert_eq!(x.cols(), self.n_features, "feature count must match training data");
+        self.to_flat().predict_proba(x, 1)
     }
 
     fn name(&self) -> &'static str {

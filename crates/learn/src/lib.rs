@@ -38,6 +38,7 @@
 
 pub mod adaboost;
 pub mod dataset;
+pub mod flat;
 pub mod forest;
 pub mod gboost;
 pub mod linear;
@@ -56,6 +57,7 @@ pub use error::Error;
 
 pub use adaboost::{AdaBoost, AdaBoostParams, BoostAlgorithm};
 pub use dataset::Dataset;
+pub use flat::{Finalize, FlatBuilder, FlatEnsemble};
 pub use forest::{ClassWeight, RandomForest, RandomForestParams};
 pub use gboost::{GradientBoosting, GradientBoostingParams};
 pub use linear::{
@@ -76,6 +78,7 @@ pub use tree::{DecisionTree, DecisionTreeParams, SplitCriterion, Splitter};
 pub mod prelude {
     pub use crate::adaboost::{AdaBoost, AdaBoostParams, BoostAlgorithm};
     pub use crate::dataset::Dataset;
+    pub use crate::flat::{Finalize, FlatBuilder, FlatEnsemble};
     pub use crate::forest::{ClassWeight, RandomForest, RandomForestParams};
     pub use crate::gboost::{GradientBoosting, GradientBoostingParams};
     pub use crate::linear::{

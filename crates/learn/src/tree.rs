@@ -256,7 +256,53 @@ impl DecisionTree {
         }
     }
 
+    /// Appends this fitted tree's nodes to a flat builder, mapping each
+    /// leaf probability through `leaf`.
+    ///
+    /// Ensembles pre-apply their per-stage leaf transform here (vote
+    /// weight, log-odds term) so the flat walk is load-and-add; plain
+    /// probability trees pass the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is unfitted.
+    pub fn flatten_into<F: Fn(f64) -> f64>(&self, builder: &mut crate::flat::FlatBuilder, leaf: F) {
+        assert!(self.is_fitted(), "tree must be fitted before flattening");
+        builder.begin_tree();
+        for node in &self.nodes {
+            match node {
+                Node::Leaf { proba } => builder.push_leaf(leaf(*proba)),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => builder.push_split(*feature as u32, *threshold, *left as u32, *right as u32),
+            }
+        }
+    }
+
+    /// Compiles the fitted tree into a single-tree
+    /// [`FlatEnsemble`](crate::flat::FlatEnsemble) — the batched
+    /// inference fast path. Predictions are bit-identical to
+    /// [`DecisionTree::predict_row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree is unfitted.
+    pub fn to_flat(&self) -> crate::flat::FlatEnsemble {
+        let mut builder =
+            crate::flat::FlatBuilder::new(self.n_features, 0.0, crate::flat::Finalize::Sum);
+        self.flatten_into(&mut builder, |p| p);
+        builder.build()
+    }
+
     /// Probability of class 1 for a single sample.
+    ///
+    /// This recursive walk is the *reference implementation* the flat
+    /// evaluator (`learn::flat`) is property-tested against
+    /// (`tests/flat_equivalence.rs`); batch callers should prefer
+    /// [`DecisionTree::to_flat`].
     ///
     /// # Panics
     ///
@@ -1140,7 +1186,7 @@ impl Classifier for DecisionTree {
     fn predict_proba(&self, x: &Matrix) -> Vec<f64> {
         assert!(self.is_fitted(), "tree must be fitted before predicting");
         assert_eq!(x.cols(), self.n_features, "feature count must match training data");
-        x.iter_rows().map(|row| self.predict_row(row)).collect()
+        self.to_flat().predict_proba(x, 1)
     }
 
     fn name(&self) -> &'static str {

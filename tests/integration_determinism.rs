@@ -47,6 +47,48 @@ fn same_seed_is_bit_for_bit_reproducible() {
 }
 
 #[test]
+fn flat_predict_path_matches_legacy_and_survives_serialization() {
+    let data = generate_training_data(&options()).unwrap();
+    let model = MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap();
+
+    // The batched entry point runs on the flat table; the forest's
+    // recursive walk is the independent reference. Same transformed
+    // features, bit-identical scores.
+    let x = model
+        .pipeline()
+        .transform_batch(data.dataset.x(), data.dataset.groups())
+        .unwrap();
+    let flat = model.flat().predict_proba(&x, 1);
+    let legacy = model.forest().predict_proba_legacy(&x);
+    assert_eq!(flat.len(), legacy.len());
+    for (i, (a, b)) in flat.iter().zip(&legacy).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "row {i}: flat {a} vs legacy {b}");
+    }
+
+    // A save/load round trip recompiles the flat table from the
+    // serialized forest; scores must survive bit-for-bit, and the
+    // single-row tick entry must agree with the batch path.
+    let path = std::env::temp_dir().join("monitorless_determinism_flat.json");
+    model.save(&path).unwrap();
+    let reloaded = MonitorlessModel::load(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let reloaded_scores = reloaded
+        .predict_proba_batch(data.dataset.x(), data.dataset.groups())
+        .unwrap();
+    let original_scores = model
+        .predict_proba_batch(data.dataset.x(), data.dataset.groups())
+        .unwrap();
+    for (i, (a, b)) in original_scores.iter().zip(&reloaded_scores).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "row {i}: original {a} vs reloaded {b}");
+    }
+    for (row, &want) in x.iter_rows().zip(&flat) {
+        let (p, label) = reloaded.predict_features(row);
+        assert_eq!(p.to_bits(), want.to_bits(), "tick path diverges from batch");
+        assert_eq!(label, u8::from(p >= reloaded.threshold()));
+    }
+}
+
+#[test]
 fn different_seeds_produce_different_data() {
     let a = generate_training_data(&options()).unwrap();
     let b = generate_training_data(&TrainingOptions {
