@@ -71,6 +71,9 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("transform_batch_120", |b| {
         b.iter(|| fitted.transform_batch(&x, &groups).unwrap())
     });
+    group.bench_function("transform_batch_120_legacy", |b| {
+        b.iter(|| fitted.transform_batch_legacy(&x, &groups).unwrap())
+    });
 
     let fitted = Arc::new(fitted);
     group.bench_function("online_push_one_sample", |b| {
@@ -79,7 +82,16 @@ fn bench_pipeline(c: &mut Criterion) {
         b.iter(|| {
             let out = online.push(&rows[i % rows.len()]).unwrap();
             i += 1;
-            out
+            std::hint::black_box(out.last().copied())
+        })
+    });
+    group.bench_function("online_push_one_sample_legacy", |b| {
+        let mut online = InstanceTransformer::new(Arc::clone(&fitted));
+        let mut i = 0;
+        b.iter(|| {
+            let out = online.push_legacy(&rows[i % rows.len()]).unwrap();
+            i += 1;
+            std::hint::black_box(out.last().copied())
         })
     });
     group.finish();

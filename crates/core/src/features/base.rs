@@ -179,8 +179,22 @@ impl BaseExpander {
     ///
     /// Panics if `raw` has the wrong length.
     pub fn expand(&self, raw: &[f64]) -> Vec<f64> {
-        assert_eq!(raw.len(), self.layout.raw_len(), "raw vector length");
         let mut out = Vec::with_capacity(self.len());
+        self.expand_into(raw, &mut out);
+        out
+    }
+
+    /// Expands one raw vector into `out` (cleared first), so
+    /// steady-state callers can reuse the buffer instead of allocating a
+    /// fresh vector per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` has the wrong length.
+    pub fn expand_into(&self, raw: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(raw.len(), self.layout.raw_len(), "raw vector length");
+        out.clear();
+        out.reserve(self.len());
         for (v, kind) in raw.iter().zip(&self.layout.kinds) {
             out.push(kind.preprocess(*v));
         }
@@ -193,7 +207,6 @@ impl BaseExpander {
             };
             out.push(level.indicator(util));
         }
-        out
     }
 
     /// Indices of the binary features in the base feature space.

@@ -1,7 +1,14 @@
 //! Stage orchestration: the six-step feature pipeline (Section 3.3.7)
 //! and its online per-instance form.
+//!
+//! The batch and online transform paths run on streaming, column-major
+//! kernels that write straight into preallocated buffers; the original
+//! row-cloning implementations are retained as `*_legacy` reference
+//! paths and the streaming paths are proven bit-identical to them
+//! (`tests/featurize_equivalence.rs`, `table1_featurize`).
 
-use std::collections::VecDeque;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use monitorless_learn::{Matrix, StandardScaler, Transformer};
@@ -10,7 +17,7 @@ use monitorless_obs as obs;
 use super::base::{BaseExpander, RawLayout};
 use super::combine::{apply_products, product_names, product_pairs};
 use super::reduce::{FittedReduction, Reduction};
-use super::timefeat::TimeExpander;
+use super::timefeat::{TimeExpander, TIME_LAGS};
 use crate::Error;
 
 /// Configuration of the feature pipeline.
@@ -28,6 +35,9 @@ pub struct PipelineConfig {
     pub reduce2: Reduction,
     /// Seed for the filtering forests.
     pub seed: u64,
+    /// Worker threads for sharding independent group blocks in stage D
+    /// (1 = serial; the output is identical for any value).
+    pub n_jobs: usize,
 }
 
 impl PipelineConfig {
@@ -45,6 +55,7 @@ impl PipelineConfig {
                 n_estimators: 50,
             },
             seed: 0,
+            n_jobs: 4,
         }
     }
 
@@ -63,6 +74,7 @@ impl PipelineConfig {
                 n_estimators: 12,
             },
             seed: 0,
+            n_jobs: 2,
         }
     }
 }
@@ -154,25 +166,24 @@ impl FeaturePipeline {
         } else {
             Vec::new()
         };
-        let (d, names_d) = expand_stage_d(&c, groups, time.as_ref(), &pairs, &names_c);
+        let (d, names_d) = expand_stage_d(&c, groups, time.as_ref(), &pairs, &names_c, cfg.n_jobs);
         drop(stage);
         obs::gauge_set("pipeline.features.expanded", names_d.len() as f64);
 
         // Step 5: second reduction, again keeping the scale-free
-        // originals and their pairwise products.
+        // originals and their pairwise products. Forced names go into a
+        // set once instead of rescanning the name list per candidate.
         let stage = obs::Span::enter("pipeline.fit.reduce2");
         let mut reduce2 = FittedReduction::fit(cfg.reduce2, &d, y, groups, cfg.seed ^ 0x5a5a)?;
         if let FittedReduction::Select(idx) = &mut reduce2 {
-            let forced_names: Vec<&String> = forced_base_indices(&names_b)
+            let forced: HashSet<&str> = forced_base_indices(&names_b)
                 .into_iter()
-                .map(|i| &names_b[i])
+                .map(|i| names_b[i].as_str())
                 .collect();
             for (j, name) in names_d.iter().enumerate() {
-                let is_forced_original = forced_names.contains(&name);
-                let is_level_product = name.contains(" × ")
-                    && name
-                        .split(" × ")
-                        .all(|part| forced_names.iter().any(|f| part == *f));
+                let is_forced_original = forced.contains(name.as_str());
+                let is_level_product =
+                    name.contains(" × ") && name.split(" × ").all(|part| forced.contains(part));
                 if is_forced_original || is_level_product {
                     idx.push(j);
                 }
@@ -232,7 +243,137 @@ fn forced_base_indices(names_b: &[String]) -> Vec<usize> {
         .collect()
 }
 
-fn expand_stage_d(
+/// Contiguous `[start, end)` row ranges of equal group id, in input
+/// order (rows of one group must be adjacent and chronological).
+fn group_blocks(groups: &[u32]) -> Vec<(usize, usize)> {
+    let mut blocks = Vec::new();
+    let mut i = 0;
+    while i < groups.len() {
+        let g = groups[i];
+        let mut j = i;
+        while j < groups.len() && groups[j] == g {
+            j += 1;
+        }
+        blocks.push((i, j));
+        i = j;
+    }
+    blocks
+}
+
+/// Carves one contiguous output slice per group block out of `data`
+/// (row-major, `width` columns) and runs `work(start, end, out)` for
+/// each block over `n_jobs` pool workers, recording per-block busy time
+/// behind the `pipeline.worker_utilization` gauge.
+fn shard_blocks<F>(
+    data: &mut [f64],
+    width: usize,
+    blocks: &[(usize, usize)],
+    n_jobs: usize,
+    work: F,
+) where
+    F: Fn(usize, usize, &mut [f64]) + Sync,
+{
+    let span = obs::Span::enter("pipeline.stage_d");
+    let mut tasks: Vec<(usize, usize, &mut [f64])> = Vec::with_capacity(blocks.len());
+    let mut rest = data;
+    for &(start, end) in blocks {
+        let (head, tail) = rest.split_at_mut((end - start) * width);
+        tasks.push((start, end, head));
+        rest = tail;
+    }
+    let busy_us = AtomicU64::new(0);
+    let busy = &busy_us;
+    let work = &work;
+    monitorless_std::pool::for_each_item_mut(&mut tasks, n_jobs, |_, (start, end, out)| {
+        let started = obs::enabled().then(std::time::Instant::now);
+        work(*start, *end, out);
+        if let Some(started) = started {
+            let us = started.elapsed().as_micros() as u64;
+            obs::observe("pipeline.block_busy_us", us as f64);
+            busy.fetch_add(us, Ordering::Relaxed);
+        }
+    });
+    if let Some(wall_us) = span.elapsed_us() {
+        if wall_us > 0.0 {
+            let total_busy = busy_us.load(Ordering::Relaxed) as f64;
+            obs::gauge_set(
+                "pipeline.worker_utilization",
+                total_busy / (n_jobs.max(1) as f64 * wall_us),
+            );
+        }
+    }
+}
+
+/// Stage D (time features + products) on the streaming kernels: every
+/// group block is expanded straight into its slice of the output matrix
+/// buffer — no row clones, no per-row vectors — and independent blocks
+/// are sharded over `n_jobs` pool workers (the output is identical for
+/// any worker count). Bit-identical to [`expand_stage_d_legacy`].
+pub fn expand_stage_d(
+    c: &Matrix,
+    groups: &[u32],
+    time: Option<&TimeExpander>,
+    pairs: &[(usize, usize)],
+    names_c: &[String],
+    n_jobs: usize,
+) -> (Matrix, Vec<String>) {
+    let w = c.cols();
+    let time_width = time.map_or(w, |t| t.output_width());
+    let width = time_width + pairs.len();
+    let blocks = group_blocks(groups);
+    obs::counter_add("pipeline.rows", c.rows() as u64);
+    obs::counter_add("pipeline.groups", blocks.len() as u64);
+    let mut data = vec![0.0; c.rows() * width];
+    let c_data = c.as_slice();
+    shard_blocks(&mut data, width, &blocks, n_jobs, |start, end, out| {
+        let block = &c_data[start * w..end * w];
+        expand_block_full(block, w, time, pairs, time_width, width, out);
+    });
+
+    let mut names = match time {
+        Some(t) => t.names(names_c),
+        None => names_c.to_vec(),
+    };
+    names.extend(product_names(names_c, pairs));
+    (Matrix::from_vec(c.rows(), width, data), names)
+}
+
+/// Expands one contiguous group block (`block`, row-major with `w`
+/// columns) into `out` (row-major with `width` columns): time features
+/// first, then products of the original (stage-C) values.
+fn expand_block_full(
+    block: &[f64],
+    w: usize,
+    time: Option<&TimeExpander>,
+    pairs: &[(usize, usize)],
+    time_width: usize,
+    width: usize,
+    out: &mut [f64],
+) {
+    let n_rows = block.len().checked_div(w).unwrap_or(0);
+    match time {
+        Some(t) => {
+            let mut acc = vec![0.0; w];
+            t.expand_block_into(block, out, width, &mut acc);
+        }
+        None => {
+            for i in 0..n_rows {
+                out[i * width..i * width + w].copy_from_slice(&block[i * w..(i + 1) * w]);
+            }
+        }
+    }
+    for i in 0..n_rows {
+        let orig = &block[i * w..(i + 1) * w];
+        let prod = &mut out[i * width + time_width..(i + 1) * width];
+        for (dst, &(a, b)) in prod.iter_mut().zip(pairs) {
+            *dst = orig[a] * orig[b];
+        }
+    }
+}
+
+/// The original row-cloning stage-D implementation, retained as the
+/// reference the streaming path is proven bit-identical against.
+pub fn expand_stage_d_legacy(
     c: &Matrix,
     groups: &[u32],
     time: Option<&TimeExpander>,
@@ -269,6 +410,98 @@ fn expand_stage_d(
     };
     names.extend(product_names(names_c, pairs));
     (Matrix::from_vec(c.rows(), width, data), names)
+}
+
+/// One final-output cell of the selective stage-D/E plan: which stage-D
+/// value a kept output column corresponds to, resolved through the
+/// second reduction's selection and the zero-variance `keep` list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlanCell {
+    /// Stage-C column `f` of the current row.
+    Orig(usize),
+    /// Mean of stage-C column `f` over the clamped trailing window.
+    Avg {
+        /// Stage-C column.
+        f: usize,
+        /// Lag distance (window is `lag + 1` samples).
+        lag: usize,
+    },
+    /// Stage-C column `f`, `lag` samples ago (clamped at block start).
+    Lag {
+        /// Stage-C column.
+        f: usize,
+        /// Lag distance.
+        lag: usize,
+    },
+    /// Product of stage-C columns `a` and `b` of the current row.
+    Product(usize, usize),
+}
+
+/// Evaluates the plan for chronological row `i` of a contiguous block
+/// (`rw` stage-C columns), writing one value per plan cell into `out`.
+///
+/// Each `Avg` cell re-accumulates its clamped window in ascending
+/// chronological order — the same left-to-right f64 add sequence as the
+/// legacy full expansion, so every cell is bit-identical to the
+/// corresponding legacy stage-D column.
+fn eval_plan_row(plan: &[PlanCell], block: &[f64], rw: usize, i: usize, out: &mut [f64]) {
+    let cur = &block[i * rw..(i + 1) * rw];
+    for (dst, cell) in out.iter_mut().zip(plan) {
+        *dst = match *cell {
+            PlanCell::Orig(f) => cur[f],
+            PlanCell::Avg { f, lag } => {
+                let start = i.saturating_sub(lag);
+                let n = (i - start + 1) as f64;
+                let mut acc = 0.0;
+                for r in start..=i {
+                    acc += block[r * rw + f];
+                }
+                acc / n
+            }
+            PlanCell::Lag { f, lag } => block[i.saturating_sub(lag) * rw + f],
+            PlanCell::Product(a, b) => cur[a] * cur[b],
+        };
+    }
+}
+
+/// Expands one chronological row of a contiguous block into the full
+/// stage-D row (time features + products), reusing `d` — the online
+/// fallback when the second reduction is PCA and every stage-D column
+/// is needed. Bit-identical to `expand_at` + `apply_products`.
+fn expand_row_full(
+    time: Option<&TimeExpander>,
+    block: &[f64],
+    rw: usize,
+    i: usize,
+    pairs: &[(usize, usize)],
+    d: &mut Vec<f64>,
+) {
+    d.clear();
+    let cur = &block[i * rw..(i + 1) * rw];
+    match time {
+        Some(_) => {
+            d.extend_from_slice(cur);
+            for &x in &TIME_LAGS {
+                let start = i.saturating_sub(x);
+                let n = (i - start + 1) as f64;
+                for f in 0..rw {
+                    let mut acc = 0.0;
+                    for r in start..=i {
+                        acc += block[r * rw + f];
+                    }
+                    d.push(acc / n);
+                }
+            }
+            for &x in &TIME_LAGS {
+                let j = i.saturating_sub(x);
+                d.extend_from_slice(&block[j * rw..(j + 1) * rw]);
+            }
+        }
+        None => d.extend_from_slice(cur),
+    }
+    for &(a, b) in pairs {
+        d.push(cur[a] * cur[b]);
+    }
 }
 
 /// A fitted feature pipeline: transforms raw metric windows into model
@@ -308,13 +541,142 @@ impl FittedPipeline {
         self.names_c.len()
     }
 
-    /// Batch transform mirroring the fit-time flow. Rows must be ordered
-    /// chronologically within each group.
+    /// Width of the time-feature span of a stage-D row.
+    fn time_width(&self) -> usize {
+        let rw = self.names_c.len();
+        match &self.time {
+            Some(t) => t.output_width(),
+            None => rw,
+        }
+    }
+
+    /// Builds the selective stage-D/E evaluation plan: when the second
+    /// reduction is a column selection (or identity), final output
+    /// column `k` is exactly one stage-D value, so the batch and online
+    /// paths compute only those cells instead of materializing the full
+    /// stage-D row. Returns `None` for PCA, which mixes every column.
+    fn plan(&self) -> Option<Vec<PlanCell>> {
+        let rw = self.names_c.len();
+        let time_width = self.time_width();
+        let d_index = |k: usize| match &self.reduce2 {
+            FittedReduction::Select(idx) => Some(idx[self.keep[k]]),
+            FittedReduction::None => Some(self.keep[k]),
+            FittedReduction::Pca(_) => None,
+        };
+        (0..self.keep.len())
+            .map(|k| {
+                let j = d_index(k)?;
+                Some(if j < time_width {
+                    if self.time.is_some() {
+                        let band = j / rw;
+                        let f = j % rw;
+                        if band == 0 {
+                            PlanCell::Orig(f)
+                        } else if band <= TIME_LAGS.len() {
+                            PlanCell::Avg {
+                                f,
+                                lag: TIME_LAGS[band - 1],
+                            }
+                        } else {
+                            PlanCell::Lag {
+                                f,
+                                lag: TIME_LAGS[band - 1 - TIME_LAGS.len()],
+                            }
+                        }
+                    } else {
+                        PlanCell::Orig(j)
+                    }
+                } else {
+                    let (a, b) = self.pairs[j - time_width];
+                    PlanCell::Product(a, b)
+                })
+            })
+            .collect()
+    }
+
+    /// Batch transform mirroring the fit-time flow on the streaming
+    /// kernels: stages 1–3 are fused row by row into the reduced matrix
+    /// (no intermediate base/scaled matrices), and stage D/E evaluates
+    /// only the kept output cells when the second reduction is a column
+    /// selection. Rows must be ordered chronologically within each
+    /// group. Bit-identical to [`FittedPipeline::transform_batch_legacy`].
     ///
     /// # Errors
     ///
     /// Propagates scaler/PCA errors.
     pub fn transform_batch(&self, x_raw: &Matrix, groups: &[u32]) -> Result<Matrix, Error> {
+        let span = obs::Span::enter("pipeline.transform_batch");
+        let rows = x_raw.rows();
+        let rw = self.names_c.len();
+
+        // Fused stages 1-3: expand → scale → reduce, one row at a time.
+        let mut c_data: Vec<f64> = Vec::with_capacity(rows * rw);
+        let mut base = Vec::with_capacity(self.expander.len());
+        let mut scaled = Vec::with_capacity(self.expander.len());
+        let mut reduced = Vec::with_capacity(rw);
+        for raw in x_raw.iter_rows() {
+            self.expander.expand_into(raw, &mut base);
+            let srow: &[f64] = match &self.scaler {
+                Some(s) => {
+                    s.transform_row_into(&base, &mut scaled)?;
+                    &scaled
+                }
+                None => &base,
+            };
+            self.reduce1.apply_row_into(srow, &mut reduced)?;
+            c_data.extend_from_slice(&reduced);
+        }
+        let c = Matrix::from_vec(rows, rw, c_data);
+
+        let out = match self.plan() {
+            Some(plan) => {
+                let ow = plan.len();
+                let blocks = group_blocks(groups);
+                obs::counter_add("pipeline.rows", rows as u64);
+                obs::counter_add("pipeline.groups", blocks.len() as u64);
+                let mut data = vec![0.0; rows * ow];
+                let c_slice = c.as_slice();
+                let plan = &plan;
+                shard_blocks(&mut data, ow, &blocks, self.config.n_jobs, |start, end, out| {
+                    let block = &c_slice[start * rw..end * rw];
+                    for i in 0..end - start {
+                        eval_plan_row(plan, block, rw, i, &mut out[i * ow..(i + 1) * ow]);
+                    }
+                });
+                Matrix::from_vec(rows, ow, data)
+            }
+            None => {
+                // PCA second stage: the projection needs every stage-D
+                // column, so run the full streaming expansion.
+                let (d, _) = expand_stage_d(
+                    &c,
+                    groups,
+                    self.time.as_ref(),
+                    &self.pairs,
+                    &self.names_c,
+                    self.config.n_jobs,
+                );
+                let e = self.reduce2.apply(&d)?;
+                e.select_columns(&self.keep)
+            }
+        };
+        if let Some(us) = span.elapsed_us() {
+            if us > 0.0 {
+                obs::gauge_set("pipeline.transform_batch.rows_per_sec", rows as f64 / us * 1e6);
+            }
+        }
+        Ok(out)
+    }
+
+    /// The original batch transform (intermediate matrices at every
+    /// stage, row-cloning stage D), retained as the reference path the
+    /// streaming [`FittedPipeline::transform_batch`] is proven
+    /// bit-identical against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scaler/PCA errors.
+    pub fn transform_batch_legacy(&self, x_raw: &Matrix, groups: &[u32]) -> Result<Matrix, Error> {
         let _span = obs::Span::enter("pipeline.transform_batch");
         let mut base_rows: Vec<f64> = Vec::with_capacity(x_raw.rows() * self.expander.len());
         for row in x_raw.iter_rows() {
@@ -325,7 +687,8 @@ impl FittedPipeline {
             b = s.transform(&b)?;
         }
         let c = self.reduce1.apply(&b)?;
-        let (d, _) = expand_stage_d(&c, groups, self.time.as_ref(), &self.pairs, &self.names_c);
+        let (d, _) =
+            expand_stage_d_legacy(&c, groups, self.time.as_ref(), &self.pairs, &self.names_c);
         let e = self.reduce2.apply(&d)?;
         Ok(e.select_columns(&self.keep))
     }
@@ -341,16 +704,26 @@ impl FittedPipeline {
         Ok(self.keep.iter().map(|&i| reduced[i]).collect())
     }
 
-    fn reduce_raw(&self, raw: &[f64]) -> Result<Vec<f64>, Error> {
-        let base = self.expander.expand(raw);
-        let scaled = match &self.scaler {
+    /// Stages 1–3 for one raw sample — expand, scale, reduce — written
+    /// into reusable scratch buffers: no 1-row matrix through the
+    /// scaler, no fresh vectors, allocation-free once the buffers have
+    /// capacity.
+    fn reduce_raw_into(
+        &self,
+        raw: &[f64],
+        base: &mut Vec<f64>,
+        scaled: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), Error> {
+        self.expander.expand_into(raw, base);
+        let srow: &[f64] = match &self.scaler {
             Some(s) => {
-                let m = Matrix::from_rows(&[base.as_slice()]);
-                s.transform(&m)?.row(0).to_vec()
+                s.transform_row_into(base, scaled)?;
+                scaled
             }
             None => base,
         };
-        self.reduce1.apply_row(&scaled)
+        self.reduce1.apply_row_into(srow, out)
     }
 }
 
@@ -358,10 +731,25 @@ impl FittedPipeline {
 /// second and yields the model-input vector using a rolling window for
 /// the time-dependent features — the orchestrator keeps one of these per
 /// running container.
+///
+/// The window is a fixed preallocated buffer of reduced rows and every
+/// intermediate lives in preallocated scratch, so steady-state
+/// [`InstanceTransformer::push`] performs no heap allocation (asserted
+/// by `table1_featurize`'s counting allocator).
 #[derive(Debug, Clone)]
 pub struct InstanceTransformer {
     pipeline: Arc<FittedPipeline>,
-    window: VecDeque<Vec<f64>>,
+    plan: Option<Vec<PlanCell>>,
+    /// Row-major chronological window, at most [`WINDOW_LEN`] × `rw`.
+    window: Vec<f64>,
+    filled: usize,
+    rw: usize,
+    scratch_base: Vec<f64>,
+    scratch_scaled: Vec<f64>,
+    scratch_reduced: Vec<f64>,
+    scratch_d: Vec<f64>,
+    scratch_e: Vec<f64>,
+    out: Vec<f64>,
 }
 
 /// Window length required by the 15-second lags (current + 15 history).
@@ -370,34 +758,119 @@ pub const WINDOW_LEN: usize = 16;
 impl InstanceTransformer {
     /// Creates a transformer bound to a fitted pipeline.
     pub fn new(pipeline: Arc<FittedPipeline>) -> Self {
+        let rw = pipeline.reduced_width();
+        let plan = pipeline.plan();
+        let d_width = pipeline.time_width() + pipeline.pairs.len();
+        let e_width = pipeline.reduce2.output_width(d_width);
+        let (d_cap, e_cap) = if plan.is_some() {
+            (0, 0)
+        } else {
+            (d_width, e_width)
+        };
         InstanceTransformer {
+            plan,
+            window: Vec::with_capacity(WINDOW_LEN * rw),
+            filled: 0,
+            rw,
+            scratch_base: Vec::with_capacity(pipeline.expander.len()),
+            scratch_scaled: Vec::with_capacity(pipeline.expander.len()),
+            scratch_reduced: Vec::with_capacity(rw),
+            scratch_d: Vec::with_capacity(d_cap),
+            scratch_e: Vec::with_capacity(e_cap),
+            out: Vec::with_capacity(pipeline.output_width()),
             pipeline,
-            window: VecDeque::with_capacity(WINDOW_LEN),
         }
     }
 
     /// Number of samples seen so far (capped at the window length).
     pub fn warmup(&self) -> usize {
-        self.window.len()
+        self.filled
     }
 
-    /// Pushes one raw metric vector and returns the model-input vector.
+    /// Pushes one raw metric vector and returns the model-input vector,
+    /// borrowed from an internal buffer (valid until the next push).
     ///
     /// Early samples use a truncated history, exactly like a training
-    /// block's first seconds.
+    /// block's first seconds. Steady state performs no heap allocation.
     ///
     /// # Errors
     ///
     /// Propagates pipeline errors.
-    pub fn push(&mut self, raw: &[f64]) -> Result<Vec<f64>, Error> {
+    pub fn push(&mut self, raw: &[f64]) -> Result<&[f64], Error> {
         let _span = obs::Span::enter("pipeline.transform_online");
-        let reduced = self.pipeline.reduce_raw(raw)?;
-        if self.window.len() == WINDOW_LEN {
-            self.window.pop_front();
+        obs::counter_add("pipeline.online.pushes", 1);
+        self.pipeline.reduce_raw_into(
+            raw,
+            &mut self.scratch_base,
+            &mut self.scratch_scaled,
+            &mut self.scratch_reduced,
+        )?;
+        let rw = self.rw;
+        if self.filled == WINDOW_LEN {
+            self.window.copy_within(rw.., 0);
+            self.window[(WINDOW_LEN - 1) * rw..].copy_from_slice(&self.scratch_reduced);
+        } else {
+            self.window.extend_from_slice(&self.scratch_reduced);
+            self.filled += 1;
         }
-        self.window.push_back(reduced);
-        let rows: Vec<Vec<f64>> = self.window.iter().cloned().collect();
-        self.pipeline.transform_window(&rows)
+        let i = self.filled - 1;
+        let block = &self.window[..self.filled * rw];
+        match &self.plan {
+            Some(plan) => {
+                self.out.resize(plan.len(), 0.0);
+                eval_plan_row(plan, block, rw, i, &mut self.out);
+            }
+            None => {
+                let p = &self.pipeline;
+                expand_row_full(p.time.as_ref(), block, rw, i, &p.pairs, &mut self.scratch_d);
+                p.reduce2
+                    .apply_row_into(&self.scratch_d, &mut self.scratch_e)?;
+                self.out.clear();
+                let e = &self.scratch_e;
+                self.out.extend(p.keep.iter().map(|&k| e[k]));
+            }
+        }
+        Ok(&self.out)
+    }
+
+    /// The original per-tick path (1-row matrix through the scaler, the
+    /// window cloned into fresh vectors, full stage-D row), retained as
+    /// the reference [`InstanceTransformer::push`] is proven
+    /// bit-identical against. Maintains the same window state, so the
+    /// two paths cannot be interleaved on one instance — feed separate
+    /// instances the same samples to compare.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    pub fn push_legacy(&mut self, raw: &[f64]) -> Result<Vec<f64>, Error> {
+        let _span = obs::Span::enter("pipeline.transform_online");
+        obs::counter_add("pipeline.online.pushes", 1);
+        let p = Arc::clone(&self.pipeline);
+        let base = p.expander.expand(raw);
+        let scaled = match &p.scaler {
+            Some(s) => {
+                let m = Matrix::from_rows(&[base.as_slice()]);
+                s.transform(&m)?.row(0).to_vec()
+            }
+            None => base,
+        };
+        let reduced = p.reduce1.apply_row(&scaled)?;
+        let rw = self.rw;
+        if self.filled == WINDOW_LEN {
+            self.window.copy_within(rw.., 0);
+            self.window[(WINDOW_LEN - 1) * rw..].copy_from_slice(&reduced);
+        } else {
+            self.window.extend_from_slice(&reduced);
+            self.filled += 1;
+        }
+        let rows: Vec<Vec<f64>> = self
+            .window
+            .chunks(rw)
+            .take(self.filled)
+            .map(<[f64]>::to_vec)
+            .collect();
+        p.transform_window(&rows)
     }
 }
 
@@ -408,6 +881,7 @@ monitorless_std::json_struct!(PipelineConfig {
     products,
     reduce2,
     seed,
+    n_jobs,
 });
 monitorless_std::json_struct!(FittedPipeline {
     config,
@@ -492,15 +966,38 @@ mod tests {
     }
 
     #[test]
+    fn streaming_batch_is_bit_identical_to_legacy() {
+        let (x, y, groups) = toy_raw(40, 13);
+        let pipeline = FeaturePipeline::new(PipelineConfig::quick());
+        let (fitted, _) = pipeline.fit_transform(&x, &y, &groups, layout()).unwrap();
+        let fast = fitted.transform_batch(&x, &groups).unwrap();
+        let legacy = fitted.transform_batch_legacy(&x, &groups).unwrap();
+        assert_eq!(fast.rows(), legacy.rows());
+        assert_eq!(fast.cols(), legacy.cols());
+        for r in 0..fast.rows() {
+            for (a, b) in fast.row(r).iter().zip(legacy.row(r)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {r}");
+            }
+        }
+    }
+
+    #[test]
     fn online_transformer_matches_batch_after_warmup() {
         let (x, y, groups) = toy_raw(40, 7);
         let pipeline = FeaturePipeline::new(PipelineConfig::quick());
         let (fitted, xt) = pipeline.fit_transform(&x, &y, &groups, layout()).unwrap();
         let fitted = Arc::new(fitted);
         let mut online = InstanceTransformer::new(Arc::clone(&fitted));
+        let mut online_legacy = InstanceTransformer::new(Arc::clone(&fitted));
         // Feed group 0's rows (first 40 rows).
         for t in 0..40 {
+            let legacy = online_legacy.push_legacy(x.row(t)).unwrap();
             let out = online.push(x.row(t)).unwrap();
+            // Streaming and legacy online paths are bit-identical at
+            // every tick, warmup included.
+            for (a, b) in out.iter().zip(&legacy) {
+                assert_eq!(a.to_bits(), b.to_bits(), "t={t}");
+            }
             if t >= WINDOW_LEN {
                 // After warmup the window holds only the last 16 samples;
                 // batch lag-15 looks back at most 15 → identical.
@@ -540,6 +1037,7 @@ mod tests {
                 max_components: 8,
             },
             seed: 0,
+            n_jobs: 2,
         };
         let (fitted, xt) = FeaturePipeline::new(config)
             .fit_transform(&x, &y, &groups, layout())

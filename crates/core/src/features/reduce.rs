@@ -182,6 +182,29 @@ impl FittedReduction {
             }
         }
     }
+
+    /// Applies the reduction to a single row, writing into `out`
+    /// (cleared first) — bit-identical to [`FittedReduction::apply_row`]
+    /// but allocation-free once `out` has capacity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates PCA transform errors.
+    pub fn apply_row_into(&self, row: &[f64], out: &mut Vec<f64>) -> Result<(), Error> {
+        match self {
+            FittedReduction::None => {
+                out.clear();
+                out.extend_from_slice(row);
+            }
+            FittedReduction::Select(idx) => {
+                out.clear();
+                out.reserve(idx.len());
+                out.extend(idx.iter().map(|&i| row[i]));
+            }
+            FittedReduction::Pca(p) => p.transform_row_into(row, out)?,
+        }
+        Ok(())
+    }
 }
 
 impl monitorless_std::json::ToJson for Reduction {
@@ -362,6 +385,13 @@ mod tests {
             let row = fitted.apply_row(x.row(5)).unwrap();
             for (a, b) in row.iter().zip(whole.row(5)) {
                 assert!((a - b).abs() < 1e-9);
+            }
+            // The buffer-reusing variant is bit-identical to apply_row.
+            let mut buffered = vec![f64::NAN; 1];
+            fitted.apply_row_into(x.row(5), &mut buffered).unwrap();
+            assert_eq!(buffered.len(), row.len());
+            for (a, b) in buffered.iter().zip(&row) {
+                assert_eq!(a.to_bits(), b.to_bits());
             }
         }
     }

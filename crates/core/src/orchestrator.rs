@@ -104,7 +104,7 @@ impl Orchestrator {
                     .or_insert_with(|| self.model.transformer());
                 let predict_span = obs::Span::enter("orchestrator.predict");
                 let features = transformer.push(&raw)?;
-                let (probability, saturated) = self.model.predict_features(&features);
+                let (probability, saturated) = self.model.predict_features(features);
                 drop(predict_span);
                 obs::counter_add("orchestrator.predictions", 1);
                 if saturated == 1 {

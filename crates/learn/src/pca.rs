@@ -217,6 +217,37 @@ impl Pca {
         Ok(out)
     }
 
+    /// Projects a single row onto the retained components, writing into
+    /// `out` (cleared first) — bit-identical to [`Pca::transform`] on a
+    /// 1-row matrix (same left-to-right dot-product accumulation), but
+    /// without allocating the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`, or
+    /// [`Error::DimensionMismatch`] on a length mismatch.
+    pub fn transform_row_into(&self, row: &[f64], out: &mut Vec<f64>) -> Result<(), Error> {
+        if self.components.is_empty() {
+            return Err(Error::NotFitted);
+        }
+        if row.len() != self.mean.len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.mean.len(),
+                got: row.len(),
+            });
+        }
+        out.clear();
+        out.reserve(self.components.len());
+        for comp in &self.components {
+            let mut acc = 0.0;
+            for ((v, m), c) in row.iter().zip(&self.mean).zip(comp) {
+                acc += (v - m) * c;
+            }
+            out.push(acc);
+        }
+        Ok(())
+    }
+
     /// `fit` followed by `transform` on the same data.
     ///
     /// # Errors

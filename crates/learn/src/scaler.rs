@@ -159,6 +159,51 @@ impl StandardScaler {
     pub fn stds(&self) -> Option<&[f64]> {
         self.stds.as_deref()
     }
+
+    /// Standardizes a single row without building a 1-row [`Matrix`].
+    ///
+    /// Bit-identical to [`Transformer::transform`] on a 1-row matrix:
+    /// each value is centered, then divided by the standard deviation
+    /// only when it is positive (zero-variance columns stay centered).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`, or
+    /// [`Error::DimensionMismatch`] on a length mismatch.
+    pub fn transform_row(&self, row: &[f64]) -> Result<Vec<f64>, Error> {
+        let mut out = Vec::new();
+        self.transform_row_into(row, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`StandardScaler::transform_row`], writing into `out`
+    /// (cleared first) so steady-state callers can reuse the buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFitted`] before `fit`, or
+    /// [`Error::DimensionMismatch`] on a length mismatch.
+    pub fn transform_row_into(&self, row: &[f64], out: &mut Vec<f64>) -> Result<(), Error> {
+        let (means, stds) = match (&self.means, &self.stds) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Err(Error::NotFitted),
+        };
+        if row.len() != means.len() {
+            return Err(Error::DimensionMismatch {
+                expected: means.len(),
+                got: row.len(),
+            });
+        }
+        out.clear();
+        out.extend_from_slice(row);
+        for (c, v) in out.iter_mut().enumerate() {
+            *v -= means[c];
+            if stds[c] > 0.0 {
+                *v /= stds[c];
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Transformer for StandardScaler {
@@ -261,6 +306,36 @@ mod tests {
         let mut s = StandardScaler::new();
         s.fit(&Matrix::zeros(2, 2)).unwrap();
         assert!(matches!(s.transform(&Matrix::zeros(2, 3)), Err(Error::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn transform_row_matches_one_row_matrix_path() {
+        let mut s = StandardScaler::new();
+        // Column 1 has zero variance: the division is skipped and values
+        // stay centered at zero — transform_row must follow the same
+        // convention bit for bit.
+        let x = Matrix::from_rows(&[&[1.0, 3.0, -2.0], &[2.0, 3.0, 5.0], &[4.0, 3.0, 0.25]]);
+        s.fit(&x).unwrap();
+        for probe in [[7.5, 3.0, -1.25], [0.0, 9.0, f64::MAX], [-3.0, 3.0, 1e-300]] {
+            let via_matrix = s.transform(&Matrix::from_rows(&[&probe])).unwrap();
+            let via_row = s.transform_row(&probe).unwrap();
+            assert_eq!(via_row.len(), 3);
+            for (a, b) in via_row.iter().zip(via_matrix.row(0)) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            let mut reused = vec![99.0; 8];
+            s.transform_row_into(&probe, &mut reused).unwrap();
+            assert_eq!(reused, via_row);
+        }
+    }
+
+    #[test]
+    fn transform_row_checks_fit_and_width() {
+        let s = StandardScaler::new();
+        assert!(matches!(s.transform_row(&[1.0]), Err(Error::NotFitted)));
+        let mut s = StandardScaler::new();
+        s.fit(&Matrix::zeros(2, 2)).unwrap();
+        assert!(matches!(s.transform_row(&[1.0]), Err(Error::DimensionMismatch { .. })));
     }
 
     #[test]
