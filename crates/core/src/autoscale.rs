@@ -179,6 +179,23 @@ pub fn run_teastore_autoscale(
         });
 
         // --- scale-out (both tied services together) ---
+        if obs::trace_enabled() {
+            // Stamp the decision with the prediction tick's trace id so
+            // the audit trail joins observation → predict → decision.
+            let trace = orchestrator.as_ref().map_or(0, |o| o.last_trace());
+            let policy_name = policy.name();
+            obs::record(
+                "autoscale.decision",
+                trace,
+                &[
+                    ("t", t as f64),
+                    ("triggered", f64::from(triggered)),
+                    ("response_ms", kpi.response_ms),
+                    ("containers", cluster.app(tea).instances().len() as f64),
+                ],
+                &[("policy", policy_name.as_str())],
+            );
+        }
         if triggered {
             if replicas.is_empty() {
                 for service in SCALED_SERVICES {
@@ -196,6 +213,19 @@ pub fn run_teastore_autoscale(
                             ("response_ms", kpi.response_ms),
                             ("containers", cluster.app(tea).instances().len() as f64),
                         ],
+                    );
+                }
+                if obs::trace_enabled() {
+                    let trace = orchestrator.as_ref().map_or(0, |o| o.last_trace());
+                    obs::record(
+                        "autoscale.scale_out",
+                        trace,
+                        &[
+                            ("t", t as f64),
+                            ("load", load),
+                            ("containers", cluster.app(tea).instances().len() as f64),
+                        ],
+                        &[],
                     );
                 }
             } else {

@@ -1,0 +1,499 @@
+//! Streaming covariate-drift detection over the serving feature stream.
+//!
+//! Monitorless's premise — a platform-metrics-only model standing in
+//! for app-level monitoring — holds only while the serving feature
+//! distribution looks like the training distribution; the model is
+//! itself an unmonitored component the moment it drifts. This module
+//! monitors the monitor:
+//!
+//! * [`DriftProfile`] — a compact reference profile captured from the
+//!   *transformed* training matrix at fit time (equi-depth quantile bin
+//!   edges plus mean/std per feature) and serialized alongside
+//!   [`crate::model::MonitorlessModel`]. Equi-depth edges make the
+//!   reference distribution uniform by construction (`1/k` per bin), so no
+//!   per-bin reference counts need to ship.
+//! * [`DriftDetector`] — a zero-allocation-per-row streaming detector
+//!   fed every feature row the orchestrator predicts on. Per feature it
+//!   maintains Welford online mean/variance over the whole stream and a
+//!   sliding-window histogram over the reference bins (a ring of bin
+//!   indices, updated incrementally), and every `check_every` rows
+//!   scores each feature with the Population Stability Index
+//!   `PSI = Σ (p_i − q_i) · ln(p_i / q_i)` of the window against the
+//!   uniform reference. Industry folklore reads PSI < 0.1 as stable
+//!   and PSI > 0.25 as significant shift; those are the default
+//!   hysteresis bounds.
+//! * **Hysteresis.** A feature *trips* when its PSI crosses
+//!   [`DriftConfig::psi_alert`] and must stay tripped for
+//!   [`DriftConfig::patience`] consecutive checks before the detector
+//!   raises an alert; it re-arms only after dropping below
+//!   [`DriftConfig::psi_clear`]. A stationary stream therefore stays
+//!   quiet (sampling noise has expected PSI ≈ (k−1)/window, an order of
+//!   magnitude under the alert bound) while a sustained covariate shift
+//!   trips within a bounded number of ticks — roughly
+//!   `min_samples + patience · check_every` rows after onset
+//!   (`tests/drift_detection.rs` pins both properties).
+//!
+//! The detector publishes `drift.checks` / `drift.alerts` counters and
+//! a `drift.max_psi` gauge through `monitorless-obs`; the orchestrator
+//! adds trace-stamped journal records on alert transitions.
+
+use monitorless_learn::Matrix;
+use monitorless_obs as obs;
+
+/// Number of equi-depth bins per feature in the reference profile. Ten
+/// is the classic PSI decile convention: coarse enough that a 256-row
+/// window fills every bin, fine enough to see mean *and* scale shifts.
+pub const PROFILE_BINS: usize = 10;
+
+/// Reference statistics for one feature, captured at fit time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureProfile {
+    /// Interior equi-depth bin edges, ascending (`PROFILE_BINS − 1` of
+    /// them; values `<= edges[0]` fall in bin 0, `> edges.last()` in the
+    /// last bin). Degenerate (constant) features repeat one edge.
+    pub edges: Vec<f64>,
+    /// Training mean.
+    pub mean: f64,
+    /// Training standard deviation (population).
+    pub std: f64,
+}
+
+monitorless_std::json_struct!(FeatureProfile { edges, mean, std });
+
+impl FeatureProfile {
+    /// Bin index of `v` among this feature's equi-depth bins. NaN — for
+    /// which every comparison is false — lands in the last bin, mirroring
+    /// the tree walk's NaN-goes-right convention.
+    #[inline]
+    pub fn bin(&self, v: f64) -> usize {
+        self.edges.partition_point(|e| *e < v)
+    }
+}
+
+/// A per-feature reference profile of the training feature matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftProfile {
+    /// One profile per pipeline output feature.
+    pub features: Vec<FeatureProfile>,
+}
+
+monitorless_std::json_struct!(DriftProfile { features });
+
+impl DriftProfile {
+    /// Captures a profile from a (transformed) training matrix: per
+    /// column, equi-depth decile edges plus mean/std.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has no rows.
+    pub fn from_matrix(x: &Matrix) -> Self {
+        assert!(x.rows() > 0, "cannot profile an empty matrix");
+        let rows = x.rows();
+        let mut features = Vec::with_capacity(x.cols());
+        let mut col = vec![0.0; rows];
+        for c in 0..x.cols() {
+            for (r, slot) in col.iter_mut().enumerate() {
+                *slot = x.row(r)[c];
+            }
+            // NaNs sort last under total_cmp, biasing high quantile
+            // edges; training matrices are imputed upstream so this is
+            // a safety net, not a design point.
+            col.sort_by(|a, b| a.total_cmp(b));
+            let edges = (1..PROFILE_BINS)
+                .map(|i| col[(i * rows / PROFILE_BINS).min(rows - 1)])
+                .collect();
+            let mean = col.iter().sum::<f64>() / rows as f64;
+            let var = col.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / rows as f64;
+            features.push(FeatureProfile {
+                edges,
+                mean,
+                std: var.sqrt(),
+            });
+        }
+        DriftProfile { features }
+    }
+
+    /// Number of profiled features.
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Creates a streaming detector over this profile.
+    pub fn detector(&self, config: DriftConfig) -> DriftDetector {
+        DriftDetector::new(self.clone(), config)
+    }
+}
+
+/// Tuning knobs for [`DriftDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Sliding-window length (rows) for the PSI histogram.
+    pub window: usize,
+    /// Rows required before the first score (avoids small-sample PSI
+    /// spikes).
+    pub min_samples: usize,
+    /// Scoring cadence in rows.
+    pub check_every: usize,
+    /// PSI at or above which a feature trips.
+    pub psi_alert: f64,
+    /// PSI below which a tripped feature re-arms (hysteresis).
+    pub psi_clear: f64,
+    /// Consecutive tripped checks before an alert is raised.
+    pub patience: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            window: 256,
+            min_samples: 128,
+            check_every: 32,
+            psi_alert: 0.25,
+            psi_clear: 0.10,
+            patience: 3,
+        }
+    }
+}
+
+/// Outcome of one scoring pass (every [`DriftConfig::check_every`] rows
+/// once warmed up).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftCheck {
+    /// Largest per-feature PSI this check.
+    pub max_psi: f64,
+    /// Feature index attaining `max_psi`.
+    pub max_feature: usize,
+    /// Features whose alert state switched on during this check.
+    pub new_alerts: Vec<usize>,
+}
+
+/// Streaming per-feature drift detector (see the module docs).
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    profile: DriftProfile,
+    config: DriftConfig,
+    /// Ring of bin indices, `window × n_features`, row-major.
+    ring: Vec<u8>,
+    /// Current window histogram, `n_features × PROFILE_BINS`.
+    counts: Vec<u32>,
+    /// Next ring row to overwrite.
+    head: usize,
+    /// Rows currently in the window (saturates at `window`).
+    filled: usize,
+    /// Total rows ever pushed.
+    rows: u64,
+    rows_since_check: usize,
+    /// Welford online mean per feature (whole stream).
+    mean: Vec<f64>,
+    /// Welford online M2 per feature (whole stream).
+    m2: Vec<f64>,
+    /// Latest PSI per feature.
+    scores: Vec<f64>,
+    /// Consecutive tripped checks per feature.
+    trips: Vec<u32>,
+    /// Latched alert state per feature.
+    alerted: Vec<bool>,
+}
+
+impl DriftDetector {
+    /// Creates a detector over `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-feature profile or degenerate config
+    /// (`window == 0`, `check_every == 0`, or `psi_clear > psi_alert`).
+    pub fn new(profile: DriftProfile, config: DriftConfig) -> Self {
+        let n = profile.n_features();
+        assert!(n > 0, "drift profile has no features");
+        assert!(config.window > 0 && config.check_every > 0, "degenerate drift config");
+        assert!(config.psi_clear <= config.psi_alert, "hysteresis bounds inverted");
+        DriftDetector {
+            ring: vec![0; config.window * n],
+            counts: vec![0; n * PROFILE_BINS],
+            head: 0,
+            filled: 0,
+            rows: 0,
+            rows_since_check: 0,
+            mean: vec![0.0; n],
+            m2: vec![0.0; n],
+            scores: vec![0.0; n],
+            trips: vec![0; n],
+            alerted: vec![false; n],
+            profile,
+            config,
+        }
+    }
+
+    /// Feeds one feature row. Allocation-free. Returns `Some` when this
+    /// row completed a scoring pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is shorter than the profiled feature count.
+    pub fn push(&mut self, row: &[f64]) -> Option<DriftCheck> {
+        let n = self.profile.n_features();
+        assert!(row.len() >= n, "row has {} features, profile has {n}", row.len());
+        let base = self.head * n;
+        for (f, (&v, fp)) in row[..n].iter().zip(&self.profile.features).enumerate() {
+            // Evict the outgoing row's bin once the ring has wrapped.
+            if self.filled == self.config.window {
+                let old = self.ring[base + f] as usize;
+                self.counts[f * PROFILE_BINS + old] -= 1;
+            }
+            let bin = fp.bin(v);
+            self.ring[base + f] = bin as u8;
+            self.counts[f * PROFILE_BINS + bin] += 1;
+            // Welford over the whole stream.
+            let count = (self.rows + 1) as f64;
+            let delta = v - self.mean[f];
+            self.mean[f] += delta / count;
+            self.m2[f] += delta * (v - self.mean[f]);
+        }
+        self.head = (self.head + 1) % self.config.window;
+        self.filled = (self.filled + 1).min(self.config.window);
+        self.rows += 1;
+        self.rows_since_check += 1;
+        if self.rows < self.config.min_samples as u64
+            || self.rows_since_check < self.config.check_every
+        {
+            return None;
+        }
+        self.rows_since_check = 0;
+        Some(self.check())
+    }
+
+    /// Scores every feature's window against the reference and updates
+    /// the hysteresis state.
+    fn check(&mut self) -> DriftCheck {
+        let n = self.profile.n_features();
+        let total = self.filled as f64;
+        let q = 1.0 / PROFILE_BINS as f64; // equi-depth reference mass
+        let floor = 0.5 / total; // half-a-sample smoothing
+        let mut max_psi = 0.0;
+        let mut max_feature = 0;
+        let mut new_alerts = Vec::new();
+        for f in 0..n {
+            let counts = &self.counts[f * PROFILE_BINS..(f + 1) * PROFILE_BINS];
+            let mut psi = 0.0;
+            for &c in counts {
+                let p = (c as f64 / total).max(floor);
+                psi += (p - q) * (p / q).ln();
+            }
+            self.scores[f] = psi;
+            if psi > max_psi {
+                max_psi = psi;
+                max_feature = f;
+            }
+            if psi >= self.config.psi_alert {
+                self.trips[f] += 1;
+                if self.trips[f] >= self.config.patience as u32 && !self.alerted[f] {
+                    self.alerted[f] = true;
+                    new_alerts.push(f);
+                }
+            } else if psi < self.config.psi_clear {
+                self.trips[f] = 0;
+                self.alerted[f] = false;
+            }
+            // Between clear and alert: hold state (hysteresis band).
+        }
+        obs::counter_add("drift.checks", 1);
+        obs::gauge_set("drift.max_psi", max_psi);
+        if !new_alerts.is_empty() {
+            obs::counter_add("drift.alerts", new_alerts.len() as u64);
+        }
+        DriftCheck {
+            max_psi,
+            max_feature,
+            new_alerts,
+        }
+    }
+
+    /// Latest PSI per feature (zeros before the first check).
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Whether any feature is currently in the alerted state.
+    pub fn drifting(&self) -> bool {
+        self.alerted.iter().any(|&a| a)
+    }
+
+    /// Indices of currently-alerted features.
+    pub fn alerted_features(&self) -> Vec<usize> {
+        (0..self.alerted.len())
+            .filter(|&f| self.alerted[f])
+            .collect()
+    }
+
+    /// Streaming mean/std seen so far for `feature` (Welford, whole
+    /// stream) — reported alongside alerts so the audit record shows
+    /// *where* the distribution moved, not just that it moved.
+    pub fn stream_stats(&self, feature: usize) -> (f64, f64) {
+        if self.rows < 2 {
+            return (self.mean[feature], 0.0);
+        }
+        (self.mean[feature], (self.m2[feature] / self.rows as f64).sqrt())
+    }
+
+    /// Total rows pushed.
+    pub fn rows_seen(&self) -> u64 {
+        self.rows
+    }
+
+    /// The reference profile this detector scores against.
+    pub fn profile(&self) -> &DriftProfile {
+        &self.profile
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monitorless_std::rng::{Rng as _, StdRng};
+
+    fn gaussian(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+        // Box–Muller; one draw per call is plenty for tests.
+        let u1 = rng.gen_f64().max(1e-12);
+        let u2 = rng.gen_f64();
+        mean + std * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    fn profile_from(rng: &mut StdRng, rows: usize, cols: usize) -> DriftProfile {
+        let data: Vec<Vec<f64>> = (0..rows)
+            .map(|_| {
+                (0..cols)
+                    .map(|c| gaussian(rng, c as f64, 1.0 + c as f64 * 0.5))
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[f64]> = data.iter().map(|r| r.as_slice()).collect();
+        DriftProfile::from_matrix(&Matrix::from_rows(&refs))
+    }
+
+    #[test]
+    fn equi_depth_edges_are_deciles() {
+        let col: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let refs: Vec<&[f64]> = col.iter().map(std::slice::from_ref).collect();
+        let p = DriftProfile::from_matrix(&Matrix::from_rows(&refs));
+        assert_eq!(p.features[0].edges.len(), PROFILE_BINS - 1);
+        // Every decile bin of the training data itself gets ~1/10 mass.
+        let fp = &p.features[0];
+        let mut counts = [0usize; PROFILE_BINS];
+        for &v in &col {
+            counts[fp.bin(v)] += 1;
+        }
+        for c in counts {
+            assert!((80..=120).contains(&c), "bin count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn stationary_stream_stays_quiet() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let profile = profile_from(&mut rng, 2000, 3);
+        let mut det = profile.detector(DriftConfig::default());
+        let mut row = [0.0; 3];
+        for _ in 0..2000 {
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot = gaussian(&mut rng, c as f64, 1.0 + c as f64 * 0.5);
+            }
+            if let Some(check) = det.push(&row) {
+                assert!(check.new_alerts.is_empty(), "false alert: {check:?}");
+            }
+        }
+        assert!(!det.drifting());
+    }
+
+    #[test]
+    fn mean_shift_trips_within_bounded_ticks() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let profile = profile_from(&mut rng, 2000, 3);
+        let cfg = DriftConfig::default();
+        let mut det = profile.detector(cfg);
+        let mut row = [0.0; 3];
+        // Warm up stationary, then shift feature 1 by 3 reference stds.
+        for _ in 0..cfg.window {
+            for (c, slot) in row.iter_mut().enumerate() {
+                *slot = gaussian(&mut rng, c as f64, 1.0 + c as f64 * 0.5);
+            }
+            det.push(&row);
+        }
+        assert!(!det.drifting());
+        let bound = cfg.window + cfg.patience * cfg.check_every + cfg.check_every;
+        let mut detected_at = None;
+        for t in 0..bound {
+            for (c, slot) in row.iter_mut().enumerate() {
+                let shift = if c == 1 { 3.0 * 1.5 } else { 0.0 };
+                *slot = gaussian(&mut rng, c as f64 + shift, 1.0 + c as f64 * 0.5);
+            }
+            if let Some(check) = det.push(&row) {
+                if check.new_alerts.contains(&1) {
+                    detected_at = Some(t);
+                    break;
+                }
+            }
+        }
+        let at = detected_at.expect("shift in feature 1 never detected");
+        assert!(det.alerted_features().contains(&1));
+        assert!(at < bound, "detected only after {at} rows");
+    }
+
+    #[test]
+    fn hysteresis_holds_alert_through_the_band() {
+        let profile = DriftProfile {
+            features: vec![FeatureProfile {
+                edges: (1..PROFILE_BINS).map(|i| i as f64).collect(),
+                mean: 5.0,
+                std: 3.0,
+            }],
+        };
+        let cfg = DriftConfig {
+            window: 64,
+            min_samples: 64,
+            check_every: 16,
+            patience: 1,
+            ..DriftConfig::default()
+        };
+        let mut det = profile.detector(cfg);
+        // All mass in one bin → PSI far above alert.
+        for _ in 0..128 {
+            det.push(&[0.5]);
+        }
+        assert!(det.drifting());
+        // Back to uniform coverage: PSI decays below clear → re-arms.
+        for i in 0..256u32 {
+            det.push(&[(i % 10) as f64 + 0.5]);
+        }
+        assert!(!det.drifting(), "alert did not clear, scores {:?}", det.scores());
+    }
+
+    #[test]
+    fn profile_serde_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = profile_from(&mut rng, 500, 4);
+        let json = monitorless_std::json::to_string(&p);
+        let back: DriftProfile = monitorless_std::json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn welford_matches_batch_moments() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = profile_from(&mut rng, 200, 1);
+        let mut det = p.detector(DriftConfig::default());
+        let vals: Vec<f64> = (0..500).map(|_| rng.gen_f64() * 10.0).collect();
+        for v in &vals {
+            det.push(std::slice::from_ref(v));
+        }
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+        let (m, s) = det.stream_stats(0);
+        assert!((m - mean).abs() < 1e-9);
+        assert!((s - var.sqrt()).abs() < 1e-9);
+    }
+}

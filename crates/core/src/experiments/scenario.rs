@@ -286,7 +286,7 @@ pub fn run_eval_scenario(
             let preds = orch.step(&report.observations)?;
             let app_instances = cluster.app(target).instances();
             let app_pred =
-                Orchestrator::application_prediction(&preds, &app_instances, Aggregation::Or);
+                Orchestrator::application_prediction(preds, &app_instances, Aggregation::Or);
             run.monitorless
                 .as_mut()
                 .expect("created with model")
@@ -294,7 +294,7 @@ pub fn run_eval_scenario(
             let per_service = run.per_service.as_mut().expect("created with model");
             for (service, series) in per_service.iter_mut() {
                 let insts = cluster.app(target).instances_of(service);
-                let p = Orchestrator::application_prediction(&preds, &insts, Aggregation::Or);
+                let p = Orchestrator::application_prediction(preds, &insts, Aggregation::Or);
                 series.push(p);
             }
         }

@@ -40,11 +40,16 @@ impl Default for DistillOptions {
 pub struct Distilled {
     /// The shallow student tree (predicts the forest's labels).
     pub student: DecisionTree,
-    /// Human-readable scaling rules extracted from confident leaves.
+    /// Human-readable scaling rules extracted from confident leaves,
+    /// each suffixed with the attribution-ranked metrics that drive the
+    /// teacher over the same data (`[drivers: ...]`).
     pub rules: Vec<String>,
     /// Agreement between student and forest on the training data
     /// (fraction of identical hard predictions).
     pub fidelity: f64,
+    /// The teacher ensemble's globally attribution-ranked features over
+    /// the training data: `(name, mean |contribution|)`, descending.
+    pub drivers: Vec<(String, f64)>,
 }
 
 /// Distills a trained model into a depth-restricted rule set.
@@ -85,11 +90,38 @@ pub fn distill(
     let fidelity = agree as f64 / teacher.len() as f64;
 
     let names: Vec<String> = model.pipeline().feature_names().to_vec();
-    let rules = student.decision_rules(&names, opts.min_rule_proba);
+
+    // Rank the teacher's features by mean |attribution| over the same
+    // data the rules were distilled from, and cite the top drivers in
+    // every rule: the student names the split thresholds, the citation
+    // names the metrics the *ensemble* actually leans on.
+    let mean_abs = model.flat().mean_abs_attribution(&x);
+    let top = monitorless_learn::top_k_contributions(&mean_abs, 3);
+    let mut drivers: Vec<(String, f64)> = mean_abs
+        .into_iter()
+        .enumerate()
+        .map(|(f, w)| (names[f].clone(), w))
+        .collect();
+    drivers.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let citation = if top.is_empty() {
+        String::new()
+    } else {
+        let cited: Vec<String> = top
+            .iter()
+            .map(|&(f, w)| format!("{} ({w:.3})", names[f]))
+            .collect();
+        format!("  [drivers: {}]", cited.join(", "))
+    };
+    let rules = student
+        .decision_rules(&names, opts.min_rule_proba)
+        .into_iter()
+        .map(|r| format!("{r}{citation}"))
+        .collect();
     Ok(Distilled {
         student,
         rules,
         fidelity,
+        drivers,
     })
 }
 
@@ -115,8 +147,20 @@ mod tests {
         for rule in &distilled.rules {
             assert!(rule.starts_with("IF "), "{rule}");
             assert!(rule.contains("THEN saturated"), "{rule}");
+            assert!(rule.contains("[drivers: "), "rule lacks attribution citation: {rule}");
         }
         assert!(distilled.student.depth() <= 3);
+        // Drivers are ranked descending and cover every pipeline feature.
+        assert_eq!(distilled.drivers.len(), model.pipeline().output_width());
+        assert!(distilled.drivers.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert!(distilled.drivers[0].1 > 0.0, "top driver must carry weight");
+        // The top-ranked driver is the one cited first in each rule.
+        assert!(
+            distilled.rules[0].contains(&distilled.drivers[0].0),
+            "top driver {:?} not cited in {:?}",
+            distilled.drivers[0].0,
+            distilled.rules[0]
+        );
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod adapt;
 pub mod autoscale;
 pub mod baselines;
 pub mod coverage;
+pub mod drift;
 pub mod experiments;
 pub mod features;
 pub mod interpret;

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use monitorless_learn::{Classifier, FlatEnsemble, Matrix, RandomForest, RandomForestParams};
 
+use crate::drift::{DriftConfig, DriftDetector, DriftProfile};
 use crate::features::{FeaturePipeline, FittedPipeline, InstanceTransformer, PipelineConfig};
 use crate::training::TrainingData;
 use crate::Error;
@@ -64,6 +65,10 @@ pub struct MonitorlessModel {
     /// The forest compiled for batched inference; rebuilt on load, not
     /// serialized (it is derived state).
     flat: FlatEnsemble,
+    /// Reference profile of the transformed training features, captured
+    /// at fit time for serving-time drift detection. `None` only for
+    /// models saved before the profile existed.
+    drift: Option<DriftProfile>,
 }
 
 impl MonitorlessModel {
@@ -101,11 +106,13 @@ impl MonitorlessModel {
         let mut forest = RandomForest::new(opts.forest.clone());
         forest.fit(&x, labels, None)?;
         let flat = forest.to_flat();
+        let drift = Some(DriftProfile::from_matrix(&x));
         Ok(MonitorlessModel {
             pipeline: fitted,
             forest,
             threshold: opts.threshold,
             flat,
+            drift,
         })
     }
 
@@ -128,6 +135,18 @@ impl MonitorlessModel {
     /// The decision threshold.
     pub fn threshold(&self) -> f64 {
         self.threshold
+    }
+
+    /// Reference drift profile of the transformed training features
+    /// (`None` for models saved before the profile existed).
+    pub fn drift_profile(&self) -> Option<&DriftProfile> {
+        self.drift.as_ref()
+    }
+
+    /// Creates a streaming drift detector over this model's reference
+    /// profile, or `None` when the model predates drift profiles.
+    pub fn drift_detector(&self, config: DriftConfig) -> Option<DriftDetector> {
+        Some(self.drift.as_ref()?.detector(config))
     }
 
     /// Overrides the decision threshold (FN/FP trade-off, Section 4).
@@ -214,16 +233,21 @@ impl MonitorlessModel {
 }
 
 // Hand-written (rather than `json_struct!`) because the flat table is
-// derived state: only pipeline/forest/threshold go on the wire — the
-// same format as before the flat field existed — and deserialization
-// recompiles the table from the forest.
+// derived state: pipeline/forest/threshold plus the optional drift
+// profile go on the wire, and deserialization recompiles the flat table
+// from the forest. The drift field is read with `json.get` rather than
+// `field` so models saved before it existed still load.
 impl monitorless_std::json::ToJson for MonitorlessModel {
     fn to_json(&self) -> monitorless_std::json::Json {
-        monitorless_std::json::Json::Obj(vec![
+        let mut members = vec![
             ("pipeline".to_string(), self.pipeline.to_json()),
             ("forest".to_string(), self.forest.to_json()),
             ("threshold".to_string(), self.threshold.to_json()),
-        ])
+        ];
+        if let Some(drift) = &self.drift {
+            members.push(("drift".to_string(), drift.to_json()));
+        }
+        monitorless_std::json::Json::Obj(members)
     }
 }
 
@@ -234,12 +258,17 @@ impl monitorless_std::json::FromJson for MonitorlessModel {
         let pipeline: FittedPipeline = monitorless_std::json::field(json, "pipeline")?;
         let forest: RandomForest = monitorless_std::json::field(json, "forest")?;
         let threshold: f64 = monitorless_std::json::field(json, "threshold")?;
+        let drift = match json.get("drift") {
+            Some(j) => Some(DriftProfile::from_json(j)?),
+            None => None,
+        };
         let flat = forest.to_flat();
         Ok(MonitorlessModel {
             pipeline,
             forest,
             threshold,
             flat,
+            drift,
         })
     }
 }

@@ -4,6 +4,23 @@
 //! rolling feature window per container, predicts saturation per
 //! instance and aggregates instance predictions to application level
 //! with a logical OR (Section 4).
+//!
+//! Beyond predicting, [`Orchestrator::step`] is the seam where model
+//! observability hangs off the serving loop:
+//!
+//! * every tick mints a trace id (when tracing is on — see
+//!   [`monitorless_obs::TraceMode`]) and journals observation ingest,
+//!   each prediction (with its top-k feature attribution for saturated
+//!   calls) and drift alerts under that id, so one `trace_id` joins a
+//!   raw observation to the autoscaler decision it caused;
+//! * every transformed feature row is fed to the model's streaming
+//!   [`DriftDetector`], so a serving distribution that wanders from the
+//!   training profile raises `drift.alerts` without any extra plumbing
+//!   at the call site;
+//! * the per-tick scratch buffers (feature row, prediction vector,
+//!   attribution vector) are owned by the orchestrator and reused
+//!   across ticks — with tracing off, a steady-state tick performs no
+//!   allocation (`table_obs` asserts this).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -11,6 +28,7 @@ use std::sync::Arc;
 use monitorless_metrics::{InstanceId, Observation};
 use monitorless_obs as obs;
 
+use crate::drift::{DriftConfig, DriftDetector};
 use crate::features::InstanceTransformer;
 use crate::model::MonitorlessModel;
 use crate::Error;
@@ -61,14 +79,42 @@ pub struct InstancePrediction {
 pub struct Orchestrator {
     model: Arc<MonitorlessModel>,
     transformers: HashMap<InstanceId, InstanceTransformer>,
+    /// Streaming drift detector over the serving feature rows (`None`
+    /// when the model predates drift profiles).
+    drift: Option<DriftDetector>,
+    /// Trace id minted for the most recent tick (0 when tracing is off).
+    last_trace: u64,
+    // Per-tick scratch, reused across ticks (zero-alloc steady state).
+    live: Vec<InstanceId>,
+    predictions: Vec<InstancePrediction>,
+    raw: Vec<f64>,
+    contrib: Vec<f64>,
 }
 
+/// Journal label keys for the top-k attribution of one prediction.
+const TOP_K_KEYS: [&str; 3] = ["top1", "top2", "top3"];
+
 impl Orchestrator {
-    /// Creates an orchestrator around a trained model.
+    /// Creates an orchestrator around a trained model, with drift
+    /// detection at [`DriftConfig::default`] when the model carries a
+    /// reference profile.
     pub fn new(model: Arc<MonitorlessModel>) -> Self {
+        Self::with_drift_config(model, DriftConfig::default())
+    }
+
+    /// [`Orchestrator::new`] with explicit drift-detector tuning.
+    pub fn with_drift_config(model: Arc<MonitorlessModel>, config: DriftConfig) -> Self {
+        let drift = model.drift_detector(config);
+        let n_features = model.flat().n_features();
         Orchestrator {
             model,
             transformers: HashMap::new(),
+            drift,
+            last_trace: 0,
+            live: Vec::new(),
+            predictions: Vec::new(),
+            raw: Vec::new(),
+            contrib: vec![0.0; n_features],
         }
     }
 
@@ -82,43 +128,163 @@ impl Orchestrator {
         self.transformers.len()
     }
 
+    /// The streaming drift detector, when the model carries a profile.
+    pub fn drift(&self) -> Option<&DriftDetector> {
+        self.drift.as_ref()
+    }
+
+    /// Trace id of the most recent tick (0 when tracing is off or no
+    /// tick has run) — downstream consumers (the autoscaler) stamp their
+    /// decision records with it to join the tick's causal chain.
+    pub fn last_trace(&self) -> u64 {
+        self.last_trace
+    }
+
     /// Ingests one second of observations from all nodes and returns
-    /// per-instance predictions. Rolling windows for instances that
+    /// per-instance predictions (borrowed from internal scratch, valid
+    /// until the next call). Rolling windows for instances that
     /// disappeared (scale-in) are dropped; new instances start cold.
     ///
     /// # Errors
     ///
     /// Propagates feature-pipeline errors.
-    pub fn step(&mut self, observations: &[Observation]) -> Result<Vec<InstancePrediction>, Error> {
-        let mut live: Vec<InstanceId> = Vec::new();
-        let mut predictions = Vec::new();
-        for obs in observations {
-            for instance in obs.instances() {
-                live.push(instance);
-                let raw = obs
-                    .instance_vector(instance)
-                    .expect("instance listed by the observation");
+    pub fn step(&mut self, observations: &[Observation]) -> Result<&[InstancePrediction], Error> {
+        self.live.clear();
+        self.predictions.clear();
+        let tracing = obs::trace_enabled();
+        let trace = if tracing { obs::next_trace() } else { 0 };
+        self.last_trace = trace;
+        let _scope = tracing.then(|| obs::enter_trace(trace));
+        if tracing {
+            obs::record(
+                "orchestrator.observe",
+                trace,
+                &[
+                    ("time", observations.first().map_or(-1.0, |o| o.time as f64)),
+                    ("nodes", observations.len() as f64),
+                ],
+                &[],
+            );
+        }
+        for observation in observations {
+            for instance in observation.instances() {
+                self.live.push(instance);
+                let ok = observation.instance_vector_into(instance, &mut self.raw);
+                debug_assert!(ok, "instance listed by the observation");
                 let transformer = self
                     .transformers
                     .entry(instance)
                     .or_insert_with(|| self.model.transformer());
                 let predict_span = obs::Span::enter("orchestrator.predict");
-                let features = transformer.push(&raw)?;
+                let features = transformer.push(&self.raw)?;
                 let (probability, saturated) = self.model.predict_features(features);
                 drop(predict_span);
                 obs::counter_add("orchestrator.predictions", 1);
                 if saturated == 1 {
                     obs::counter_add("orchestrator.predicted_saturated", 1);
                 }
-                predictions.push(InstancePrediction {
+                if tracing {
+                    Self::journal_prediction(
+                        &self.model,
+                        &mut self.contrib,
+                        trace,
+                        instance,
+                        features,
+                        probability,
+                        saturated,
+                    );
+                }
+                if let Some(det) = self.drift.as_mut() {
+                    if let Some(check) = det.push(features) {
+                        Self::journal_drift_check(&self.model, det, trace, &check);
+                    }
+                }
+                self.predictions.push(InstancePrediction {
                     instance,
                     probability,
                     saturated,
                 });
             }
         }
+        let live = &self.live;
         self.transformers.retain(|id, _| live.contains(id));
-        Ok(predictions)
+        Ok(&self.predictions)
+    }
+
+    /// Journals one prediction with its top-k feature attribution
+    /// (saturated calls only — the audit question is "which platform
+    /// metrics drove this saturated call").
+    fn journal_prediction(
+        model: &MonitorlessModel,
+        contrib: &mut [f64],
+        trace: u64,
+        instance: InstanceId,
+        features: &[f64],
+        probability: f64,
+        saturated: u8,
+    ) {
+        let mut labels: Vec<(&'static str, String)> = Vec::new();
+        if saturated == 1 {
+            let attributed = model.flat().predict_row_attributed(features, contrib);
+            debug_assert_eq!(
+                attributed.to_bits(),
+                probability.to_bits(),
+                "attributed walk must be bit-identical"
+            );
+            let names = model.pipeline().feature_names();
+            let top = monitorless_learn::top_k_contributions(contrib, TOP_K_KEYS.len());
+            for (slot, (feature, delta)) in TOP_K_KEYS.iter().copied().zip(top) {
+                labels.push((slot, format!("{}:{delta:+.4}", names[feature])));
+            }
+        }
+        let labels: Vec<(&'static str, &str)> =
+            labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        obs::record(
+            "orchestrator.predict",
+            trace,
+            &[
+                ("instance", instance.0 as f64),
+                ("probability", probability),
+                ("saturated", saturated as f64),
+            ],
+            &labels,
+        );
+    }
+
+    /// Journals drift-alert transitions and streams them as discrete
+    /// events; steady-state checks journal nothing.
+    fn journal_drift_check(
+        model: &MonitorlessModel,
+        det: &DriftDetector,
+        trace: u64,
+        check: &crate::drift::DriftCheck,
+    ) {
+        for &feature in &check.new_alerts {
+            let names = model.pipeline().feature_names();
+            let name = names.get(feature).map_or("?", |n| n.as_str());
+            let (stream_mean, stream_std) = det.stream_stats(feature);
+            let reference = &det.profile().features[feature];
+            obs::record(
+                "drift.alert",
+                trace,
+                &[
+                    ("feature_index", feature as f64),
+                    ("psi", det.scores()[feature]),
+                    ("stream_mean", stream_mean),
+                    ("stream_std", stream_std),
+                    ("ref_mean", reference.mean),
+                    ("ref_std", reference.std),
+                ],
+                &[("feature", name)],
+            );
+            obs::event(
+                "drift.alert",
+                &[
+                    ("feature_index", feature as f64),
+                    ("psi", det.scores()[feature]),
+                ],
+            );
+        }
     }
 
     /// Aggregates predictions for the given application instances.
@@ -191,7 +357,7 @@ impl StreamingOrchestrator {
                             if prediction_tx
                                 .send(TickPredictions {
                                     time: t,
-                                    predictions,
+                                    predictions: predictions.to_vec(),
                                 })
                                 .is_err()
                             {
@@ -291,14 +457,14 @@ mod tests {
             NodeId(0),
         );
         let report = cluster.step(&[(app, 10.0)]);
-        let preds = orch.step(&report.observations).unwrap();
+        let preds = orch.step(&report.observations).unwrap().to_vec();
         assert_eq!(preds.len(), 1);
         assert_eq!(orch.tracked_instances(), 1);
         assert!((0.0..=1.0).contains(&preds[0].probability));
         // Scale out: second instance appears next tick.
         cluster.scale_out(app, "svc", NodeId(0)).unwrap();
         let report = cluster.step(&[(app, 10.0)]);
-        let preds = orch.step(&report.observations).unwrap();
+        let preds = orch.step(&report.observations).unwrap().to_vec();
         assert_eq!(preds.len(), 2);
         assert_eq!(orch.tracked_instances(), 2);
     }

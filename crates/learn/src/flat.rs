@@ -95,6 +95,10 @@ pub struct FlatEnsemble {
     right: Vec<u32>,
     /// Absolute root index of each tree, in accumulation order.
     roots: Vec<u32>,
+    /// Expected margin value per node: the leaf value at leaves, the
+    /// unweighted mean of the two children at splits (computed once at
+    /// build time; see [`FlatEnsemble::predict_row_attributed`]).
+    node_value: Vec<f64>,
     n_features: usize,
     /// Accumulator start value (gradient boosting's `base_score`).
     init: f64,
@@ -167,6 +171,108 @@ impl FlatEnsemble {
             }
         }
         self.finalize_value(acc)
+    }
+
+    /// The ensemble's expected margin before any feature is consulted:
+    /// `init` plus each tree's root value. Together with the
+    /// contribution vector of [`FlatEnsemble::predict_row_attributed`]
+    /// this reconstructs the raw margin exactly:
+    /// `baseline + Σ contributions = init + Σ leaf values`.
+    pub fn baseline(&self) -> f64 {
+        self.init
+            + self
+                .roots
+                .iter()
+                .map(|&r| self.node_value[r as usize])
+                .sum::<f64>()
+    }
+
+    /// [`FlatEnsemble::predict_row`] plus per-feature attribution.
+    ///
+    /// Walks the same root-to-leaf paths with the same `v <= thr` test
+    /// and the same accumulation order, so the returned probability is
+    /// **bit-identical** to [`FlatEnsemble::predict_row`]. Along the
+    /// way, every split step parent → child charges the split's feature
+    /// with the change in expected margin,
+    /// `node_value[child] − node_value[parent]` (the Saabas
+    /// decomposition). Per tree those deltas telescope to
+    /// `leaf − root`, so over the ensemble
+    ///
+    /// ```text
+    /// baseline() + Σ contributions[f]  =  raw margin (init + Σ leaves)
+    /// ```
+    ///
+    /// holds exactly (up to float associativity) for *any* consistent
+    /// node-value assignment; this table stores no training sample
+    /// counts, so split values use the unweighted mean of the two
+    /// children. Contributions live in margin space (pre-`finalize`);
+    /// every finalizer is monotone, so sign and ranking carry over to
+    /// probability space.
+    ///
+    /// # Panics
+    ///
+    /// As [`FlatEnsemble::predict_row`], plus if `contributions.len()`
+    /// differs from the training feature count.
+    pub fn predict_row_attributed(&self, row: &[f64], contributions: &mut [f64]) -> f64 {
+        assert!(!self.roots.is_empty(), "flat ensemble has no trees");
+        assert!(
+            row.len() >= self.n_features,
+            "row has {} features, ensemble was trained on {}",
+            row.len(),
+            self.n_features
+        );
+        assert_eq!(
+            contributions.len(),
+            self.n_features,
+            "contribution buffer must have one slot per feature"
+        );
+        contributions.fill(0.0);
+        let mut acc = self.init;
+        for &root in &self.roots {
+            let mut n = root as usize;
+            loop {
+                let f = self.feature[n];
+                if f == LEAF {
+                    acc += self.threshold[n];
+                    break;
+                }
+                let next = if row[f as usize] <= self.threshold[n] {
+                    self.left[n] as usize
+                } else {
+                    self.right[n] as usize
+                };
+                contributions[f as usize] += self.node_value[next] - self.node_value[n];
+                n = next;
+            }
+        }
+        obs::counter_add("attribution.rows", 1);
+        self.finalize_value(acc)
+    }
+
+    /// Mean absolute per-feature contribution over every row of `x` —
+    /// a global importance ranking in margin space (used by
+    /// `interpret::distill` to cite the metrics that drive the model).
+    ///
+    /// # Panics
+    ///
+    /// As [`FlatEnsemble::predict_row_attributed`] per row.
+    pub fn mean_abs_attribution(&self, x: &Matrix) -> Vec<f64> {
+        let mut mean = vec![0.0; self.n_features];
+        if x.rows() == 0 {
+            return mean;
+        }
+        let mut contrib = vec![0.0; self.n_features];
+        for r in 0..x.rows() {
+            self.predict_row_attributed(x.row(r), &mut contrib);
+            for (m, c) in mean.iter_mut().zip(&contrib) {
+                *m += c.abs();
+            }
+        }
+        let n = x.rows() as f64;
+        for m in &mut mean {
+            *m /= n;
+        }
+        mean
     }
 
     /// Walks rows `row0 .. row0 + out.len()` of `data` (row-major,
@@ -478,17 +584,50 @@ impl FlatBuilder {
     /// outside its own tree, shared children, or unreachable nodes.
     pub fn build(mut self) -> FlatEnsemble {
         self.flush_tree();
+        // Expected margin per node, bottom-up. The BFS layout guarantees
+        // children sit at strictly higher indices than their parent, so
+        // one reverse pass over the global table resolves every tree.
+        let mut node_value = vec![0.0; self.feature.len()];
+        for i in (0..self.feature.len()).rev() {
+            node_value[i] = if self.feature[i] == LEAF {
+                self.threshold[i]
+            } else {
+                0.5 * (node_value[self.left[i] as usize] + node_value[self.right[i] as usize])
+            };
+        }
         FlatEnsemble {
             feature: self.feature,
             threshold: self.threshold,
             left: self.left,
             right: self.right,
             roots: self.roots,
+            node_value,
             n_features: self.n_features,
             init: self.init,
             finalize: self.finalize,
         }
     }
+}
+
+/// Indices and values of the `k` largest-magnitude contributions,
+/// sorted by descending `|contribution|` (ties broken by feature
+/// index). Zero contributions are skipped, so fewer than `k` entries
+/// may return.
+pub fn top_k_contributions(contributions: &[f64], k: usize) -> Vec<(usize, f64)> {
+    let mut ranked: Vec<(usize, f64)> = contributions
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(_, c)| *c != 0.0)
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.1.abs()
+            .partial_cmp(&a.1.abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    ranked.truncate(k);
+    ranked
 }
 
 #[cfg(test)]
@@ -593,5 +732,97 @@ mod tests {
         let f = stump();
         let x = Matrix::zeros(0, 2);
         assert!(f.predict_proba(&x, 4).is_empty());
+    }
+
+    #[test]
+    fn attribution_probability_is_bit_identical() {
+        let f = stump();
+        let mut contrib = vec![0.0; 2];
+        for row in [[0.5, 9.0], [1.0, 9.0], [1.5, 9.0], [f64::NAN, 0.0]] {
+            let plain = f.predict_row(&row);
+            let attributed = f.predict_row_attributed(&row, &mut contrib);
+            assert_eq!(plain.to_bits(), attributed.to_bits());
+        }
+    }
+
+    #[test]
+    fn stump_attribution_charges_split_feature() {
+        let f = stump();
+        // node_value at the root = mean(0.2, 0.8) = 0.5, so going left
+        // charges x0 with 0.2 - 0.5 and going right with 0.8 - 0.5.
+        assert_eq!(f.baseline(), 0.5);
+        let mut contrib = vec![0.0; 2];
+        f.predict_row_attributed(&[0.0, 3.0], &mut contrib);
+        assert_eq!(contrib, vec![0.2 - 0.5, 0.0]);
+        f.predict_row_attributed(&[2.0, 3.0], &mut contrib);
+        assert_eq!(contrib, vec![0.8 - 0.5, 0.0]);
+    }
+
+    use monitorless_std::rng::{Rng as _, StdRng};
+
+    /// Appends one random perfect binary tree of the given depth over 3
+    /// features; values and splits are derived from the RNG.
+    fn push_random_tree(b: &mut FlatBuilder, rng: &mut StdRng, depth: u32) {
+        b.begin_tree();
+        // Pre-order; tree-local indices are assigned in push order, so a
+        // split's left child is the next pushed node and its right child
+        // sits one full left subtree (2^depth − 1 nodes) later.
+        fn push(b: &mut FlatBuilder, rng: &mut StdRng, depth: u32, next: &mut u32) {
+            *next += 1;
+            if depth == 0 {
+                b.push_leaf(rng.gen_f64() * 2.0 - 1.0);
+                return;
+            }
+            let feature = (rng.next_u64() % 3) as u32;
+            let threshold = rng.gen_f64();
+            let left = *next;
+            let right = left + (1 << depth) - 1;
+            b.push_split(feature, threshold, left, right);
+            push(b, rng, depth - 1, next);
+            push(b, rng, depth - 1, next);
+        }
+        let mut next = 0;
+        push(b, rng, depth, &mut next);
+    }
+
+    #[test]
+    fn attribution_sums_to_margin_on_random_forests() {
+        let mut rng = StdRng::seed_from_u64(0x05ee_da77);
+        for trial in 0..50u32 {
+            let n_trees = 1 + (trial % 7);
+            let mut b = FlatBuilder::new(3, 0.1, Finalize::Sum);
+            for _ in 0..n_trees {
+                push_random_tree(&mut b, &mut rng, 1 + (trial % 4));
+            }
+            let f = b.build();
+            let mut contrib = vec![0.0; 3];
+            for _ in 0..20 {
+                let row = [rng.gen_f64(), rng.gen_f64(), rng.gen_f64()];
+                let margin = f.predict_row(&row); // Finalize::Sum → raw margin
+                f.predict_row_attributed(&row, &mut contrib);
+                let reconstructed = f.baseline() + contrib.iter().sum::<f64>();
+                assert!(
+                    (margin - reconstructed).abs() < 1e-9,
+                    "trial {trial}: margin {margin} != baseline+Σcontrib {reconstructed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_ranks_by_magnitude() {
+        let contrib = [0.1, -0.6, 0.0, 0.3];
+        assert_eq!(top_k_contributions(&contrib, 2), vec![(1, -0.6), (3, 0.3)]);
+        assert_eq!(top_k_contributions(&contrib, 10), vec![(1, -0.6), (3, 0.3), (0, 0.1)]);
+        assert!(top_k_contributions(&[0.0, 0.0], 3).is_empty());
+    }
+
+    #[test]
+    fn mean_abs_attribution_ranks_the_split_feature_first() {
+        let f = stump();
+        let x = Matrix::from_rows(&[&[0.0, 5.0], &[2.0, 5.0], &[3.0, 5.0]]);
+        let mean = f.mean_abs_attribution(&x);
+        assert!(mean[0] > 0.0, "split feature must carry weight");
+        assert_eq!(mean[1], 0.0, "unused feature must carry none");
     }
 }

@@ -57,7 +57,7 @@ pub use error::Error;
 
 pub use adaboost::{AdaBoost, AdaBoostParams, BoostAlgorithm};
 pub use dataset::Dataset;
-pub use flat::{Finalize, FlatBuilder, FlatEnsemble};
+pub use flat::{top_k_contributions, Finalize, FlatBuilder, FlatEnsemble};
 pub use forest::{ClassWeight, RandomForest, RandomForestParams};
 pub use gboost::{GradientBoosting, GradientBoostingParams};
 pub use linear::{

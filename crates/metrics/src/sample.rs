@@ -51,6 +51,20 @@ impl Observation {
             })
     }
 
+    /// [`Observation::instance_vector`] into a caller-provided buffer
+    /// (cleared and refilled), avoiding the per-call allocation on the
+    /// orchestrator's tick path. Returns `false` — leaving `buf` empty —
+    /// when the instance is not part of this observation.
+    pub fn instance_vector_into(&self, instance: InstanceId, buf: &mut Vec<f64>) -> bool {
+        buf.clear();
+        let Some((_, ctr)) = self.containers.iter().find(|(id, _)| *id == instance) else {
+            return false;
+        };
+        buf.extend_from_slice(&self.host);
+        buf.extend_from_slice(ctr);
+        true
+    }
+
     /// All instances present in this observation.
     pub fn instances(&self) -> impl Iterator<Item = InstanceId> + '_ {
         self.containers.iter().map(|(id, _)| *id)
@@ -73,6 +87,12 @@ mod tests {
         assert_eq!(obs.instance_vector(InstanceId(8)).unwrap(), vec![1.0, 2.0, 4.0]);
         assert!(obs.instance_vector(InstanceId(9)).is_none());
         assert_eq!(obs.instances().count(), 2);
+        // Buffer-reuse variant matches, including stale-content reset.
+        let mut buf = vec![99.0; 7];
+        assert!(obs.instance_vector_into(InstanceId(8), &mut buf));
+        assert_eq!(buf, vec![1.0, 2.0, 4.0]);
+        assert!(!obs.instance_vector_into(InstanceId(9), &mut buf));
+        assert!(buf.is_empty());
     }
 
     #[test]

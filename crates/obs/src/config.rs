@@ -5,6 +5,9 @@ use std::str::FromStr;
 /// Name of the environment variable selecting the export format.
 pub const ENV_VAR: &str = "MONITORLESS_OBS";
 
+/// Name of the environment variable selecting the trace mode.
+pub const TRACE_ENV_VAR: &str = "MONITORLESS_TRACE";
+
 /// How telemetry is exported.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ExportFormat {
@@ -42,12 +45,52 @@ impl std::fmt::Display for ExportFormat {
     }
 }
 
-/// Telemetry configuration, normally built from the `MONITORLESS_OBS`
-/// environment variable and/or a `--telemetry <fmt>` CLI flag.
+/// How the causal event journal captures trace records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Tracing disabled (the default): `journal::record` is a single
+    /// relaxed atomic load.
+    #[default]
+    Off,
+    /// Records accumulate in the in-memory ring for an end-of-run drain.
+    Ring,
+    /// Like `Ring`, but each record also streams to stderr as one JSONL
+    /// audit line the moment it is appended.
+    Jsonl,
+}
+
+impl FromStr for TraceMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "" | "0" | "off" | "none" | "false" => Ok(TraceMode::Off),
+            "1" | "on" | "true" | "ring" => Ok(TraceMode::Ring),
+            "json" | "jsonl" => Ok(TraceMode::Jsonl),
+            other => Err(format!("unknown trace mode {other:?} (expected off|ring|jsonl)")),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceMode::Off => write!(f, "off"),
+            TraceMode::Ring => write!(f, "ring"),
+            TraceMode::Jsonl => write!(f, "jsonl"),
+        }
+    }
+}
+
+/// Telemetry configuration, normally built from the `MONITORLESS_OBS` /
+/// `MONITORLESS_TRACE` environment variables and/or the
+/// `--telemetry <fmt>` / `--trace <mode>` CLI flags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TelemetryConfig {
     /// Selected export format.
     pub format: ExportFormat,
+    /// Selected journal trace mode.
+    pub trace: TraceMode,
 }
 
 impl TelemetryConfig {
@@ -55,27 +98,42 @@ impl TelemetryConfig {
     pub fn off() -> Self {
         TelemetryConfig {
             format: ExportFormat::Off,
+            trace: TraceMode::Off,
         }
     }
 
-    /// Telemetry with the given format.
+    /// Telemetry with the given format (tracing off).
     pub fn with_format(format: ExportFormat) -> Self {
-        TelemetryConfig { format }
+        TelemetryConfig {
+            format,
+            trace: TraceMode::Off,
+        }
     }
 
-    /// Reads `MONITORLESS_OBS` (`off`/`jsonl`/`prom`). Unset or
-    /// unparseable values disable telemetry.
+    /// Returns the configuration with the given trace mode.
+    pub fn with_trace(mut self, trace: TraceMode) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Reads `MONITORLESS_OBS` (`off`/`jsonl`/`prom`) and
+    /// `MONITORLESS_TRACE` (`off`/`ring`/`jsonl`). Unset or unparseable
+    /// values disable the corresponding facility.
     pub fn from_env() -> Self {
         let format = std::env::var(ENV_VAR)
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or_default();
-        TelemetryConfig { format }
+        let trace = std::env::var(TRACE_ENV_VAR)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_default();
+        TelemetryConfig { format, trace }
     }
 
-    /// Like [`TelemetryConfig::from_env`], but a `--telemetry <fmt>`
-    /// argument overrides the environment. Malformed flag values fall
-    /// back to the environment setting.
+    /// Like [`TelemetryConfig::from_env`], but `--telemetry <fmt>` and
+    /// `--trace <mode>` arguments override the environment. Malformed
+    /// flag values fall back to the environment setting.
     pub fn from_env_and_args<'a, I>(args: I) -> Self
     where
         I: IntoIterator<Item = &'a str>,
@@ -87,12 +145,22 @@ impl TelemetryConfig {
                 cfg.format = fmt;
             }
         }
+        if let Some(i) = args.iter().position(|a| *a == "--trace") {
+            if let Some(mode) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                cfg.trace = mode;
+            }
+        }
         cfg
     }
 
     /// Whether any telemetry is recorded under this configuration.
     pub fn enabled(&self) -> bool {
         self.format != ExportFormat::Off
+    }
+
+    /// Whether journal tracing is active under this configuration.
+    pub fn tracing(&self) -> bool {
+        self.trace != TraceMode::Off
     }
 }
 
@@ -134,5 +202,30 @@ mod tests {
         for fmt in [ExportFormat::Off, ExportFormat::Jsonl, ExportFormat::Prom] {
             assert_eq!(fmt.to_string().parse::<ExportFormat>(), Ok(fmt));
         }
+        for mode in [TraceMode::Off, TraceMode::Ring, TraceMode::Jsonl] {
+            assert_eq!(mode.to_string().parse::<TraceMode>(), Ok(mode));
+        }
+    }
+
+    #[test]
+    fn trace_mode_parsing() {
+        assert_eq!("off".parse(), Ok(TraceMode::Off));
+        assert_eq!("".parse(), Ok(TraceMode::Off));
+        assert_eq!("ring".parse(), Ok(TraceMode::Ring));
+        assert_eq!("on".parse(), Ok(TraceMode::Ring));
+        assert_eq!("JSONL".parse(), Ok(TraceMode::Jsonl));
+        assert!("bogus".parse::<TraceMode>().is_err());
+    }
+
+    #[test]
+    fn trace_flag_selects_mode() {
+        let cfg = TelemetryConfig::from_env_and_args(["--trace", "ring"]);
+        assert_eq!(cfg.trace, TraceMode::Ring);
+        assert!(cfg.tracing());
+        let cfg = TelemetryConfig::from_env_and_args(["--telemetry", "prom", "--trace", "jsonl"]);
+        assert_eq!(cfg.format, ExportFormat::Prom);
+        assert_eq!(cfg.trace, TraceMode::Jsonl);
+        let cfg = TelemetryConfig::from_env_and_args(["--trace", "off"]);
+        assert!(!cfg.tracing());
     }
 }

@@ -32,7 +32,7 @@ pub(crate) fn process_start_us() -> u64 {
 }
 
 /// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -49,7 +49,7 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Formats an `f64` as a JSON number (non-finite becomes `null`).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -58,17 +58,24 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Streams one span event (JSONL mode only; called from `Span::drop`).
-pub(crate) fn emit_span_event(name: &str, parent: Option<&str>, dur_us: f64) {
+/// When the dropping thread has an active trace scope, the event carries
+/// the trace id so existing instrumentation joins the causal chain.
+pub(crate) fn emit_span_event(name: &str, parent: Option<&str>, dur_us: f64, trace: Option<u64>) {
     let parent_field = match parent {
         Some(p) => format!("\"{}\"", json_escape(p)),
         None => "null".to_string(),
     };
+    let trace_field = match trace {
+        Some(id) => format!(",\"trace\":{id}"),
+        None => String::new(),
+    };
     eprintln!(
-        "{{\"type\":\"span\",\"t_us\":{},\"name\":\"{}\",\"parent\":{},\"dur_us\":{}}}",
+        "{{\"type\":\"span\",\"t_us\":{},\"name\":\"{}\",\"parent\":{},\"dur_us\":{}{}}}",
         process_start_us(),
         json_escape(name),
         parent_field,
         json_f64(dur_us),
+        trace_field,
     );
 }
 
@@ -121,9 +128,17 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Captures the current state of the registry.
+    /// Captures the current state of the registry. When journal tracing
+    /// is active, the journal's lifetime statistics are merged in as
+    /// `journal.*` counters and gauges (kept in sorted name order).
     pub fn take() -> Self {
-        let (counters, gauges, histograms) = registry::dump();
+        let (mut counters, mut gauges, histograms) = registry::dump();
+        if crate::journal::trace_enabled() {
+            let stats = crate::journal::journal_stats();
+            merge_sorted(&mut counters, "journal.overwritten".to_string(), stats.overwritten);
+            merge_sorted(&mut counters, "journal.records".to_string(), stats.records);
+            merge_sorted(&mut gauges, "journal.queued".to_string(), stats.queued as f64);
+        }
         Snapshot {
             counters,
             gauges,
@@ -205,6 +220,14 @@ impl Snapshot {
             out.push_str(&format!("{n}_count {}\n", s.count));
         }
         out
+    }
+}
+
+/// Inserts or overwrites `(name, value)` in a name-sorted metric list.
+fn merge_sorted<T>(list: &mut Vec<(String, T)>, name: String, value: T) {
+    match list.binary_search_by(|(n, _)| n.as_str().cmp(name.as_str())) {
+        Ok(i) => list[i].1 = value,
+        Err(i) => list.insert(i, (name, value)),
     }
 }
 

@@ -46,12 +46,17 @@
 pub mod config;
 pub mod export;
 pub mod histogram;
+pub mod journal;
 pub mod registry;
 pub mod span;
 
-pub use config::{ExportFormat, TelemetryConfig, ENV_VAR};
+pub use config::{ExportFormat, TelemetryConfig, TraceMode, ENV_VAR, TRACE_ENV_VAR};
 pub use export::{event, progress, report_to_stderr, write_report, Snapshot};
 pub use histogram::{HistogramSummary, LogHistogram};
+pub use journal::{
+    audit_jsonl, current_trace, drain, enter_trace, journal_stats, next_trace, record,
+    trace_enabled, trace_mode, JournalRecord, JournalStats, TraceScope,
+};
 pub use registry::{
     counter_add, counter_value, enabled, format, gauge_set, gauge_value, histogram_summary, init,
     observe, reset,

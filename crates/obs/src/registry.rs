@@ -51,6 +51,7 @@ pub fn init(config: &TelemetryConfig) {
     };
     FORMAT.store(code, Ordering::Relaxed);
     ENABLED.store(config.enabled(), Ordering::Relaxed);
+    crate::journal::set_trace_mode(config.trace);
     crate::export::process_start_us();
 }
 

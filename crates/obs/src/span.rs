@@ -70,7 +70,12 @@ impl Drop for Span {
         });
         registry::observe(self.name, elapsed_us);
         if registry::format() == ExportFormat::Jsonl {
-            crate::export::emit_span_event(self.name, parent, elapsed_us);
+            crate::export::emit_span_event(
+                self.name,
+                parent,
+                elapsed_us,
+                crate::journal::current_trace(),
+            );
         }
     }
 }

@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let kpi = report.kpi(app).expect("app exists");
         let predictions = orchestrator.step(&report.observations)?;
         let saturated = Orchestrator::application_prediction(
-            &predictions,
+            predictions,
             &cluster.app(app).instances(),
             Aggregation::Or,
         );
