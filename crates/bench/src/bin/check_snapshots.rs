@@ -1,0 +1,171 @@
+//! Validates every committed perf snapshot under `results/`.
+//!
+//! ```sh
+//! cargo run -p monitorless-bench --bin check_snapshots --release
+//! ```
+//!
+//! The CI perf-gate matrix replays each bench with `--check` against
+//! its committed `results/BENCH_<name>.json`. A truncated, hand-edited
+//! or schema-drifted snapshot would turn those gates into silent
+//! no-ops (a missing size row is simply never compared), so the `test`
+//! job runs this checker first: every `BENCH_*.json` must parse, carry
+//! `scale` / `seed` / a `sizes` array with at least the committed
+//! sweep's row count, and every size row must carry its bench's
+//! required fields with finite numeric values. Snapshot files this
+//! binary does not know about fail the run — registering the schema
+//! here is part of adding a new perf gate.
+
+use monitorless_std::json::Json;
+
+/// One snapshot's schema: file name, minimum rows in `sizes`, and the
+/// numeric fields every size row must carry.
+struct Schema {
+    file: &'static str,
+    min_sizes: usize,
+    size_fields: &'static [&'static str],
+}
+
+const SCHEMAS: &[Schema] = &[
+    Schema {
+        file: "BENCH_table3.json",
+        min_sizes: 3,
+        size_fields: &["rows", "n_trees", "legacy_ms", "presorted_ms", "speedup"],
+    },
+    Schema {
+        file: "BENCH_predict.json",
+        min_sizes: 4,
+        size_fields: &[
+            "rows",
+            "n_trees",
+            "n_nodes",
+            "legacy_ms",
+            "flat_ms",
+            "speedup",
+        ],
+    },
+    Schema {
+        file: "BENCH_featurize.json",
+        min_sizes: 3,
+        size_fields: &[
+            "rows",
+            "raw_width",
+            "out_width",
+            "legacy_ms",
+            "streaming_ms",
+            "speedup",
+        ],
+    },
+    Schema {
+        file: "BENCH_obs.json",
+        min_sizes: 2,
+        size_fields: &[
+            "rows",
+            "n_trees",
+            "plain_ms",
+            "traced_ms",
+            "attributed_ms",
+            "journal_overhead_pct",
+            "plain_allocs_per_row",
+        ],
+    },
+    Schema {
+        file: "BENCH_tick.json",
+        min_sizes: 3,
+        size_fields: &[
+            "instances",
+            "measured_ticks",
+            "legacy_us_per_instance",
+            "batched_us_per_instance",
+            "speedup",
+            "batched_allocs_per_tick",
+        ],
+    },
+];
+
+fn get<'j>(obj: &'j Json, key: &str) -> Option<&'j Json> {
+    match obj {
+        Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn finite_number(value: &Json) -> bool {
+    match value {
+        Json::Int(_) => true,
+        Json::Num(x) => x.is_finite(),
+        _ => false,
+    }
+}
+
+fn check_file(schema: &Schema) -> Result<usize, String> {
+    let path = format!("results/{}", schema.file);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: cannot read: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: invalid JSON: {e}"))?;
+    match get(&json, "scale") {
+        Some(Json::Str(_)) => {}
+        _ => return Err(format!("{path}: missing string field `scale`")),
+    }
+    match get(&json, "seed") {
+        Some(v) if finite_number(v) => {}
+        _ => return Err(format!("{path}: missing numeric field `seed`")),
+    }
+    let sizes = match get(&json, "sizes") {
+        Some(Json::Arr(sizes)) => sizes,
+        _ => return Err(format!("{path}: missing array field `sizes`")),
+    };
+    if sizes.len() < schema.min_sizes {
+        return Err(format!(
+            "{path}: `sizes` has {} rows, committed sweep needs at least {}",
+            sizes.len(),
+            schema.min_sizes
+        ));
+    }
+    for (i, row) in sizes.iter().enumerate() {
+        for field in schema.size_fields {
+            match get(row, field) {
+                Some(v) if finite_number(v) => {}
+                Some(_) => {
+                    return Err(format!("{path}: sizes[{i}].{field} is not a finite number"))
+                }
+                None => return Err(format!("{path}: sizes[{i}] is missing `{field}`")),
+            }
+        }
+    }
+    Ok(sizes.len())
+}
+
+fn main() {
+    let mut failures = Vec::new();
+    for schema in SCHEMAS {
+        match check_file(schema) {
+            Ok(rows) => println!("results/{}: ok ({rows} sizes)", schema.file),
+            Err(msg) => failures.push(msg),
+        }
+    }
+    // Every committed BENCH_*.json must be registered above, so a new
+    // snapshot cannot ship without a schema (and therefore a gate).
+    match std::fs::read_dir("results") {
+        Ok(entries) => {
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.starts_with("BENCH_")
+                    && name.ends_with(".json")
+                    && !SCHEMAS.iter().any(|s| s.file == name)
+                {
+                    failures.push(format!(
+                        "results/{name}: unregistered snapshot — add its schema to \
+                         check_snapshots"
+                    ));
+                }
+            }
+        }
+        Err(e) => failures.push(format!("results/: cannot list: {e}")),
+    }
+    if !failures.is_empty() {
+        for msg in &failures {
+            eprintln!("snapshot check FAILED: {msg}");
+        }
+        std::process::exit(1);
+    }
+    println!("all committed perf snapshots are well-formed");
+}

@@ -20,6 +20,8 @@ pub mod timefeat;
 
 pub use base::{BaseExpander, RawLayout};
 pub use combine::{domain_of, Domain};
-pub use pipeline::{FeaturePipeline, FittedPipeline, InstanceTransformer, PipelineConfig};
+pub use pipeline::{
+    FeaturePipeline, FittedPipeline, InstanceTransformer, PipelineConfig, TransformScratch,
+};
 pub use reduce::Reduction;
 pub use timefeat::{TimeExpander, TIME_LAGS};

@@ -727,6 +727,53 @@ impl FittedPipeline {
     }
 }
 
+/// Caller-owned working space for [`InstanceTransformer::push_into`],
+/// shared across a whole fleet of transformers.
+///
+/// Stages 1–3 need roughly `2 × expanded_width + reduced_width` f64s of
+/// transient space per push (~18 KB at paper scale). One instance
+/// owning that is fine; 100 k instances each owning a copy is ~1.8 GB
+/// of scratch that is only ever live for one instance at a time. The
+/// fleet tick therefore owns a single `TransformScratch` and lends it
+/// to each transformer in turn, leaving per-instance state at just the
+/// rolling window (16 × reduced_width).
+///
+/// Buffers grow to their high-water mark on first use and are reused
+/// thereafter; a warmed scratch makes `push_into` allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct TransformScratch {
+    base: Vec<f64>,
+    scaled: Vec<f64>,
+    reduced: Vec<f64>,
+    d: Vec<f64>,
+    e: Vec<f64>,
+}
+
+impl TransformScratch {
+    /// An empty scratch; buffers grow on first push.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scratch pre-sized for `pipeline`, so even the first push
+    /// through it allocates nothing.
+    pub fn for_pipeline(pipeline: &FittedPipeline) -> Self {
+        let d_width = pipeline.time_width() + pipeline.pairs.len();
+        let (d_cap, e_cap) = if pipeline.plan().is_some() {
+            (0, 0)
+        } else {
+            (d_width, pipeline.reduce2.output_width(d_width))
+        };
+        TransformScratch {
+            base: Vec::with_capacity(pipeline.expander.len()),
+            scaled: Vec::with_capacity(pipeline.expander.len()),
+            reduced: Vec::with_capacity(pipeline.reduced_width()),
+            d: Vec::with_capacity(d_cap),
+            e: Vec::with_capacity(e_cap),
+        }
+    }
+}
+
 /// Online per-instance transformer: feeds one raw metric vector per
 /// second and yields the model-input vector using a rolling window for
 /// the time-dependent features — the orchestrator keeps one of these per
@@ -735,7 +782,11 @@ impl FittedPipeline {
 /// The window is a fixed preallocated buffer of reduced rows and every
 /// intermediate lives in preallocated scratch, so steady-state
 /// [`InstanceTransformer::push`] performs no heap allocation (asserted
-/// by `table1_featurize`'s counting allocator).
+/// by `table1_featurize`'s counting allocator). Fleets that serve many
+/// instances should prefer [`InstanceTransformer::push_into`] with one
+/// shared [`TransformScratch`]: the internal scratch buffers start
+/// empty and only grow if [`InstanceTransformer::push`] itself is
+/// called.
 #[derive(Debug, Clone)]
 pub struct InstanceTransformer {
     pipeline: Arc<FittedPipeline>,
@@ -744,11 +795,9 @@ pub struct InstanceTransformer {
     window: Vec<f64>,
     filled: usize,
     rw: usize,
-    scratch_base: Vec<f64>,
-    scratch_scaled: Vec<f64>,
-    scratch_reduced: Vec<f64>,
-    scratch_d: Vec<f64>,
-    scratch_e: Vec<f64>,
+    /// Private working space for [`InstanceTransformer::push`]; stays
+    /// empty (zero heap) on instances served via `push_into`.
+    scratch: TransformScratch,
     out: Vec<f64>,
 }
 
@@ -757,27 +806,20 @@ pub const WINDOW_LEN: usize = 16;
 
 impl InstanceTransformer {
     /// Creates a transformer bound to a fitted pipeline.
+    ///
+    /// Only the rolling window is preallocated; the private
+    /// stage-1–3 scratch grows lazily on the first
+    /// [`InstanceTransformer::push`] and never materialises on
+    /// instances served through [`InstanceTransformer::push_into`].
     pub fn new(pipeline: Arc<FittedPipeline>) -> Self {
         let rw = pipeline.reduced_width();
-        let plan = pipeline.plan();
-        let d_width = pipeline.time_width() + pipeline.pairs.len();
-        let e_width = pipeline.reduce2.output_width(d_width);
-        let (d_cap, e_cap) = if plan.is_some() {
-            (0, 0)
-        } else {
-            (d_width, e_width)
-        };
         InstanceTransformer {
-            plan,
+            plan: pipeline.plan(),
             window: Vec::with_capacity(WINDOW_LEN * rw),
             filled: 0,
             rw,
-            scratch_base: Vec::with_capacity(pipeline.expander.len()),
-            scratch_scaled: Vec::with_capacity(pipeline.expander.len()),
-            scratch_reduced: Vec::with_capacity(rw),
-            scratch_d: Vec::with_capacity(d_cap),
-            scratch_e: Vec::with_capacity(e_cap),
-            out: Vec::with_capacity(pipeline.output_width()),
+            scratch: TransformScratch::new(),
+            out: Vec::new(),
             pipeline,
         }
     }
@@ -797,40 +839,76 @@ impl InstanceTransformer {
     ///
     /// Propagates pipeline errors.
     pub fn push(&mut self, raw: &[f64]) -> Result<&[f64], Error> {
+        // Lend the private scratch and output buffer to `push_into`;
+        // `mem::take` moves the heap pointers without touching the
+        // allocator, so this wrapper adds no per-push cost.
+        let width = self.pipeline.output_width();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut out = std::mem::take(&mut self.out);
+        out.resize(width, 0.0);
+        let result = self.push_into(raw, &mut scratch, &mut out);
+        self.scratch = scratch;
+        self.out = out;
+        result?;
+        Ok(&self.out)
+    }
+
+    /// [`InstanceTransformer::push`] writing the model-input vector
+    /// directly into a caller-provided slice — the fleet serving entry
+    /// point: the orchestrator hands each instance its row of the
+    /// shared feature matrix plus one fleet-wide [`TransformScratch`],
+    /// so a tick over N instances performs zero heap allocation and
+    /// carries no per-instance scratch (bit-identical to `push`, which
+    /// delegates here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the pipeline output width.
+    pub fn push_into(
+        &mut self,
+        raw: &[f64],
+        scratch: &mut TransformScratch,
+        out: &mut [f64],
+    ) -> Result<(), Error> {
         let _span = obs::Span::enter("pipeline.transform_online");
         obs::counter_add("pipeline.online.pushes", 1);
+        assert_eq!(
+            out.len(),
+            self.pipeline.output_width(),
+            "output slice must match pipeline width"
+        );
         self.pipeline.reduce_raw_into(
             raw,
-            &mut self.scratch_base,
-            &mut self.scratch_scaled,
-            &mut self.scratch_reduced,
+            &mut scratch.base,
+            &mut scratch.scaled,
+            &mut scratch.reduced,
         )?;
         let rw = self.rw;
         if self.filled == WINDOW_LEN {
             self.window.copy_within(rw.., 0);
-            self.window[(WINDOW_LEN - 1) * rw..].copy_from_slice(&self.scratch_reduced);
+            self.window[(WINDOW_LEN - 1) * rw..].copy_from_slice(&scratch.reduced);
         } else {
-            self.window.extend_from_slice(&self.scratch_reduced);
+            self.window.extend_from_slice(&scratch.reduced);
             self.filled += 1;
         }
         let i = self.filled - 1;
         let block = &self.window[..self.filled * rw];
         match &self.plan {
-            Some(plan) => {
-                self.out.resize(plan.len(), 0.0);
-                eval_plan_row(plan, block, rw, i, &mut self.out);
-            }
+            Some(plan) => eval_plan_row(plan, block, rw, i, out),
             None => {
                 let p = &self.pipeline;
-                expand_row_full(p.time.as_ref(), block, rw, i, &p.pairs, &mut self.scratch_d);
-                p.reduce2
-                    .apply_row_into(&self.scratch_d, &mut self.scratch_e)?;
-                self.out.clear();
-                let e = &self.scratch_e;
-                self.out.extend(p.keep.iter().map(|&k| e[k]));
+                expand_row_full(p.time.as_ref(), block, rw, i, &p.pairs, &mut scratch.d);
+                p.reduce2.apply_row_into(&scratch.d, &mut scratch.e)?;
+                for (dst, &k) in out.iter_mut().zip(&p.keep) {
+                    *dst = scratch.e[k];
+                }
             }
         }
-        Ok(&self.out)
+        Ok(())
     }
 
     /// The original per-tick path (1-row matrix through the scaler, the

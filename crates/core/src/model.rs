@@ -154,6 +154,29 @@ impl MonitorlessModel {
         self.threshold = threshold;
     }
 
+    /// Replaces the forest with one trained elsewhere on this model's
+    /// transformed feature space, recompiling the flat table — used to
+    /// pair a cheaply fitted pipeline with a separately fitted
+    /// paper-shaped forest (e.g. the serving-tick bench).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Invalid`] when the forest's feature count differs from
+    /// the pipeline output width.
+    pub fn with_forest(mut self, forest: RandomForest) -> Result<Self, Error> {
+        let flat = forest.to_flat();
+        if flat.n_features() != self.pipeline.output_width() {
+            return Err(Error::Invalid(format!(
+                "forest expects {} features, pipeline produces {}",
+                flat.n_features(),
+                self.pipeline.output_width()
+            )));
+        }
+        self.forest = forest;
+        self.flat = flat;
+        Ok(self)
+    }
+
     /// Batch prediction on raw vectors (chronological within groups).
     ///
     /// # Errors
@@ -193,6 +216,30 @@ impl MonitorlessModel {
     pub fn predict_features(&self, features: &[f64]) -> (f64, u8) {
         let p = self.flat.predict_row(features);
         (p, u8::from(p >= self.threshold))
+    }
+
+    /// Applies the decision threshold to a probability — the same
+    /// cutoff [`MonitorlessModel::predict_features`] uses, exposed so
+    /// batched fleet scoring can fan probabilities back out to
+    /// per-instance decisions.
+    pub fn decide(&self, probability: f64) -> u8 {
+        u8::from(probability >= self.threshold)
+    }
+
+    /// Scores a whole fleet's worth of already-transformed feature
+    /// rows (row-major, one row per instance) in one blocked pass,
+    /// writing one probability per row into `probs`.
+    ///
+    /// Per row, the result is bit-identical to
+    /// [`MonitorlessModel::predict_features`] for every `n_jobs` — the
+    /// serving tick's batched fast path.
+    ///
+    /// # Panics
+    ///
+    /// As [`FlatEnsemble::predict_rows_into`].
+    pub fn predict_fleet_into(&self, rows: &[f64], probs: &mut [f64], n_jobs: usize) {
+        self.flat
+            .predict_rows_into(rows, self.pipeline.output_width(), probs, n_jobs);
     }
 
     /// Feature importances of the trained forest, paired with pipeline

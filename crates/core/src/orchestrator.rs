@@ -5,6 +5,20 @@
 //! instance and aggregates instance predictions to application level
 //! with a logical OR (Section 4).
 //!
+//! [`Orchestrator::step`] serves the whole fleet in one pass per tick:
+//! a gather phase writes every instance's transformed feature row into
+//! one reused row-major matrix ([`InstanceTransformer::push_into`] with
+//! a single shared [`TransformScratch`]), one blocked
+//! [`FlatEnsemble::predict_rows_into`][flat] call scores the matrix
+//! (sharded over the worker pool when [`Orchestrator::set_n_jobs`] asks
+//! for it), and a fan-out phase turns the probability vector back into
+//! per-instance decisions, journal records and drift checks. The
+//! retired per-instance loop survives as [`Orchestrator::step_legacy`]
+//! — the reference the batched path is proven bit-identical against
+//! (`tests/tick_equivalence.rs`, `table_tick`).
+//!
+//! [flat]: monitorless_learn::FlatEnsemble::predict_rows_into
+//!
 //! Beyond predicting, [`Orchestrator::step`] is the seam where model
 //! observability hangs off the serving loop:
 //!
@@ -29,7 +43,7 @@ use monitorless_metrics::{InstanceId, Observation};
 use monitorless_obs as obs;
 
 use crate::drift::{DriftConfig, DriftDetector};
-use crate::features::InstanceTransformer;
+use crate::features::{InstanceTransformer, TransformScratch};
 use crate::model::MonitorlessModel;
 use crate::Error;
 
@@ -84,11 +98,19 @@ pub struct Orchestrator {
     drift: Option<DriftDetector>,
     /// Trace id minted for the most recent tick (0 when tracing is off).
     last_trace: u64,
+    /// Worker shards for the fleet predict pass (1 = in-thread).
+    n_jobs: usize,
     // Per-tick scratch, reused across ticks (zero-alloc steady state).
     live: Vec<InstanceId>,
     predictions: Vec<InstancePrediction>,
     raw: Vec<f64>,
     contrib: Vec<f64>,
+    /// Row-major fleet feature matrix, one row per live instance.
+    fleet: Vec<f64>,
+    /// One probability per fleet row.
+    probs: Vec<f64>,
+    /// Stage-1–3 working space shared by every instance's transformer.
+    scratch: TransformScratch,
 }
 
 /// Journal label keys for the top-k attribution of one prediction.
@@ -106,16 +128,29 @@ impl Orchestrator {
     pub fn with_drift_config(model: Arc<MonitorlessModel>, config: DriftConfig) -> Self {
         let drift = model.drift_detector(config);
         let n_features = model.flat().n_features();
+        let scratch = TransformScratch::for_pipeline(model.pipeline());
         Orchestrator {
             model,
             transformers: HashMap::new(),
             drift,
             last_trace: 0,
+            n_jobs: 1,
             live: Vec::new(),
             predictions: Vec::new(),
             raw: Vec::new(),
             contrib: vec![0.0; n_features],
+            fleet: Vec::new(),
+            probs: Vec::new(),
+            scratch,
         }
+    }
+
+    /// Sets the number of pool workers the fleet predict pass shards
+    /// over (default 1, in-thread). Probabilities are bit-identical for
+    /// every value; >1 trades the single-threaded tick's zero-alloc
+    /// guarantee for wall-clock on large fleets.
+    pub fn set_n_jobs(&mut self, n_jobs: usize) {
+        self.n_jobs = n_jobs.max(1);
     }
 
     /// The model driving predictions.
@@ -145,10 +180,122 @@ impl Orchestrator {
     /// until the next call). Rolling windows for instances that
     /// disappeared (scale-in) are dropped; new instances start cold.
     ///
+    /// One tick is three phases over the whole fleet: gather every
+    /// instance's feature row into the reused fleet matrix, score the
+    /// matrix with one blocked ensemble pass, then fan the probability
+    /// vector back out to decisions, journal records and drift checks
+    /// in gather order — so records, counters and alerts arrive in the
+    /// exact sequence the per-instance loop
+    /// ([`Orchestrator::step_legacy`]) produced, and every probability
+    /// is bit-identical to it. With tracing off and `n_jobs` 1, a
+    /// steady-state tick performs no heap allocation (`table_tick`
+    /// asserts this).
+    ///
     /// # Errors
     ///
     /// Propagates feature-pipeline errors.
     pub fn step(&mut self, observations: &[Observation]) -> Result<&[InstancePrediction], Error> {
+        self.live.clear();
+        self.predictions.clear();
+        let tracing = obs::trace_enabled();
+        let trace = if tracing { obs::next_trace() } else { 0 };
+        self.last_trace = trace;
+        let _scope = tracing.then(|| obs::enter_trace(trace));
+        if tracing {
+            obs::record(
+                "orchestrator.observe",
+                trace,
+                &[
+                    ("time", observations.first().map_or(-1.0, |o| o.time as f64)),
+                    ("nodes", observations.len() as f64),
+                ],
+                &[],
+            );
+        }
+        let width = self.model.pipeline().output_width();
+        let total: usize = observations.iter().map(Observation::n_instances).sum();
+        // Steady state the fleet buffers are already at capacity and
+        // these resizes touch lengths only.
+        self.fleet.resize(total * width, 0.0);
+        self.probs.resize(total, 0.0);
+        // Phase 1: gather — one transformed feature row per instance,
+        // written straight into the fleet matrix.
+        let gather_span = obs::Span::enter("orchestrator.gather");
+        let mut row = 0usize;
+        for observation in observations {
+            for i in 0..observation.n_instances() {
+                let instance = observation.instance_vector_at(i, &mut self.raw);
+                self.live.push(instance);
+                let transformer = self
+                    .transformers
+                    .entry(instance)
+                    .or_insert_with(|| self.model.transformer());
+                let out = &mut self.fleet[row * width..(row + 1) * width];
+                transformer.push_into(&self.raw, &mut self.scratch, out)?;
+                row += 1;
+            }
+        }
+        debug_assert_eq!(row, total, "every observation entry gathered");
+        drop(gather_span);
+        // Phase 2: one blocked lockstep pass over the whole fleet.
+        let predict_span = obs::Span::enter("orchestrator.predict");
+        self.model.predict_fleet_into(
+            &self.fleet[..total * width],
+            &mut self.probs[..total],
+            self.n_jobs,
+        );
+        drop(predict_span);
+        // Phase 3: fan out, in gather order.
+        for (k, &instance) in self.live.iter().enumerate() {
+            let probability = self.probs[k];
+            let saturated = self.model.decide(probability);
+            let features = &self.fleet[k * width..(k + 1) * width];
+            obs::counter_add("orchestrator.predictions", 1);
+            if saturated == 1 {
+                obs::counter_add("orchestrator.predicted_saturated", 1);
+            }
+            if tracing {
+                Self::journal_prediction(
+                    &self.model,
+                    &mut self.contrib,
+                    trace,
+                    instance,
+                    features,
+                    probability,
+                    saturated,
+                );
+            }
+            if let Some(det) = self.drift.as_mut() {
+                if let Some(check) = det.push(features) {
+                    Self::journal_drift_check(&self.model, det, trace, &check);
+                }
+            }
+            self.predictions.push(InstancePrediction {
+                instance,
+                probability,
+                saturated,
+            });
+        }
+        let live = &self.live;
+        self.transformers.retain(|id, _| live.contains(id));
+        Ok(&self.predictions)
+    }
+
+    /// The original per-instance serving loop — transform one instance,
+    /// predict one row, journal, repeat — retained as the reference
+    /// [`Orchestrator::step`] is proven bit-identical against
+    /// (probabilities, decisions, drift alerts and journal record
+    /// sequence). Maintains the same rolling windows and drift state,
+    /// so the two paths cannot be interleaved on one orchestrator —
+    /// build twins from the same model to compare.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-pipeline errors.
+    pub fn step_legacy(
+        &mut self,
+        observations: &[Observation],
+    ) -> Result<&[InstancePrediction], Error> {
         self.live.clear();
         self.predictions.clear();
         let tracing = obs::trace_enabled();

@@ -30,6 +30,23 @@
 //! * [`FlatEnsemble::predict_proba`] shards row ranges over
 //!   `monitorless_std::pool` workers; rows are independent, so results
 //!   are bit-identical for every `n_jobs`.
+//!   [`FlatEnsemble::predict_rows_into`] is the same evaluator over a
+//!   raw row-major slice — the fleet serving tick's entry, which reuses
+//!   one gather matrix and one output buffer across ticks.
+//! * When the table is losslessly compressible, `build` additionally
+//!   emits a **packed side table** the blocked evaluator runs on:
+//!   split feature and left-child index share one `u32`
+//!   (10 + 22 bits), and the threshold becomes a `u16` index into a
+//!   deduplicated f64 value pool — 6 bytes of node state per step
+//!   instead of 16, so the paper-shaped 250-tree forest's walk state
+//!   drops from ~4 MB to ~1.5 MB and the hot levels stay resident in
+//!   L2. The packed pass also runs at a fixed [`BLOCK`]-width trip
+//!   count (tail blocks pad by repeating the last row), giving the
+//!   compiler a constant-length inner loop. Thresholds are deduplicated
+//!   by *bit pattern*, so every comparison loads the identical f64 and
+//!   results stay bit-for-bit equal to the wide table; ensembles that
+//!   exceed the packed limits (1023 features, 2^22 nodes, 65536
+//!   distinct threshold/leaf bit patterns) silently keep the wide path.
 //! * [`FlatEnsemble::predict_row`] is the allocation-free single-row
 //!   entry used by the autoscaler tick path.
 //!
@@ -54,6 +71,74 @@ pub const LEAF: u32 = u32::MAX;
 /// exposing enough independent walks to hide node-fetch latency; the
 /// bench sweep in `table7_predict` showed no gain past this size.
 pub const BLOCK: usize = 64;
+
+/// Bits of the packed node word spent on the left-child index.
+const PACKED_LEFT_BITS: u32 = 22;
+/// Mask extracting the left-child index from a packed node word.
+const PACKED_LEFT_MASK: u32 = (1 << PACKED_LEFT_BITS) - 1;
+/// Leaf sentinel in the packed word's 10-bit feature field.
+const PACKED_LEAF: u32 = (1 << (32 - PACKED_LEFT_BITS)) - 1;
+
+/// Losslessly compressed node table the blocked evaluator prefers when
+/// the ensemble fits its index widths: one `u32` per node packing the
+/// split feature (high 10 bits, [`PACKED_LEAF`] marks leaves) with the
+/// left-child index (low 22 bits; leaves self-reference), plus a `u16`
+/// per node indexing the deduplicated `values` pool that holds both
+/// split thresholds and pre-transformed leaf values. Values are pooled
+/// by f64 *bit pattern*, so the packed walk loads the identical bits
+/// the wide arrays hold and stays bit-identical.
+#[derive(Debug, Clone, PartialEq)]
+struct PackedTable {
+    /// `feature << PACKED_LEFT_BITS | left` per node.
+    node: Vec<u32>,
+    /// Index into `values` per node.
+    value_idx: Vec<u16>,
+    /// Deduplicated thresholds and leaf values, first-appearance order.
+    values: Vec<f64>,
+}
+
+impl PackedTable {
+    /// Compresses the wide arrays, or `None` when an index would not
+    /// fit: more than 1023 features, 2^22 nodes, or 65536 distinct
+    /// value bit patterns.
+    fn compress(
+        feature: &[u32],
+        threshold: &[f64],
+        left: &[u32],
+        n_features: usize,
+    ) -> Option<Self> {
+        if n_features >= PACKED_LEAF as usize || feature.len() > PACKED_LEFT_MASK as usize + 1 {
+            return None;
+        }
+        let mut pool: std::collections::HashMap<u64, u16> = std::collections::HashMap::new();
+        let mut values = Vec::new();
+        let mut node = Vec::with_capacity(feature.len());
+        let mut value_idx = Vec::with_capacity(feature.len());
+        for ((&f, &thr), &l) in feature.iter().zip(threshold).zip(left) {
+            let idx = match pool.entry(thr.to_bits()) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let next = u16::try_from(values.len()).ok()?;
+                    values.push(thr);
+                    *e.insert(next)
+                }
+            };
+            let field = if f == LEAF { PACKED_LEAF } else { f };
+            node.push(field << PACKED_LEFT_BITS | l);
+            value_idx.push(idx);
+        }
+        Some(PackedTable {
+            node,
+            value_idx,
+            values,
+        })
+    }
+
+    /// Bytes of per-node walk state (`node` + `value_idx`).
+    fn node_bytes(&self) -> usize {
+        self.node.len() * (std::mem::size_of::<u32>() + std::mem::size_of::<u16>())
+    }
+}
 
 /// How a row's accumulated leaf sum becomes the final probability.
 ///
@@ -99,6 +184,9 @@ pub struct FlatEnsemble {
     /// unweighted mean of the two children at splits (computed once at
     /// build time; see [`FlatEnsemble::predict_row_attributed`]).
     node_value: Vec<f64>,
+    /// Compressed node table the blocked evaluator runs on when the
+    /// ensemble fits the packed index widths (`None`: wide fallback).
+    packed: Option<PackedTable>,
     n_features: usize,
     /// Accumulator start value (gradient boosting's `base_score`).
     init: f64,
@@ -119,6 +207,26 @@ impl FlatEnsemble {
     /// Feature count the ensemble was trained on.
     pub fn n_features(&self) -> usize {
         self.n_features
+    }
+
+    /// Whether the blocked evaluator runs on the compressed node table
+    /// (false: the ensemble exceeded a packed index width and the wide
+    /// arrays serve batched prediction too).
+    pub fn is_packed(&self) -> bool {
+        self.packed.is_some()
+    }
+
+    /// Bytes of per-node walk state the blocked evaluator touches:
+    /// the packed `u32`+`u16` arrays when compressed, the wide
+    /// feature/threshold/left arrays otherwise. (The value pool and the
+    /// attribution/`predict_row` arrays are not counted — the pool is a
+    /// few hundred hot cache lines and the wide arrays stay for the
+    /// single-row entries.)
+    pub fn walk_bytes(&self) -> usize {
+        match &self.packed {
+            Some(p) => p.node_bytes(),
+            None => self.n_nodes() * (2 * std::mem::size_of::<u32>() + std::mem::size_of::<f64>()),
+        }
     }
 
     #[inline]
@@ -343,6 +451,89 @@ impl FlatEnsemble {
         }
     }
 
+    /// [`FlatEnsemble::eval_block`] on the compressed node table, with a
+    /// fixed [`BLOCK`]-width inner loop: a tail block (fewer than
+    /// [`BLOCK`] rows) pads its lane state by repeating the last row, so
+    /// every lockstep pass runs the same constant trip count and the
+    /// per-lane body carries no length-dependent control flow. Padded
+    /// lanes descend a real row's path and their results are simply not
+    /// copied out. Value loads go through the deduplicated pool, which
+    /// holds the identical f64 bit patterns as the wide arrays —
+    /// bit-identical outputs (the unit suite and every bench run assert
+    /// this against [`FlatEnsemble::predict_row`]).
+    fn eval_block_packed(
+        &self,
+        t: &PackedTable,
+        data: &[f64],
+        cols: usize,
+        row0: usize,
+        out: &mut [f64],
+    ) {
+        let b = out.len();
+        debug_assert!(0 < b && b <= BLOCK);
+        let node = t.node.as_slice();
+        let value_idx = t.value_idx.as_slice();
+        let values = t.values.as_slice();
+        let mut bases = [0usize; BLOCK];
+        for (o, base) in bases.iter_mut().enumerate() {
+            *base = (row0 + o.min(b - 1)) * cols;
+        }
+        let mut acc = [self.init; BLOCK];
+        let mut idx = [0u32; BLOCK];
+        for &root in &self.roots {
+            let r = root as usize;
+            if node[r] >> PACKED_LEFT_BITS == PACKED_LEAF {
+                // Single-leaf tree (depth-0 stump): no walk needed.
+                let v = values[value_idx[r] as usize];
+                for a in &mut acc {
+                    *a += v;
+                }
+                continue;
+            }
+            idx.fill(root);
+            loop {
+                let mut moved = 0u32;
+                for (slot, &base) in idx.iter_mut().zip(&bases) {
+                    let n = *slot as usize;
+                    let word = node[n];
+                    let f = word >> PACKED_LEFT_BITS;
+                    let leaf = f == PACKED_LEAF;
+                    // At a leaf, load any in-range column: the select
+                    // below pins the lane in place regardless.
+                    let fi = if leaf { 0 } else { f as usize };
+                    let v = data[base + fi];
+                    let thr = values[value_idx[n] as usize];
+                    // Same split test and sibling-adjacency step as the
+                    // wide pass (`v <= thr`; NaN fails it → right).
+                    let goes_left = v <= thr;
+                    let step = (word & PACKED_LEFT_MASK) + u32::from(!goes_left);
+                    let next = if leaf { *slot } else { step };
+                    moved |= next ^ *slot;
+                    *slot = next;
+                }
+                if moved == 0 {
+                    break;
+                }
+            }
+            for (a, &slot) in acc.iter_mut().zip(&idx) {
+                *a += values[value_idx[slot as usize] as usize];
+            }
+        }
+        for (o, dst) in out.iter_mut().enumerate() {
+            *dst = self.finalize_value(acc[o]);
+        }
+    }
+
+    /// Walks one ≤[`BLOCK`]-row block on the packed table when the
+    /// ensemble compressed, the wide arrays otherwise.
+    #[inline]
+    fn eval_block_at(&self, data: &[f64], cols: usize, row0: usize, out: &mut [f64]) {
+        match &self.packed {
+            Some(t) => self.eval_block_packed(t, data, cols, row0, out),
+            None => self.eval_block(data, cols, row0, out),
+        }
+    }
+
     /// Batched probability of the positive class for each row of `x`.
     ///
     /// Row-blocks are sharded over `n_jobs` pool workers; rows are
@@ -366,15 +557,29 @@ impl FlatEnsemble {
     /// As [`FlatEnsemble::predict_proba`], plus if `out.len()` differs
     /// from `x.rows()`.
     pub fn predict_into(&self, x: &Matrix, out: &mut [f64], n_jobs: usize) {
-        assert!(!self.roots.is_empty(), "flat ensemble has no trees");
-        assert_eq!(x.cols(), self.n_features, "feature count must match training data");
         assert_eq!(out.len(), x.rows(), "output length must match row count");
-        let rows = x.rows();
+        self.predict_rows_into(x.as_slice(), x.cols(), out, n_jobs);
+    }
+
+    /// [`FlatEnsemble::predict_into`] over a raw row-major slice.
+    ///
+    /// The fleet serving tick gathers all instances' feature rows into
+    /// one reused flat buffer; this entry point scores it without
+    /// requiring a [`Matrix`] wrapper (which would copy or re-own the
+    /// data). One probability per row is written to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ensemble is empty, `cols` differs from the
+    /// training feature count, or `data.len() != out.len() * cols`.
+    pub fn predict_rows_into(&self, data: &[f64], cols: usize, out: &mut [f64], n_jobs: usize) {
+        assert!(!self.roots.is_empty(), "flat ensemble has no trees");
+        assert_eq!(cols, self.n_features, "feature count must match training data");
+        let rows = out.len();
+        assert_eq!(data.len(), rows * cols, "data length must be rows * cols");
         if rows == 0 {
             return;
         }
-        let data = x.as_slice();
-        let cols = x.cols();
         let n_blocks = rows.div_ceil(BLOCK);
         let n_jobs = n_jobs.max(1).min(n_blocks);
         let span = obs::Span::enter("predict.batch");
@@ -382,7 +587,7 @@ impl FlatEnsemble {
             let mut start = 0;
             while start < rows {
                 let end = (start + BLOCK).min(rows);
-                self.eval_block(data, cols, start, &mut out[start..end]);
+                self.eval_block_at(data, cols, start, &mut out[start..end]);
                 start = end;
             }
         } else {
@@ -398,7 +603,7 @@ impl FlatEnsemble {
                 let mut start = 0;
                 while start < chunk.len() {
                     let end = (start + BLOCK).min(chunk.len());
-                    self.eval_block(data, cols, row0 + start, &mut chunk[start..end]);
+                    self.eval_block_at(data, cols, row0 + start, &mut chunk[start..end]);
                     start = end;
                 }
                 if let Some(started) = started {
@@ -595,6 +800,8 @@ impl FlatBuilder {
                 0.5 * (node_value[self.left[i] as usize] + node_value[self.right[i] as usize])
             };
         }
+        let packed =
+            PackedTable::compress(&self.feature, &self.threshold, &self.left, self.n_features);
         FlatEnsemble {
             feature: self.feature,
             threshold: self.threshold,
@@ -605,6 +812,7 @@ impl FlatBuilder {
             n_features: self.n_features,
             init: self.init,
             finalize: self.finalize,
+            packed,
         }
     }
 }
@@ -824,5 +1032,104 @@ mod tests {
         let mean = f.mean_abs_attribution(&x);
         assert!(mean[0] > 0.0, "split feature must carry weight");
         assert_eq!(mean[1], 0.0, "unused feature must carry none");
+    }
+
+    #[test]
+    fn packed_table_matches_wide_bits_on_random_forests() {
+        let mut rng = StdRng::seed_from_u64(0x9acc_ed01);
+        for trial in 0..20u32 {
+            let mut b = FlatBuilder::new(3, 0.25, Finalize::Mean(1.0 + (trial % 5) as f64));
+            for _ in 0..1 + (trial % 5) {
+                push_random_tree(&mut b, &mut rng, 1 + (trial % 4));
+            }
+            let f = b.build();
+            assert!(f.is_packed(), "trial {trial}: small forest must compress");
+            // Null out the side table to force the wide walker.
+            let mut wide = f.clone();
+            wide.packed = None;
+            let rows: Vec<Vec<f64>> = (0..BLOCK + 17)
+                .map(|i| {
+                    if i % 13 == 0 {
+                        vec![f64::NAN, rng.gen_f64(), rng.gen_f64()]
+                    } else {
+                        vec![rng.gen_f64(), rng.gen_f64(), rng.gen_f64()]
+                    }
+                })
+                .collect();
+            let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+            let x = Matrix::from_rows(&refs);
+            for jobs in [1, 4] {
+                let packed = f.predict_proba(&x, jobs);
+                let reference = wide.predict_proba(&x, jobs);
+                for (i, (p, w)) in packed.iter().zip(&reference).enumerate() {
+                    assert_eq!(
+                        p.to_bits(),
+                        w.to_bits(),
+                        "trial {trial} row {i} n_jobs {jobs}: packed != wide"
+                    );
+                }
+                for (i, (row, p)) in rows.iter().zip(&packed).enumerate() {
+                    assert_eq!(
+                        p.to_bits(),
+                        f.predict_row(row).to_bits(),
+                        "trial {trial} row {i}: packed != predict_row"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_table_shrinks_walk_state() {
+        let mut rng = StdRng::seed_from_u64(0x5123);
+        let mut b = FlatBuilder::new(3, 0.0, Finalize::Sum);
+        for _ in 0..8 {
+            push_random_tree(&mut b, &mut rng, 4);
+        }
+        let f = b.build();
+        assert!(f.is_packed());
+        let wide_bytes =
+            f.n_nodes() * (2 * std::mem::size_of::<u32>() + std::mem::size_of::<f64>());
+        assert!(
+            f.walk_bytes() * 2 < wide_bytes,
+            "packed walk state {} should be well under wide {}",
+            f.walk_bytes(),
+            wide_bytes
+        );
+    }
+
+    #[test]
+    fn wide_feature_space_falls_back_losslessly() {
+        // 2000 features exceeds the 10-bit packed feature field, so the
+        // side table must be skipped — and predictions must not change.
+        let n = 2000;
+        let mut b = FlatBuilder::new(n, 0.0, Finalize::Sum);
+        b.begin_tree();
+        b.push_split(1500, 0.5, 1, 2);
+        b.push_leaf(0.2);
+        b.push_leaf(0.8);
+        let f = b.build();
+        assert!(!f.is_packed(), "feature index 1500 cannot pack into 10 bits");
+        let mut row = vec![0.0; n];
+        assert_eq!(f.predict_row(&row), 0.2);
+        row[1500] = 1.0;
+        assert_eq!(f.predict_row(&row), 0.8);
+        let x = Matrix::from_rows(&[row.as_slice()]);
+        assert_eq!(f.predict_proba(&x, 1), vec![0.8]);
+    }
+
+    #[test]
+    fn predict_rows_into_matches_matrix_entry() {
+        let f = stump();
+        let rows: Vec<Vec<f64>> = (0..150).map(|i| vec![(i % 9) as f64 * 0.4, 1.0]).collect();
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&refs);
+        let via_matrix = f.predict_proba(&x, 1);
+        for jobs in [1, 4] {
+            let mut out = vec![0.0; rows.len()];
+            f.predict_rows_into(&flat, 2, &mut out, jobs);
+            assert_eq!(out, via_matrix, "n_jobs = {jobs}");
+        }
     }
 }
