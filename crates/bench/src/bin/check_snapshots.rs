@@ -80,6 +80,22 @@ const SCHEMAS: &[Schema] = &[
             "batched_allocs_per_tick",
         ],
     },
+    Schema {
+        file: "BENCH_sim.json",
+        min_sizes: 3,
+        size_fields: &[
+            "nodes",
+            "containers",
+            "measured_ticks",
+            "dense_ms_per_tick",
+            "event_ms_per_tick",
+            "dense_sim_per_wall",
+            "event_sim_per_wall",
+            "speedup",
+            "event_us_per_container_second",
+            "event_allocs_per_tick",
+        ],
+    },
 ];
 
 fn get<'j>(obj: &'j Json, key: &str) -> Option<&'j Json> {

@@ -194,12 +194,7 @@ pub fn run_eval_scenario(
     };
     let profile = eval_workload(app, opts.duration, opts.seed);
 
-    let service_names: Vec<String> = cluster
-        .app(target)
-        .service_names()
-        .into_iter()
-        .map(str::to_string)
-        .collect();
+    let service_names: Vec<String> = cluster.app(target).service_names().to_vec();
     let mut orchestrator = model.map(|m| Orchestrator::new(Arc::clone(m)));
 
     // Baselines read the same monitored (noisy) utilization metrics the
@@ -238,7 +233,7 @@ pub fn run_eval_scenario(
         }),
         upsilon: threshold.upsilon(),
     };
-    let raw_instance_ids: Vec<_> = cluster.app(target).instances();
+    let raw_instance_ids: Vec<_> = cluster.app(target).instances().to_vec();
 
     for t in 0..opts.duration {
         let load = profile.intensity(t);
@@ -286,7 +281,7 @@ pub fn run_eval_scenario(
             let preds = orch.step(&report.observations)?;
             let app_instances = cluster.app(target).instances();
             let app_pred =
-                Orchestrator::application_prediction(preds, &app_instances, Aggregation::Or);
+                Orchestrator::application_prediction(preds, app_instances, Aggregation::Or);
             run.monitorless
                 .as_mut()
                 .expect("created with model")

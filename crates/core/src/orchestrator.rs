@@ -46,6 +46,7 @@ use crate::drift::{DriftConfig, DriftDetector};
 use crate::features::{InstanceTransformer, TransformScratch};
 use crate::model::MonitorlessModel;
 use crate::Error;
+use monitorless_sim::TickReport;
 
 /// How instance predictions are combined into an application
 /// prediction.
@@ -279,6 +280,18 @@ impl Orchestrator {
         let live = &self.live;
         self.transformers.retain(|id, _| live.contains(id));
         Ok(&self.predictions)
+    }
+
+    /// Ingests a simulator tick directly: feeds the report's observation
+    /// stream to [`Orchestrator::step`]. This is the natural coupling
+    /// with [`monitorless_sim::EventSim`], whose [`TickReport`]s arrive
+    /// only at monitoring boundaries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates feature-pipeline errors.
+    pub fn step_report(&mut self, report: &TickReport) -> Result<&[InstancePrediction], Error> {
+        self.step(&report.observations)
     }
 
     /// The original per-instance serving loop — transform one instance,
@@ -614,6 +627,30 @@ mod tests {
         let preds = orch.step(&report.observations).unwrap().to_vec();
         assert_eq!(preds.len(), 2);
         assert_eq!(orch.tracked_instances(), 2);
+    }
+
+    #[test]
+    fn step_report_matches_step() {
+        let model = trained_model();
+        let mut by_obs = Orchestrator::new(Arc::clone(&model));
+        let mut by_report = Orchestrator::new(model);
+        let mut c1 = Cluster::new(vec![NodeSpec::training_server()], 23);
+        let (app, _) = build_single(
+            &mut c1,
+            ServiceProfile::test_cpu_bound("svc", 10.0),
+            ContainerLimits::cpu(1.0),
+            NodeId(0),
+        );
+        for _ in 0..3 {
+            let report = c1.step(&[(app, 30.0)]);
+            let a = by_obs.step(&report.observations).unwrap().to_vec();
+            let b = by_report.step_report(&report).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.instance, y.instance);
+                assert_eq!(x.probability.to_bits(), y.probability.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use monitorless_std::sync::Mutex;
 
 use crate::catalog::Catalog;
+use crate::kind::MetricKind;
 use crate::rates::{CounterAccumulator, RateConverter};
 use crate::sample::{InstanceId, NodeId, Observation};
 use crate::signals::{ContainerSignals, HostSignals};
@@ -25,6 +26,7 @@ pub struct MonitoringAgent {
     node: NodeId,
     catalog: Arc<Catalog>,
     seed: u64,
+    ctr_kinds: Vec<MetricKind>,
     state: Mutex<AgentState>,
 }
 
@@ -33,19 +35,26 @@ struct AgentState {
     host_acc: CounterAccumulator,
     host_rates: RateConverter,
     containers: HashMap<InstanceId, (CounterAccumulator, RateConverter)>,
+    /// Reused expansion/raw-sample buffers for the fused collect path.
+    scratch_inst: Vec<f64>,
+    scratch_raw: Vec<f64>,
 }
 
 impl MonitoringAgent {
     /// Creates an agent for `node` using the given catalog and noise seed.
     pub fn new(node: NodeId, catalog: Arc<Catalog>, seed: u64) -> Self {
         let host_kinds: Vec<_> = catalog.host_metrics().iter().map(|m| m.kind).collect();
+        let ctr_kinds: Vec<_> = catalog.container_metrics().iter().map(|m| m.kind).collect();
         MonitoringAgent {
             node,
             seed,
+            ctr_kinds,
             state: Mutex::new(AgentState {
                 host_acc: CounterAccumulator::new(host_kinds.clone()),
                 host_rates: RateConverter::new(host_kinds),
                 containers: HashMap::new(),
+                scratch_inst: Vec::new(),
+                scratch_raw: Vec::new(),
             }),
             catalog,
         }
@@ -73,43 +82,72 @@ impl MonitoringAgent {
         host: &HostSignals,
         containers: &[(InstanceId, ContainerSignals)],
     ) -> Observation {
+        let mut out = Observation {
+            node: self.node,
+            time,
+            host: Vec::new(),
+            containers: Vec::new(),
+        };
+        self.collect_into(time, host, containers, &mut out);
+        out
+    }
+
+    /// Fused variant of [`MonitoringAgent::collect`] that writes the
+    /// processed observation into `out`, reusing its buffers.
+    ///
+    /// Bitwise-identical output and identical internal rate-state
+    /// evolution, but allocation-free in steady state (a stable set of
+    /// container ids): the expansion scratch, the retained raw samples
+    /// and the output vectors are all reused in place. The event-driven
+    /// simulator calls this once per node per monitoring sample.
+    pub fn collect_into(
+        &self,
+        time: u64,
+        host: &HostSignals,
+        containers: &[(InstanceId, ContainerSignals)],
+        out: &mut Observation,
+    ) {
         let _span = monitorless_obs::Span::enter("agent.collect");
         monitorless_obs::counter_add("agent.collections", 1);
         let mut state = self.state.lock();
+        let AgentState {
+            host_acc,
+            host_rates,
+            containers: rate_state,
+            scratch_inst,
+            scratch_raw,
+        } = &mut *state;
 
-        let host_inst = self.catalog.expand_host(host, time, self.seed);
-        let host_raw = state.host_acc.accumulate(&host_inst);
-        let host_processed = state.host_rates.convert(&host_raw, 1.0);
+        out.node = self.node;
+        out.time = time;
+        self.catalog
+            .expand_host_into(host, time, self.seed, scratch_inst);
+        host_acc.accumulate_into(scratch_inst, scratch_raw);
+        host_rates.convert_into(scratch_raw, 1.0, &mut out.host);
 
         // Drop state for instances that no longer exist.
-        let live: Vec<InstanceId> = containers.iter().map(|(id, _)| *id).collect();
-        state.containers.retain(|id, _| live.contains(id));
+        rate_state.retain(|id, _| containers.iter().any(|(live, _)| live == id));
 
-        let ctr_kinds: Vec<_> = self
-            .catalog
-            .container_metrics()
-            .iter()
-            .map(|m| m.kind)
-            .collect();
-        let mut out = Vec::with_capacity(containers.len());
-        for (id, signals) in containers {
-            let inst = self.catalog.expand_container(
+        out.containers.truncate(containers.len());
+        while out.containers.len() < containers.len() {
+            out.containers.push((InstanceId(0), Vec::new()));
+        }
+        for (slot, (id, signals)) in out.containers.iter_mut().zip(containers) {
+            slot.0 = *id;
+            self.catalog.expand_container_into(
                 signals,
                 time,
                 self.seed ^ (id.0 as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+                scratch_inst,
             );
-            let (acc, conv) = state.containers.entry(*id).or_insert_with(|| {
-                (CounterAccumulator::new(ctr_kinds.clone()), RateConverter::new(ctr_kinds.clone()))
+            let (acc, conv) = rate_state.entry(*id).or_insert_with(|| {
+                (
+                    CounterAccumulator::new(self.ctr_kinds.clone()),
+                    RateConverter::new(self.ctr_kinds.clone()),
+                )
             });
-            let raw = acc.accumulate(&inst);
-            out.push((*id, conv.convert(&raw, 1.0)));
-        }
-
-        Observation {
-            node: self.node,
-            time,
-            host: host_processed,
-            containers: out,
+            acc.accumulate_into(scratch_inst, scratch_raw);
+            conv.convert_into(scratch_raw, 1.0, &mut slot.1);
         }
     }
 }
@@ -163,6 +201,44 @@ mod tests {
         a.collect(2, &HostSignals::default(), &[]);
         let back = a.collect(3, &HostSignals::default(), &[(InstanceId(1), cs)]);
         assert_eq!(back.containers[0].1[pgfault], 0.0);
+    }
+
+    #[test]
+    fn collect_into_reused_buffers_match_fresh_collect() {
+        let fresh = agent();
+        let reused = agent();
+        let mut buf = Observation {
+            node: NodeId(9),
+            time: 99,
+            host: Vec::new(),
+            containers: Vec::new(),
+        };
+        let cs = |v: f64| ContainerSignals {
+            tcp_conns: v,
+            pgfault_rate: v * 2.0,
+            ..ContainerSignals::default()
+        };
+        // Instance set churns: grow, shrink, regrow — the reused buffers
+        // must track it and stay bitwise-identical to fresh collects.
+        let frames: [&[(InstanceId, ContainerSignals)]; 5] = [
+            &[(InstanceId(1), cs(10.0))],
+            &[(InstanceId(1), cs(11.0)), (InstanceId(2), cs(20.0))],
+            &[(InstanceId(2), cs(21.0))],
+            &[],
+            &[(InstanceId(1), cs(12.0)), (InstanceId(3), cs(30.0))],
+        ];
+        for (t, frame) in frames.iter().enumerate() {
+            let hs = HostSignals {
+                ctx_switch_rate: 100.0 * t as f64,
+                ..HostSignals::default()
+            };
+            let want = fresh.collect(t as u64, &hs, frame);
+            reused.collect_into(t as u64, &hs, frame, &mut buf);
+            assert_eq!(buf.node, want.node);
+            assert_eq!(buf.time, want.time);
+            assert_eq!(buf.host, want.host, "tick {t}: host vector");
+            assert_eq!(buf.containers, want.containers, "tick {t}: containers");
+        }
     }
 
     #[test]

@@ -160,22 +160,52 @@ impl Catalog {
 
     /// Evaluates all host metrics for one signal frame.
     pub fn expand_host(&self, signals: &HostSignals, t: u64, seed: u64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.host.len());
+        self.expand_host_into(signals, t, seed, &mut out);
+        out
+    }
+
+    /// Evaluates all host metrics into `out`, reusing its capacity.
+    ///
+    /// Bitwise-identical to [`Catalog::expand_host`] but allocation-free
+    /// once `out` has grown to the host width.
+    pub fn expand_host_into(&self, signals: &HostSignals, t: u64, seed: u64, out: &mut Vec<f64>) {
         let dummy = ContainerSignals::default();
-        self.host
-            .iter()
-            .enumerate()
-            .map(|(i, m)| m.evaluate(signals, &dummy, t, seed, i))
-            .collect()
+        out.clear();
+        out.extend(
+            self.host
+                .iter()
+                .enumerate()
+                .map(|(i, m)| m.evaluate(signals, &dummy, t, seed, i)),
+        );
     }
 
     /// Evaluates all container metrics for one signal frame.
     pub fn expand_container(&self, signals: &ContainerSignals, t: u64, seed: u64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.container.len());
+        self.expand_container_into(signals, t, seed, &mut out);
+        out
+    }
+
+    /// Evaluates all container metrics into `out`, reusing its capacity.
+    ///
+    /// Bitwise-identical to [`Catalog::expand_container`] but
+    /// allocation-free once `out` has grown to the container width.
+    pub fn expand_container_into(
+        &self,
+        signals: &ContainerSignals,
+        t: u64,
+        seed: u64,
+        out: &mut Vec<f64>,
+    ) {
         let dummy = HostSignals::default();
-        self.container
-            .iter()
-            .enumerate()
-            .map(|(i, m)| m.evaluate(&dummy, signals, t, seed, i + self.host.len()))
-            .collect()
+        out.clear();
+        out.extend(
+            self.container
+                .iter()
+                .enumerate()
+                .map(|(i, m)| m.evaluate(&dummy, signals, t, seed, i + self.host.len())),
+        );
     }
 }
 

@@ -31,19 +31,33 @@ impl CounterAccumulator {
     ///
     /// Panics if `values` has a different length than the kinds vector.
     pub fn accumulate(&mut self, values: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(values.len());
+        self.accumulate_into(values, &mut out);
+        out
+    }
+
+    /// Like [`CounterAccumulator::accumulate`] but writes into `out`,
+    /// reusing its capacity (allocation-free once grown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has a different length than the kinds vector.
+    pub fn accumulate_into(&mut self, values: &[f64], out: &mut Vec<f64>) {
         assert_eq!(values.len(), self.kinds.len(), "length mismatch");
-        values
-            .iter()
-            .zip(self.kinds.iter())
-            .zip(self.totals.iter_mut())
-            .map(|((&v, kind), total)| match kind {
-                MetricKind::Counter => {
-                    *total += v.max(0.0);
-                    *total
-                }
-                _ => v,
-            })
-            .collect()
+        out.clear();
+        out.extend(
+            values
+                .iter()
+                .zip(self.kinds.iter())
+                .zip(self.totals.iter_mut())
+                .map(|((&v, kind), total)| match kind {
+                    MetricKind::Counter => {
+                        *total += v.max(0.0);
+                        *total
+                    }
+                    _ => v,
+                }),
+        );
     }
 }
 
@@ -78,22 +92,34 @@ impl RateConverter {
     /// Panics if `raw` has a different length than the kinds vector, or
     /// if `dt_seconds` is not positive.
     pub fn convert(&mut self, raw: &[f64], dt_seconds: f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(raw.len());
+        self.convert_into(raw, dt_seconds, &mut out);
+        out
+    }
+
+    /// Like [`RateConverter::convert`] but writes into `out`, reusing its
+    /// capacity. The retained previous sample is updated in place, so the
+    /// call is allocation-free once warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` has a different length than the kinds vector, or
+    /// if `dt_seconds` is not positive.
+    pub fn convert_into(&mut self, raw: &[f64], dt_seconds: f64, out: &mut Vec<f64>) {
         assert_eq!(raw.len(), self.kinds.len(), "length mismatch");
         assert!(dt_seconds > 0.0, "dt must be positive");
-        let out: Vec<f64> = match &self.previous {
-            None => raw
-                .iter()
-                .zip(self.kinds.iter())
-                .map(|(&v, kind)| match kind {
-                    MetricKind::Counter => 0.0,
-                    _ => v,
-                })
-                .collect(),
-            Some(prev) => raw
-                .iter()
-                .zip(prev)
-                .zip(self.kinds.iter())
-                .map(|((&v, &p), kind)| match kind {
+        out.clear();
+        match &self.previous {
+            None => out.extend(
+                raw.iter()
+                    .zip(self.kinds.iter())
+                    .map(|(&v, kind)| match kind {
+                        MetricKind::Counter => 0.0,
+                        _ => v,
+                    }),
+            ),
+            Some(prev) => out.extend(raw.iter().zip(prev).zip(self.kinds.iter()).map(
+                |((&v, &p), kind)| match kind {
                     MetricKind::Counter => {
                         if v >= p {
                             (v - p) / dt_seconds
@@ -102,11 +128,13 @@ impl RateConverter {
                         }
                     }
                     _ => v,
-                })
-                .collect(),
-        };
-        self.previous = Some(raw.to_vec());
-        out
+                },
+            )),
+        }
+        match &mut self.previous {
+            Some(prev) => prev.copy_from_slice(raw),
+            None => self.previous = Some(raw.to_vec()),
+        }
     }
 
     /// Forgets the previous sample (e.g. after a container restart).

@@ -133,6 +133,17 @@ impl Container {
         &self.state
     }
 
+    /// Bitwise fingerprint of the persistent state.
+    ///
+    /// The engine's fixed-point cache relies on [`Container::evaluate`]
+    /// being a pure function of `(spec, offered, shares, state)`: a
+    /// container whose state fingerprint is unchanged by an evaluation
+    /// will reproduce the exact same tick for as long as its inputs stay
+    /// bit-identical, so the engine can skip re-evaluating it.
+    pub(crate) fn state_bits(&self) -> (u64, u64) {
+        (self.state.queue.to_bits(), self.state.mem_usage_gb.to_bits())
+    }
+
     /// Cache-miss ratio implied by the current memory pressure.
     fn miss_ratio(&self, node: &NodeSpec, rps: f64) -> f64 {
         let target = self.profile.mem_target_gb(rps);

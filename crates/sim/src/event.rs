@@ -1,0 +1,531 @@
+//! Event-driven simulation driver.
+//!
+//! [`EventSim`] wraps a [`Cluster`] and replaces the dense
+//! "recompute everything every second" loop with an event queue. The
+//! only work between events is what the cluster genuinely needs:
+//!
+//! * **Load-profile change points** — each registered workload schedules
+//!   its next [`LoadProfile::next_change`] and is left alone in between.
+//!   Sparse profiles (constant, stepped, trace-driven) contribute a
+//!   handful of events per episode instead of one per second.
+//! * **Container state transitions** — while any container is still
+//!   relaxing toward its fixed point the driver runs cheap state-only
+//!   ticks; once the whole cluster reports [`Cluster::is_settled`] it
+//!   fast-forwards to the next event without touching a single
+//!   container.
+//! * **Monitoring samples** — the periodic 1 Hz (configurable) sample
+//!   boundary. Only these seconds produce full [`TickReport`]s, and the
+//!   stream of reports is bit-identical to calling
+//!   [`Cluster::step_dense_legacy`] every monitored second.
+//! * **Autoscale actions** — scheduled scale-out/scale-in. These are
+//!   cross-group events: applying one re-shards the node groups, so the
+//!   per-shard queues are rebuilt at a barrier.
+//!
+//! Events are ordered by a deterministic `(time, seq)` key, where `seq`
+//! is a globally increasing schedule counter — two runs with the same
+//! seed and the same schedule pop events in exactly the same order, on
+//! any worker count.
+//!
+//! Routing: load-change events for an application whose instances all
+//! live in one node group are held in that shard's queue; everything
+//! else (scale actions, unroutable changes) goes to the global queue.
+//! Each tick pops the globally smallest key across all queues, so the
+//! sharding is purely an ownership statement today — it keeps each
+//! group's upcoming work physically separate so a cross-group barrier
+//! only has to re-route the queues it invalidated.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use monitorless_obs as obs;
+use monitorless_workload::LoadProfile;
+
+use crate::engine::{AppId, Cluster, SimStats, TickReport};
+use crate::error::ClusterError;
+use monitorless_metrics::{InstanceId, NodeId};
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq)]
+enum EventKind {
+    /// Re-sample workload `idx` and reschedule its next change point.
+    LoadChange { workload: usize },
+    /// Start an extra instance of `(app, service)` on `node`.
+    ScaleOut {
+        app: AppId,
+        service: String,
+        node: NodeId,
+    },
+    /// Stop an instance.
+    ScaleIn { instance: InstanceId },
+}
+
+/// A queued event. Ordering is by `(time, seq)` only — `seq` is assigned
+/// at schedule time from a global counter, making pop order fully
+/// deterministic for a fixed schedule.
+#[derive(Debug, Clone)]
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+type Queue = BinaryHeap<Reverse<Event>>;
+
+/// Work counters for the event loop itself (the wrapped cluster keeps
+/// its own [`SimStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventStats {
+    /// Total events popped and applied.
+    pub events: u64,
+    /// Load change-point events applied.
+    pub load_changes: u64,
+    /// Scale-out/in events applied.
+    pub scale_actions: u64,
+    /// Monitoring samples produced (full report ticks).
+    pub monitor_samples: u64,
+}
+
+/// The result of a scheduled scale action, recorded when it fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScaleOutcome {
+    /// A scale-out produced this instance.
+    Added(InstanceId),
+    /// A scale-in removed the instance (`true`) or was rejected because
+    /// it targeted the last instance of its service (`false`).
+    Removed(bool),
+    /// A scale-out failed.
+    Failed(ClusterError),
+}
+
+/// Event-driven simulation loop over a [`Cluster`].
+#[derive(Debug)]
+pub struct EventSim {
+    cluster: Cluster,
+    workloads: Vec<(AppId, Box<dyn LoadProfile>)>,
+    /// Current offered load per app, in workload registration order —
+    /// exactly the slice a dense driver would pass to `step` each second.
+    loads: Vec<(AppId, f64)>,
+    /// One queue per shard plus a global queue (index = shard count).
+    shard_queues: Vec<Queue>,
+    global_queue: Queue,
+    seq: u64,
+    monitor_every: u64,
+    /// A load-change event fired since the cluster last consumed
+    /// `loads` — fast-forwarding would skip the new load's dynamics.
+    loads_dirty: bool,
+    report: TickReport,
+    stats: EventStats,
+    /// `(time, outcome)` log of fired scale actions.
+    scale_log: Vec<(u64, ScaleOutcome)>,
+}
+
+impl EventSim {
+    /// Wraps a cluster. Applications must already exist; register their
+    /// workloads with [`EventSim::add_workload`].
+    pub fn new(mut cluster: Cluster) -> Self {
+        cluster.sync_topology();
+        let shards = cluster.shard_count();
+        EventSim {
+            cluster,
+            workloads: Vec::new(),
+            loads: Vec::new(),
+            shard_queues: (0..shards).map(|_| Queue::new()).collect(),
+            global_queue: Queue::new(),
+            seq: 0,
+            monitor_every: 1,
+            loads_dirty: false,
+            report: TickReport::empty(),
+            stats: EventStats::default(),
+            scale_log: Vec::new(),
+        }
+    }
+
+    /// Seconds between monitoring samples (default 1 — the paper's 1 Hz
+    /// collection interval). Intermediate seconds run state-only or are
+    /// skipped entirely when the cluster is settled.
+    pub fn set_monitor_every(&mut self, seconds: u64) {
+        self.monitor_every = seconds.max(1);
+    }
+
+    /// Worker threads for the parallel shard phase.
+    pub fn set_n_jobs(&mut self, n_jobs: usize) {
+        self.cluster.set_n_jobs(n_jobs);
+    }
+
+    /// Drives `app` with `profile`. The profile's first change point is
+    /// scheduled immediately (at the current simulation time).
+    pub fn add_workload(&mut self, app: AppId, profile: Box<dyn LoadProfile>) {
+        let idx = self.workloads.len();
+        self.workloads.push((app, profile));
+        self.loads.push((app, 0.0));
+        let now = self.cluster.time();
+        self.push_event(now, EventKind::LoadChange { workload: idx });
+    }
+
+    /// Schedules a scale-out of `(app, service)` onto `node` at absolute
+    /// simulation time `at`.
+    pub fn schedule_scale_out(&mut self, at: u64, app: AppId, service: &str, node: NodeId) {
+        self.push_event(
+            at,
+            EventKind::ScaleOut {
+                app,
+                service: service.to_string(),
+                node,
+            },
+        );
+    }
+
+    /// Schedules a scale-in of `instance` at absolute time `at`.
+    pub fn schedule_scale_in(&mut self, at: u64, instance: InstanceId) {
+        self.push_event(at, EventKind::ScaleIn { instance });
+    }
+
+    fn push_event(&mut self, time: u64, kind: EventKind) {
+        let ev = Event {
+            time,
+            seq: self.seq,
+            kind,
+        };
+        self.seq += 1;
+        let queue = match &ev.kind {
+            EventKind::LoadChange { workload } => {
+                let app = self.workloads[*workload].0;
+                match self.cluster.shard_of_app(app) {
+                    Some(s) if s < self.shard_queues.len() => &mut self.shard_queues[s],
+                    _ => &mut self.global_queue,
+                }
+            }
+            // Scale actions are cross-group by nature.
+            _ => &mut self.global_queue,
+        };
+        queue.push(Reverse(ev));
+    }
+
+    /// Smallest `(time, seq)` key across every queue.
+    fn peek_next(&self) -> Option<(u64, u64)> {
+        let mut best: Option<(u64, u64)> = None;
+        for q in self
+            .shard_queues
+            .iter()
+            .chain(std::iter::once(&self.global_queue))
+        {
+            if let Some(Reverse(ev)) = q.peek() {
+                let key = (ev.time, ev.seq);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        best
+    }
+
+    fn pop_next(&mut self) -> Option<Event> {
+        let key = self.peek_next()?;
+        for q in self
+            .shard_queues
+            .iter_mut()
+            .chain(std::iter::once(&mut self.global_queue))
+        {
+            if let Some(Reverse(ev)) = q.peek() {
+                if (ev.time, ev.seq) == key {
+                    return q.pop().map(|Reverse(ev)| ev);
+                }
+            }
+        }
+        None
+    }
+
+    /// Applies every event due at or before `now`, in global `(time,
+    /// seq)` order. Cross-group (scale) events trigger the shard
+    /// barrier: queues are drained, shards rebuilt, events re-routed.
+    fn apply_due(&mut self, now: u64) {
+        while let Some((t, _)) = self.peek_next() {
+            if t > now {
+                break;
+            }
+            let ev = self.pop_next().expect("peeked event exists");
+            self.stats.events += 1;
+            match ev.kind {
+                EventKind::LoadChange { workload } => {
+                    self.stats.load_changes += 1;
+                    let (app, profile) = &self.workloads[workload];
+                    debug_assert_eq!(self.loads[workload].0, *app);
+                    let new = profile.intensity(now);
+                    if new.to_bits() != self.loads[workload].1.to_bits() {
+                        self.loads_dirty = true;
+                    }
+                    self.loads[workload].1 = new;
+                    if let Some(next) = profile.next_change(now) {
+                        debug_assert!(next > now, "change points must advance");
+                        self.push_event(next, EventKind::LoadChange { workload });
+                    }
+                }
+                EventKind::ScaleOut { app, service, node } => {
+                    self.stats.scale_actions += 1;
+                    obs::counter_add("sim.event_scale", 1);
+                    let outcome = match self.cluster.scale_out(app, &service, node) {
+                        Ok(id) => ScaleOutcome::Added(id),
+                        Err(e) => ScaleOutcome::Failed(e),
+                    };
+                    self.scale_log.push((now, outcome));
+                    self.reshard();
+                }
+                EventKind::ScaleIn { instance } => {
+                    self.stats.scale_actions += 1;
+                    obs::counter_add("sim.event_scale", 1);
+                    let removed = self.cluster.scale_in(instance);
+                    self.scale_log.push((now, ScaleOutcome::Removed(removed)));
+                    self.reshard();
+                }
+            }
+        }
+    }
+
+    /// The cross-group barrier: shard layout changed, so drain every
+    /// shard queue and re-route against the fresh grouping.
+    fn reshard(&mut self) {
+        self.cluster.sync_topology();
+        let mut pending: Vec<Event> = Vec::new();
+        for q in &mut self.shard_queues {
+            pending.extend(q.drain().map(|Reverse(ev)| ev));
+        }
+        self.shard_queues = (0..self.cluster.shard_count())
+            .map(|_| Queue::new())
+            .collect();
+        for ev in pending {
+            let queue = match &ev.kind {
+                EventKind::LoadChange { workload } => {
+                    let app = self.workloads[*workload].0;
+                    match self.cluster.shard_of_app(app) {
+                        Some(s) => &mut self.shard_queues[s],
+                        None => &mut self.global_queue,
+                    }
+                }
+                _ => &mut self.global_queue,
+            };
+            queue.push(Reverse(ev));
+        }
+    }
+
+    /// Advances to the next monitoring sample and returns its report.
+    ///
+    /// All seconds in between are either state-only ticks (while some
+    /// container is still converging) or skipped outright (settled
+    /// cluster, no due event). The returned report stream is
+    /// bit-identical to a dense per-second driver sampled at the same
+    /// boundary.
+    pub fn step(&mut self) -> &TickReport {
+        loop {
+            let t = self.cluster.time();
+            self.apply_due(t);
+            if t.is_multiple_of(self.monitor_every) {
+                let loads = std::mem::take(&mut self.loads);
+                self.cluster.step_into(&loads, &mut self.report);
+                self.loads = loads;
+                self.loads_dirty = false;
+                self.stats.monitor_samples += 1;
+                obs::counter_add("sim.event_monitor_samples", 1);
+                return &self.report;
+            }
+            if !self.loads_dirty && self.cluster.is_settled() {
+                // Nothing can change until the next event or the next
+                // monitor boundary: skip straight there.
+                let next_monitor = t.next_multiple_of(self.monitor_every);
+                let horizon = match self.peek_next() {
+                    Some((et, _)) => next_monitor.min(et.max(t + 1)),
+                    None => next_monitor,
+                };
+                if horizon > t {
+                    self.cluster.fast_forward(horizon - t);
+                    continue;
+                }
+            }
+            let loads = std::mem::take(&mut self.loads);
+            self.cluster.tick_state_only(&loads);
+            self.loads = loads;
+            self.loads_dirty = false;
+        }
+    }
+
+    /// Runs until simulation time reaches `until`, returning the number
+    /// of monitoring samples produced.
+    pub fn run_for(&mut self, until: u64) -> u64 {
+        let mut samples = 0;
+        while self.cluster.time() < until {
+            self.step();
+            samples += 1;
+        }
+        samples
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time(&self) -> u64 {
+        self.cluster.time()
+    }
+
+    /// The current offered load per application (registration order).
+    pub fn loads(&self) -> &[(AppId, f64)] {
+        &self.loads
+    }
+
+    /// Event-loop counters.
+    pub fn stats(&self) -> EventStats {
+        self.stats
+    }
+
+    /// The wrapped cluster's work counters.
+    pub fn cluster_stats(&self) -> SimStats {
+        self.cluster.stats()
+    }
+
+    /// Outcomes of fired scale actions, in firing order.
+    pub fn scale_log(&self) -> &[(u64, ScaleOutcome)] {
+        &self.scale_log
+    }
+
+    /// The wrapped cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Mutable access to the wrapped cluster. Topology changes made
+    /// directly are picked up at the next tick's barrier.
+    pub fn cluster_mut(&mut self) -> &mut Cluster {
+        &mut self.cluster
+    }
+
+    /// Unwraps the cluster.
+    pub fn into_cluster(self) -> Cluster {
+        self.cluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServiceRole;
+    use crate::resources::{ContainerLimits, NodeSpec};
+    use crate::service::ServiceProfile;
+    use monitorless_workload::{ConstantProfile, SteppedProfile};
+
+    fn build(seed: u64) -> (Cluster, AppId) {
+        let mut cluster = Cluster::new(vec![NodeSpec::training_server()], seed);
+        let app = cluster.add_app("app");
+        cluster.add_service(
+            app,
+            ServiceRole {
+                name: "web".into(),
+                profile: ServiceProfile::test_cpu_bound("web", 10.0),
+                fanout: 1.0,
+                limits: ContainerLimits::cpu(2.0),
+            },
+            NodeId(0),
+        );
+        (cluster, app)
+    }
+
+    #[test]
+    fn event_stream_matches_dense_driver_bitwise() {
+        let (cluster, app) = build(42);
+        let (mut dense, _) = build(42);
+        let mut sim = EventSim::new(cluster);
+        let profile = SteppedProfile::new(vec![50.0, 120.0, 80.0], 40);
+        sim.add_workload(app, Box::new(profile.clone()));
+        for t in 0..120u64 {
+            use monitorless_workload::LoadProfile;
+            let report = sim.step();
+            let want = dense.step_dense_legacy(&[(app, profile.intensity(t))]);
+            assert_eq!(report.time, want.time);
+            for (f, d) in report.observations.iter().zip(&want.observations) {
+                for (a, b) in f.host.iter().zip(&d.host) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "t={t}");
+                }
+            }
+        }
+        assert_eq!(sim.stats().monitor_samples, 120);
+        // Three steps → exactly three load-change events fired.
+        assert_eq!(sim.stats().load_changes, 3);
+    }
+
+    #[test]
+    fn settled_constant_load_skips_state_ticks() {
+        let (cluster, app) = build(7);
+        let mut sim = EventSim::new(cluster);
+        sim.set_monitor_every(60);
+        sim.add_workload(app, Box::new(ConstantProfile::new(50.0, 100_000)));
+        sim.run_for(10_000);
+        let cs = sim.cluster_stats();
+        // Convergence takes a few hundred state ticks; after that whole
+        // 60 s windows are skipped without touching a container.
+        assert!(cs.skipped_seconds > 8000, "{cs:?}");
+        assert!(cs.state_ticks < 1000, "{cs:?}");
+        assert_eq!(cs.ticks, sim.stats().monitor_samples);
+    }
+
+    #[test]
+    fn scheduled_scale_actions_fire_in_order() {
+        let (cluster, app) = build(9);
+        let mut sim = EventSim::new(cluster);
+        sim.add_workload(app, Box::new(ConstantProfile::new(200.0, 10_000)));
+        sim.schedule_scale_out(10, app, "web", NodeId(0));
+        sim.schedule_scale_out(10, app, "missing", NodeId(0));
+        for _ in 0..20 {
+            sim.step();
+        }
+        assert_eq!(sim.cluster().container_count(), 2);
+        let log = sim.scale_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].0, 10);
+        assert!(matches!(log[0].1, ScaleOutcome::Added(_)));
+        assert!(matches!(log[1].1, ScaleOutcome::Failed(_)));
+        let added = match log[0].1 {
+            ScaleOutcome::Added(id) => id,
+            _ => unreachable!(),
+        };
+        sim.schedule_scale_in(25, added);
+        for _ in 0..10 {
+            sim.step();
+        }
+        assert_eq!(sim.cluster().container_count(), 1);
+        assert!(matches!(sim.scale_log()[2], (25, ScaleOutcome::Removed(true))));
+    }
+
+    #[test]
+    fn identical_schedules_pop_identically() {
+        // Two sims with the same schedule produce the same event order
+        // (the (time, seq) tie-break is deterministic).
+        let mk = || {
+            let (cluster, app) = build(3);
+            let mut sim = EventSim::new(cluster);
+            sim.add_workload(app, Box::new(SteppedProfile::new(vec![10.0, 20.0], 5)));
+            sim.schedule_scale_out(5, app, "web", NodeId(0));
+            sim.schedule_scale_out(5, app, "web", NodeId(0));
+            for _ in 0..12 {
+                sim.step();
+            }
+            (sim.stats(), sim.scale_log().to_vec(), sim.cluster().container_count())
+        };
+        let (s1, l1, c1) = mk();
+        let (s2, l2, c2) = mk();
+        assert_eq!(s1, s2);
+        assert_eq!(l1, l2);
+        assert_eq!(c1, c2);
+    }
+}

@@ -3,8 +3,8 @@
 //!
 //! The paper's substrate is a physical testbed (HP ProLiant servers,
 //! Docker, cgroups, CloudSuite services). This crate replaces it with an
-//! explicit resource/queueing model that advances in 1-second ticks and
-//! produces, per tick, exactly what the real testbed produced:
+//! explicit resource/queueing model that produces, per monitored second,
+//! exactly what the real testbed produced:
 //!
 //! * per-node **host signals** and per-container **container signals**
 //!   (expanded to the full 1040-metric PCP catalog by
@@ -31,6 +31,16 @@
 //! [`apps`] provides calibrated service profiles for every system the
 //! paper uses: Solr, Memcache, Cassandra (training), and the Elgg
 //! three-tier stack, TeaStore and Sockshop (evaluation).
+//!
+//! Two execution modes share one engine. [`Cluster::step`] advances one
+//! second incrementally (fixed-point container caching, per-node
+//! contention factors, shard-parallel evaluation);
+//! [`Cluster::step_dense_legacy`] is the original dense per-second loop,
+//! kept as the equivalence oracle. [`event::EventSim`] drives the
+//! cluster from an event queue — load change points, scheduled scale
+//! actions, monitoring samples — skipping idle seconds entirely, with a
+//! monitoring-boundary report stream that is bit-identical to the dense
+//! loop's.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -39,13 +49,15 @@ pub mod apps;
 pub mod container;
 pub mod engine;
 pub mod error;
+pub mod event;
 pub mod kpi;
 pub mod resources;
 pub mod service;
 
 pub use container::{Bottleneck, Container, ContainerState};
-pub use engine::{AppId, Application, Cluster, ServiceRole, TickReport};
+pub use engine::{AppId, Application, Cluster, ServiceRole, SimStats, TickReport};
 pub use error::ClusterError;
+pub use event::{EventSim, EventStats, ScaleOutcome};
 pub use kpi::AppKpi;
 pub use resources::{ContainerLimits, NodeSpec};
 pub use service::ServiceProfile;

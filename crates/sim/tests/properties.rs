@@ -74,7 +74,7 @@ proptest! {
         let report = cluster.step(&[(app, load)]);
         let instances = cluster.app(app).instances();
         prop_assert_eq!(instances.len(), 2);
-        for inst in instances {
+        for &inst in instances {
             prop_assert!(
                 report.observations.iter().any(|o| o.instance_vector(inst).is_some())
             );

@@ -21,6 +21,12 @@
 //! YCSB workload classes A/B/D/F (Section 3.2.1) are modeled by
 //! [`ycsb::YcsbClass`], which fixes each class's read/write mix.
 //!
+//! Beyond the paper's generators, [`trace::TraceProfile`] replays sparse
+//! `(time, rate)` change-point series in the shape of public cluster
+//! traces (Google/Azure), with a bundled sample trace and a seeded
+//! synthesizer for fleet-scale runs — see the [`trace`] module docs for
+//! the trace format.
+//!
 //! ```
 //! use monitorless_workload::{LoadProfile, SineProfile};
 //!
@@ -33,10 +39,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod profile;
+pub mod trace;
 pub mod ycsb;
 
 pub use profile::{
     ConstantProfile, DailyPatternProfile, LoadProfile, LocustProfile, NoisyProfile, RampProfile,
     ShiftedProfile, SineProfile, SteppedProfile, SumProfile,
 };
+pub use trace::{TraceError, TraceInterp, TraceProfile};
 pub use ycsb::YcsbClass;

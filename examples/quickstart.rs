@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let predictions = orchestrator.step(&report.observations)?;
         let saturated = Orchestrator::application_prediction(
             predictions,
-            &cluster.app(app).instances(),
+            cluster.app(app).instances(),
             Aggregation::Or,
         );
         if t % 5 == 0 || saturated == 1 {
