@@ -9,32 +9,42 @@
 //! or schema-drifted snapshot would turn those gates into silent
 //! no-ops (a missing size row is simply never compared), so the `test`
 //! job runs this checker first: every `BENCH_*.json` must parse, carry
-//! `scale` / `seed` / a `sizes` array with at least the committed
-//! sweep's row count, and every size row must carry its bench's
+//! `scale` / `seed` / its row array (`sizes` for the timing sweeps,
+//! `cells` for the bake-off matrix) with at least the committed
+//! sweep's row count, and every row must carry its bench's
 //! required fields with finite numeric values. Snapshot files this
 //! binary does not know about fail the run — registering the schema
 //! here is part of adding a new perf gate.
 
 use monitorless_std::json::Json;
 
-/// One snapshot's schema: file name, minimum rows in `sizes`, and the
-/// numeric fields every size row must carry.
+/// One snapshot's schema: file name, the key of its row array
+/// (`sizes` for the timing sweeps, `cells` for the bake-off matrix),
+/// the minimum row count, and the fields every row must carry.
 struct Schema {
     file: &'static str,
-    min_sizes: usize,
-    size_fields: &'static [&'static str],
+    rows_key: &'static str,
+    min_rows: usize,
+    /// Fields that must be finite numbers.
+    row_fields: &'static [&'static str],
+    /// Fields that must be non-empty strings.
+    row_str_fields: &'static [&'static str],
 }
 
 const SCHEMAS: &[Schema] = &[
     Schema {
         file: "BENCH_table3.json",
-        min_sizes: 3,
-        size_fields: &["rows", "n_trees", "legacy_ms", "presorted_ms", "speedup"],
+        rows_key: "sizes",
+        min_rows: 3,
+        row_str_fields: &[],
+        row_fields: &["rows", "n_trees", "legacy_ms", "presorted_ms", "speedup"],
     },
     Schema {
         file: "BENCH_predict.json",
-        min_sizes: 4,
-        size_fields: &[
+        rows_key: "sizes",
+        min_rows: 4,
+        row_str_fields: &[],
+        row_fields: &[
             "rows",
             "n_trees",
             "n_nodes",
@@ -45,8 +55,10 @@ const SCHEMAS: &[Schema] = &[
     },
     Schema {
         file: "BENCH_featurize.json",
-        min_sizes: 3,
-        size_fields: &[
+        rows_key: "sizes",
+        min_rows: 3,
+        row_str_fields: &[],
+        row_fields: &[
             "rows",
             "raw_width",
             "out_width",
@@ -57,8 +69,10 @@ const SCHEMAS: &[Schema] = &[
     },
     Schema {
         file: "BENCH_obs.json",
-        min_sizes: 2,
-        size_fields: &[
+        rows_key: "sizes",
+        min_rows: 2,
+        row_str_fields: &[],
+        row_fields: &[
             "rows",
             "n_trees",
             "plain_ms",
@@ -70,8 +84,10 @@ const SCHEMAS: &[Schema] = &[
     },
     Schema {
         file: "BENCH_tick.json",
-        min_sizes: 3,
-        size_fields: &[
+        rows_key: "sizes",
+        min_rows: 3,
+        row_str_fields: &[],
+        row_fields: &[
             "instances",
             "measured_ticks",
             "legacy_us_per_instance",
@@ -82,8 +98,10 @@ const SCHEMAS: &[Schema] = &[
     },
     Schema {
         file: "BENCH_sim.json",
-        min_sizes: 3,
-        size_fields: &[
+        rows_key: "sizes",
+        min_rows: 3,
+        row_str_fields: &[],
+        row_fields: &[
             "nodes",
             "containers",
             "measured_ticks",
@@ -94,6 +112,21 @@ const SCHEMAS: &[Schema] = &[
             "speedup",
             "event_us_per_container_second",
             "event_allocs_per_tick",
+        ],
+    },
+    Schema {
+        file: "BENCH_bakeoff.json",
+        rows_key: "cells",
+        min_rows: 12,
+        row_str_fields: &["backend", "scenario"],
+        row_fields: &[
+            "ticks",
+            "slo_violation_s",
+            "overprovision_inst_s",
+            "lag_p50_s",
+            "lag_p99_s",
+            "cold_starts",
+            "flips",
         ],
     },
 ];
@@ -125,36 +158,43 @@ fn check_file(schema: &Schema) -> Result<usize, String> {
         Some(v) if finite_number(v) => {}
         _ => return Err(format!("{path}: missing numeric field `seed`")),
     }
-    let sizes = match get(&json, "sizes") {
-        Some(Json::Arr(sizes)) => sizes,
-        _ => return Err(format!("{path}: missing array field `sizes`")),
+    let key = schema.rows_key;
+    let rows = match get(&json, key) {
+        Some(Json::Arr(rows)) => rows,
+        _ => return Err(format!("{path}: missing array field `{key}`")),
     };
-    if sizes.len() < schema.min_sizes {
+    if rows.len() < schema.min_rows {
         return Err(format!(
-            "{path}: `sizes` has {} rows, committed sweep needs at least {}",
-            sizes.len(),
-            schema.min_sizes
+            "{path}: `{key}` has {} rows, committed sweep needs at least {}",
+            rows.len(),
+            schema.min_rows
         ));
     }
-    for (i, row) in sizes.iter().enumerate() {
-        for field in schema.size_fields {
+    for (i, row) in rows.iter().enumerate() {
+        for field in schema.row_fields {
             match get(row, field) {
                 Some(v) if finite_number(v) => {}
                 Some(_) => {
-                    return Err(format!("{path}: sizes[{i}].{field} is not a finite number"))
+                    return Err(format!("{path}: {key}[{i}].{field} is not a finite number"))
                 }
-                None => return Err(format!("{path}: sizes[{i}] is missing `{field}`")),
+                None => return Err(format!("{path}: {key}[{i}] is missing `{field}`")),
+            }
+        }
+        for field in schema.row_str_fields {
+            match get(row, field) {
+                Some(Json::Str(v)) if !v.is_empty() => {}
+                _ => return Err(format!("{path}: {key}[{i}].{field} is not a non-empty string")),
             }
         }
     }
-    Ok(sizes.len())
+    Ok(rows.len())
 }
 
 fn main() {
     let mut failures = Vec::new();
     for schema in SCHEMAS {
         match check_file(schema) {
-            Ok(rows) => println!("results/{}: ok ({rows} sizes)", schema.file),
+            Ok(rows) => println!("results/{}: ok ({rows} rows)", schema.file),
             Err(msg) => failures.push(msg),
         }
     }

@@ -1,0 +1,503 @@
+//! Pluggable autoscaling backends for the bake-off harness.
+//!
+//! A [`ScalingBackend`] sees one [`BackendSample`] per monitoring tick
+//! — ready/pending instance counts, relative container utilizations,
+//! offered load and the fleet's maximum Monitorless saturation
+//! probability — and answers with the *total* instance count it wants
+//! (ready plus cold-starting). Three families are provided:
+//!
+//! * [`ReactiveThreshold`] — an HPA-style target-utilization controller
+//!   (`desired = ceil(ready · util / target)`) with a tolerance band
+//!   and a scale-down stabilization window, generalizing the paper's
+//!   a-posteriori [`crate::baselines::ThresholdBaseline`] to any
+//!   [`BaselineKind`]. Like the real HPA it is blind above 100%
+//!   utilization: a saturated container reads as "scale by ~1/target",
+//!   so deep overloads are climbed in cold-start-sized steps.
+//! * [`PredictiveTrend`] — least-squares linear extrapolation of the
+//!   consumed capacity (util · ready, in instance-equivalents) over a
+//!   rolling window, provisioning for the demand expected one horizon
+//!   ahead. The horizon is naturally matched to the cold-start time.
+//! * [`MonitorlessScaler`] — the paper's model-driven policy: scale
+//!   out while any instance's saturation probability clears the model
+//!   threshold; scale in only after a sustained calm streak, and then
+//!   only down to what a utilization projection says the survivors can
+//!   absorb, with a short serverless idle timeout that drains a
+//!   zero-load service to zero. It keeps requesting capacity every
+//!   cooldown while the signal persists, so unlike the reactive
+//!   controller it is not throttled by utilization censoring during a
+//!   deep overload.
+//!
+//! Backends never talk to the simulator directly; the harness in
+//! [`crate::autoscale::bakeoff`] applies their desired counts through
+//! [`monitorless_sim::EventSim`]'s cold-start-aware scale events.
+
+use std::collections::VecDeque;
+
+use crate::baselines::BaselineKind;
+
+/// One monitoring tick's view of the scaled service, as a backend
+/// sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendSample {
+    /// Simulation time of the sample, seconds.
+    pub t: u64,
+    /// Instances currently serving.
+    pub ready: u32,
+    /// Instances requested but still cold-starting.
+    pub pending: u32,
+    /// Mean relative container CPU utilization over ready instances,
+    /// percent (0 when no instance is ready).
+    pub cpu_util_pct: f64,
+    /// Mean relative container memory utilization, percent.
+    pub mem_util_pct: f64,
+    /// Offered load, requests/second.
+    pub offered_rps: f64,
+    /// Maximum Monitorless saturation probability over ready instances
+    /// (0 when no instance is ready).
+    pub saturation: f64,
+}
+
+impl BackendSample {
+    /// Ready plus pending — the capacity already requested.
+    pub fn total(&self) -> u32 {
+        self.ready + self.pending
+    }
+}
+
+/// A scaling policy under bake-off comparison.
+pub trait ScalingBackend: std::fmt::Debug + Send {
+    /// Stable identifier used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Desired total instance count (ready + pending) after this tick.
+    /// The harness clamps to the scenario's floor/ceiling and converts
+    /// the difference into scale events; returning `sample.total()`
+    /// means "hold".
+    fn desired(&mut self, sample: &BackendSample) -> u32;
+
+    /// Clears rolling state so the backend can drive a fresh run.
+    fn reset(&mut self);
+}
+
+/// HPA-style reactive target-utilization controller.
+#[derive(Debug, Clone)]
+pub struct ReactiveThreshold {
+    /// Which utilization signal drives scaling.
+    pub kind: BaselineKind,
+    /// Target utilization, percent (HPA's `targetAverageUtilization`).
+    pub target_util_pct: f64,
+    /// No action while `|util/target - 1| <= tolerance` (HPA: 0.1).
+    pub tolerance: f64,
+    /// Scale-down only to the *maximum* recommendation of the last
+    /// window (HPA's `stabilizationWindowSeconds`, default 300).
+    pub down_stabilization_s: u64,
+    /// Rolling `(t, recommendation)` window for down-stabilization.
+    window: VecDeque<(u64, u32)>,
+}
+
+impl ReactiveThreshold {
+    /// A controller with HPA-like defaults: 70% CPU target, 10%
+    /// tolerance, 60 s scale-down stabilization.
+    pub fn hpa_cpu() -> Self {
+        ReactiveThreshold {
+            kind: BaselineKind::Cpu,
+            target_util_pct: 70.0,
+            tolerance: 0.1,
+            down_stabilization_s: 60,
+            window: VecDeque::new(),
+        }
+    }
+
+    /// Same controller shape with an arbitrary target (used by the
+    /// tuned-vs-untuned property test).
+    pub fn with_target(target_util_pct: f64) -> Self {
+        ReactiveThreshold {
+            target_util_pct,
+            ..ReactiveThreshold::hpa_cpu()
+        }
+    }
+
+    fn utilization(&self, s: &BackendSample) -> f64 {
+        match self.kind {
+            BaselineKind::Cpu => s.cpu_util_pct,
+            BaselineKind::Mem => s.mem_util_pct,
+            BaselineKind::CpuOrMem => s.cpu_util_pct.max(s.mem_util_pct),
+            BaselineKind::CpuAndMem => s.cpu_util_pct.min(s.mem_util_pct),
+        }
+    }
+}
+
+impl ScalingBackend for ReactiveThreshold {
+    fn name(&self) -> &'static str {
+        "reactive_threshold"
+    }
+
+    fn desired(&mut self, s: &BackendSample) -> u32 {
+        let raw = if s.ready == 0 {
+            // Nothing to measure: utilization of zero instances is
+            // undefined, so fall back to the presence of offered load.
+            u32::from(s.offered_rps > 0.0)
+        } else {
+            let ratio = self.utilization(s) / self.target_util_pct;
+            if (ratio - 1.0).abs() <= self.tolerance {
+                s.ready
+            } else {
+                (s.ready as f64 * ratio).ceil() as u32
+            }
+        };
+        self.window.push_back((s.t, raw));
+        while let Some(&(t0, _)) = self.window.front() {
+            if t0 + self.down_stabilization_s <= s.t {
+                self.window.pop_front();
+            } else {
+                break;
+            }
+        }
+        if raw > s.total() {
+            return raw; // scale up immediately
+        }
+        // Scale down only to the window's highest recommendation.
+        let stabilized = self.window.iter().map(|&(_, d)| d).max().unwrap_or(raw);
+        if stabilized < s.ready && s.pending == 0 {
+            stabilized
+        } else {
+            s.total()
+        }
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+/// Trend-extrapolating predictive controller: fits a least-squares
+/// line to the consumed capacity over a rolling window and provisions
+/// for the value expected `horizon_s` ahead.
+#[derive(Debug, Clone)]
+pub struct PredictiveTrend {
+    /// Target utilization, percent — the headroom kept over the
+    /// predicted demand.
+    pub target_util_pct: f64,
+    /// Rolling regression window, seconds.
+    pub window_s: u64,
+    /// Look-ahead horizon, seconds (match to the cold-start time).
+    pub horizon_s: u64,
+    /// Scale-down stabilization window, seconds.
+    pub down_stabilization_s: u64,
+    /// `(t, demand in instance-equivalents)` samples.
+    history: VecDeque<(u64, f64)>,
+    /// `(t, recommendation)` window for down-stabilization.
+    window: VecDeque<(u64, u32)>,
+}
+
+impl PredictiveTrend {
+    /// Defaults tuned for ~10-20 s cold starts: 120 s window, 30 s
+    /// horizon, 70% target, 60 s down-stabilization.
+    pub fn with_horizon(horizon_s: u64) -> Self {
+        PredictiveTrend {
+            target_util_pct: 70.0,
+            window_s: 120,
+            horizon_s,
+            down_stabilization_s: 60,
+            history: VecDeque::new(),
+            window: VecDeque::new(),
+        }
+    }
+
+    /// Predicted demand (instance-equivalents) `horizon_s` from now.
+    fn extrapolate(&self, now: u64) -> f64 {
+        let n = self.history.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if n == 1 {
+            return self.history[0].1;
+        }
+        let mean_t = self.history.iter().map(|&(t, _)| t as f64).sum::<f64>() / n as f64;
+        let mean_d = self.history.iter().map(|&(_, d)| d).sum::<f64>() / n as f64;
+        let mut cov = 0.0;
+        let mut var = 0.0;
+        for &(t, d) in &self.history {
+            let dt = t as f64 - mean_t;
+            cov += dt * (d - mean_d);
+            var += dt * dt;
+        }
+        if var == 0.0 {
+            return mean_d;
+        }
+        let slope = cov / var;
+        (mean_d + slope * ((now + self.horizon_s) as f64 - mean_t)).max(0.0)
+    }
+}
+
+impl ScalingBackend for PredictiveTrend {
+    fn name(&self) -> &'static str {
+        "predictive_trend"
+    }
+
+    fn desired(&mut self, s: &BackendSample) -> u32 {
+        let demand = if s.ready == 0 {
+            f64::from(s.offered_rps > 0.0)
+        } else {
+            s.ready as f64 * self.utilization_fraction(s)
+        };
+        self.history.push_back((s.t, demand));
+        while let Some(&(t0, _)) = self.history.front() {
+            if t0 + self.window_s <= s.t {
+                self.history.pop_front();
+            } else {
+                break;
+            }
+        }
+        let target = self.target_util_pct / 100.0;
+        let predicted = self.extrapolate(s.t).max(demand);
+        let raw = (predicted / target).ceil() as u32;
+        self.window.push_back((s.t, raw));
+        while let Some(&(t0, _)) = self.window.front() {
+            if t0 + self.down_stabilization_s <= s.t {
+                self.window.pop_front();
+            } else {
+                break;
+            }
+        }
+        if raw > s.total() {
+            return raw;
+        }
+        let stabilized = self.window.iter().map(|&(_, d)| d).max().unwrap_or(raw);
+        if stabilized < s.ready && s.pending == 0 {
+            stabilized
+        } else {
+            s.total()
+        }
+    }
+
+    fn reset(&mut self) {
+        self.history.clear();
+        self.window.clear();
+    }
+}
+
+impl PredictiveTrend {
+    fn utilization_fraction(&self, s: &BackendSample) -> f64 {
+        s.cpu_util_pct / 100.0
+    }
+}
+
+/// The Monitorless model-driven policy: the harness feeds the fleet's
+/// maximum saturation probability (from
+/// [`crate::orchestrator::Orchestrator::step_report`]) into
+/// [`BackendSample::saturation`]; this backend scales out while that
+/// probability clears the model threshold and scales in one instance at
+/// a time after a sustained calm streak (the conservative bias of the
+/// paper's Section 5 scale-in discussion).
+#[derive(Debug, Clone)]
+pub struct MonitorlessScaler {
+    /// Decision threshold — scale out at `saturation >= threshold`.
+    /// Take it from [`crate::model::MonitorlessModel::threshold`].
+    pub threshold: f64,
+    /// Calm means `saturation < threshold * calm_fraction`.
+    pub calm_fraction: f64,
+    /// Calm seconds before the first scale-in (paper's 120 s replica
+    /// lifespan plays this role in Table 7).
+    pub hold_s: u64,
+    /// Seconds between consecutive scale-ins while calm persists.
+    pub repeat_s: u64,
+    /// Scale-in keeps projected utilization under this bar: at most
+    /// `ready - ceil(util·ready / bar)` instances are removed per
+    /// decision — the conservative overprovisioning test of the
+    /// paper's Section 5 scale-in discussion, from platform metrics
+    /// only. An idle service (util ~0) drains to the floor in one
+    /// decision; a busy one refuses to shed capacity it still needs.
+    pub scalein_util_bar_pct: f64,
+    /// Seconds between consecutive scale-outs while saturated — the
+    /// model keeps firing every tick during an overload, so this is
+    /// the capacity ramp rate.
+    pub up_cooldown_s: u64,
+    /// Seconds of zero offered load before marching straight to zero
+    /// instances — the serverless idle timeout (Knative's
+    /// scale-to-zero grace period), much shorter than the calm hold
+    /// because an idle service risks nothing but a cold start.
+    pub idle_hold_s: u64,
+    /// Instances added per scale-out decision.
+    pub step: u32,
+    calm_streak: u64,
+    idle_streak: u64,
+    last_up: Option<u64>,
+    last_down: Option<u64>,
+}
+
+impl MonitorlessScaler {
+    /// A scaler for a model with the given decision threshold.
+    pub fn with_threshold(threshold: f64) -> Self {
+        MonitorlessScaler {
+            threshold,
+            calm_fraction: 0.5,
+            hold_s: 60,
+            repeat_s: 20,
+            up_cooldown_s: 5,
+            idle_hold_s: 30,
+            step: 1,
+            scalein_util_bar_pct: 60.0,
+            calm_streak: 0,
+            idle_streak: 0,
+            last_up: None,
+            last_down: None,
+        }
+    }
+}
+
+impl ScalingBackend for MonitorlessScaler {
+    fn name(&self) -> &'static str {
+        "monitorless"
+    }
+
+    fn desired(&mut self, s: &BackendSample) -> u32 {
+        // Serverless idle path: zero offered load for idle_hold_s
+        // marches straight to zero (the harness clamps to the
+        // scenario floor, so min_instances > 0 keeps its floor).
+        if s.offered_rps == 0.0 && s.pending == 0 {
+            self.idle_streak += 1;
+            if self.idle_streak >= self.idle_hold_s {
+                self.last_down = Some(s.t);
+                return 0;
+            }
+        } else {
+            self.idle_streak = 0;
+        }
+        if s.saturation >= self.threshold {
+            self.calm_streak = 0;
+            let cooled = self.last_up.is_none_or(|t| t + self.up_cooldown_s <= s.t);
+            if cooled {
+                self.last_up = Some(s.t);
+                return s.total() + self.step;
+            }
+            return s.total();
+        }
+        // Only count calm while no capacity is in flight: a booting
+        // instance means the last decision has not landed yet.
+        if s.saturation < self.threshold * self.calm_fraction && s.pending == 0 {
+            self.calm_streak += 1;
+        } else {
+            self.calm_streak = 0;
+        }
+        let cooled = self.last_down.is_none_or(|t| t + self.repeat_s <= s.t);
+        if self.calm_streak >= self.hold_s && cooled && s.ready > 0 {
+            // Keep enough instances that the surviving ones stay under
+            // the utilization bar; only the excess is overprovisioned.
+            let keep =
+                (s.cpu_util_pct * f64::from(s.ready) / self.scalein_util_bar_pct).ceil() as u32;
+            if keep < s.ready {
+                self.last_down = Some(s.t);
+                return s.total() - (s.ready - keep);
+            }
+        }
+        s.total()
+    }
+
+    fn reset(&mut self) {
+        self.calm_streak = 0;
+        self.idle_streak = 0;
+        self.last_up = None;
+        self.last_down = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: u64, ready: u32, cpu: f64) -> BackendSample {
+        BackendSample {
+            t,
+            ready,
+            pending: 0,
+            cpu_util_pct: cpu,
+            mem_util_pct: 20.0,
+            offered_rps: 100.0,
+            saturation: 0.0,
+        }
+    }
+
+    #[test]
+    fn reactive_follows_hpa_formula() {
+        let mut b = ReactiveThreshold::hpa_cpu();
+        // 2 instances at 100% CPU with a 70% target → ceil(2·100/70)=3.
+        assert_eq!(b.desired(&sample(0, 2, 100.0)), 3);
+        // Inside the tolerance band: hold.
+        b.reset();
+        assert_eq!(b.desired(&sample(0, 2, 72.0)), 2);
+    }
+
+    #[test]
+    fn reactive_scale_down_is_stabilized() {
+        let mut b = ReactiveThreshold::hpa_cpu();
+        assert_eq!(b.desired(&sample(0, 4, 100.0)), 6);
+        // Utilization collapses; the 60 s window still remembers the
+        // high recommendation, so no immediate scale-down.
+        assert_eq!(b.desired(&sample(1, 4, 10.0)), 4);
+        // Once the window ages out, the low recommendation wins.
+        for t in 2..70 {
+            b.desired(&sample(t, 4, 10.0));
+        }
+        assert!(b.desired(&sample(70, 4, 10.0)) < 4);
+    }
+
+    #[test]
+    fn reactive_scales_from_zero_on_offered_load() {
+        let mut b = ReactiveThreshold::hpa_cpu();
+        let mut s = sample(0, 0, 0.0);
+        s.offered_rps = 50.0;
+        assert_eq!(b.desired(&s), 1);
+        s.offered_rps = 0.0;
+        b.reset();
+        assert_eq!(b.desired(&s), 0);
+    }
+
+    #[test]
+    fn predictive_leads_a_ramp() {
+        let mut b = PredictiveTrend::with_horizon(30);
+        // Demand grows ~0.05 instance-equivalents per second; after a
+        // while the 30 s look-ahead provisions above the instantaneous
+        // HPA answer.
+        let mut last = 0;
+        for t in 0..60u64 {
+            let demand_pct = 40.0 + 1.0 * t as f64; // per-instance util%
+            last = b.desired(&sample(t, 4, demand_pct));
+        }
+        // Instantaneous: ceil(4·99/70/1)=6; with the trend lead the
+        // prediction covers the next 30 s of growth too.
+        assert!(last >= 7, "predicted desired {last}");
+    }
+
+    #[test]
+    fn monitorless_never_scales_up_below_threshold() {
+        let mut b = MonitorlessScaler::with_threshold(0.4);
+        for t in 0..500u64 {
+            let mut s = sample(t, 3, 95.0);
+            s.saturation = 0.39; // high utilization, below threshold
+            let d = b.desired(&s);
+            assert!(d <= s.total(), "scaled up at t={t} without a saturation signal");
+        }
+    }
+
+    #[test]
+    fn monitorless_scales_out_on_signal_and_in_after_calm() {
+        let mut b = MonitorlessScaler::with_threshold(0.4);
+        let mut s = sample(0, 2, 90.0);
+        s.saturation = 0.9;
+        assert_eq!(b.desired(&s), 3, "scale out on a saturation signal");
+        // Calm for hold_s seconds → one conservative scale-in.
+        let mut down = None;
+        for t in 1..200u64 {
+            let mut c = sample(t, 3, 30.0);
+            c.saturation = 0.05;
+            let d = b.desired(&c);
+            if d < 3 {
+                down = Some(t);
+                break;
+            }
+        }
+        let down = down.expect("eventually scales in");
+        assert!(down >= 60, "respects the hold window (got {down})");
+    }
+}

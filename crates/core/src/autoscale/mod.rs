@@ -6,7 +6,18 @@
 //! scaling the Recommender and Auth services together, and SLO
 //! violations are counted per second: average response time above
 //! 750 ms, any dropped request, or more than 10% failed requests.
+//!
+//! Beyond the paper's Table 7 loop, [`backend`] defines the
+//! [`backend::ScalingBackend`] trait with reactive (HPA-style),
+//! predictive (trend-extrapolating) and Monitorless model-driven
+//! implementations, and [`bakeoff`] drives any backend through the
+//! event-driven simulator against the hostile scenario pack in
+//! `monitorless_workload::scenario`.
 
+pub mod backend;
+pub mod bakeoff;
+
+use std::borrow::Cow;
 use std::sync::Arc;
 
 use monitorless_metrics::{InstanceId, NodeId};
@@ -39,12 +50,17 @@ pub enum Policy {
 
 impl Policy {
     /// Display name matching Table 7.
-    pub fn name(&self) -> String {
+    ///
+    /// Borrowed for every variant except `Threshold`, whose name embeds
+    /// the baseline kind — callers that label per-tick journal records
+    /// should hoist the name out of the loop rather than re-format it
+    /// every second.
+    pub fn name(&self) -> Cow<'static, str> {
         match self {
-            Policy::NoScaling => "No Scaling (baseline)".into(),
-            Policy::Monitorless(_) => "monitorless".into(),
-            Policy::Threshold(b) => format!("A-posteriori {}", b.kind),
-            Policy::RtBased { .. } => "RT-based (optimal)".into(),
+            Policy::NoScaling => Cow::Borrowed("No Scaling (baseline)"),
+            Policy::Monitorless(_) => Cow::Borrowed("monitorless"),
+            Policy::Threshold(b) => Cow::Owned(format!("A-posteriori {}", b.kind)),
+            Policy::RtBased { .. } => Cow::Borrowed("RT-based (optimal)"),
         }
     }
 }
@@ -118,6 +134,11 @@ pub fn run_teastore_autoscale(
         _ => None,
     };
 
+    // Hoisted: the journal labels every per-tick decision record with
+    // the policy name; formatting it inside the loop would allocate
+    // every second for the Threshold variant.
+    let policy_name = policy.name();
+
     // Active replicas: (instance, expiry-time).
     let mut replicas: Vec<(InstanceId, u64)> = Vec::new();
     let mut slo_violations = 0usize;
@@ -183,7 +204,6 @@ pub fn run_teastore_autoscale(
             // Stamp the decision with the prediction tick's trace id so
             // the audit trail joins observation → predict → decision.
             let trace = orchestrator.as_ref().map_or(0, |o| o.last_trace());
-            let policy_name = policy.name();
             obs::record(
                 "autoscale.decision",
                 trace,
@@ -193,7 +213,7 @@ pub fn run_teastore_autoscale(
                     ("response_ms", kpi.response_ms),
                     ("containers", cluster.app(tea).instances().len() as f64),
                 ],
-                &[("policy", policy_name.as_str())],
+                &[("policy", policy_name.as_ref())],
             );
         }
         if triggered {
@@ -238,7 +258,7 @@ pub fn run_teastore_autoscale(
     }
 
     Ok(AutoscaleResult {
-        policy: policy.name(),
+        policy: policy_name.into_owned(),
         provisioning_pct: 100.0 * provisioning_acc / opts.duration as f64,
         slo_violations,
         scale_out_events,

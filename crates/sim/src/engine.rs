@@ -114,7 +114,7 @@ impl Application {
 ///
 /// `containers` is sorted by ascending instance id, so
 /// [`TickReport::container`] is a binary search.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TickReport {
     /// Tick timestamp (seconds since start).
     pub time: u64,
@@ -658,11 +658,26 @@ impl Cluster {
     ///
     /// Returns `true` if the instance was removed.
     pub fn scale_in(&mut self, id: InstanceId) -> bool {
+        self.scale_in_with_floor(id, 1)
+    }
+
+    /// Stops an instance even if it is the last one of its service
+    /// (serverless-style scale-to-zero). A service with zero instances
+    /// simply stops contributing to its application's KPIs — the driver
+    /// is responsible for accounting offered load that finds no
+    /// capacity (see `EventSim`'s cold-start support).
+    ///
+    /// Returns `true` if the instance was removed.
+    pub fn scale_in_to_zero(&mut self, id: InstanceId) -> bool {
+        self.scale_in_with_floor(id, 0)
+    }
+
+    fn scale_in_with_floor(&mut self, id: InstanceId, floor: usize) -> bool {
         for ai in 0..self.apps.len() {
             for si in 0..self.apps[ai].services.len() {
                 let svc = &mut self.apps[ai].services[si];
                 if let Some(pos) = svc.instances.iter().position(|&i| i == id) {
-                    if svc.instances.len() <= 1 {
+                    if svc.instances.len() <= floor {
                         return false;
                     }
                     svc.instances.remove(pos);
@@ -1387,6 +1402,21 @@ mod tests {
         let (mut cluster, app, inst) = one_node_cluster();
         assert!(!cluster.scale_in(inst));
         let _ = app;
+        assert_eq!(cluster.container_count(), 1);
+    }
+
+    #[test]
+    fn scale_in_to_zero_removes_last_instance() {
+        let (mut cluster, app, inst) = one_node_cluster();
+        assert!(cluster.scale_in_to_zero(inst));
+        assert_eq!(cluster.container_count(), 0);
+        // An empty service serves nothing but the cluster still ticks:
+        // the report simply carries no container rows for it.
+        let report = cluster.step(&[(app, 50.0)]);
+        assert!(report.containers.is_empty());
+        // Scale-out from zero restores capacity.
+        let back = cluster.scale_out(app, "web", NodeId(0)).unwrap();
+        assert_ne!(back, inst);
         assert_eq!(cluster.container_count(), 1);
     }
 

@@ -55,8 +55,12 @@ enum EventKind {
         service: String,
         node: NodeId,
     },
-    /// Stop an instance.
-    ScaleIn { instance: InstanceId },
+    /// Stop an instance. `allow_zero` permits removing the last
+    /// instance of its service (scale-to-zero).
+    ScaleIn {
+        instance: InstanceId,
+        allow_zero: bool,
+    },
 }
 
 /// A queued event. Ordering is by `(time, seq)` only — `seq` is assigned
@@ -100,6 +104,8 @@ pub struct EventStats {
     pub scale_actions: u64,
     /// Monitoring samples produced (full report ticks).
     pub monitor_samples: u64,
+    /// Scale-outs scheduled with a non-zero cold start.
+    pub cold_starts: u64,
 }
 
 /// The result of a scheduled scale action, recorded when it fires.
@@ -134,6 +140,10 @@ pub struct EventSim {
     stats: EventStats,
     /// `(time, outcome)` log of fired scale actions.
     scale_log: Vec<(u64, ScaleOutcome)>,
+    /// Scheduled-but-not-yet-ready scale-outs: `(event seq, app)`. An
+    /// entry is removed when its `ScaleOut` event fires, so the count
+    /// per app is the capacity still cold-starting.
+    pending: Vec<(u64, AppId)>,
 }
 
 impl EventSim {
@@ -154,6 +164,7 @@ impl EventSim {
             report: TickReport::empty(),
             stats: EventStats::default(),
             scale_log: Vec::new(),
+            pending: Vec::new(),
         }
     }
 
@@ -182,22 +193,70 @@ impl EventSim {
     /// Schedules a scale-out of `(app, service)` onto `node` at absolute
     /// simulation time `at`.
     pub fn schedule_scale_out(&mut self, at: u64, app: AppId, service: &str, node: NodeId) {
-        self.push_event(
-            at,
+        self.schedule_scale_out_cold(at, 0, app, service, node);
+    }
+
+    /// Schedules a scale-out whose capacity only materializes after a
+    /// cold start: the decision is taken at `at`, the instance joins the
+    /// cluster at `at + cold_start`. In between it is counted by
+    /// [`EventSim::pending_count`], so an autoscaler driving the sim can
+    /// avoid re-requesting capacity it already asked for.
+    pub fn schedule_scale_out_cold(
+        &mut self,
+        at: u64,
+        cold_start: u64,
+        app: AppId,
+        service: &str,
+        node: NodeId,
+    ) {
+        if cold_start > 0 {
+            self.stats.cold_starts += 1;
+        }
+        let seq = self.push_event(
+            at + cold_start,
             EventKind::ScaleOut {
                 app,
                 service: service.to_string(),
                 node,
             },
         );
+        self.pending.push((seq, app));
     }
 
-    /// Schedules a scale-in of `instance` at absolute time `at`.
+    /// Schedules a scale-in of `instance` at absolute time `at`. The
+    /// last instance of a service is kept (the action is rejected when
+    /// it fires — see [`ScaleOutcome::Removed`]).
     pub fn schedule_scale_in(&mut self, at: u64, instance: InstanceId) {
-        self.push_event(at, EventKind::ScaleIn { instance });
+        self.push_event(
+            at,
+            EventKind::ScaleIn {
+                instance,
+                allow_zero: false,
+            },
+        );
     }
 
-    fn push_event(&mut self, time: u64, kind: EventKind) {
+    /// Schedules a scale-in that may remove the last instance of its
+    /// service (serverless-style scale-to-zero). Offered load that then
+    /// finds no capacity is the driver's to account — the cluster
+    /// reports an empty service as serving nothing.
+    pub fn schedule_scale_in_to_zero(&mut self, at: u64, instance: InstanceId) {
+        self.push_event(
+            at,
+            EventKind::ScaleIn {
+                instance,
+                allow_zero: true,
+            },
+        );
+    }
+
+    /// Scale-outs scheduled for `app` (with or without cold start) whose
+    /// events have not fired yet — capacity requested but not ready.
+    pub fn pending_count(&self, app: AppId) -> usize {
+        self.pending.iter().filter(|(_, a)| *a == app).count()
+    }
+
+    fn push_event(&mut self, time: u64, kind: EventKind) -> u64 {
         let ev = Event {
             time,
             seq: self.seq,
@@ -215,7 +274,9 @@ impl EventSim {
             // Scale actions are cross-group by nature.
             _ => &mut self.global_queue,
         };
+        let seq = ev.seq;
         queue.push(Reverse(ev));
+        seq
     }
 
     /// Smallest `(time, seq)` key across every queue.
@@ -280,6 +341,7 @@ impl EventSim {
                 EventKind::ScaleOut { app, service, node } => {
                     self.stats.scale_actions += 1;
                     obs::counter_add("sim.event_scale", 1);
+                    self.pending.retain(|(seq, _)| *seq != ev.seq);
                     let outcome = match self.cluster.scale_out(app, &service, node) {
                         Ok(id) => ScaleOutcome::Added(id),
                         Err(e) => ScaleOutcome::Failed(e),
@@ -287,10 +349,17 @@ impl EventSim {
                     self.scale_log.push((now, outcome));
                     self.reshard();
                 }
-                EventKind::ScaleIn { instance } => {
+                EventKind::ScaleIn {
+                    instance,
+                    allow_zero,
+                } => {
                     self.stats.scale_actions += 1;
                     obs::counter_add("sim.event_scale", 1);
-                    let removed = self.cluster.scale_in(instance);
+                    let removed = if allow_zero {
+                        self.cluster.scale_in_to_zero(instance)
+                    } else {
+                        self.cluster.scale_in(instance)
+                    };
                     self.scale_log.push((now, ScaleOutcome::Removed(removed)));
                     self.reshard();
                 }
@@ -505,6 +574,47 @@ mod tests {
         }
         assert_eq!(sim.cluster().container_count(), 1);
         assert!(matches!(sim.scale_log()[2], (25, ScaleOutcome::Removed(true))));
+    }
+
+    #[test]
+    fn cold_start_delays_capacity_and_tracks_pending() {
+        let (cluster, app) = build(11);
+        let mut sim = EventSim::new(cluster);
+        sim.add_workload(app, Box::new(ConstantProfile::new(100.0, 10_000)));
+        // Decision at t=5, 20 s cold start: capacity lands at t=25.
+        sim.schedule_scale_out_cold(5, 20, app, "web", NodeId(0));
+        while sim.time() < 20 {
+            sim.step();
+        }
+        assert_eq!(sim.pending_count(app), 1, "still cold-starting");
+        assert_eq!(sim.cluster().container_count(), 1);
+        while sim.time() < 30 {
+            sim.step();
+        }
+        assert_eq!(sim.pending_count(app), 0);
+        assert_eq!(sim.cluster().container_count(), 2);
+        assert_eq!(sim.stats().cold_starts, 1);
+        assert!(matches!(sim.scale_log()[0], (25, ScaleOutcome::Added(_))));
+    }
+
+    #[test]
+    fn scale_in_to_zero_empties_the_service() {
+        let (cluster, app) = build(12);
+        let first = cluster.app(app).instances()[0];
+        let mut sim = EventSim::new(cluster);
+        sim.add_workload(app, Box::new(ConstantProfile::new(50.0, 10_000)));
+        sim.schedule_scale_in(10, first); // rejected: last instance
+        sim.schedule_scale_in_to_zero(20, first); // allowed
+        while sim.time() < 30 {
+            sim.step();
+        }
+        assert_eq!(sim.cluster().container_count(), 0);
+        let log = sim.scale_log();
+        assert_eq!(log[0], (10, ScaleOutcome::Removed(false)));
+        assert_eq!(log[1], (20, ScaleOutcome::Removed(true)));
+        // The empty cluster still ticks and reports.
+        let report = sim.step();
+        assert!(report.containers.is_empty());
     }
 
     #[test]

@@ -25,7 +25,10 @@
 //! `(time, rate)` change-point series in the shape of public cluster
 //! traces (Google/Azure), with a bundled sample trace and a seeded
 //! synthesizer for fleet-scale runs — see the [`trace`] module docs for
-//! the trace format.
+//! the trace format. Hostile autoscaling arrival patterns — serverless
+//! scale-to-zero bursts, flash crowds, diurnal replays and slow-ramp
+//! squeezes — are packaged with their platform parameters in
+//! [`scenario::Scenario`] for the bake-off harness.
 //!
 //! ```
 //! use monitorless_workload::{LoadProfile, SineProfile};
@@ -39,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod profile;
+pub mod scenario;
 pub mod trace;
 pub mod ycsb;
 
@@ -46,5 +50,6 @@ pub use profile::{
     ConstantProfile, DailyPatternProfile, LoadProfile, LocustProfile, NoisyProfile, RampProfile,
     ShiftedProfile, SineProfile, SteppedProfile, SumProfile,
 };
+pub use scenario::Scenario;
 pub use trace::{TraceError, TraceInterp, TraceProfile};
 pub use ycsb::YcsbClass;
