@@ -115,6 +115,20 @@ const SCHEMAS: &[Schema] = &[
         ],
     },
     Schema {
+        file: "BENCH_train.json",
+        rows_key: "sizes",
+        min_rows: 4,
+        row_str_fields: &["phase"],
+        row_fields: &[
+            "rows",
+            "baseline_ms",
+            "fast_ms",
+            "speedup",
+            "fast_allocs",
+            "identical",
+        ],
+    },
+    Schema {
         file: "BENCH_bakeoff.json",
         rows_key: "cells",
         min_rows: 12,

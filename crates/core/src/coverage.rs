@@ -103,6 +103,7 @@ mod tests {
             run_seconds: 40,
             ramp_seconds: 120,
             seed: 601,
+            n_jobs: 4,
         })
         .unwrap();
         let checker = CoverageChecker::fit(&data).unwrap();
@@ -118,6 +119,7 @@ mod tests {
             run_seconds: 30,
             ramp_seconds: 100,
             seed: 603,
+            n_jobs: 4,
         })
         .unwrap();
         let checker = CoverageChecker::fit(&data).unwrap();
@@ -143,6 +145,7 @@ mod tests {
             run_seconds: 40,
             ramp_seconds: 120,
             seed: 605,
+            n_jobs: 4,
         })
         .unwrap();
         let checker = CoverageChecker::fit(&data).unwrap();

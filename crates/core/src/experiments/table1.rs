@@ -67,7 +67,7 @@ pub fn run(opts: &TrainingOptions) -> Result<Vec<Table1Row>, Error> {
                 .map_or("-".to_string(), |v| format!("{v} GB"));
             Table1Row {
                 id: c.id,
-                service: c.service.short_name(),
+                service: c.service.short_name().to_string(),
                 limits: format!("{cpu}/{mem}"),
                 parallel: c.parallel_with.map_or("-".into(), |p| p.to_string()),
                 traffic: c.traffic.describe(),
@@ -105,6 +105,7 @@ mod tests {
             run_seconds: 40,
             ramp_seconds: 120,
             seed: 17,
+            n_jobs: 4,
         })
         .unwrap();
         assert_eq!(rows.len(), 25);

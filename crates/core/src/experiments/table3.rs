@@ -192,6 +192,7 @@ mod tests {
             run_seconds: 40,
             ramp_seconds: 120,
             seed: 31,
+            n_jobs: 4,
         })
         .unwrap();
         let rows = run(

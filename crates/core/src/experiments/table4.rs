@@ -50,6 +50,7 @@ mod tests {
             run_seconds: 40,
             ramp_seconds: 120,
             seed: 41,
+            n_jobs: 4,
         })
         .unwrap();
         let model = MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap();

@@ -30,6 +30,7 @@ mod tests {
             run_seconds: 60,
             ramp_seconds: 150,
             seed: 51,
+            n_jobs: 4,
         })
         .unwrap();
         let model = Arc::new(MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap());

@@ -124,6 +124,7 @@ mod tests {
             run_seconds: 50,
             ramp_seconds: 120,
             seed: 81,
+            n_jobs: 4,
         })
         .unwrap();
         let model = Arc::new(MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap());

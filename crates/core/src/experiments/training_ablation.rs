@@ -145,6 +145,7 @@ mod tests {
             run_seconds: 30,
             ramp_seconds: 100,
             seed: 701,
+            n_jobs: 4,
         })
         .unwrap();
         let solr = subset_by_service(&data, &|s| matches!(s, ServiceKind::Solr)).unwrap();
@@ -166,6 +167,7 @@ mod tests {
             run_seconds: 40,
             ramp_seconds: 120,
             seed: 703,
+            n_jobs: 4,
         })
         .unwrap();
         let rows = run(

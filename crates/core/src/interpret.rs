@@ -137,6 +137,7 @@ mod tests {
             run_seconds: 40,
             ramp_seconds: 120,
             seed: 501,
+            n_jobs: 4,
         })
         .unwrap();
         let model = MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap();
@@ -169,6 +170,7 @@ mod tests {
             run_seconds: 30,
             ramp_seconds: 100,
             seed: 503,
+            n_jobs: 4,
         })
         .unwrap();
         let model = MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap();

@@ -330,6 +330,7 @@ mod tests {
             run_seconds: 30,
             ramp_seconds: 100,
             seed: 5,
+            n_jobs: 4,
         })
         .unwrap()
     }

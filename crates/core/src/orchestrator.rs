@@ -589,6 +589,7 @@ mod tests {
             run_seconds: 30,
             ramp_seconds: 100,
             seed: 7,
+            n_jobs: 4,
         })
         .unwrap();
         Arc::new(MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap())

@@ -106,6 +106,7 @@ mod tests {
             run_seconds: 40,
             ramp_seconds: 120,
             seed: 401,
+            n_jobs: 4,
         })
         .unwrap()
     }

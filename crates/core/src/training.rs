@@ -8,12 +8,17 @@
 //! (Section 2.2); the measured run's samples are then labeled by
 //! comparing the per-second KPI against `Υ`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
 use monitorless_label::kneedle::KneedleParams;
 use monitorless_label::{SaturationDirection, SaturationThreshold};
-use monitorless_learn::{Dataset, Matrix};
+use monitorless_learn::{Dataset, MatrixBuilder};
 use monitorless_metrics::{InstanceId, NodeId};
+use monitorless_obs as obs;
 use monitorless_sim::apps::{build_single, cassandra_profile, memcache_profile, solr_profile};
 use monitorless_sim::{AppId, Bottleneck, Cluster, ContainerLimits, NodeSpec, ServiceProfile};
+use monitorless_std::pool;
 use monitorless_workload::{
     ConstantProfile, LoadProfile, NoisyProfile, RampProfile, SineProfile, SteppedProfile, YcsbClass,
 };
@@ -42,12 +47,16 @@ impl ServiceKind {
         }
     }
 
-    /// Short display name as in Table 1.
-    pub fn short_name(self) -> String {
+    /// Short display name as in Table 1. Static — the table printers
+    /// call this per row and need no allocation.
+    pub fn short_name(self) -> &'static str {
         match self {
-            ServiceKind::Solr => "Solr".into(),
-            ServiceKind::Memcache => "Memc.".into(),
-            ServiceKind::Cassandra(c) => format!("Cass. {c}"),
+            ServiceKind::Solr => "Solr",
+            ServiceKind::Memcache => "Memc.",
+            ServiceKind::Cassandra(YcsbClass::A) => "Cass. A",
+            ServiceKind::Cassandra(YcsbClass::B) => "Cass. B",
+            ServiceKind::Cassandra(YcsbClass::D) => "Cass. D",
+            ServiceKind::Cassandra(YcsbClass::F) => "Cass. F",
         }
     }
 }
@@ -262,6 +271,11 @@ pub struct TrainingOptions {
     pub ramp_seconds: u64,
     /// Base RNG seed.
     pub seed: u64,
+    /// Worker threads scheduling the calibration sims and episode
+    /// batches. Every per-cell seed derives from the configuration id
+    /// alone, so the assembled dataset is byte-identical for every
+    /// value — `n_jobs` only changes wall time.
+    pub n_jobs: usize,
 }
 
 impl TrainingOptions {
@@ -271,6 +285,7 @@ impl TrainingOptions {
             run_seconds: 150,
             ramp_seconds: 200,
             seed,
+            n_jobs: 4,
         }
     }
 
@@ -280,6 +295,7 @@ impl TrainingOptions {
             run_seconds: 2500,
             ramp_seconds: 600,
             seed,
+            n_jobs: 8,
         }
     }
 }
@@ -347,8 +363,20 @@ pub fn saturation_label(
     kpi: &monitorless_sim::AppKpi,
     threshold: Option<&monitorless_label::SaturationThreshold>,
 ) -> u8 {
-    let by_threshold = threshold.map_or(0, |t| t.label(kpi.throughput_rps));
-    let by_failures = u8::from(kpi.failure_fraction() > 0.05);
+    saturation_label_parts(kpi.throughput_rps, kpi.failure_fraction(), threshold)
+}
+
+/// [`saturation_label`] from the raw per-tick KPI scalars — the form
+/// the shadow retrainer uses to label fresh episodes it recorded as
+/// plain `(throughput, failure fraction)` series rather than full
+/// [`monitorless_sim::AppKpi`] values.
+pub fn saturation_label_parts(
+    throughput_rps: f64,
+    failure_fraction: f64,
+    threshold: Option<&monitorless_label::SaturationThreshold>,
+) -> u8 {
+    let by_threshold = threshold.map_or(0, |t| t.label(throughput_rps));
+    let by_failures = u8::from(failure_fraction > 0.05);
     by_threshold.max(by_failures)
 }
 
@@ -368,20 +396,31 @@ pub fn overprovision_label(
     }
 }
 
-struct RunOutput {
-    raw: Vec<Vec<f64>>,
+/// One episode's output channel: a disjoint region of the final
+/// row-major dataset buffer plus the small per-tick side arrays. The
+/// simulation writes each raw sample straight into `region` — no
+/// per-row `Vec`, no assembly re-copy.
+struct EpisodeSink<'a> {
+    /// `region_rows * width` row-major slice of the final buffer.
+    region: &'a mut [f64],
+    /// Rows written so far (a tick with no observation writes none).
+    rows: usize,
     labels: Vec<u8>,
     scalein_labels: Vec<u8>,
-    bottlenecks: Vec<Bottleneck>,
+    /// Tick tally per bottleneck (saturated or non-`None` ticks only),
+    /// indexed by [`Bottleneck::index`].
+    bottleneck_counts: [u32; Bottleneck::COUNT],
 }
 
-/// Runs one configuration (with its partner, if any) and collects
-/// labeled raw samples for each participating configuration.
+/// Runs one configuration (with its partner, if any) and streams each
+/// participating configuration's labeled raw samples into its sink.
 fn run_configs(
     configs: &[&TrainingConfig],
     thresholds: &[Option<SaturationThreshold>],
     opts: &TrainingOptions,
-) -> Result<Vec<RunOutput>, Error> {
+    width: usize,
+    sinks: &mut [EpisodeSink<'_>],
+) -> Result<(), Error> {
     let mut cluster = Cluster::new(vec![NodeSpec::training_server()], opts.seed);
     let mut apps: Vec<(AppId, InstanceId)> = Vec::new();
     for config in configs {
@@ -395,72 +434,61 @@ fn run_configs(
         })
         .collect();
 
-    let mut outputs: Vec<RunOutput> = configs
-        .iter()
-        .map(|_| RunOutput {
-            raw: Vec::new(),
-            labels: Vec::new(),
-            scalein_labels: Vec::new(),
-            bottlenecks: Vec::new(),
-        })
-        .collect();
-
+    let mut loads: Vec<(AppId, f64)> = Vec::with_capacity(apps.len());
     for t in 0..opts.run_seconds {
-        let loads: Vec<(AppId, f64)> = apps
-            .iter()
-            .zip(&profiles)
-            .map(|((app, _), p)| (*app, p.intensity(t)))
-            .collect();
+        loads.clear();
+        loads.extend(
+            apps.iter()
+                .zip(&profiles)
+                .map(|((app, _), p)| (*app, p.intensity(t))),
+        );
         let report = cluster.step(&loads);
-        for (k, ((app, inst), threshold)) in apps.iter().zip(thresholds).enumerate() {
-            let Some(vector) = report
+        for (((app, inst), threshold), sink) in apps.iter().zip(thresholds).zip(sinks.iter_mut()) {
+            let row = &mut sink.region[sink.rows * width..(sink.rows + 1) * width];
+            if !report
                 .observations
                 .iter()
-                .find_map(|o| o.instance_vector(*inst))
-            else {
+                .any(|o| o.instance_vector_write(*inst, row))
+            {
                 continue;
-            };
+            }
             let kpi = report.kpi(*app).expect("app exists");
             let label = saturation_label(kpi, threshold.as_ref());
-            outputs[k].raw.push(vector);
-            outputs[k].labels.push(label);
-            outputs[k]
-                .scalein_labels
+            sink.rows += 1;
+            sink.labels.push(label);
+            sink.scalein_labels
                 .push(overprovision_label(kpi, threshold.as_ref()));
-            outputs[k].bottlenecks.push(
-                report
-                    .container(*inst)
-                    .map_or(Bottleneck::None, |c| c.bottleneck),
-            );
+            let bottleneck = report
+                .container(*inst)
+                .map_or(Bottleneck::None, |c| c.bottleneck);
+            if label == 1 || bottleneck != Bottleneck::None {
+                sink.bottleneck_counts[bottleneck.index()] += 1;
+            }
         }
     }
-    Ok(outputs)
+    Ok(())
 }
 
-/// Generates the full Table 1 training dataset.
-///
-/// # Errors
-///
-/// Propagates simulation/labeling errors.
-pub fn generate_training_data(opts: &TrainingOptions) -> Result<TrainingData, Error> {
-    let configs = table1();
-    let layout = RawLayout::from_catalog(&monitorless_metrics::Catalog::standard())?;
-
-    // Calibrate every configuration in isolation.
-    let mut thresholds = Vec::with_capacity(configs.len());
-    for config in &configs {
-        thresholds.push(calibrate_threshold(config, opts)?);
+/// Most frequent non-`None` bottleneck of a tick tally (declaration
+/// order breaks ties), or `None` when nothing ever saturated.
+fn dominant_bottleneck(counts: &[u32; Bottleneck::COUNT]) -> Bottleneck {
+    let mut best = Bottleneck::None;
+    let mut best_count = 0u32;
+    for (b, &c) in Bottleneck::ALL.iter().zip(counts).skip(1) {
+        if c > best_count {
+            best_count = c;
+            best = *b;
+        }
     }
+    best
+}
 
-    // Execute runs; co-located pairs share one cluster and are only run
-    // once (when visiting the lower-id member).
+/// The co-location batches in sequential visit order: each batch holds
+/// indices into `configs`, pairs run once when visiting the lower-id
+/// member. Flattening the batches yields the dataset's group order.
+fn plan_batches(configs: &[TrainingConfig]) -> Vec<Vec<usize>> {
     let mut visited = vec![false; configs.len()];
-    let mut raw_rows: Vec<Vec<f64>> = Vec::new();
-    let mut labels: Vec<u8> = Vec::new();
-    let mut scalein_labels: Vec<u8> = Vec::new();
-    let mut groups: Vec<u32> = Vec::new();
-    let mut observed = Vec::new();
-
+    let mut batches = Vec::new();
     for i in 0..configs.len() {
         if visited[i] {
             continue;
@@ -476,41 +504,133 @@ pub fn generate_training_data(opts: &TrainingOptions) -> Result<TrainingData, Er
         for &j in &batch_idx {
             visited[j] = true;
         }
-        let batch: Vec<&TrainingConfig> = batch_idx.iter().map(|&j| &configs[j]).collect();
-        let batch_thresholds: Vec<Option<SaturationThreshold>> =
-            batch_idx.iter().map(|&j| thresholds[j]).collect();
-        let outputs = run_configs(&batch, &batch_thresholds, opts)?;
-        for (k, out) in outputs.into_iter().enumerate() {
-            let config = batch[k];
-            // Most frequent bottleneck among saturated ticks.
-            let mut counts: Vec<(Bottleneck, usize)> = Vec::new();
-            for (b, &l) in out.bottlenecks.iter().zip(&out.labels) {
-                if l == 1 || *b != Bottleneck::None {
-                    match counts.iter_mut().find(|(bb, _)| bb == b) {
-                        Some((_, c)) => *c += 1,
-                        None => counts.push((*b, 1)),
-                    }
-                }
-            }
-            let dominant = counts
-                .into_iter()
-                .filter(|(b, _)| *b != Bottleneck::None)
-                .max_by_key(|(_, c)| *c)
-                .map_or(Bottleneck::None, |(b, _)| b);
-            observed.push((config.id, dominant));
+        batches.push(batch_idx);
+    }
+    batches
+}
 
-            groups.extend(std::iter::repeat_n(config.id, out.raw.len()));
-            labels.extend(out.labels);
-            scalein_labels.extend(out.scalein_labels);
-            raw_rows.extend(out.raw);
+/// Generates the full Table 1 training dataset.
+///
+/// The 25 calibration sims and the co-location episode batches are
+/// independent, so both phases schedule over
+/// [`monitorless_std::pool`]'s dynamic work queue with
+/// [`TrainingOptions::n_jobs`] workers. Every seed derives from the
+/// configuration id alone and results are stitched back in the
+/// sequential visit order, so the assembled dataset is byte-identical
+/// for every `n_jobs` (`tests/train_equivalence.rs` pins this; the
+/// `table_train` bench asserts it on every run).
+///
+/// Episodes write their raw samples directly into disjoint regions of
+/// the final row-major buffer ([`MatrixBuilder`]); no intermediate
+/// per-row allocation exists on the assembly path.
+///
+/// # Errors
+///
+/// Propagates simulation/labeling errors.
+pub fn generate_training_data(opts: &TrainingOptions) -> Result<TrainingData, Error> {
+    let span = obs::Span::enter("training.generate");
+    let configs = table1();
+    let layout = RawLayout::from_catalog(&monitorless_metrics::Catalog::standard())?;
+    let width = layout.names().len();
+    let n_jobs = opts.n_jobs.max(1);
+    let busy_us = AtomicU64::new(0);
+    let wall = Instant::now();
+
+    // Phase 1: calibrate every configuration in isolation. Ramp costs
+    // vary per service, so the dynamic queue (not static chunks) keeps
+    // every worker busy until the queue drains.
+    let mut calibrations: Vec<Option<Result<Option<SaturationThreshold>, Error>>> =
+        configs.iter().map(|_| None).collect();
+    pool::for_each_item_mut(&mut calibrations, n_jobs, |i, slot| {
+        let t0 = Instant::now();
+        *slot = Some(calibrate_threshold(&configs[i], opts));
+        busy_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+    });
+    let mut thresholds = Vec::with_capacity(configs.len());
+    for slot in calibrations {
+        thresholds.push(slot.expect("calibration slot filled by worker")?);
+    }
+
+    // Phase 2: plan the batches, size the dataset buffer up front and
+    // hand each episode its disjoint region of the final matrix.
+    let batches = plan_batches(&configs);
+    let episodes: usize = batches.iter().map(Vec::len).sum();
+    let run_rows = opts.run_seconds as usize;
+    let mut builder = MatrixBuilder::with_regions(episodes, run_rows, width);
+
+    let mut labels: Vec<u8> = Vec::new();
+    let mut scalein_labels: Vec<u8> = Vec::new();
+    let mut groups: Vec<u32> = Vec::new();
+    let mut observed = Vec::new();
+    let mut used_rows: Vec<usize> = Vec::with_capacity(episodes);
+    {
+        struct BatchJob<'a> {
+            members: &'a [usize],
+            sinks: Vec<EpisodeSink<'a>>,
+            err: Option<Error>,
+        }
+        let mut regions = builder.regions_mut();
+        let mut jobs: Vec<BatchJob<'_>> = batches
+            .iter()
+            .map(|members| BatchJob {
+                members,
+                sinks: members
+                    .iter()
+                    .map(|_| EpisodeSink {
+                        region: regions.next().expect("one region per episode"),
+                        rows: 0,
+                        labels: Vec::with_capacity(run_rows),
+                        scalein_labels: Vec::with_capacity(run_rows),
+                        bottleneck_counts: [0u32; Bottleneck::COUNT],
+                    })
+                    .collect(),
+                err: None,
+            })
+            .collect();
+
+        // Phase 3: run the batches over the same dynamic queue
+        // (co-located pairs cost ~2x an isolated run).
+        pool::for_each_item_mut(&mut jobs, n_jobs, |_, job| {
+            let t0 = Instant::now();
+            let batch: Vec<&TrainingConfig> = job.members.iter().map(|&j| &configs[j]).collect();
+            let batch_thresholds: Vec<Option<SaturationThreshold>> =
+                job.members.iter().map(|&j| thresholds[j]).collect();
+            if let Err(e) = run_configs(&batch, &batch_thresholds, opts, width, &mut job.sinks) {
+                job.err = Some(e);
+            }
+            busy_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        });
+
+        // Phase 4: stitch the outputs back in the deterministic
+        // sequential order (batch visit order, partner inline after
+        // its primary) — identical for every worker count.
+        for job in jobs {
+            if let Some(e) = job.err {
+                return Err(e);
+            }
+            for (k, sink) in job.sinks.into_iter().enumerate() {
+                let config = &configs[job.members[k]];
+                observed.push((config.id, dominant_bottleneck(&sink.bottleneck_counts)));
+                groups.extend(std::iter::repeat_n(config.id, sink.rows));
+                labels.extend(sink.labels);
+                scalein_labels.extend(sink.scalein_labels);
+                used_rows.push(sink.rows);
+            }
         }
     }
 
-    let refs: Vec<&[f64]> = raw_rows.iter().map(|r| r.as_slice()).collect();
-    let x = Matrix::from_rows(&refs);
+    let x = builder.finish(&used_rows);
     let names = layout.names().to_vec();
     let dataset = Dataset::new(x, labels, names, groups)?;
     observed.sort_by_key(|(id, _)| *id);
+
+    drop(span);
+    obs::counter_add("training.episodes", episodes as u64);
+    let wall_us = wall.elapsed().as_micros().max(1) as f64;
+    obs::gauge_set(
+        "training.worker_utilization",
+        busy_us.load(Ordering::Relaxed) as f64 / (n_jobs as f64 * wall_us),
+    );
 
     Ok(TrainingData {
         dataset,
@@ -522,6 +642,65 @@ pub fn generate_training_data(opts: &TrainingOptions) -> Result<TrainingData, Er
             .collect(),
         observed_bottlenecks: observed,
         scalein_labels,
+    })
+}
+
+/// Runs one configuration in isolation for `opts.run_seconds` ticks
+/// under a salted seed and returns the raw episode with its per-tick
+/// KPI series — a fresh, *unlabeled* serving window of the kind a
+/// drift alert flags, ready for
+/// [`crate::adapt::ShadowRetrainer::label_episode`].
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn run_fresh_episode(
+    config: &TrainingConfig,
+    opts: &TrainingOptions,
+    salt: u64,
+) -> Result<crate::adapt::EpisodeRun, Error> {
+    let layout = RawLayout::from_catalog(&monitorless_metrics::Catalog::standard())?;
+    let width = layout.names().len();
+    let mut cluster = Cluster::new(vec![NodeSpec::training_server()], opts.seed ^ salt);
+    let (app, inst) =
+        build_single(&mut cluster, config.service.profile(), config.limits, NodeId(0));
+    let profile = config
+        .traffic
+        .profile(opts.run_seconds, opts.seed ^ salt ^ u64::from(config.id));
+
+    let run_rows = opts.run_seconds as usize;
+    let mut builder = MatrixBuilder::with_regions(1, run_rows, width);
+    let mut offered_rps = Vec::with_capacity(run_rows);
+    let mut throughput_rps = Vec::with_capacity(run_rows);
+    let mut failure_fraction = Vec::with_capacity(run_rows);
+    let mut rows = 0usize;
+    {
+        let mut regions = builder.regions_mut();
+        let region = regions.next().expect("one region");
+        for t in 0..opts.run_seconds {
+            let load = profile.intensity(t);
+            let report = cluster.step(&[(app, load)]);
+            let row = &mut region[rows * width..(rows + 1) * width];
+            if !report
+                .observations
+                .iter()
+                .any(|o| o.instance_vector_write(inst, row))
+            {
+                continue;
+            }
+            let kpi = report.kpi(app).expect("app exists");
+            rows += 1;
+            offered_rps.push(load);
+            throughput_rps.push(kpi.throughput_rps);
+            failure_fraction.push(kpi.failure_fraction());
+        }
+    }
+    Ok(crate::adapt::EpisodeRun {
+        group: config.id,
+        raw: builder.finish(&[rows]),
+        offered_rps,
+        throughput_rps,
+        failure_fraction,
     })
 }
 
@@ -560,6 +739,7 @@ mod tests {
             run_seconds: 50,
             ramp_seconds: 150,
             seed: 1,
+            n_jobs: 4,
         };
         let th = calibrate_threshold(config, &opts).unwrap().unwrap();
         // 3 cores / 65 ms = ~46 req/s capacity; the knee is below that.
@@ -572,6 +752,7 @@ mod tests {
             run_seconds: 40,
             ramp_seconds: 120,
             seed: 2,
+            n_jobs: 4,
         };
         let data = generate_training_data(&opts).unwrap();
         assert_eq!(data.dataset.n_features(), 1040);

@@ -1,0 +1,273 @@
+//! Property tests pinning the parallel training pipeline and the
+//! incremental presort append to their sequential / from-scratch
+//! counterparts.
+//!
+//! The guarantees under test are exact, not statistical:
+//!
+//! * `generate_training_data` must produce byte-identical output for
+//!   every worker count — the parallel schedule only changes *when*
+//!   episodes run, never what they compute, because every per-episode
+//!   seed is derived from the configuration id rather than from
+//!   execution order.
+//! * `PresortedDataset::append_rows` must leave the cache bit-identical
+//!   to a fresh presort of the concatenated matrix (including NaN cells
+//!   and negative zero), so a forest fitted from the incrementally
+//!   maintained cache is indistinguishable from one fitted from
+//!   scratch.
+//! * The `ShadowRetrainer` built on top of both must be deterministic
+//!   end to end, and must refuse to promote a challenger that a
+//!   corrupted ingest made worse than the champion.
+
+use std::sync::OnceLock;
+
+use monitorless::adapt::{LabeledEpisode, RetrainParams, ShadowRetrainer};
+use monitorless::model::{ModelOptions, MonitorlessModel};
+use monitorless::training::{
+    generate_training_data, run_fresh_episode, table1, TrainingData, TrainingOptions,
+};
+use monitorless_learn::{Matrix, PresortedDataset, RandomForest, RandomForestParams};
+use proptest::prelude::*;
+
+/// SplitMix64 — one seed expands into a full messy dataset per case.
+struct Mix(u64);
+
+impl Mix {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// A duplicate-heavy matrix with NaN cells and both zero signs — the
+/// hostile inputs for rank construction.
+fn messy_matrix(seed: u64, rows: usize, cols: usize) -> Matrix {
+    let mut rng = Mix(seed);
+    let palette = [-3.0, -0.0, 0.0, 0.5, 1.0, 2.5, f64::NAN];
+    let mut data = vec![0.0; rows * cols];
+    for v in data.iter_mut() {
+        *v = if rng.below(2) == 0 {
+            palette[rng.below(palette.len() as u64) as usize]
+        } else {
+            rng.next_f64() * 20.0 - 10.0
+        };
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Generation options small enough for a test yet covering all 25
+/// configurations, calibration ramps and co-located batches.
+fn tiny_opts(n_jobs: usize) -> TrainingOptions {
+    TrainingOptions {
+        run_seconds: 20,
+        ramp_seconds: 80,
+        seed: 11,
+        n_jobs,
+    }
+}
+
+#[test]
+fn parallel_generation_is_byte_identical() {
+    let base = generate_training_data(&tiny_opts(1)).expect("sequential generation");
+    assert!(!base.dataset.is_empty(), "tiny options must still produce rows");
+    for n_jobs in [2, 4] {
+        let alt = generate_training_data(&tiny_opts(n_jobs)).expect("parallel generation");
+        assert_eq!(bits(base.dataset.x()), bits(alt.dataset.x()), "x differs at n_jobs={n_jobs}");
+        assert_eq!(base.dataset.y(), alt.dataset.y(), "y differs at n_jobs={n_jobs}");
+        assert_eq!(base.dataset.groups(), alt.dataset.groups(), "groups differ at n_jobs={n_jobs}");
+        let thr = |d: &TrainingData| -> Vec<(u32, Option<u64>)> {
+            d.thresholds
+                .iter()
+                .map(|(id, t)| (*id, t.map(f64::to_bits)))
+                .collect()
+        };
+        assert_eq!(thr(&base), thr(&alt), "thresholds differ at n_jobs={n_jobs}");
+        assert_eq!(
+            base.scalein_labels, alt.scalein_labels,
+            "scale-in labels differ at n_jobs={n_jobs}"
+        );
+        assert_eq!(
+            base.observed_bottlenecks, alt.observed_bottlenecks,
+            "observed bottlenecks differ at n_jobs={n_jobs}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Incrementally appending rows to a presorted cache, then fitting,
+    /// is bit-identical to presorting the concatenated matrix from
+    /// scratch and fitting — including bootstrap sampling, NaN cells
+    /// and duplicate-heavy columns.
+    #[test]
+    fn append_then_fit_matches_concat_then_fit(seed in 0u64..(1u64 << 40)) {
+        let mut rng = Mix(seed ^ 0xF17);
+        let cols = 3 + rng.below(4) as usize;
+        let base_rows = 12 + rng.below(40) as usize;
+        let extra_rows = 1 + rng.below(20) as usize;
+        let base = messy_matrix(seed ^ 1, base_rows, cols);
+        let extra = messy_matrix(seed ^ 2, extra_rows, cols);
+
+        let mut all = Vec::with_capacity((base_rows + extra_rows) * cols);
+        all.extend_from_slice(base.as_slice());
+        all.extend_from_slice(extra.as_slice());
+        let concat = Matrix::from_vec(base_rows + extra_rows, cols, all);
+
+        let fresh = PresortedDataset::build(&concat);
+        let mut incremental = PresortedDataset::build(&base);
+        incremental.append_rows(&extra);
+        prop_assert!(
+            incremental.bit_identical(&fresh),
+            "incremental cache diverged from the fresh presort"
+        );
+
+        let mut y: Vec<u8> =
+            (0..base_rows + extra_rows).map(|_| rng.below(2) as u8).collect();
+        // Both classes must be present for a meaningful fit.
+        y[0] = 0;
+        y[1] = 1;
+        let params = RandomForestParams {
+            n_estimators: 5,
+            min_samples_leaf: 2,
+            bootstrap: true,
+            seed: 9,
+            n_jobs: 1,
+            ..RandomForestParams::default()
+        };
+        let mut from_fresh = RandomForest::new(params.clone());
+        from_fresh.fit_presorted(&fresh, &y, None).expect("fit on fresh cache");
+        let mut from_incremental = RandomForest::new(params);
+        from_incremental.fit_presorted(&incremental, &y, None).expect("fit on incremental cache");
+        // Debug output captures every node (thresholds, feature ids,
+        // leaf distributions) and renders NaN/-0.0 faithfully, so
+        // string equality here is structural bit equality.
+        prop_assert_eq!(
+            format!("{from_fresh:?}"),
+            format!("{from_incremental:?}"),
+            "forests diverged between append-then-fit and concat-then-fit"
+        );
+        let pf = from_fresh.to_flat().predict_proba(&concat, 1);
+        let pi = from_incremental.to_flat().predict_proba(&concat, 1);
+        let pb = |p: &[f64]| p.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(pb(&pf), pb(&pi));
+    }
+}
+
+/// Shared generation + champion for the shadow-retrain tests — built
+/// once; every test clones from it.
+fn shared() -> &'static (TrainingData, MonitorlessModel) {
+    static CELL: OnceLock<(TrainingData, MonitorlessModel)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let data = generate_training_data(&tiny_opts(2)).expect("generation");
+        let opts = ModelOptions {
+            forest: RandomForestParams {
+                n_estimators: 12,
+                min_samples_leaf: 5,
+                n_jobs: 1,
+                ..RandomForestParams::default()
+            },
+            ..ModelOptions::quick()
+        };
+        let model = MonitorlessModel::train(&data, &opts).expect("champion");
+        (data, model)
+    })
+}
+
+/// Episode options: long enough for Kneedle to find a knee in the
+/// episode's own load/throughput curve.
+fn episode_opts() -> TrainingOptions {
+    TrainingOptions {
+        run_seconds: 150,
+        ramp_seconds: 80,
+        seed: 11,
+        n_jobs: 1,
+    }
+}
+
+/// One full shadow-retrain pass: ingest a fresh episode, label a second
+/// as holdout, retrain. Returns everything observable about the result.
+fn retrain_once() -> (bool, u64, u64, usize, String) {
+    let (data, model) = shared();
+    let mut retrainer = ShadowRetrainer::new(model.clone(), data, RetrainParams::from_model(model))
+        .expect("retrainer");
+    let configs = table1();
+    let opts = episode_opts();
+    let fresh = run_fresh_episode(&configs[0], &opts, 0xF00D).expect("fresh episode");
+    retrainer.ingest_run(&fresh).expect("ingest");
+    let holdout_run = run_fresh_episode(&configs[1], &opts, 0xBEEF).expect("holdout episode");
+    let holdout = retrainer
+        .label_episode(&holdout_run)
+        .expect("holdout labels");
+    let report = retrainer.retrain(&holdout).expect("retrain");
+    (
+        report.promoted,
+        report.champion_f1.to_bits(),
+        report.challenger_f1.to_bits(),
+        retrainer.train_rows(),
+        format!("{:?}", retrainer.champion().forest()),
+    )
+}
+
+#[test]
+fn shadow_retrain_is_deterministic() {
+    let first = retrain_once();
+    let second = retrain_once();
+    assert_eq!(first, second, "two identical shadow-retrain passes diverged");
+}
+
+#[test]
+fn promotion_rejected_when_challenger_worse() {
+    let (data, model) = shared();
+    let mut retrainer = ShadowRetrainer::new(model.clone(), data, RetrainParams::from_model(model))
+        .expect("retrainer");
+    let before = format!("{:?}", retrainer.champion().forest());
+
+    // Poison the cache: re-ingest the full base run with every label
+    // inverted, so the challenger trains on 50% contradictory data.
+    let poison = LabeledEpisode {
+        group: 1,
+        raw: data.dataset.x().clone(),
+        labels: data.dataset.y().iter().map(|l| 1 - l).collect(),
+        threshold: None,
+    };
+    retrainer.ingest(&poison).expect("poison ingest");
+
+    let configs = table1();
+    let holdout_run =
+        run_fresh_episode(&configs[0], &episode_opts(), 0xBEEF).expect("holdout episode");
+    let holdout = retrainer
+        .label_episode(&holdout_run)
+        .expect("holdout labels");
+    assert!(
+        holdout.labels.contains(&1),
+        "holdout episode must contain saturated seconds for F1 to discriminate"
+    );
+    let report = retrainer.retrain(&holdout).expect("retrain");
+    assert!(
+        report.challenger_f1 < report.champion_f1,
+        "poisoned challenger should underperform: challenger={} champion={}",
+        report.challenger_f1,
+        report.champion_f1
+    );
+    assert!(!report.promoted, "a worse challenger must not be promoted");
+    assert_eq!(
+        before,
+        format!("{:?}", retrainer.champion().forest()),
+        "rejected retrain must leave the champion untouched"
+    );
+}

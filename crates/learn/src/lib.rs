@@ -63,7 +63,7 @@ pub use gboost::{GradientBoosting, GradientBoostingParams};
 pub use linear::{
     LinearSvc, LinearSvcParams, LogisticRegression, LogisticRegressionParams, Penalty,
 };
-pub use matrix::{ColumnsView, Matrix};
+pub use matrix::{ColumnsView, Matrix, MatrixBuilder};
 pub use metrics::{accuracy, f1_score, lagged_confusion, ConfusionMatrix};
 pub use model_selection::{
     cross_validate, cross_validate_parallel, GridSearch, GroupKFold, KFold, ParamGrid, ParamValue,
@@ -84,7 +84,7 @@ pub mod prelude {
     pub use crate::linear::{
         LinearSvc, LinearSvcParams, LogisticRegression, LogisticRegressionParams, Penalty,
     };
-    pub use crate::matrix::Matrix;
+    pub use crate::matrix::{Matrix, MatrixBuilder};
     pub use crate::metrics::{accuracy, f1_score, lagged_confusion, ConfusionMatrix};
     pub use crate::model_selection::{
         cross_validate, cross_validate_parallel, GridSearch, GroupKFold, KFold, ParamGrid,

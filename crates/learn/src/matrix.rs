@@ -306,6 +306,104 @@ impl Matrix {
 
 monitorless_std::json_struct!(Matrix { rows, cols, data });
 
+/// Builds a row-major [`Matrix`] by handing out disjoint fixed-capacity
+/// row regions of one up-front buffer for callers to fill in place.
+///
+/// This is the zero-copy assembly path for producers that know an upper
+/// bound on their row counts before producing a single value (training
+/// episodes: at most `run_seconds` rows each). Each producer writes
+/// rows directly into its region — no per-row `Vec`, no
+/// [`Matrix::from_rows`] re-copy — and [`MatrixBuilder::finish`]
+/// compacts partially filled regions in place (a no-op when every
+/// region is full).
+///
+/// ```
+/// use monitorless_learn::MatrixBuilder;
+///
+/// let mut b = MatrixBuilder::with_regions(2, 2, 3);
+/// let mut regions = b.regions_mut();
+/// regions.next().unwrap()[..3].copy_from_slice(&[1.0, 2.0, 3.0]);
+/// regions.next().unwrap()[..6].copy_from_slice(&[4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+/// drop(regions);
+/// let m = b.finish(&[1, 2]); // region 0 produced 1 row, region 1 both
+/// assert_eq!((m.rows(), m.cols()), (3, 3));
+/// assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixBuilder {
+    regions: usize,
+    region_rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl MatrixBuilder {
+    /// Allocates one zeroed row-major buffer of `regions` regions with
+    /// capacity for `region_rows` rows of `cols` columns each.
+    pub fn with_regions(regions: usize, region_rows: usize, cols: usize) -> Self {
+        MatrixBuilder {
+            regions,
+            region_rows,
+            cols,
+            data: vec![0.0; regions * region_rows * cols],
+        }
+    }
+
+    /// Number of regions.
+    #[inline]
+    pub fn regions(&self) -> usize {
+        self.regions
+    }
+
+    /// Row capacity of each region.
+    #[inline]
+    pub fn region_rows(&self) -> usize {
+        self.region_rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The disjoint mutable regions, in order — one `region_rows *
+    /// cols` row-major slice each. Hand one to each producer; the
+    /// borrows are independent, so producers may fill them from
+    /// different threads.
+    pub fn regions_mut(&mut self) -> impl Iterator<Item = &mut [f64]> {
+        self.data
+            .chunks_mut((self.region_rows * self.cols).max(1))
+            .take(self.regions)
+    }
+
+    /// Compacts the regions in place — keeping the first `used_rows[i]`
+    /// rows of region `i` — and returns the finished matrix without
+    /// copying into a new buffer. Fully used regions (the common case)
+    /// make every `copy_within` a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `used_rows.len() != self.regions()` or any count
+    /// exceeds the region capacity.
+    pub fn finish(mut self, used_rows: &[usize]) -> Matrix {
+        assert_eq!(used_rows.len(), self.regions, "one row count per region");
+        let stride = self.region_rows * self.cols;
+        let mut write = 0usize;
+        for (i, &used) in used_rows.iter().enumerate() {
+            assert!(used <= self.region_rows, "region {i} overflows its capacity");
+            let start = i * stride;
+            let len = used * self.cols;
+            if start != write {
+                self.data.copy_within(start..start + len, write);
+            }
+            write += len;
+        }
+        self.data.truncate(write);
+        Matrix::from_vec(used_rows.iter().sum(), self.cols, self.data)
+    }
+}
+
 /// A column-major snapshot of a [`Matrix`].
 ///
 /// Column access on the row-major [`Matrix`] is a strided gather plus a
@@ -314,12 +412,27 @@ monitorless_std::json_struct!(Matrix { rows, cols, data });
 /// It backs the presorted training cache
 /// ([`crate::presort::PresortedDataset`]) and any statistics path that
 /// walks whole columns repeatedly.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ColumnsView {
     rows: usize,
     cols: usize,
-    /// Column-major buffer: column `c` owns `data[c*rows .. (c+1)*rows]`.
+    /// Per-column stride: column `c` owns `data[c*cap .. c*cap + rows]`.
+    /// The `cap - rows` tail cells of each column are append slack, so
+    /// [`ColumnsView::append_rows`] can land new rows without moving a
+    /// byte of existing data.
+    cap: usize,
     data: Vec<f64>,
+}
+
+/// Logical equality: shape and per-column contents. Capacity slack is
+/// scratch space and never participates, so a freshly gathered view and
+/// an appended-into one with headroom still compare equal.
+impl PartialEq for ColumnsView {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && (0..self.cols).all(|c| self.column_slice(c) == other.column_slice(c))
+    }
 }
 
 impl ColumnsView {
@@ -340,7 +453,12 @@ impl ColumnsView {
                 }
             }
         }
-        ColumnsView { rows, cols, data }
+        ColumnsView {
+            rows,
+            cols,
+            cap: rows,
+            data,
+        }
     }
 
     /// Number of rows per column.
@@ -355,6 +473,13 @@ impl ColumnsView {
         self.cols
     }
 
+    /// Row capacity: how tall every column may grow before the next
+    /// append has to move data.
+    #[inline]
+    pub fn capacity_rows(&self) -> usize {
+        self.cap
+    }
+
     /// Borrowed contiguous values of column `c`.
     ///
     /// # Panics
@@ -363,12 +488,53 @@ impl ColumnsView {
     #[inline]
     pub fn column_slice(&self, c: usize) -> &[f64] {
         assert!(c < self.cols, "column index out of bounds");
-        &self.data[c * self.rows..(c + 1) * self.rows]
+        &self.data[c * self.cap..c * self.cap + self.rows]
     }
 
-    /// Flat column-major view of the underlying buffer.
-    pub fn as_slice(&self) -> &[f64] {
-        &self.data
+    /// Re-strides every column so up to `cap` total rows fit without
+    /// another buffer move. No-op when the current capacity already
+    /// suffices. Columns move right-to-left, so each `copy_within`
+    /// reads a region not yet overwritten (column `c`'s destination
+    /// `c * cap` is at or past its source `c * self.cap`, and past
+    /// every smaller column's source entirely).
+    pub fn reserve_total_rows(&mut self, cap: usize) {
+        if cap <= self.cap {
+            return;
+        }
+        self.data.resize(cap * self.cols, 0.0);
+        for c in (0..self.cols).rev() {
+            self.data
+                .copy_within(c * self.cap..c * self.cap + self.rows, c * cap);
+        }
+        self.cap = cap;
+    }
+
+    /// Appends `extra`'s rows below the existing ones. Within capacity
+    /// this writes only the `add * cols` new cells — a strided gather
+    /// into each column's slack tail, no existing byte moves. When the
+    /// delta outgrows the slack, the view re-strides once with 50%
+    /// headroom over the new height, so repeated appends stay
+    /// amortized O(cells appended). This is the column-major half of
+    /// [`crate::presort::PresortedDataset::append_rows`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra.cols() != self.cols()`.
+    pub fn append_rows(&mut self, extra: &Matrix) {
+        assert_eq!(extra.cols(), self.cols, "appended rows must match the column count");
+        let (old, add) = (self.rows, extra.rows());
+        let rows = old + add;
+        if rows > self.cap {
+            self.reserve_total_rows(rows + rows / 2);
+        }
+        let flat = extra.as_slice();
+        for c in 0..self.cols {
+            let base = c * self.cap + old;
+            for r in 0..add {
+                self.data[base + r] = flat[r * self.cols + c];
+            }
+        }
+        self.rows = rows;
     }
 }
 
@@ -478,5 +644,54 @@ mod tests {
     #[should_panic(expected = "column index out of bounds")]
     fn columns_view_rejects_bad_index() {
         let _ = Matrix::zeros(2, 2).columns().column_slice(2);
+    }
+
+    #[test]
+    fn builder_full_regions_match_from_rows() {
+        let mut b = MatrixBuilder::with_regions(3, 2, 2);
+        assert_eq!((b.regions(), b.region_rows(), b.cols()), (3, 2, 2));
+        for (i, region) in b.regions_mut().enumerate() {
+            for (j, v) in region.iter_mut().enumerate() {
+                *v = (i * 10 + j) as f64;
+            }
+        }
+        let m = b.finish(&[2, 2, 2]);
+        assert_eq!((m.rows(), m.cols()), (6, 2));
+        assert_eq!(m.row(0), &[0.0, 1.0]);
+        assert_eq!(m.row(5), &[22.0, 23.0]);
+    }
+
+    #[test]
+    fn builder_compacts_partial_regions_in_order() {
+        let mut b = MatrixBuilder::with_regions(3, 3, 1);
+        {
+            let mut regions = b.regions_mut();
+            regions.next().unwrap()[0] = 1.0;
+            let r1 = regions.next().unwrap();
+            r1[0] = 2.0;
+            r1[1] = 3.0;
+            let _ = regions.next().unwrap(); // region 2 produces nothing
+        }
+        let m = b.finish(&[1, 2, 0]);
+        assert_eq!((m.rows(), m.cols()), (3, 1));
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows its capacity")]
+    fn builder_rejects_overfull_region() {
+        let _ = MatrixBuilder::with_regions(1, 2, 1).finish(&[3]);
+    }
+
+    #[test]
+    fn columns_view_append_matches_fresh_build() {
+        let base = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let extra = Matrix::from_rows(&[&[7.0, 8.0, 9.0]]);
+        let mut view = base.columns();
+        view.append_rows(&extra);
+        assert_eq!(view, base.vstack(&extra).columns());
+        // Appending zero rows is a no-op on the contents.
+        view.append_rows(&Matrix::zeros(0, 3));
+        assert_eq!(view.rows(), 3);
     }
 }

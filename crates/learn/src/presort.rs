@@ -52,14 +52,20 @@ use crate::matrix::{ColumnsView, Matrix};
 ///
 /// Built once per `(Matrix, y)` pair and shared (by reference) across
 /// trees, boosting rounds and cross-validation candidates.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct PresortedDataset {
-    /// Column-major copy of the matrix values.
+    /// Column-major copy of the matrix values (carries the row
+    /// capacity shared with `ranks`).
     columns: ColumnsView,
-    /// Per-feature value rank of each row (indexed `f*n + row`): rows
-    /// with bit-identical values share a rank, and ranks increase with
-    /// the `total_cmp` value order.
+    /// Per-feature value rank of each row (feature `f` owns
+    /// `ranks[f*row_cap .. f*row_cap + n]`; the tail up to `row_cap`
+    /// is append slack): rows with bit-identical values share a rank,
+    /// and ranks increase with the `total_cmp` value order.
     ranks: Vec<u32>,
+    /// Per-feature stride of `ranks` — kept equal to
+    /// `columns.capacity_rows()` so in-capacity appends touch no
+    /// existing rank.
+    row_cap: usize,
     /// Number of distinct ranks per feature.
     n_ranks: Vec<u32>,
     /// Every feature's distinct values in rank order, concatenated
@@ -70,6 +76,23 @@ pub struct PresortedDataset {
     rank_values: Vec<f64>,
     /// Start of each feature's block in `rank_values`.
     rank_offsets: Vec<usize>,
+}
+
+/// Logical equality: shape, column contents, ranks and distinct
+/// values. Capacity slack never participates, so an appended-into
+/// cache with headroom still compares equal to a fresh build — except
+/// through NaN cells, which (as everywhere in `f64` comparison) are
+/// unequal to themselves; use [`PresortedDataset::bit_identical`] to
+/// prove NaN-holding caches identical.
+impl PartialEq for PresortedDataset {
+    fn eq(&self, other: &Self) -> bool {
+        self.columns == other.columns
+            && self.n_ranks == other.n_ranks
+            && (0..self.n_features()).all(|f| {
+                self.ranks_of(f) == other.ranks_of(f)
+                    && self.rank_values_of(f) == other.rank_values_of(f)
+            })
+    }
 }
 
 impl PresortedDataset {
@@ -120,10 +143,184 @@ impl PresortedDataset {
         PresortedDataset {
             columns,
             ranks,
+            row_cap: n,
             n_ranks,
             rank_values,
             rank_offsets,
         }
+    }
+
+    /// Appends `extra`'s rows to the cache incrementally: per feature,
+    /// one `O(m log m)` sort of the `m` new rows, one merge pass over
+    /// the existing *distinct* values and one `O(n)` rank remap —
+    /// instead of the full `O(n log n)` re-sort a fresh
+    /// [`PresortedDataset::build`] of the concatenated matrix pays.
+    /// Retraining on `old + fresh episodes` therefore pays only for
+    /// the delta.
+    ///
+    /// Bit-identical to that fresh build: ranks depend only on the
+    /// multiset of value bit patterns (the order-preserving key makes
+    /// key equality bit equality), and each rank's representative
+    /// value is the bit pattern all its rows share, so merging old
+    /// representatives with first-seen new values reproduces the
+    /// from-scratch `rank_values` exactly. `tests/train_equivalence.rs`
+    /// pins the property, NaN cells and bootstrap maps included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `extra.cols() != self.n_features()`.
+    pub fn append_rows(&mut self, extra: &Matrix) {
+        let d = self.n_features();
+        assert_eq!(extra.cols(), d, "appended rows must match the cache's feature count");
+        let m = extra.rows();
+        if m == 0 {
+            return;
+        }
+        let span = obs::Span::enter("presort.append");
+        let old_n = self.n_rows();
+        let n = old_n + m;
+        // Grow first (columns, then the rank stride) while `n_rows()`
+        // still reports the old height, then gather the delta into the
+        // guaranteed slack.
+        if n > self.columns.capacity_rows() {
+            self.columns.reserve_total_rows(n + n / 2);
+        }
+        self.restride_ranks();
+        self.columns.append_rows(extra);
+        let cap = self.row_cap;
+        let key_of = |v: f64| {
+            let b = v.to_bits();
+            if b >> 63 == 1 {
+                !b
+            } else {
+                b ^ (1u64 << 63)
+            }
+        };
+
+        // Scratch reused across features.
+        let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(m);
+        let mut tail_ranks = vec![0u32; m];
+        let mut shift: Vec<u32> = Vec::new();
+        let mut new_rank_values: Vec<f64> = Vec::with_capacity(self.rank_values.len() + m * d);
+        let mut new_rank_offsets = Vec::with_capacity(d);
+
+        for f in 0..d {
+            new_rank_offsets.push(new_rank_values.len());
+            let vals_start = new_rank_values.len();
+            let col = self.columns.column_slice(f);
+            let r_old = self.n_ranks[f] as usize;
+            let old_start = self.rank_offsets[f];
+            let old_vals = &self.rank_values[old_start..old_start + r_old];
+
+            keyed.clear();
+            keyed.extend((0..m).map(|j| (key_of(col[old_n + j]), j as u32)));
+            keyed.sort_unstable_by_key(|p| p.0);
+
+            // One fused merge over the old distinct values and the
+            // sorted new keys. Both sequences ascend, so a single
+            // forward walk emits the merged distinct-value block,
+            // decides per new key whether it joins an existing rank
+            // (bit-equal value) or opens a fresh one, and records —
+            // per old value — how many new ranks were inserted before
+            // it (`shift`). Element-wise pushes beat bulk copies here:
+            // the runs between new keys are short, so per-call
+            // overhead would dominate the memcpy.
+            shift.clear();
+            let mut lo = 0usize;
+            let mut ki = 0usize;
+            let mut count = 0u32;
+            while ki < m {
+                let key = keyed[ki].0;
+                while lo < r_old {
+                    let v = old_vals[lo];
+                    if key_of(v) >= key {
+                        break;
+                    }
+                    new_rank_values.push(v);
+                    shift.push(count);
+                    lo += 1;
+                }
+                let id = (new_rank_values.len() - vals_start) as u32;
+                if lo < r_old && key_of(old_vals[lo]) == key {
+                    new_rank_values.push(old_vals[lo]);
+                    shift.push(count);
+                    lo += 1;
+                } else {
+                    new_rank_values.push(col[old_n + keyed[ki].1 as usize]);
+                    count += 1;
+                }
+                while ki < m && keyed[ki].0 == key {
+                    tail_ranks[keyed[ki].1 as usize] = id;
+                    ki += 1;
+                }
+            }
+            new_rank_values.extend_from_slice(&old_vals[lo..]);
+            self.n_ranks[f] = r_old as u32 + count;
+
+            // Remap the existing rows' ranks in place — old id `i`
+            // gains `shift[i]`, the number of inserts at positions
+            // <= `i` — and write the appended rows' ranks into the
+            // slack tail.
+            let rk = &mut self.ranks[f * cap..f * cap + n];
+            if count > 0 {
+                shift.resize(r_old, count);
+                for v in rk[..old_n].iter_mut() {
+                    *v += shift[*v as usize];
+                }
+            }
+            for (j, &id) in tail_ranks.iter().enumerate() {
+                rk[old_n + j] = id;
+            }
+        }
+        self.rank_values = new_rank_values;
+        self.rank_offsets = new_rank_offsets;
+        drop(span);
+        obs::counter_add("presort.appends", 1);
+    }
+
+    /// Pre-sizes the cache for `additional` more rows, so the coming
+    /// appends land in existing slack instead of re-striding — the
+    /// retraining loop calls this once when it adopts a cache.
+    pub fn reserve_rows(&mut self, additional: usize) {
+        self.columns.reserve_total_rows(self.n_rows() + additional);
+        self.restride_ranks();
+    }
+
+    /// Brings the `ranks` stride back in line with the columns' row
+    /// capacity after the columns grew. Features move right-to-left,
+    /// so each `copy_within` reads a region not yet overwritten.
+    fn restride_ranks(&mut self) {
+        let cap = self.columns.capacity_rows();
+        if cap == self.row_cap {
+            return;
+        }
+        let d = self.n_features();
+        let n = self.n_rows();
+        self.ranks.resize(cap * d, 0);
+        for f in (0..d).rev() {
+            self.ranks
+                .copy_within(f * self.row_cap..f * self.row_cap + n, f * cap);
+        }
+        self.row_cap = cap;
+    }
+
+    /// Bit-exact structural equality: like `==`, but `f64` buffers
+    /// compare by bit pattern, so NaN-holding caches can still be
+    /// proven identical to their independently built twins (derived
+    /// `PartialEq` makes any NaN cell unequal to itself). This is the
+    /// relation the append-vs-fresh-build equivalence proofs use.
+    pub fn bit_identical(&self, other: &Self) -> bool {
+        fn same_bits(a: &[f64], b: &[f64]) -> bool {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+        }
+        self.n_rows() == other.n_rows()
+            && self.n_features() == other.n_features()
+            && self.n_ranks == other.n_ranks
+            && (0..self.n_features()).all(|f| {
+                same_bits(self.column(f), other.column(f))
+                    && self.ranks_of(f) == other.ranks_of(f)
+                    && same_bits(self.rank_values_of(f), other.rank_values_of(f))
+            })
     }
 
     /// Number of rows in the underlying matrix.
@@ -155,8 +352,7 @@ impl PresortedDataset {
     /// The value ranks of feature `f`, indexed by row.
     #[inline]
     fn ranks_of(&self, f: usize) -> &[u32] {
-        let n = self.n_rows();
-        &self.ranks[f * n..(f + 1) * n]
+        &self.ranks[f * self.row_cap..f * self.row_cap + self.n_rows()]
     }
 
     /// Feature `f`'s distinct values in rank order: entry `r` is the
@@ -705,6 +901,52 @@ mod tests {
         assert_eq!(hits, 3);
         assert!(t.gather_node(0, 0, 4, |_, _, _| hits += 1));
         assert_eq!(hits, 7);
+    }
+
+    #[test]
+    fn append_rows_matches_fresh_build() {
+        let base = sample_matrix();
+        let extra = Matrix::from_rows(&[&[2.0, 5.0], &[0.5, 1.0], &[3.0, -1.0]]);
+        let mut ps = PresortedDataset::build(&base);
+        ps.append_rows(&extra);
+        assert_eq!(ps, PresortedDataset::build(&base.vstack(&extra)));
+        // Appending nothing changes nothing.
+        let before = ps.clone();
+        ps.append_rows(&Matrix::zeros(0, 2));
+        assert_eq!(ps, before);
+    }
+
+    #[test]
+    fn append_rows_handles_nan_zero_signs_and_ties() {
+        let base = Matrix::from_rows(&[&[f64::NAN, -0.0], &[1.0, 0.0], &[1.0, 3.0]]);
+        let extra = Matrix::from_rows(&[
+            &[f64::NAN, 0.0],
+            &[-1.0, -0.0],
+            &[1.0, f64::NAN],
+            &[f64::INFINITY, 3.0],
+        ]);
+        let mut ps = PresortedDataset::build(&base);
+        ps.append_rows(&extra);
+        let fresh = PresortedDataset::build(&base.vstack(&extra));
+        // Derived `PartialEq` cannot see through NaN cells; the
+        // bit-exact relation can (and `==` must disagree here, proving
+        // the NaN cells are really present).
+        assert!(ps.bit_identical(&fresh));
+        assert_ne!(ps, fresh);
+    }
+
+    #[test]
+    fn append_into_empty_cache_matches_fresh_build() {
+        let extra = sample_matrix();
+        let mut ps = PresortedDataset::build(&Matrix::zeros(0, 2));
+        ps.append_rows(&extra);
+        assert_eq!(ps, PresortedDataset::build(&extra));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count")]
+    fn append_rejects_width_mismatch() {
+        PresortedDataset::build(&sample_matrix()).append_rows(&Matrix::zeros(1, 3));
     }
 
     #[test]

@@ -65,6 +65,27 @@ impl Observation {
         true
     }
 
+    /// [`Observation::instance_vector`] written straight into a
+    /// caller-provided slice — the zero-copy dataset-assembly path,
+    /// where `out` is the row's final resting place inside the
+    /// training matrix and no intermediate `Vec` ever exists. Returns
+    /// `false` — leaving `out` untouched — when the instance is not
+    /// part of this observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance is present and `out.len()` differs from
+    /// the host + container vector width.
+    pub fn instance_vector_write(&self, instance: InstanceId, out: &mut [f64]) -> bool {
+        let Some((_, ctr)) = self.containers.iter().find(|(id, _)| *id == instance) else {
+            return false;
+        };
+        let (host_part, ctr_part) = out.split_at_mut(self.host.len());
+        host_part.copy_from_slice(&self.host);
+        ctr_part.copy_from_slice(ctr);
+        true
+    }
+
     /// All instances present in this observation.
     pub fn instances(&self) -> impl Iterator<Item = InstanceId> + '_ {
         self.containers.iter().map(|(id, _)| *id)
@@ -116,6 +137,12 @@ mod tests {
         assert_eq!(buf, vec![1.0, 2.0, 4.0]);
         assert!(!obs.instance_vector_into(InstanceId(9), &mut buf));
         assert!(buf.is_empty());
+        // Slice-write variant matches and leaves misses untouched.
+        let mut row = [0.0; 3];
+        assert!(obs.instance_vector_write(InstanceId(7), &mut row));
+        assert_eq!(row, [1.0, 2.0, 3.0]);
+        assert!(!obs.instance_vector_write(InstanceId(9), &mut row));
+        assert_eq!(row, [1.0, 2.0, 3.0]);
         // Positional gather matches the id lookup entry for entry.
         assert_eq!(obs.n_instances(), 2);
         for i in 0..obs.n_instances() {

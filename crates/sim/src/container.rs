@@ -28,6 +28,38 @@ pub enum Bottleneck {
     MemBandwidth,
 }
 
+impl Bottleneck {
+    /// Number of variants, for fixed-size per-bottleneck tally arrays.
+    pub const COUNT: usize = 8;
+
+    /// Every variant in declaration order: `ALL[b.index()] == b`.
+    pub const ALL: [Bottleneck; Bottleneck::COUNT] = [
+        Bottleneck::None,
+        Bottleneck::ContainerCpu,
+        Bottleneck::HostCpu,
+        Bottleneck::IoBandwidth,
+        Bottleneck::IoQueue,
+        Bottleneck::IoWait,
+        Bottleneck::Network,
+        Bottleneck::MemBandwidth,
+    ];
+
+    /// Dense discriminant index into a `[_; Bottleneck::COUNT]` array.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Bottleneck::None => 0,
+            Bottleneck::ContainerCpu => 1,
+            Bottleneck::HostCpu => 2,
+            Bottleneck::IoBandwidth => 3,
+            Bottleneck::IoQueue => 4,
+            Bottleneck::IoWait => 5,
+            Bottleneck::Network => 6,
+            Bottleneck::MemBandwidth => 7,
+        }
+    }
+}
+
 impl std::fmt::Display for Bottleneck {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

@@ -15,6 +15,7 @@ fn quick_model() -> Arc<MonitorlessModel> {
         run_seconds: 50,
         ramp_seconds: 120,
         seed: 211,
+        n_jobs: 1,
     })
     .unwrap();
     Arc::new(MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap())

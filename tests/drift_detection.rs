@@ -147,6 +147,7 @@ fn reference_profile_roundtrips_through_model_persistence() {
         run_seconds: 30,
         ramp_seconds: 100,
         seed: 11,
+        n_jobs: 1,
     })
     .unwrap();
     let model = MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap();
@@ -190,6 +191,7 @@ fn old_model_json_without_profile_still_loads() {
         run_seconds: 30,
         ramp_seconds: 100,
         seed: 13,
+        n_jobs: 1,
     })
     .unwrap();
     let model = MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap();

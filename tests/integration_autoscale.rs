@@ -25,6 +25,7 @@ fn monitorless_scaling_beats_no_scaling() {
         run_seconds: 50,
         ramp_seconds: 120,
         seed: 201,
+        n_jobs: 1,
     })
     .unwrap();
     let model = Arc::new(MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap());

@@ -13,6 +13,7 @@ fn options() -> TrainingOptions {
         run_seconds: 30,
         ramp_seconds: 100,
         seed: 2026,
+        n_jobs: 1,
     }
 }
 
@@ -93,6 +94,7 @@ fn different_seeds_produce_different_data() {
     let a = generate_training_data(&options()).unwrap();
     let b = generate_training_data(&TrainingOptions {
         seed: 2027,
+        n_jobs: 1,
         ..options()
     })
     .unwrap();

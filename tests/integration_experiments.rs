@@ -15,6 +15,7 @@ fn quick_training(seed: u64) -> monitorless::training::TrainingData {
         run_seconds: 40,
         ramp_seconds: 120,
         seed,
+        n_jobs: 1,
     })
     .unwrap()
 }
@@ -32,6 +33,7 @@ fn table1_catalog_regenerates() {
         run_seconds: 30,
         ramp_seconds: 100,
         seed: 301,
+        n_jobs: 1,
     })
     .unwrap();
     assert_eq!(rows.len(), 25);

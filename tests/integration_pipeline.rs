@@ -12,6 +12,7 @@ fn quick_opts(seed: u64) -> TrainingOptions {
         run_seconds: 40,
         ramp_seconds: 120,
         seed,
+        n_jobs: 1,
     }
 }
 

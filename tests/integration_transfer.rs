@@ -15,6 +15,7 @@ fn trained_model(seed: u64) -> Arc<MonitorlessModel> {
         run_seconds: 60,
         ramp_seconds: 150,
         seed,
+        n_jobs: 1,
     })
     .unwrap();
     Arc::new(MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap())

@@ -34,6 +34,7 @@ fn model() -> Arc<MonitorlessModel> {
             run_seconds: 30,
             ramp_seconds: 100,
             seed: 7,
+            n_jobs: 1,
         })
         .unwrap();
         Arc::new(MonitorlessModel::train(&data, &ModelOptions::quick()).unwrap())
